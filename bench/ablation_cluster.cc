@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Ablation: cross-cluster forwarding delay on the 8-wide machines.
+ *
+ * The paper's 8-wide machines are split into two clusters with a 1-cycle
+ * forwarding penalty. This bench sweeps the penalty (0 = one flat
+ * cluster's timing, 1 = paper, 2 = slower interconnect) on the Ideal and
+ * RB-full machines, showing how clustering interacts with the adder
+ * latency advantage (the Figure 14 discussion notes 4-wide No-1,2
+ * beating 8-wide No-1,2 because of clustering).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "common/stats.hh"
+#include "common/strutil.hh"
+#include "sim/report.hh"
+
+int
+main()
+{
+    using namespace rbsim;
+    using namespace rbsim::bench;
+
+    std::printf("%s",
+                banner("Ablation: cross-cluster forwarding delay, 8-wide"
+                       " (hmean IPC, all 20 benchmarks)").c_str());
+
+    TextTable t;
+    t.header({"machine", "delay 0", "delay 1 (paper)", "delay 2"});
+    for (MachineKind kind : {MachineKind::Ideal, MachineKind::RbFull,
+                             MachineKind::Baseline}) {
+        std::vector<std::string> row{machineName(kind)};
+        for (unsigned delay : {0u, 1u, 2u}) {
+            MachineConfig cfg = MachineConfig::make(kind, 8);
+            cfg.crossClusterDelay = delay;
+            const auto cells = sweepAll({cfg});
+            std::vector<double> ipcs;
+            for (const Cell &c : cells)
+                ipcs.push_back(c.result.ipc());
+            row.push_back(fmtDouble(harmonicMean(ipcs), 3));
+        }
+        t.row(row);
+        std::fflush(stdout);
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf("expected: the faster the adders, the more the extra "
+                "forwarding cycle costs relative to execution latency.\n");
+    return 0;
+}

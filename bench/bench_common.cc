@@ -1,0 +1,159 @@
+#include "bench_common.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+
+#include "common/stats.hh"
+#include "common/strutil.hh"
+#include "sim/report.hh"
+
+namespace rbsim::bench
+{
+
+namespace
+{
+
+std::vector<Cell>
+sweep(const std::vector<MachineConfig> &configs,
+      const std::vector<WorkloadInfo> &workloads, unsigned scale)
+{
+    struct Task
+    {
+        const MachineConfig *cfg;
+        const WorkloadInfo *wl;
+    };
+    std::vector<Task> tasks;
+    for (const WorkloadInfo &w : workloads) {
+        for (const MachineConfig &c : configs)
+            tasks.push_back(Task{&c, &w});
+    }
+
+    std::vector<Cell> cells(tasks.size());
+    std::atomic<std::size_t> next{0};
+    const unsigned nthreads =
+        std::min<unsigned>(std::thread::hardware_concurrency(),
+                           static_cast<unsigned>(tasks.size()));
+
+    auto worker = [&]() {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= tasks.size())
+                return;
+            WorkloadParams wp;
+            wp.scale = scale;
+            const Program prog = tasks[i].wl->build(wp);
+            SimResult r = simulate(*tasks[i].cfg, prog);
+            cells[i].machine = tasks[i].cfg->label;
+            cells[i].workload = tasks[i].wl->name;
+            cells[i].result = std::move(r);
+        }
+    };
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t + 1 < std::max(1u, nthreads); ++t)
+        pool.emplace_back(worker);
+    worker();
+    for (std::thread &t : pool)
+        t.join();
+    return cells;
+}
+
+} // namespace
+
+std::vector<Cell>
+sweepSuite(const std::vector<MachineConfig> &configs,
+           const std::string &suite, unsigned scale)
+{
+    return sweep(configs, suiteWorkloads(suite), scale);
+}
+
+std::vector<Cell>
+sweepAll(const std::vector<MachineConfig> &configs, unsigned scale)
+{
+    return sweep(configs, allWorkloads(), scale);
+}
+
+void
+printIpcFigure(const std::string &title,
+               const std::vector<MachineConfig> &configs,
+               const std::vector<Cell> &cells,
+               const std::vector<WorkloadInfo> &workloads)
+{
+    std::printf("%s", banner(title).c_str());
+
+    TextTable table;
+    std::vector<std::string> head{"benchmark"};
+    for (const MachineConfig &c : configs)
+        head.push_back(c.label);
+    table.header(head);
+
+    std::vector<std::vector<double>> per_machine(configs.size());
+    std::size_t i = 0;
+    for (const WorkloadInfo &w : workloads) {
+        std::vector<std::string> row{w.name};
+        for (std::size_t m = 0; m < configs.size(); ++m, ++i) {
+            const double ipc = cells[i].result.ipc();
+            row.push_back(fmtDouble(ipc, 3));
+            per_machine[m].push_back(ipc);
+        }
+        table.row(row);
+    }
+
+    std::vector<std::string> hrow{"hmean"};
+    std::vector<std::string> arow{"amean"};
+    std::vector<double> ameans;
+    for (const auto &col : per_machine) {
+        hrow.push_back(fmtDouble(harmonicMean(col), 3));
+        arow.push_back(fmtDouble(arithmeticMean(col), 3));
+        ameans.push_back(arithmeticMean(col));
+    }
+    table.row(hrow);
+    table.row(arow);
+    std::printf("%s\n", table.render().c_str());
+
+    // Bar view of the means (the look of the paper's figures).
+    double maxmean = 0;
+    for (double m : ameans)
+        maxmean = std::max(maxmean, m);
+    for (std::size_t m = 0; m < configs.size(); ++m) {
+        std::printf("  %-12s |%s| %.3f\n", configs[m].label.c_str(),
+                    textBar(ameans[m], maxmean, 44).c_str(), ameans[m]);
+    }
+    std::printf("\n");
+}
+
+void
+printHeadline(const std::vector<MachineConfig> &configs,
+              const std::vector<Cell> &cells,
+              const std::string &paper_note)
+{
+    std::vector<double> mean(configs.size(), 0.0);
+    std::vector<unsigned> count(configs.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const std::size_t m = i % configs.size();
+        mean[m] += cells[i].result.ipc();
+        ++count[m];
+    }
+    for (std::size_t m = 0; m < mean.size(); ++m)
+        mean[m] /= count[m];
+    // Order: Baseline, RB-limited, RB-full, Ideal.
+    const double base = mean[0], rblim = mean[1], rbfull = mean[2],
+                 ideal = mean[3];
+    std::printf("measured: RB-full %+.1f%% vs Baseline; %+.1f%% vs "
+                "Ideal; RB-limited %+.1f%% vs RB-full; Ideal %+.1f%% vs "
+                "Baseline\n",
+                100 * (rbfull / base - 1), 100 * (rbfull / ideal - 1),
+                100 * (rblim / rbfull - 1), 100 * (ideal / base - 1));
+    std::printf("paper:    %s\n\n", paper_note.c_str());
+}
+
+std::vector<MachineConfig>
+paperMachines(unsigned width)
+{
+    return {MachineConfig::make(MachineKind::Baseline, width),
+            MachineConfig::make(MachineKind::RbLimited, width),
+            MachineConfig::make(MachineKind::RbFull, width),
+            MachineConfig::make(MachineKind::Ideal, width)};
+}
+
+} // namespace rbsim::bench

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Shared sweep machinery for the figure/table reproduction binaries:
+ * runs (machine, workload) grids in parallel and prints IPC tables in
+ * the layout of the paper's figures.
+ */
+
+#ifndef RBSIM_BENCH_COMMON_HH
+#define RBSIM_BENCH_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+#include "workloads/workload.hh"
+
+namespace rbsim::bench
+{
+
+/** One (machine, workload) cell of a sweep. */
+struct Cell
+{
+    std::string machine;
+    std::string workload;
+    SimResult result;
+};
+
+/**
+ * Simulate every workload of `suite` on every config, in parallel.
+ * Results are ordered workload-major, matching the input orders.
+ * Co-simulation stays enabled: every cell is architecturally verified.
+ */
+std::vector<Cell> sweepSuite(const std::vector<MachineConfig> &configs,
+                             const std::string &suite,
+                             unsigned scale = 1);
+
+/** Like sweepSuite over both suites (all 20 benchmarks). */
+std::vector<Cell> sweepAll(const std::vector<MachineConfig> &configs,
+                           unsigned scale = 1);
+
+/**
+ * Print a per-benchmark IPC table (benchmarks as rows, machines as
+ * columns) followed by harmonic and arithmetic means, the layout of the
+ * paper's Figures 9-12.
+ */
+void printIpcFigure(const std::string &title,
+                    const std::vector<MachineConfig> &configs,
+                    const std::vector<Cell> &cells,
+                    const std::vector<WorkloadInfo> &workloads);
+
+/** The paper's four machines at a width, in figure order. */
+std::vector<MachineConfig> paperMachines(unsigned width);
+
+/**
+ * Print the headline comparisons for a 4-machine sweep (Baseline,
+ * RB-limited, RB-full, Ideal) next to the numbers the paper reports for
+ * this figure.
+ * @param paper_note the paper's claim, printed verbatim for comparison
+ */
+void printHeadline(const std::vector<MachineConfig> &configs,
+                   const std::vector<Cell> &cells,
+                   const std::string &paper_note);
+
+} // namespace rbsim::bench
+
+#endif // RBSIM_BENCH_COMMON_HH

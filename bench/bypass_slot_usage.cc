@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Reproduces the paper's section 5.2 bypass-usage measurement: "In the
+ * Ideal machine, 21% to 38% of the instructions did not receive any
+ * sources off of the bypass network, 51% to 70% retrieved a source
+ * operand from the first-level bypass bus, and 5% to 14% of the
+ * instructions received a source operand from another bypass path."
+ *
+ * Classification here follows the last-arriving operand of each retired
+ * instruction (the one that gated execution): slot 0 = first-level
+ * bypass, slots 1-2 = other bypass levels, slot >= 3 or no tracked
+ * operand = register file / none.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "common/strutil.hh"
+#include "sim/report.hh"
+
+int
+main()
+{
+    using namespace rbsim;
+    using namespace rbsim::bench;
+
+    const std::vector<MachineConfig> configs = {
+        MachineConfig::make(MachineKind::Ideal, 8)};
+    const auto cells = sweepAll(configs);
+
+    std::printf("%s",
+                banner("Section 5.2: where last-arriving operands come "
+                       "from (Ideal, 8-wide)").c_str());
+
+    TextTable t;
+    t.header({"benchmark", "no bypass source", "first-level bypass",
+              "other bypass level"});
+    double min_first = 100, max_first = 0;
+    for (const Cell &c : cells) {
+        const CoreStats &s = c.result.core;
+        const double retired = double(s.retired);
+        const double first = 100.0 * s.bypassSlotUsed[0] / retired;
+        const double other =
+            100.0 * (s.bypassSlotUsed[1] + s.bypassSlotUsed[2]) /
+            retired;
+        const double none = 100.0 - first - other;
+        min_first = std::min(min_first, first);
+        max_first = std::max(max_first, first);
+        t.row({c.workload, fmtDouble(none, 1) + "%",
+               fmtDouble(first, 1) + "%", fmtDouble(other, 1) + "%"});
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf("first-level share across the suite: %.0f%%-%.0f%%\n",
+                min_first, max_first);
+    std::printf("paper: 21%%-38%% no bypass source, 51%%-70%% "
+                "first-level, 5%%-14%% another bypass path — the heavy "
+                "first-level skew is why removing BYP-1 hurts most in "
+                "Figure 14.\n");
+    return 0;
+}

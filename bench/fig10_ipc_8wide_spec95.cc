@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Reproduces paper Figure 10: IPC of the 8-wide machines on the
+ * SPECint95(-like) benchmarks.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace rbsim;
+    using namespace rbsim::bench;
+    const auto configs = paperMachines(8);
+    const auto cells = sweepSuite(configs, "spec95");
+    printIpcFigure("Figure 10: IPC, 8-wide machines, SPECint95-like",
+                   configs, cells, suiteWorkloads("spec95"));
+    printHeadline(configs, cells,
+                  "RB +9% vs Baseline, within 2% of Ideal; RB-limited "
+                  "within 2% of RB-full");
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Machine characterization on single-behavior microkernels: isolates
+ * where each machine wins and loses (dependent adds: RB ~ Ideal << Base;
+ * shift-xor chains: RB loses to Base, the Table 3 conversion cost; pure
+ * bandwidth / memory latency / misprediction: all equal). A compact
+ * sanity map of the whole timing model.
+ */
+
+#include <cstdio>
+
+#include "common/strutil.hh"
+#include "sim/report.hh"
+#include "sim/simulator.hh"
+#include "workloads/micro.hh"
+
+int
+main()
+{
+    using namespace rbsim;
+
+    std::printf("%s",
+                banner("Microbenchmark characterization (IPC, 8-wide)")
+                    .c_str());
+
+    TextTable t;
+    t.header({"kernel", "Baseline", "RB-limited", "RB-full", "Ideal",
+              "what it isolates"});
+    for (const WorkloadInfo &w : microWorkloads()) {
+        const Program p = w.build(WorkloadParams{});
+        std::vector<std::string> row{w.name};
+        for (MachineKind kind : {MachineKind::Baseline,
+                                 MachineKind::RbLimited,
+                                 MachineKind::RbFull, MachineKind::Ideal}) {
+            const SimResult r =
+                simulate(MachineConfig::make(kind, 8), p);
+            row.push_back(fmtDouble(r.ipc(), 3));
+        }
+        row.push_back(w.description);
+        t.row(row);
+        std::fflush(stdout);
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf("expected: u-depchain separates the adders (Ideal ~ RB "
+                ">> Baseline); u-shiftxor inverts it\n(the RB machines "
+                "pay the 5-cycle shift-to-TC conversion); u-ilp, "
+                "u-chase, u-stld and\nu-branch are adder-insensitive "
+                "and come out nearly equal.\n");
+    return 0;
+}

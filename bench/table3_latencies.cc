@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Prints paper Table 2 (machine configuration) and reproduces paper
+ * Table 3 (instruction-class latencies per machine) directly from the
+ * MachineConfig latency model, so the configuration driving every other
+ * experiment is visible and auditable.
+ */
+
+#include <cstdio>
+
+#include "core/machine_config.hh"
+#include "sim/report.hh"
+
+int
+main()
+{
+    using namespace rbsim;
+
+    const MachineConfig base = MachineConfig::make(MachineKind::Baseline, 8);
+    const MachineConfig rb = MachineConfig::make(MachineKind::RbFull, 8);
+    const MachineConfig ideal = MachineConfig::make(MachineKind::Ideal, 8);
+
+    std::printf("%s", banner("Table 2: Machine Configuration").c_str());
+    TextTable t2;
+    t2.header({"parameter", "value"});
+    t2.row({"branch predictor",
+            "48KB hybrid gshare/PAs, 4096-entry BTB, 16-entry RAS"});
+    t2.row({"fetch", "2 basic blocks per cycle, 8 instructions"});
+    t2.row({"decode/rename/issue width", "8 instructions"});
+    t2.row({"instruction cache", "64KB 4-way, 2-cycle, pipelined"});
+    t2.row({"instruction window",
+            "128 RS entries (select-2 schedulers: 2x64 or 4x32)"});
+    t2.row({"execution width", "4 or 8 functional units"});
+    t2.row({"clusters (8-wide)", "2, +1 cycle cross-cluster forwarding"});
+    t2.row({"data cache", "8KB 2-way, 2-cycle, pipelined"});
+    t2.row({"unified L2", "1MB 8-way, 8-cycle, 2 banks with contention"});
+    t2.row({"memory", "100-cycle, 32 banks with contention"});
+    t2.row({"pipeline minimum", "13 cycles (6 fetch/decode + 2 rename + "
+            "1 schedule + 2 RF + 1 EX + 1 retire)"});
+    std::printf("%s\n", t2.render().c_str());
+
+    std::printf("%s", banner("Table 3: Instruction Class Latencies").c_str());
+    TextTable t3;
+    t3.header({"Instruction class", "Base", "RB (TC result)", "Ideal"});
+    const OpClass rows[] = {
+        OpClass::IntArith, OpClass::IntLogical, OpClass::ShiftLeft,
+        OpClass::ShiftRight, OpClass::IntCompare, OpClass::ByteManip,
+        OpClass::IntMul, OpClass::FpArith, OpClass::FpDiv,
+        OpClass::Load, OpClass::Store,
+    };
+    for (OpClass cls : rows) {
+        const LatencyPair b = base.latencyOf(cls);
+        const LatencyPair r = rb.latencyOf(cls);
+        const LatencyPair i = ideal.latencyOf(cls);
+        std::string rbs = std::to_string(r.early);
+        if (r.late != r.early)
+            rbs += " (" + std::to_string(r.late) + ")";
+        if (cls == OpClass::Store && rb.storeCompleteLat != 1)
+            rbs += " [" + std::to_string(rb.storeCompleteLat) +
+                   " for stores]";
+        t3.row({opClassName(cls), std::to_string(b.early), rbs,
+                std::to_string(i.early)});
+    }
+    t3.row({"dcache latency", "2", "2", "2"});
+    std::printf("%s\n", t3.render().c_str());
+    std::printf("RB machines resolve conditional branches with the "
+                "1-cycle compare (Baseline: 2 cycles).\n");
+    return 0;
+}

@@ -1,0 +1,16 @@
+; Fibonacci: stores fib(1)..fib(30) at 0x20000, fib(30) stays in r2.
+; Run: ./build/examples/run_asm examples/asm/fib.s --dump-mem 0x200e8,1
+.name fib
+    ldiq r1, 0
+    ldiq r2, 1
+    ldiq r3, 30
+    ldiq r5, 0x20000
+loop:
+    addq r1, r2, r4
+    mov r2, r1
+    mov r4, r2
+    stq r4, 0(r5)
+    lda r5, 8(r5)
+    subq r3, #1, r3
+    bne r3, loop
+    halt

@@ -1,0 +1,20 @@
+; Euclid's GCD by repeated subtraction: gcd(9840, 2208) -> r1 (48),
+; stored at 0x20000.
+; Run: ./build/examples/run_asm examples/asm/gcd.s --dump-mem 0x20000,1
+.name gcd
+    ldiq r1, 9840
+    ldiq r2, 2208
+loop:
+    cmpeq r1, r2, r3
+    bne r3, done
+    cmplt r1, r2, r3
+    bne r3, swap
+    subq r1, r2, r1
+    br loop
+swap:
+    subq r2, r1, r2
+    br loop
+done:
+    ldiq r4, 0x20000
+    stq r1, 0(r4)
+    halt

@@ -1,0 +1,20 @@
+; Copy 64 quadwords from 0x20000 to 0x21000 and checksum them.
+; Demonstrates load/store streaming and loop-carried addressing.
+.name memcopy
+.org 0x20000
+.quad 11, 22, 33, 44, 55, 66, 77, 88
+    ldiq r1, 0x20000    ; src
+    ldiq r2, 0x21000    ; dst
+    ldiq r3, 64         ; count
+    ldiq r4, 0          ; checksum
+loop:
+    ldq r5, 0(r1)
+    stq r5, 0(r2)
+    addq r4, r5, r4
+    lda r1, 8(r1)
+    lda r2, 8(r2)
+    subq r3, #1, r3
+    bne r3, loop
+    ldiq r6, 0x22000
+    stq r4, 0(r6)
+    halt

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Machine-design exploration: build custom MachineConfig variants beyond
+ * the paper's four — different widths, bypass level sets, cluster
+ * penalties, and scheduler policies — and compare them on a workload of
+ * your choice.
+ *
+ *   $ ./build/examples/machine_compare [workload]   (default: gap)
+ *
+ * `gap` is the multiword-bignum kernel whose serial add/carry chains
+ * make adder latency maximally visible.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "sim/simulator.hh"
+#include "workloads/micro.hh"
+#include "workloads/workload.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace rbsim;
+
+    const std::string name = argc > 1 ? argv[1] : "gap";
+    // Accept both the SPEC-like registry and the micro suite.
+    const WorkloadInfo *info = nullptr;
+    for (const WorkloadInfo &w : allWorkloads()) {
+        if (w.name == name)
+            info = &w;
+    }
+    for (const WorkloadInfo &w : microWorkloads()) {
+        if (w.name == name)
+            info = &w;
+    }
+    if (!info) {
+        std::fprintf(stderr, "unknown workload '%s'\n", name.c_str());
+        return 1;
+    }
+    const Program prog = info->build(WorkloadParams{});
+    std::printf("workload: %s (%s)\n\n", name.c_str(),
+                info->description.c_str());
+
+    struct Variant
+    {
+        const char *label;
+        MachineConfig cfg;
+    };
+    std::vector<Variant> variants;
+
+    for (unsigned width : {4u, 8u}) {
+        for (MachineKind kind : {MachineKind::Baseline,
+                                 MachineKind::RbLimited,
+                                 MachineKind::RbFull, MachineKind::Ideal}) {
+            MachineConfig cfg = MachineConfig::make(kind, width);
+            cfg.label += width == 4 ? " 4w" : " 8w";
+            variants.push_back({"paper", cfg});
+        }
+    }
+    {
+        // A flat (uncluster-penalized) 8-wide Ideal machine.
+        MachineConfig cfg = MachineConfig::make(MachineKind::Ideal, 8);
+        cfg.crossClusterDelay = 0;
+        cfg.label = "Ideal 8w flat";
+        variants.push_back({"custom", cfg});
+    }
+    {
+        // The Figure 14 hole machine: Ideal without levels 2 and 3.
+        MachineConfig cfg = MachineConfig::makeIdealLimited(8, 0b001);
+        cfg.label = "Ideal 8w No-2,3";
+        variants.push_back({"custom", cfg});
+    }
+    {
+        // RB-limited without hole-aware scheduling (section 4.3 off).
+        MachineConfig cfg = MachineConfig::make(MachineKind::RbLimited, 8);
+        cfg.holeAwareScheduling = false;
+        cfg.label = "RB-lim 8w naive";
+        variants.push_back({"custom", cfg});
+    }
+
+    std::printf("%-18s %8s %6s %9s %10s %9s\n", "machine", "cycles",
+                "IPC", "branches", "mispred%", "dl1miss%");
+    for (const Variant &v : variants) {
+        const SimResult r = simulate(v.cfg, prog);
+        std::printf("%-18s %8llu %6.3f %9llu %9.1f%% %8.1f%%\n",
+                    v.cfg.label.c_str(),
+                    static_cast<unsigned long long>(r.core.cycles),
+                    r.ipc(),
+                    static_cast<unsigned long long>(r.core.condBranches),
+                    100.0 * (1.0 - r.branchAccuracy()),
+                    r.dl1Accesses
+                        ? 100.0 * double(r.dl1Misses) / double(r.dl1Accesses)
+                        : 0.0);
+    }
+    return 0;
+}

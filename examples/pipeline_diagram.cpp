@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Reproduces the paper's Figures 5 and 7 from live simulation: the
+ * Figure 4 dependency graph (a producer feeding an RB consumer, a TC
+ * consumer, and a grand-dependent) scheduled on the RB machine with a
+ * full bypass network versus the limited network of section 4.2.
+ *
+ * With the full network the SUB issues back-to-back behind the ADD
+ * (Figure 5); with BYP-2 removed and BYP-3 unreachable from RB-input
+ * units, the SUB misses the one-cycle BYP-1 window and waits for the
+ * register file — issuing 3 cycles later (Figure 7).
+ *
+ *   $ ./build/examples/pipeline_diagram
+ */
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/core.hh"
+#include "isa/assembler.hh"
+#include "isa/disasm.hh"
+
+namespace
+{
+
+using namespace rbsim;
+
+struct Timing
+{
+    std::string text;
+    Cycle dispatch, issue, complete;
+};
+
+std::vector<Timing>
+runAndCollect(const MachineConfig &cfg, const Program &prog,
+              std::uint64_t first_pc, std::uint64_t last_pc)
+{
+    OooCore core(cfg, prog);
+    std::vector<Timing> out;
+    core.onRetire([&](const RobEntry &e) {
+        if (e.pcIndex >= first_pc && e.pcIndex <= last_pc) {
+            out.push_back(Timing{disassemble(e.inst, e.pcIndex),
+                                 e.dispatchCycle, e.issueCycle,
+                                 e.completeCycle});
+        }
+    });
+    core.run(100000);
+    return out;
+}
+
+void
+printDiagram(const char *title, const std::vector<Timing> &rows)
+{
+    std::printf("%s\n", title);
+    Cycle base = ~Cycle{0};
+    Cycle end = 0;
+    for (const Timing &t : rows) {
+        base = std::min(base, t.issue);
+        end = std::max(end, t.complete);
+    }
+    std::printf("  %-22s", "cycle:");
+    for (Cycle c = 0; c <= end - base && c < 14; ++c)
+        std::printf("%3llu", static_cast<unsigned long long>(c));
+    std::printf("\n");
+    for (const Timing &t : rows) {
+        std::printf("  %-22s", t.text.c_str());
+        for (Cycle c = base; c <= end && c < base + 14; ++c) {
+            const char *mark = "  .";
+            if (c == t.issue)
+                mark = " EX";
+            else if (c > t.issue && c <= t.complete)
+                mark = "  =";
+            std::printf("%s", mark);
+        }
+        std::printf("\n");
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    // The Figure 4 graph with 1-cycle RB ops (as in the paper's worked
+    // example): a producer ADD; an AND (TC consumer) and an ADD (RB
+    // consumer) of its result; a SUB consuming both intermediate values.
+    // The serial r9 chain (which the producer extends) lets the setup
+    // constants settle into the
+    // register file before the graph issues, as the paper's example
+    // assumes.
+    const Program prog = assemble(R"(
+        .name fig4
+            ldiq r3, 3
+            ldiq r5, 11
+            ldiq r9, 1
+            addq r9, #1, r9
+            addq r9, #1, r9
+            addq r9, #1, r9
+            addq r9, #1, r9
+            addq r9, #1, r9
+            addq r9, #1, r9
+            addq r9, #1, r9
+            addq r9, #1, r9
+            addq r9, #1, r2    ; the producer (think: the SLL of Fig. 4)
+            and  r2, r3, r4    ; TC consumer -> waits for the converter
+            addq r2, r5, r6    ; RB consumer -> BYP-1, back-to-back
+            subq r6, r2, r7    ; depends on both RB intermediates
+            halt
+    )");
+
+    std::printf("The paper's Figure 4 dependency graph, simulated.\n\n");
+
+    const MachineConfig full = MachineConfig::make(MachineKind::RbFull, 4);
+    const auto t5 = runAndCollect(full, prog, 11, 14);
+    printDiagram("Figure 5 analogue - RB machine, full bypass:", t5);
+
+    const MachineConfig lim =
+        MachineConfig::make(MachineKind::RbLimited, 4);
+    const auto t7 = runAndCollect(lim, prog, 11, 14);
+    printDiagram("Figure 7 analogue - RB machine, limited bypass:", t7);
+
+    // The headline delta: the SUB's issue slips by the hole depth.
+    const Cycle sub_full = t5.back().issue - t5.front().issue;
+    const Cycle sub_lim = t7.back().issue - t7.front().issue;
+    std::printf("SUB issues %llu cycles after the producer with full "
+                "bypass,\n%llu cycles after it with the limited network "
+                "(paper: 2 vs 5).\n",
+                static_cast<unsigned long long>(sub_full),
+                static_cast<unsigned long long>(sub_lim));
+    return 0;
+}

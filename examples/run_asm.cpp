@@ -1,0 +1,186 @@
+/**
+ * @file
+ * rbsim's command-line runner: assemble a TinyAlpha .s file and run it
+ * on any machine configuration, with per-run statistics.
+ *
+ *   usage: run_asm FILE.s [options]
+ *     --machine base|rblim|rbfull|ideal   (default rbfull)
+ *     --width 4|8                         (default 8)
+ *     --no-levels 1,2,3                   remove bypass levels (Ideal)
+ *     --no-hole-sched                     disable Fig. 8 hole wakeup
+ *     --steer-dep                         dependence-aware steering
+ *     --scale-cluster N                   cross-cluster delay (default 1)
+ *     --max-cycles N                      safety cap (default 100M)
+ *     --dump-mem ADDR,N                   print N quadwords at ADDR
+ *
+ * Example:
+ *   ./build/examples/run_asm prog.s --machine rblim --width 4
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "isa/assembler.hh"
+#include "sim/simulator.hh"
+
+namespace
+{
+
+using namespace rbsim;
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s FILE.s [--machine base|rblim|rbfull|ideal] "
+                 "[--width 4|8]\n"
+                 "          [--no-levels 1,2,3] [--no-hole-sched] "
+                 "[--steer-dep]\n"
+                 "          [--scale-cluster N] [--max-cycles N] "
+                 "[--dump-mem ADDR,N]\n",
+                 argv0);
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        usage(argv[0]);
+
+    std::string machine = "rbfull";
+    unsigned width = 8;
+    std::uint8_t level_mask = 0b111;
+    bool limited_levels = false;
+    bool hole_sched = true;
+    bool steer_dep = false;
+    unsigned cluster_delay = 1;
+    Cycle max_cycles = 100'000'000;
+    Addr dump_addr = 0;
+    unsigned dump_count = 0;
+
+    const char *path = argv[1];
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--machine") {
+            machine = next();
+        } else if (arg == "--width") {
+            width = static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--no-levels") {
+            limited_levels = true;
+            for (const char *p = next(); *p; ++p) {
+                if (*p >= '1' && *p <= '3')
+                    level_mask &= static_cast<std::uint8_t>(
+                        ~(1u << (*p - '1')));
+            }
+        } else if (arg == "--no-hole-sched") {
+            hole_sched = false;
+        } else if (arg == "--steer-dep") {
+            steer_dep = true;
+        } else if (arg == "--scale-cluster") {
+            cluster_delay = static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--max-cycles") {
+            max_cycles = static_cast<Cycle>(std::atoll(next()));
+        } else if (arg == "--dump-mem") {
+            const char *spec = next();
+            char *comma = nullptr;
+            dump_addr = std::strtoull(spec, &comma, 0);
+            if (comma && *comma == ',')
+                dump_count = static_cast<unsigned>(
+                    std::atoi(comma + 1));
+        } else {
+            usage(argv[0]);
+        }
+    }
+
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", path);
+        return 1;
+    }
+    std::stringstream source;
+    source << in.rdbuf();
+
+    Program prog;
+    try {
+        prog = assemble(source.str());
+    } catch (const AsmError &e) {
+        std::fprintf(stderr, "%s: %s\n", path, e.what());
+        return 1;
+    }
+
+    MachineKind kind = MachineKind::RbFull;
+    if (machine == "base")
+        kind = MachineKind::Baseline;
+    else if (machine == "rblim")
+        kind = MachineKind::RbLimited;
+    else if (machine == "ideal")
+        kind = MachineKind::Ideal;
+    else if (machine != "rbfull")
+        usage(argv[0]);
+
+    MachineConfig cfg = limited_levels && kind == MachineKind::Ideal
+        ? MachineConfig::makeIdealLimited(width, level_mask)
+        : MachineConfig::make(kind, width);
+    cfg.holeAwareScheduling = hole_sched;
+    cfg.crossClusterDelay = cluster_delay;
+    if (steer_dep)
+        cfg.steering = Steering::DependenceAware;
+
+    SimOptions opts;
+    opts.maxCycles = max_cycles;
+    SimResult r;
+    OooCore core(cfg, prog);
+    try {
+        r = simulate(cfg, prog, opts);
+        // A second (identical, deterministic) run exposes committed
+        // memory for --dump-mem.
+        if (dump_count)
+            core.run(max_cycles);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "simulation failed: %s\n", e.what());
+        return 1;
+    }
+
+    std::printf("%s (%zu static insts) on %s %u-wide\n",
+                prog.name.c_str(), prog.code.size(), cfg.label.c_str(),
+                width);
+    if (!r.halted) {
+        std::printf("DID NOT HALT within %llu cycles\n",
+                    static_cast<unsigned long long>(max_cycles));
+        return 1;
+    }
+    std::printf("cycles %llu  retired %llu  IPC %.3f  (verified %llu)\n",
+                static_cast<unsigned long long>(r.core.cycles),
+                static_cast<unsigned long long>(r.core.retired), r.ipc(),
+                static_cast<unsigned long long>(r.cosimChecked));
+    std::printf("branch accuracy %.2f%%  flushes %llu  dl1 miss %.1f%%"
+                "  l2 miss %.1f%%\n",
+                100.0 * r.branchAccuracy(),
+                static_cast<unsigned long long>(r.core.flushes),
+                r.dl1Accesses
+                    ? 100.0 * r.dl1Misses / double(r.dl1Accesses) : 0.0,
+                r.l2Accesses
+                    ? 100.0 * r.l2Misses / double(r.l2Accesses) : 0.0);
+
+    if (dump_count) {
+        std::printf("\nmemory at 0x%llx:\n",
+                    static_cast<unsigned long long>(dump_addr));
+        for (unsigned i = 0; i < dump_count; ++i) {
+            std::printf("  +%3u: 0x%016llx\n", i * 8,
+                        static_cast<unsigned long long>(
+                            core.committedMem().read64(dump_addr + i * 8)));
+        }
+    }
+    return 0;
+}

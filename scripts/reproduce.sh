@@ -1,0 +1,11 @@
+#!/bin/sh
+# Reproduce everything: build, run the full test suite (including the
+# lockstep co-simulated integration tests), then regenerate every table
+# and figure of the paper into bench_output.txt.
+set -e
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
+for b in build/bench/*; do "$b"; done 2>&1 | tee bench_output.txt
+echo "done: see test_output.txt and bench_output.txt"

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Bit-manipulation helpers shared by the arithmetic and cache models.
+ */
+
+#ifndef RBSIM_COMMON_BITUTIL_HH
+#define RBSIM_COMMON_BITUTIL_HH
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+namespace rbsim
+{
+
+/** Extract bits [lo, lo+len) of value (len <= 64, lo+len <= 64). */
+inline std::uint64_t
+bits(std::uint64_t value, unsigned lo, unsigned len)
+{
+    assert(lo < 64 && len <= 64 && lo + len <= 64);
+    if (len == 64)
+        return value >> lo;
+    return (value >> lo) & ((std::uint64_t{1} << len) - 1);
+}
+
+/** Test bit i of value. */
+inline bool
+bit(std::uint64_t value, unsigned i)
+{
+    assert(i < 64);
+    return (value >> i) & 1;
+}
+
+/** Sign-extend the low `width` bits of value to 64 bits. */
+inline std::int64_t
+sext(std::uint64_t value, unsigned width)
+{
+    assert(width >= 1 && width <= 64);
+    if (width == 64)
+        return static_cast<std::int64_t>(value);
+    const std::uint64_t m = std::uint64_t{1} << (width - 1);
+    value &= (std::uint64_t{1} << width) - 1;
+    return static_cast<std::int64_t>((value ^ m) - m);
+}
+
+/** True if value is a power of two (zero excluded). */
+inline bool
+isPow2(std::uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** log2 of a power of two. */
+inline unsigned
+log2i(std::uint64_t value)
+{
+    assert(isPow2(value));
+    return static_cast<unsigned>(std::countr_zero(value));
+}
+
+/** Count leading zeros of a 64-bit value (64 when value == 0). */
+inline unsigned
+clz64(std::uint64_t value)
+{
+    return value ? static_cast<unsigned>(std::countl_zero(value)) : 64;
+}
+
+/** Count trailing zeros of a 64-bit value (64 when value == 0). */
+inline unsigned
+ctz64(std::uint64_t value)
+{
+    return value ? static_cast<unsigned>(std::countr_zero(value)) : 64;
+}
+
+/** Population count of a 64-bit value. */
+inline unsigned
+popcount64(std::uint64_t value)
+{
+    return static_cast<unsigned>(std::popcount(value));
+}
+
+} // namespace rbsim
+
+#endif // RBSIM_COMMON_BITUTIL_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Deterministic xorshift-based pseudo-random number generator.
+ *
+ * Workload generators and property tests need reproducible streams that do
+ * not depend on the C++ standard library's unspecified distributions, so we
+ * use a self-contained xorshift128+ generator.
+ */
+
+#ifndef RBSIM_COMMON_RNG_HH
+#define RBSIM_COMMON_RNG_HH
+
+#include <cassert>
+#include <cstdint>
+#include <initializer_list>
+
+namespace rbsim
+{
+
+/**
+ * xorshift128+ generator with convenience helpers for bounded draws.
+ */
+class Rng
+{
+  public:
+    /** Seed the generator; any seed (including 0) is valid. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // SplitMix64 expansion of the seed into the two state words.
+        std::uint64_t z = seed;
+        for (std::uint64_t *s : {&state0, &state1}) {
+            z += 0x9e3779b97f4a7c15ull;
+            std::uint64_t w = z;
+            w = (w ^ (w >> 30)) * 0xbf58476d1ce4e5b9ull;
+            w = (w ^ (w >> 27)) * 0x94d049bb133111ebull;
+            *s = w ^ (w >> 31);
+        }
+        if (state0 == 0 && state1 == 0)
+            state1 = 1;
+    }
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t s1 = state0;
+        const std::uint64_t s0 = state1;
+        const std::uint64_t result = s0 + s1;
+        state0 = s0;
+        s1 ^= s1 << 23;
+        state1 = s1 ^ s0 ^ (s1 >> 18) ^ (s0 >> 5);
+        return result;
+    }
+
+    /** Uniform draw in [0, bound). bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        assert(bound != 0);
+        // Modulo bias is irrelevant for simulation workloads.
+        return next() % bound;
+    }
+
+    /** Uniform draw in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        assert(lo <= hi);
+        return lo + static_cast<std::int64_t>(
+            below(static_cast<std::uint64_t>(hi - lo) + 1));
+    }
+
+    /** Bernoulli draw: true with probability num/den. */
+    bool
+    chance(std::uint64_t num, std::uint64_t den)
+    {
+        return below(den) < num;
+    }
+
+  private:
+    std::uint64_t state0 = 0;
+    std::uint64_t state1 = 0;
+};
+
+} // namespace rbsim
+
+#endif // RBSIM_COMMON_RNG_HH

@@ -1,0 +1,56 @@
+#include "common/stats.hh"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace rbsim
+{
+
+double
+arithmeticMean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+harmonicMean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double inv = 0.0;
+    for (double x : xs) {
+        assert(x > 0.0);
+        inv += 1.0 / x;
+    }
+    return static_cast<double>(xs.size()) / inv;
+}
+
+double
+geometricMean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double lg = 0.0;
+    for (double x : xs) {
+        assert(x > 0.0);
+        lg += std::log(x);
+    }
+    return std::exp(lg / static_cast<double>(xs.size()));
+}
+
+std::string
+StatSet::format() const
+{
+    std::ostringstream os;
+    for (const auto &[name, value] : counters)
+        os << name << " = " << value << "\n";
+    return os.str();
+}
+
+} // namespace rbsim

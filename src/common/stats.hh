@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Small statistics toolkit: counters, means, histograms.
+ *
+ * The simulator reports IPC per benchmark and harmonic means across
+ * benchmark suites (as in the paper's Figure 14), plus distributions such as
+ * the bypass-case breakdown of Figure 13.
+ */
+
+#ifndef RBSIM_COMMON_STATS_HH
+#define RBSIM_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rbsim
+{
+
+/** Arithmetic mean of a sample vector (0 for empty input). */
+double arithmeticMean(const std::vector<double> &xs);
+
+/** Harmonic mean of a sample vector; all samples must be positive. */
+double harmonicMean(const std::vector<double> &xs);
+
+/** Geometric mean of a sample vector; all samples must be positive. */
+double geometricMean(const std::vector<double> &xs);
+
+/**
+ * A named bag of integer counters with insertion-order-independent
+ * deterministic formatting. Used for per-run simulator statistics.
+ */
+class StatSet
+{
+  public:
+    /** Add delta to the named counter (creating it at zero). */
+    void
+    add(const std::string &name, std::uint64_t delta = 1)
+    {
+        counters[name] += delta;
+    }
+
+    /** Read a counter (0 if absent). */
+    std::uint64_t
+    get(const std::string &name) const
+    {
+        auto it = counters.find(name);
+        return it == counters.end() ? 0 : it->second;
+    }
+
+    /** Ratio of two counters; 0 when the denominator is 0. */
+    double
+    ratio(const std::string &num, const std::string &den) const
+    {
+        const std::uint64_t d = get(den);
+        return d == 0 ? 0.0 : static_cast<double>(get(num)) / d;
+    }
+
+    /** All counters, sorted by name. */
+    const std::map<std::string, std::uint64_t> &all() const
+    { return counters; }
+
+    /** Render "name = value" lines. */
+    std::string format() const;
+
+  private:
+    std::map<std::string, std::uint64_t> counters;
+};
+
+/**
+ * Fixed-bucket histogram over small unsigned values (e.g. bypass level
+ * used, scheduler wait cycles).
+ */
+class Histogram
+{
+  public:
+    /** Create with the given number of buckets; larger samples clamp. */
+    explicit Histogram(std::size_t nbuckets = 16)
+        : buckets(nbuckets, 0)
+    {}
+
+    /** Record one sample. */
+    void
+    record(std::size_t value)
+    {
+        if (value >= buckets.size())
+            value = buckets.size() - 1;
+        ++buckets[value];
+        ++count;
+    }
+
+    /** Samples recorded so far. */
+    std::uint64_t samples() const { return count; }
+
+    /** Raw bucket counts. */
+    const std::vector<std::uint64_t> &raw() const { return buckets; }
+
+    /** Fraction of samples in bucket i. */
+    double
+    fraction(std::size_t i) const
+    {
+        if (count == 0 || i >= buckets.size())
+            return 0.0;
+        return static_cast<double>(buckets[i]) / static_cast<double>(count);
+    }
+
+  private:
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t count = 0;
+};
+
+} // namespace rbsim
+
+#endif // RBSIM_COMMON_STATS_HH

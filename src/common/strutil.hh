@@ -1,0 +1,34 @@
+/**
+ * @file
+ * String helpers used by the assembler and report writers.
+ */
+
+#ifndef RBSIM_COMMON_STRUTIL_HH
+#define RBSIM_COMMON_STRUTIL_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rbsim
+{
+
+/** Strip leading and trailing whitespace. */
+std::string trim(std::string_view s);
+
+/** Split on any of the given delimiter characters, dropping empty tokens. */
+std::vector<std::string> splitTokens(std::string_view s,
+                                     std::string_view delims);
+
+/** Lower-case an ASCII string. */
+std::string toLower(std::string_view s);
+
+/** True if s starts with the given prefix. */
+bool startsWith(std::string_view s, std::string_view prefix);
+
+/** printf-style number formatting with fixed decimals. */
+std::string fmtDouble(double value, int decimals);
+
+} // namespace rbsim
+
+#endif // RBSIM_COMMON_STRUTIL_HH

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Fundamental scalar type aliases used throughout rbsim.
+ */
+
+#ifndef RBSIM_COMMON_TYPES_HH
+#define RBSIM_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace rbsim
+{
+
+/** Simulation time in core clock cycles. */
+using Cycle = std::uint64_t;
+
+/** A 64-bit virtual address. */
+using Addr = std::uint64_t;
+
+/** Architectural register value (two's complement). */
+using Word = std::uint64_t;
+
+/** Signed view of a register value. */
+using SWord = std::int64_t;
+
+/** Physical register tag. */
+using PhysReg = std::uint16_t;
+
+/** Sentinel for "no physical register". */
+constexpr PhysReg invalidPhysReg = 0xffff;
+
+/** Sentinel cycle meaning "never". */
+constexpr Cycle neverCycle = ~static_cast<Cycle>(0);
+
+} // namespace rbsim
+
+#endif // RBSIM_COMMON_TYPES_HH

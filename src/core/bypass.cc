@@ -1,0 +1,125 @@
+#include "core/bypass.hh"
+
+#include <cassert>
+
+namespace rbsim
+{
+
+namespace
+{
+
+/** Hole-aware availability: exact per-cycle truth. */
+bool
+rawAvail(const MachineConfig &cfg, const ProdAvail &p, bool needs_tc,
+         unsigned consumer_cluster, Cycle t)
+{
+    // Not yet produced (scoreboard markPending): nothing to bypass, and
+    // `never + cross` must not be allowed to wrap.
+    if (p.early == neverCycle)
+        return false;
+
+    // The TC register file serves everyone from rfTc on.
+    if (t >= p.rfTc)
+        return true;
+
+    const Cycle cross =
+        (cfg.numClusters > 1 && p.cluster != consumer_cluster)
+            ? cfg.crossClusterDelay : 0;
+
+    switch (cfg.kind) {
+      case MachineKind::Baseline:
+      case MachineKind::Ideal:
+        // Single format: level k catches at early + k - 1 when present.
+        for (unsigned k = 1; k <= cfg.numBypassLevels; ++k) {
+            if (!(cfg.bypassLevelMask & (1u << (k - 1))))
+                continue;
+            if (t == p.early + cross + (k - 1))
+                return true;
+        }
+        return false;
+
+      case MachineKind::RbFull:
+        // Level 1 (and the RB register file immediately behind it) serve
+        // RB-input consumers from `early`; the converter output and the
+        // TC register file serve TC consumers from `late`. Availability
+        // is continuous (paper: "the timing of operations is the same as
+        // when using all TC register files").
+        if (!needs_tc)
+            return t >= p.early + cross;
+        return t >= p.late + cross;
+
+      case MachineKind::RbLimited:
+        // BYP-2 removed; BYP-3 is not wired into RB-input functional
+        // units (paper section 4.2). Dual-format producers expose BYP-1
+        // (RB) and BYP-3 (TC); TC producers expose TC data on both.
+        if (p.dual) {
+            if (!needs_tc)
+                return t == p.early + cross; // BYP-1 only, then the hole
+            return t == p.late + cross;      // BYP-3, then the RF
+        }
+        if (!needs_tc)
+            return t == p.early + cross;     // level 1; level 3 unwired
+        return t == p.early + cross || t == p.early + 2 + cross;
+    }
+    return false;
+}
+
+/**
+ * First cycle c such that the operand is available at every cycle in
+ * [c, rfTc] — what a plain from-now-on wakeup (no interleaved pattern)
+ * must wait for.
+ */
+Cycle
+continuousFrom(const MachineConfig &cfg, const ProdAvail &p, bool needs_tc,
+               unsigned consumer_cluster)
+{
+    Cycle c = p.rfTc;
+    while (c > 0 && rawAvail(cfg, p, needs_tc, consumer_cluster, c - 1))
+        --c;
+    return c;
+}
+
+} // namespace
+
+bool
+operandAvail(const MachineConfig &cfg, const ProdAvail &p, bool needs_tc,
+             unsigned consumer_cluster, Cycle t)
+{
+    if (!cfg.holeAwareScheduling) {
+        return t >= continuousFrom(cfg, p, needs_tc, consumer_cluster);
+    }
+    return rawAvail(cfg, p, needs_tc, consumer_cluster, t);
+}
+
+Cycle
+firstAvail(const MachineConfig &cfg, const ProdAvail &p, bool needs_tc,
+           unsigned consumer_cluster, Cycle from)
+{
+    Cycle t = from;
+    while (t < p.rfTc &&
+           !operandAvail(cfg, p, needs_tc, consumer_cluster, t))
+        ++t;
+    return t;
+}
+
+std::uint64_t
+availabilityPattern(const MachineConfig &cfg, const ProdAvail &p,
+                    bool needs_tc, unsigned consumer_cluster, Cycle base,
+                    unsigned window)
+{
+    assert(window <= 64);
+    std::uint64_t bits = 0;
+    for (unsigned i = 0; i < window; ++i) {
+        if (operandAvail(cfg, p, needs_tc, consumer_cluster, base + i))
+            bits |= std::uint64_t{1} << i;
+    }
+    return bits;
+}
+
+bool
+servedByBypass(const ProdAvail &p, Cycle t)
+{
+    return t < p.rfTc;
+}
+
+} // namespace rbsim

@@ -1,0 +1,609 @@
+#include "core/core.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/bitutil.hh"
+#include "isa/opclass.hh"
+
+namespace rbsim
+{
+
+OooCore::OooCore(const MachineConfig &cfg, const Program &prog)
+    : config(cfg), program(prog),
+      hierarchy(cfg),
+      fetch(cfg, prog, hierarchy),
+      rename(cfg.physRegs),
+      regs(cfg.physRegs),
+      scoreboard(cfg.physRegs),
+      rob(cfg.robEntries),
+      sched(cfg.numSchedulers, cfg.schedEntries, cfg.selectWidth),
+      lsq(cfg.lsqEntries),
+      samDl1(cfg.dl1.sizeBytes / (cfg.dl1.assoc * cfg.dl1.lineBytes),
+             cfg.dl1.lineBytes),
+      producerSched(cfg.physRegs, 0xff)
+{
+    commitMem.loadProgram(prog);
+    frontPipeCap =
+        cfg.fetchWidth * (cfg.fetchDecodeDepth + cfg.renameDepth + 4);
+}
+
+bool
+OooCore::run(Cycle max_cycles)
+{
+    Cycle last_progress = now;
+    std::uint64_t last_retired = 0;
+    while (!haltRetired && coreStats.cycles < max_cycles) {
+        cycle();
+        if (coreStats.retired != last_retired) {
+            last_retired = coreStats.retired;
+            last_progress = now;
+        }
+        assert(now - last_progress < 100000 &&
+               "core deadlock: no retirement progress");
+        // A program that runs off the end of its code without HALT drains
+        // and stops.
+        if (fetch.parked() && frontPipe.empty() && rob.empty() &&
+            pendingFlushes.empty()) {
+            haltRetired = true;
+        }
+    }
+    return haltRetired;
+}
+
+void
+OooCore::cycle()
+{
+    doFlushes();
+    doRetire();
+    doSelect();
+    doDispatch();
+    doFetch();
+    ++now;
+    ++coreStats.cycles;
+}
+
+// ---------------------------------------------------------------- flush
+
+void
+OooCore::doFlushes()
+{
+    // Fire the oldest due flush this cycle, if any.
+    const PendingFlush *due = nullptr;
+    for (const PendingFlush &f : pendingFlushes) {
+        if (f.at <= now && (!due || f.seq < due->seq))
+            due = &f;
+    }
+    if (!due)
+        return;
+    const PendingFlush fired = *due;
+
+    assert(rob.contains(fired.seq));
+    RobEntry &branch = rob.get(fired.seq);
+    flushAfter(branch);
+
+    // Drop this flush and any flush belonging to a squashed instruction.
+    pendingFlushes.erase(
+        std::remove_if(pendingFlushes.begin(), pendingFlushes.end(),
+                       [&fired](const PendingFlush &f) {
+                           return f.seq >= fired.seq;
+                       }),
+        pendingFlushes.end());
+
+    fetch.redirect(fired.redirectPc, now);
+    ++coreStats.flushes;
+}
+
+void
+OooCore::flushAfter(const RobEntry &branch)
+{
+    // Squash younger instructions, youngest first (rename walk order).
+    rob.squashAfter(branch.seq, [this](RobEntry &e) {
+        if (e.dest != invalidPhysReg) {
+            rename.undo(e.archDest, e.dest, e.prevDest);
+            scoreboard.clear(e.dest);
+        }
+        ++coreStats.squashed;
+    });
+    sched.squashAfter(branch.seq);
+    lsq.squashAfter(branch.seq);
+    coreStats.squashed += frontPipe.size();
+    frontPipe.clear();
+
+    // Repair the predictor to the state before this branch predicted,
+    // then re-apply the architectural outcome.
+    fetch.predictor.restoreHistory(branch.snapshot.globalHistory);
+    fetch.ras.restore(branch.snapshot);
+    const Inst &inst = branch.inst;
+    if (isCondBranch(inst.op)) {
+        fetch.predictor.speculate(branch.pcIndex, branch.actualTaken);
+    } else if (inst.op == Opcode::JMP) {
+        if (inst.ra == zeroReg)
+            fetch.ras.pop(); // the return consumed its RAS entry
+        else
+            fetch.ras.push(program.byteAddrOf(branch.pcIndex + 1));
+    }
+
+    // Sequence numbers of squashed instructions are recycled so the ROB
+    // stays densely indexable.
+    nextSeq = branch.seq + 1;
+}
+
+// --------------------------------------------------------------- retire
+
+void
+OooCore::doRetire()
+{
+    for (unsigned n = 0; n < config.retireWidth; ++n) {
+        if (rob.empty())
+            return;
+        RobEntry &e = rob.head();
+        if (!e.complete || e.completeCycle > now)
+            return;
+        // A mispredicted branch must have had its flush fire before it
+        // retires (the flush is scheduled at its resolution cycle, which
+        // is <= its completion cycle).
+        assert(!e.mispredicted ||
+               std::none_of(pendingFlushes.begin(), pendingFlushes.end(),
+                            [&e](const PendingFlush &f) {
+                                return f.seq == e.seq;
+                            }));
+
+        if (e.isMemStore) {
+            commitMem.write(e.effAddr, e.memSize == 8
+                                ? e.storeData
+                                : (e.storeData & 0xffffffffull),
+                            e.memSize);
+            hierarchy.dataWriteTouch(e.effAddr, now);
+            lsq.retire(e.seq);
+            ++coreStats.stores;
+        } else if (e.isMemLoad) {
+            lsq.retire(e.seq);
+            ++coreStats.loads;
+            if (e.loadForwarded)
+                ++coreStats.loadForwards;
+        }
+
+        if (isCondBranch(e.inst.op)) {
+            ++coreStats.condBranches;
+            if (e.mispredicted)
+                ++coreStats.condMispredicts;
+            fetch.predictor.update(e.snapshot.indices, e.actualTaken);
+        } else if (e.inst.op == Opcode::JMP && e.inst.ra != zeroReg) {
+            fetch.btb.update(e.pcIndex, e.actualNextPc);
+        }
+
+        // Retired-instruction tallies.
+        ++coreStats.table1[static_cast<unsigned>(table1Row(e.inst.op))];
+        if (e.numSrcs > 0)
+            ++coreStats.withAnySource;
+        if (e.anyBypassed)
+            ++coreStats.withBypassedSource;
+        if (e.bypassCaseIdx != 0xff)
+            ++coreStats.bypassCase[e.bypassCaseIdx];
+        if (e.bypassSlot != 0xff) {
+            ++coreStats.bypassSlotUsed[std::min<unsigned>(
+                e.bypassSlot, coreStats.bypassSlotUsed.size() - 1)];
+        }
+        if (e.usedRbPath)
+            ++coreStats.rbPathExecs;
+        if (e.bogusCorrected)
+            ++coreStats.rbBogusCorrections;
+        coreStats.issueWaitSum += e.issueCycle - e.dispatchCycle - 1;
+
+        if (retireHook)
+            retireHook(e);
+
+        if (e.dest != invalidPhysReg)
+            rename.release(e.prevDest);
+
+        ++coreStats.retired;
+        if (e.isHalt)
+            haltRetired = true;
+        rob.retireHead();
+        if (haltRetired)
+            return;
+    }
+}
+
+// --------------------------------------------------------------- select
+
+bool
+OooCore::readyToIssue(std::uint64_t seq, unsigned scheduler)
+{
+    (void)scheduler;
+    RobEntry &e = rob.get(seq);
+    if (now <= e.dispatchCycle)
+        return false;
+
+    bool failed = false;
+    bool all_failing_are_holes = true;
+    for (unsigned i = 0; i < e.numSrcs; ++i) {
+        const ProdAvail &p = scoreboard.of(e.src[i].reg);
+        if (operandAvail(config, p, e.src[i].needsTc, e.cluster, now))
+            continue;
+        failed = true;
+        // Store address generation is decoupled from store data: once
+        // the base register is ready, publish the address so younger
+        // loads can disambiguate (and forward once the data arrives).
+        if (e.isMemStore && !e.storeAddrRecorded) {
+            const ProdAvail &bp = scoreboard.of(
+                e.inst.rb == zeroReg ? PhysReg{0} : e.physB);
+            const bool base_ready = e.inst.rb == zeroReg ||
+                bp.rfTc <= now || operandAvail(config, bp, false,
+                                               e.cluster, now);
+            if (base_ready) {
+                const Word base =
+                    e.inst.rb == zeroReg ? 0 : regs.readTc(e.physB);
+                const unsigned size = memAccessSize(e.inst.op);
+                const Addr ea =
+                    (base +
+                     static_cast<Word>(static_cast<SWord>(e.inst.disp))) &
+                    ~Addr{size - 1};
+                lsq.setAddress(e.seq, ea, size);
+                e.storeAddrRecorded = true;
+                e.effAddr = ea;
+                e.memSize = size;
+            }
+        }
+        // Is this operand in a *hole* (was available earlier, will be
+        // again later) rather than simply not produced yet?
+        if (p.rfTc == neverCycle ||
+            now <= firstAvail(config, p, e.src[i].needsTc, e.cluster,
+                              p.early)) {
+            all_failing_are_holes = false;
+        }
+    }
+    if (failed) {
+        if (all_failing_are_holes)
+            ++coreStats.holeWaitCycles;
+        return false;
+    }
+
+    if (e.isMemLoad) {
+        // Loads additionally pass memory disambiguation: all older store
+        // addresses known and no partial overlap (DESIGN.md).
+        if (!lsq.olderStoreAddrsKnown(seq))
+            return false;
+        const Word base = e.inst.rb == zeroReg ? 0 : regs.readTc(e.physB);
+        const unsigned size = memAccessSize(e.inst.op);
+        const Addr ea =
+            (base + static_cast<Word>(static_cast<SWord>(e.inst.disp))) &
+            ~Addr{size - 1};
+        if (!lsq.searchForLoad(seq, ea, size).mayIssue)
+            return false;
+    }
+    return true;
+}
+
+void
+OooCore::doSelect()
+{
+    sched.selectCycle(
+        [this](std::uint64_t seq, unsigned s) {
+            return readyToIssue(seq, s);
+        },
+        [this](std::uint64_t seq, unsigned) { issueInst(seq); });
+}
+
+void
+OooCore::recordBypassStats(RobEntry &e)
+{
+    if (e.numSrcs == 0)
+        return;
+    // Find the last-arriving source: the operand whose first availability
+    // to this consumer is latest (the one that delayed execution).
+    unsigned last = 0;
+    Cycle last_first = 0;
+    bool any_bypassed = false;
+    for (unsigned i = 0; i < e.numSrcs; ++i) {
+        const ProdAvail &p = scoreboard.of(e.src[i].reg);
+        const Cycle first =
+            p.rfTc == 0 ? 0
+                        : firstAvail(config, p, e.src[i].needsTc,
+                                     e.cluster, p.early);
+        if (first >= last_first) {
+            last_first = first;
+            last = i;
+        }
+        if (servedByBypass(p, now))
+            any_bypassed = true;
+    }
+    e.anyBypassed = any_bypassed;
+    const ProdAvail &lp = scoreboard.of(e.src[last].reg);
+    if (servedByBypass(lp, now)) {
+        e.bypassCaseIdx = static_cast<std::uint8_t>(
+            classifyBypass(lp.dual, e.src[last].needsTc));
+        const Cycle fmt_first = e.src[last].needsTc ? lp.late : lp.early;
+        e.bypassSlot = static_cast<std::uint8_t>(
+            std::min<Cycle>(now - std::min(now, fmt_first), 7));
+    } else if (lp.rfTc != 0) {
+        // Served by the register file after bypass windows passed.
+        e.bypassSlot = static_cast<std::uint8_t>(
+            std::min<Cycle>(now - std::min(now, lp.early), 7));
+    }
+}
+
+void
+OooCore::issueInst(std::uint64_t seq)
+{
+    RobEntry &e = rob.get(seq);
+    assert(!e.issued);
+    e.issued = true;
+    e.issueCycle = now;
+    static const bool trace_issue =
+        std::getenv("RBSIM_DEBUG_ISSUE") != nullptr;
+    if (trace_issue) {
+        std::printf("issue seq=%llu pc=%llu op=%d cyc=%llu cluster=%d sched=%d\n",
+            (unsigned long long)e.seq, (unsigned long long)e.pcIndex,
+            (int)e.inst.op, (unsigned long long)now, (int)e.cluster, (int)e.sched);
+    }
+    ++coreStats.issued;
+
+    recordBypassStats(e);
+
+    const ExecOut x = executeInst(config, program, e, regs);
+    e.usedRbPath = x.usedRbPath;
+    e.bogusCorrected = x.bogusCorrected;
+
+    const OpClass cls = opClass(e.inst.op);
+    const LatencyPair lat = config.latencyOf(cls);
+
+    if (e.isMemLoad) {
+        const unsigned size = memAccessSize(e.inst.op);
+        e.effAddr = x.effAddr;
+        e.memSize = size;
+        lsq.setAddress(seq, x.effAddr, size);
+
+        const LoadSearch search = lsq.searchForLoad(seq, x.effAddr, size);
+        assert(search.mayIssue);
+        Cycle data_ready;
+        Word value;
+        if (search.forwarded) {
+            // Store-to-load forwarding at cache-hit speed.
+            data_ready = now + lat.early + config.dl1.latency;
+            value = search.data;
+            e.loadForwarded = true;
+        } else {
+            data_ready = hierarchy.dataRead(x.effAddr, now + lat.early);
+            value = commitMem.read(x.effAddr, size);
+        }
+        if (e.inst.op == Opcode::LDL)
+            value = static_cast<Word>(sext(value, 32));
+
+        // Periodically cross-check the SAM decoder against the set index
+        // the cache would compute with a full addition (section 3.6).
+        if ((++samCheckCounter & 1023) == 0) {
+            const Word base =
+                e.inst.rb == zeroReg ? 0 : regs.readTc(e.physB);
+            const Word disp =
+                static_cast<Word>(static_cast<SWord>(e.inst.disp));
+            const unsigned expect = static_cast<unsigned>(
+                ((base + disp) / config.dl1.lineBytes) %
+                samDl1.numSets());
+            assert(samDl1.decode(base, disp) == expect);
+            if (e.inst.rb != zeroReg && regs.holdsRb(e.physB)) {
+                assert(samDl1.decodeRb(regs.readRb(e.physB),
+                                       static_cast<SWord>(e.inst.disp)) ==
+                       expect);
+            }
+        }
+
+        e.resultTc = value;
+        e.wroteReg = e.dest != invalidPhysReg;
+        if (e.dest != invalidPhysReg) {
+            regs.writeTc(e.dest, value);
+            ProdAvail p;
+            p.early = p.late = data_ready;
+            p.rfTc = data_ready + config.numBypassLevels;
+            p.cluster = e.cluster;
+            p.dual = false;
+            scoreboard.produce(e.dest, p);
+        }
+        e.complete = true;
+        e.completeCycle = data_ready + config.rfReadDepth;
+        return;
+    }
+
+    if (e.isMemStore) {
+        e.effAddr = x.effAddr;
+        e.memSize = memAccessSize(e.inst.op);
+        e.storeData = x.storeData;
+        if (!e.storeAddrRecorded) {
+            lsq.setAddress(seq, x.effAddr, e.memSize);
+            e.storeAddrRecorded = true;
+        }
+        lsq.setStoreData(seq, x.storeData);
+        e.complete = true;
+        e.completeCycle =
+            now + config.rfReadDepth + config.storeCompleteLat;
+        return;
+    }
+
+    if (e.isCtrl) {
+        e.actualTaken = x.taken;
+        e.actualNextPc = x.nextPc;
+        const Cycle resolve =
+            now + config.rfReadDepth + config.branchResolveLat();
+        if (e.dest != invalidPhysReg) {
+            regs.writeTc(e.dest, x.tc);
+            scoreboard.produce(
+                e.dest, ProdAvail::make(now, lat, config.numBypassLevels,
+                                        e.cluster));
+            e.resultTc = x.tc;
+            e.wroteReg = true;
+        }
+        if (e.actualNextPc != e.predNextPc) {
+            e.mispredicted = true;
+            pendingFlushes.push_back(
+                PendingFlush{resolve, e.seq, e.actualNextPc});
+            if (e.fetchStalledJmp)
+                ++coreStats.jmpFetchStalls;
+        }
+        e.complete = true;
+        e.completeCycle = resolve;
+        return;
+    }
+
+    // Plain register-writing (or no-op) instruction.
+    if (e.dest != invalidPhysReg) {
+        if (x.hasRb)
+            regs.writeRb(e.dest, x.rb);
+        else
+            regs.writeTc(e.dest, x.tc);
+        scoreboard.produce(
+            e.dest, ProdAvail::make(now, lat, config.numBypassLevels,
+                                    e.cluster));
+        e.resultTc = x.tc;
+        e.wroteReg = true;
+    }
+    e.complete = true;
+    e.completeCycle = now + config.rfReadDepth + lat.late;
+}
+
+// ------------------------------------------------------------- dispatch
+
+void
+OooCore::doDispatch()
+{
+    for (unsigned n = 0; n < config.renameWidth; ++n) {
+        if (frontPipe.empty())
+            return;
+        const FrontEntry &fe = frontPipe.front();
+        if (now < fe.fetchedAt + config.fetchDecodeDepth +
+                      config.renameDepth)
+            return;
+        const Inst &inst = fe.fi.inst;
+        const bool is_mem = isLoad(inst.op) || isStore(inst.op);
+
+        if (!rob.hasSpace())
+            return;
+        if (is_mem && !lsq.hasSpace())
+            return;
+        const unsigned target = pickScheduler(inst);
+        if (target >= config.numSchedulers)
+            return; // no scheduler can accept (strict RR: target full)
+        if (writesDest(inst) && !rename.hasFree())
+            return;
+
+        const std::uint64_t seq = nextSeq++;
+        RobEntry &e = rob.alloc(seq);
+        e.pcIndex = fe.fi.pcIndex;
+        e.inst = inst;
+        e.dispatchCycle = now;
+        e.sched = static_cast<std::uint8_t>(target);
+        e.cluster = static_cast<std::uint8_t>(
+            target * config.numClusters / config.numSchedulers);
+        e.isCtrl = fe.fi.isCtrl;
+        e.predTaken = fe.fi.predTaken;
+        e.predNextPc =
+            fe.fi.stalledJmp ? ~std::uint64_t{0} : fe.fi.predNextPc;
+        e.fetchStalledJmp = fe.fi.stalledJmp;
+        e.snapshot = fe.fi.snapshot;
+        e.isMemLoad = isLoad(inst.op);
+        e.isMemStore = isStore(inst.op);
+        e.isHalt = inst.op == Opcode::HALT;
+
+        // Source mappings (before destination allocation).
+        const SrcRegs srcs = srcRegs(inst);
+        e.numSrcs = static_cast<std::uint8_t>(srcs.count);
+        for (unsigned i = 0; i < srcs.count; ++i) {
+            e.src[i].reg = rename.lookup(srcs.reg[i]);
+            e.src[i].needsTc =
+                srcFormatReq(inst, i) == Format::TC;
+        }
+        e.physA = inst.ra == zeroReg ? invalidPhysReg
+                                     : rename.lookup(inst.ra);
+        e.physB = inst.rb == zeroReg ? invalidPhysReg
+                                     : rename.lookup(inst.rb);
+        e.physC = inst.rc == zeroReg ? invalidPhysReg
+                                     : rename.lookup(inst.rc);
+
+        // Destination allocation.
+        const unsigned dst = destReg(inst);
+        if (dst != zeroReg) {
+            e.archDest = static_cast<std::uint8_t>(dst);
+            const auto [fresh, prev] = rename.allocate(dst);
+            e.dest = fresh;
+            e.prevDest = prev;
+            scoreboard.markPending(fresh);
+        }
+
+        if (e.dest != invalidPhysReg)
+            producerSched[e.dest] = static_cast<std::uint8_t>(target);
+
+        if (is_mem)
+            lsq.insert(seq, e.isMemStore);
+        sched.insert(target, seq);
+        sched.advanceSteering();
+
+        frontPipe.pop_front();
+        ++coreStats.dispatched;
+    }
+}
+
+unsigned
+OooCore::pickScheduler(const Inst &inst)
+{
+    if (config.steering == Steering::RoundRobinPairs) {
+        const unsigned target = sched.steerTarget();
+        return sched.hasSpace(target) ? target : config.numSchedulers;
+    }
+
+    if (config.steering == Steering::ClassPartition) {
+        // Section 4.3's separate-scheduler organization: RB-output
+        // instruction classes fill the lower half of the schedulers
+        // round-robin, TC-only classes the upper half (wakeup latching
+        // between them is already embodied by the late latencies).
+        const bool rb_class = outputFormat(inst.op) == Format::RB ||
+                              inputFormat(inst.op) == Format::RB;
+        const unsigned half = config.numSchedulers / 2;
+        const unsigned lo = rb_class ? 0 : half;
+        const unsigned n = std::max(1u, half);
+        for (unsigned k = 0; k < n; ++k) {
+            const unsigned s = lo + (classRr + k) % n;
+            if (s < config.numSchedulers && sched.hasSpace(s)) {
+                classRr = (classRr + k + 1) % n;
+                return s;
+            }
+        }
+        return config.numSchedulers; // partition full: stall
+    }
+
+    // Dependence-aware: prefer the scheduler that dispatched the first
+    // register source's producer; fall back to the least-occupied
+    // scheduler with space.
+    const SrcRegs srcs = srcRegs(inst);
+    for (unsigned i = 0; i < srcs.count; ++i) {
+        const PhysReg p = rename.lookup(srcs.reg[i]);
+        const std::uint8_t s = producerSched[p];
+        if (s != 0xff && sched.hasSpace(s))
+            return s;
+    }
+    unsigned best = config.numSchedulers;
+    std::size_t best_occ = ~std::size_t{0};
+    for (unsigned s = 0; s < config.numSchedulers; ++s) {
+        if (sched.hasSpace(s) && sched.occupancyOf(s) < best_occ) {
+            best = s;
+            best_occ = sched.occupancyOf(s);
+        }
+    }
+    return best;
+}
+
+// ---------------------------------------------------------------- fetch
+
+void
+OooCore::doFetch()
+{
+    if (frontPipe.size() + config.fetchWidth > frontPipeCap)
+        return;
+    for (FetchedInst &fi : fetch.fetchCycle(now)) {
+        frontPipe.push_back(FrontEntry{std::move(fi), now});
+        ++coreStats.fetched;
+    }
+}
+
+} // namespace rbsim

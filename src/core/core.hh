@@ -1,0 +1,175 @@
+/**
+ * @file
+ * The out-of-order execution core: 13+-stage pipeline with fetch,
+ * rename/dispatch, partitioned select-2 schedulers with hole-aware
+ * wakeup, format-aware bypass, clustered execution, LSQ, ROB, and
+ * in-order retirement with a co-simulation hook.
+ */
+
+#ifndef RBSIM_CORE_CORE_HH
+#define RBSIM_CORE_CORE_HH
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "core/exec.hh"
+#include "core/machine_config.hh"
+#include "core/regfile.hh"
+#include "core/rename.hh"
+#include "core/rob.hh"
+#include "core/scheduler.hh"
+#include "core/scoreboard.hh"
+#include "frontend/fetch.hh"
+#include "func/mem_image.hh"
+#include "mem/lsq.hh"
+#include "mem/sam.hh"
+
+namespace rbsim
+{
+
+/** Everything the core counts. */
+struct CoreStats
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t retired = 0;
+    std::uint64_t fetched = 0;
+    std::uint64_t dispatched = 0;
+    std::uint64_t issued = 0;
+    std::uint64_t squashed = 0;
+
+    std::uint64_t condBranches = 0;
+    std::uint64_t condMispredicts = 0;
+    std::uint64_t flushes = 0;
+    std::uint64_t jmpFetchStalls = 0;
+
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t loadForwards = 0;
+
+    std::uint64_t rbPathExecs = 0;
+    std::uint64_t rbBogusCorrections = 0;
+
+    //! Retired-instruction counts per paper Table 1 row.
+    std::array<std::uint64_t, numTable1Rows> table1{};
+
+    //! Figure 13: last-arriving bypassed source classification (retired).
+    std::array<std::uint64_t, numBypassCases> bypassCase{};
+    std::uint64_t withBypassedSource = 0; //!< >= 1 bypassed source
+    std::uint64_t withAnySource = 0;
+
+    //! Which bypass slot (cycles past first availability) served the
+    //! last-arriving operand; [numBypassLevels] means register file.
+    std::array<std::uint64_t, 8> bypassSlotUsed{};
+
+    //! Issue-wait accounting.
+    std::uint64_t issueWaitSum = 0; //!< sum of (issue - dispatch - 1)
+    std::uint64_t holeWaitCycles = 0; //!< entry-cycles blocked only by a
+                                      //!< hole in availability
+
+    double ipc() const
+    { return cycles ? double(retired) / double(cycles) : 0.0; }
+};
+
+/** The core. */
+class OooCore
+{
+  public:
+    /**
+     * @param cfg machine configuration (must outlive the core)
+     * @param prog program to run (must outlive the core)
+     */
+    OooCore(const MachineConfig &cfg, const Program &prog);
+
+    /** Callback invoked for every retired instruction (co-simulation). */
+    void
+    onRetire(std::function<void(const RobEntry &)> cb)
+    {
+        retireHook = std::move(cb);
+    }
+
+    /**
+     * Run until HALT retires or `max_cycles` elapse.
+     * @return true if the program halted cleanly
+     */
+    bool run(Cycle max_cycles);
+
+    /** Advance one cycle. */
+    void cycle();
+
+    /** True once HALT has retired (or the program ran off its code). */
+    bool halted() const { return haltRetired; }
+
+    /** Statistics. */
+    const CoreStats &stats() const { return coreStats; }
+
+    /** The memory hierarchy (cache stats). */
+    const MemHierarchy &memoryHierarchy() const { return hierarchy; }
+
+    /** Committed memory state (inspection after a run). */
+    const MemImage &committedMem() const { return commitMem; }
+
+    /** The fetch engine (predictor stats). */
+    const FetchEngine &fetchEngine() const { return fetch; }
+
+  private:
+    struct FrontEntry
+    {
+        FetchedInst fi;
+        Cycle fetchedAt;
+    };
+
+    struct PendingFlush
+    {
+        Cycle at;
+        std::uint64_t seq;
+        std::uint64_t redirectPc;
+    };
+
+    void doFlushes();
+    void doRetire();
+    void doSelect();
+    void doDispatch();
+    unsigned pickScheduler(const Inst &inst);
+    void doFetch();
+
+    bool readyToIssue(std::uint64_t seq, unsigned sched);
+    void issueInst(std::uint64_t seq);
+    void flushAfter(const RobEntry &branch);
+    void recordBypassStats(RobEntry &e);
+
+    const MachineConfig &config;
+    const Program &program;
+
+    MemImage commitMem;      //!< architecturally committed memory
+    MemHierarchy hierarchy;
+    FetchEngine fetch;
+    RenameTable rename;
+    PhysRegFile regs;
+    Scoreboard scoreboard;
+    Rob rob;
+    SchedulerBank sched;
+    LoadStoreQueue lsq;
+    SamDecoder samDl1;
+
+    /** Scheduler that dispatched the producer of each physical register
+     * (dependence-aware steering heuristic; 0xff = unknown/retired). */
+    std::vector<std::uint8_t> producerSched;
+
+    std::deque<FrontEntry> frontPipe;
+    std::vector<PendingFlush> pendingFlushes;
+
+    CoreStats coreStats;
+    std::function<void(const RobEntry &)> retireHook;
+
+    Cycle now = 0;
+    unsigned classRr = 0; //!< round-robin cursor for ClassPartition
+    std::uint64_t nextSeq = 1;
+    bool haltRetired = false;
+    unsigned frontPipeCap;
+    std::uint64_t samCheckCounter = 0;
+};
+
+} // namespace rbsim
+
+#endif // RBSIM_CORE_CORE_HH

@@ -1,0 +1,3 @@
+// PhysRegFile is header-only; this translation unit anchors the header
+// for build-system completeness.
+#include "core/regfile.hh"

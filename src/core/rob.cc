@@ -1,0 +1,2 @@
+// Rob is header-only; this translation unit anchors the header.
+#include "core/rob.hh"

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Reorder buffer: in-order window of every in-flight instruction, from
+ * dispatch to retirement, with walk-based squash.
+ */
+
+#ifndef RBSIM_CORE_ROB_HH
+#define RBSIM_CORE_ROB_HH
+
+#include <deque>
+#include <functional>
+
+#include "common/types.hh"
+#include "frontend/branch_pred.hh"
+#include "isa/inst.hh"
+#include "rb/rbnum.hh"
+
+namespace rbsim
+{
+
+/** One in-flight instruction. */
+struct RobEntry
+{
+    std::uint64_t seq = 0;      //!< dispatch-order sequence number
+    std::uint64_t pcIndex = 0;  //!< instruction index
+    Inst inst;
+
+    // Rename state.
+    PhysReg dest = invalidPhysReg;
+    PhysReg prevDest = invalidPhysReg;
+    std::uint8_t archDest = zeroReg;
+    struct Src
+    {
+        PhysReg reg = invalidPhysReg;
+        bool needsTc = false;
+    };
+    std::array<Src, 3> src{};
+    std::uint8_t numSrcs = 0;
+    PhysReg physA = invalidPhysReg; //!< mapping of ra at rename
+    PhysReg physB = invalidPhysReg; //!< mapping of rb at rename
+    PhysReg physC = invalidPhysReg; //!< mapping of rc at rename (old dest)
+
+    // Placement.
+    std::uint8_t sched = 0;    //!< scheduler id
+    std::uint8_t cluster = 0;  //!< cluster id
+    Cycle dispatchCycle = 0;
+
+    // Execution status.
+    bool issued = false;
+    bool complete = false;
+    Cycle issueCycle = 0;
+    Cycle completeCycle = 0;
+
+    // Results (for retirement and co-simulation).
+    Word resultTc = 0;
+    bool wroteReg = false;
+
+    // Control flow.
+    bool isCtrl = false;
+    bool predTaken = false;
+    std::uint64_t predNextPc = 0;  //!< predicted next instruction index
+    bool fetchStalledJmp = false;  //!< JMP with no predicted target
+    bool actualTaken = false;
+    std::uint64_t actualNextPc = 0;
+    bool mispredicted = false;
+    BpSnapshot snapshot;           //!< predictor repair state
+
+    // Memory.
+    bool isMemLoad = false;
+    bool isMemStore = false;
+    bool storeAddrRecorded = false; //!< early AGEN already hit the LSQ
+    Addr effAddr = 0;
+    unsigned memSize = 0;
+    Word storeData = 0;
+
+    bool isHalt = false;
+
+    // Issue-time observations, tallied at retirement (wrong-path
+    // instructions never reach the tallies).
+    std::uint8_t bypassCaseIdx = 0xff; //!< Figure 13 case of the
+                                       //!< last-arriving bypassed source
+    bool anyBypassed = false;          //!< >= 1 source came off a bypass
+    std::uint8_t bypassSlot = 0xff;    //!< cycles past first availability
+    bool usedRbPath = false;           //!< executed on the RB datapath
+    bool bogusCorrected = false;       //!< section 3.5 correction fired
+    bool loadForwarded = false;        //!< store-to-load forwarding hit
+};
+
+/** The reorder buffer. */
+class Rob
+{
+  public:
+    explicit Rob(unsigned max_entries)
+        : capacity(max_entries)
+    {}
+
+    bool hasSpace() const { return entries.size() < capacity; }
+    bool empty() const { return entries.empty(); }
+    std::size_t size() const { return entries.size(); }
+
+    /** Allocate the next entry; returns a stable-until-retire reference. */
+    RobEntry &
+    alloc(std::uint64_t seq)
+    {
+        entries.emplace_back();
+        entries.back().seq = seq;
+        return entries.back();
+    }
+
+    /** Entry by sequence number (must be in flight). */
+    RobEntry &
+    get(std::uint64_t seq)
+    {
+        assert(!entries.empty());
+        const std::uint64_t head = entries.front().seq;
+        assert(seq >= head && seq - head < entries.size());
+        return entries[seq - head];
+    }
+
+    /** Entry at the head (oldest). */
+    RobEntry &head() { return entries.front(); }
+
+    /** Is this sequence number still in flight? */
+    bool
+    contains(std::uint64_t seq) const
+    {
+        if (entries.empty())
+            return false;
+        const std::uint64_t head_seq = entries.front().seq;
+        return seq >= head_seq && seq - head_seq < entries.size();
+    }
+
+    /** Retire the head entry. */
+    void
+    retireHead()
+    {
+        assert(!entries.empty());
+        entries.pop_front();
+    }
+
+    /**
+     * Squash every entry younger than `seq`, youngest first, invoking
+     * `undo` for each before it is removed.
+     */
+    void
+    squashAfter(std::uint64_t seq,
+                const std::function<void(RobEntry &)> &undo)
+    {
+        while (!entries.empty() && entries.back().seq > seq) {
+            undo(entries.back());
+            entries.pop_back();
+        }
+    }
+
+  private:
+    std::deque<RobEntry> entries;
+    unsigned capacity;
+};
+
+} // namespace rbsim
+
+#endif // RBSIM_CORE_ROB_HH

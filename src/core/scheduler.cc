@@ -1,0 +1,90 @@
+#include "core/scheduler.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rbsim
+{
+
+SchedulerBank::SchedulerBank(unsigned num_schedulers, unsigned entries_per,
+                             unsigned select_width)
+    : queues(num_schedulers), entriesPer(entries_per),
+      selectWidth(select_width)
+{
+    for (auto &q : queues)
+        q.reserve(entries_per);
+}
+
+void
+SchedulerBank::advanceSteering()
+{
+    // Groups of two consecutive instructions go to each scheduler in a
+    // round-robin manner (paper section 5.1).
+    if (++steerCount == 2) {
+        steerCount = 0;
+        rrIndex = (rrIndex + 1) % queues.size();
+    }
+}
+
+bool
+SchedulerBank::hasSpace(unsigned s) const
+{
+    assert(s < queues.size());
+    return queues[s].size() < entriesPer;
+}
+
+void
+SchedulerBank::insert(unsigned s, std::uint64_t seq)
+{
+    assert(hasSpace(s));
+    assert(queues[s].empty() || queues[s].back() < seq);
+    queues[s].push_back(seq);
+}
+
+void
+SchedulerBank::selectCycle(
+    const std::function<bool(std::uint64_t, unsigned)> &ready,
+    const std::function<void(std::uint64_t, unsigned)> &issue)
+{
+    for (unsigned s = 0; s < queues.size(); ++s) {
+        auto &q = queues[s];
+        unsigned picked = 0;
+        // Oldest-first scan; erase picked entries in one pass.
+        std::size_t out = 0;
+        std::size_t i = 0;
+        for (; i < q.size() && picked < selectWidth; ++i) {
+            if (ready(q[i], s)) {
+                issue(q[i], s);
+                ++picked;
+            } else {
+                q[out++] = q[i];
+            }
+        }
+        // Once the select ports are exhausted, keep the rest untouched
+        // without evaluating readiness.
+        for (; i < q.size(); ++i)
+            q[out++] = q[i];
+        q.resize(out);
+    }
+}
+
+void
+SchedulerBank::squashAfter(std::uint64_t seq)
+{
+    for (auto &q : queues) {
+        q.erase(std::remove_if(q.begin(), q.end(),
+                               [seq](std::uint64_t e) { return e > seq; }),
+                q.end());
+    }
+}
+
+std::size_t
+SchedulerBank::occupancy() const
+{
+    std::size_t n = 0;
+    for (const auto &q : queues)
+        n += q.size();
+    return n;
+}
+
+} // namespace rbsim

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Partitioned select-2 schedulers (paper sections 4.3 and 5.1).
+ *
+ * The 128-entry instruction window is split into select-2 schedulers
+ * (2 x 64 for the 4-wide machine, 4 x 32 for the 8-wide machine). Pairs
+ * of consecutive instructions are steered round-robin at dispatch. Each
+ * cycle, every scheduler scans its entries oldest-first and picks up to
+ * two whose RESOURCE AVAILABLE conditions hold *this* cycle — which is
+ * where the hole-aware wakeup of Figure 8 lives (the availability test is
+ * delegated to the core via a per-entry readiness callback).
+ */
+
+#ifndef RBSIM_CORE_SCHEDULER_HH
+#define RBSIM_CORE_SCHEDULER_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace rbsim
+{
+
+/** The partitioned scheduler bank. */
+class SchedulerBank
+{
+  public:
+    /**
+     * @param num_schedulers scheduler count
+     * @param entries_per capacity of each scheduler
+     * @param select_width instructions each scheduler picks per cycle
+     */
+    SchedulerBank(unsigned num_schedulers, unsigned entries_per,
+                  unsigned select_width = 2);
+
+    /** Scheduler the next dispatch group goes to (round-robin pairs). */
+    unsigned steerTarget() const { return rrIndex; }
+
+    /** Advance round-robin steering after a dispatched instruction. */
+    void advanceSteering();
+
+    /** Can scheduler s accept another entry? */
+    bool hasSpace(unsigned s) const;
+
+    /** Insert an instruction (by sequence number) into scheduler s. */
+    void insert(unsigned s, std::uint64_t seq);
+
+    /**
+     * Run one select cycle: for each scheduler, scan oldest-first and
+     * pick up to select_width entries for which `ready(seq, scheduler)`
+     * is true; picked entries are removed and reported via `issue`.
+     */
+    void selectCycle(
+        const std::function<bool(std::uint64_t, unsigned)> &ready,
+        const std::function<void(std::uint64_t, unsigned)> &issue);
+
+    /** Remove every entry younger than seq (squash). */
+    void squashAfter(std::uint64_t seq);
+
+    /** Total occupied entries. */
+    std::size_t occupancy() const;
+
+    /** Occupancy of one scheduler. */
+    std::size_t occupancyOf(unsigned s) const { return queues[s].size(); }
+
+  private:
+    std::vector<std::vector<std::uint64_t>> queues; // age-ordered seqs
+    unsigned entriesPer;
+    unsigned selectWidth;
+    unsigned rrIndex = 0;
+    unsigned steerCount = 0;
+};
+
+} // namespace rbsim
+
+#endif // RBSIM_CORE_SCHEDULER_HH

@@ -1,0 +1,18 @@
+#include "core/scoreboard.hh"
+
+namespace rbsim
+{
+
+const char *
+bypassCaseName(BypassCase c)
+{
+    switch (c) {
+      case BypassCase::TcToTc: return "TC result -> TC operation";
+      case BypassCase::TcToRb: return "TC result -> RB operation";
+      case BypassCase::RbToRb: return "RB result -> RB operation";
+      case BypassCase::RbToTc: return "RB result -> TC operation (convert)";
+      default: return "<bad>";
+    }
+}
+
+} // namespace rbsim

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Fetch engine: up to 8 instructions / 2 basic blocks per cycle from a
+ * pipelined instruction cache, with branch prediction at fetch (paper
+ * Table 2).
+ *
+ * Direct branch targets are visible at fetch (instructions are stored
+ * pre-decoded); the BTB predicts indirect-jump targets and the RAS
+ * predicts returns (JMP with ra == r31 is the return idiom). A JMP with
+ * no predicted target stalls fetch until it resolves.
+ */
+
+#ifndef RBSIM_FRONTEND_FETCH_HH
+#define RBSIM_FRONTEND_FETCH_HH
+
+#include <vector>
+
+#include "frontend/branch_pred.hh"
+#include "isa/program.hh"
+#include "mem/hierarchy.hh"
+
+namespace rbsim
+{
+
+/** One fetched instruction with its prediction state. */
+struct FetchedInst
+{
+    std::uint64_t pcIndex = 0;
+    Inst inst;
+    bool isCtrl = false;
+    bool predTaken = false;
+    std::uint64_t predNextPc = 0;
+    bool stalledJmp = false;  //!< no predicted target; fetch stalled
+    BpSnapshot snapshot;      //!< predictor state before this branch
+};
+
+/** The fetch engine. */
+class FetchEngine
+{
+  public:
+    FetchEngine(const MachineConfig &cfg, const Program &prog,
+                MemHierarchy &mem);
+
+    /** Fetch one cycle's worth of instructions (may be empty). */
+    std::vector<FetchedInst> fetchCycle(Cycle now);
+
+    /** Redirect after a branch resolution or squash. */
+    void redirect(std::uint64_t pc_index, Cycle now);
+
+    /** True when fetch is parked (HALT fetched, unpredicted JMP, or PC
+     * off the end of the code). */
+    bool parked() const { return stopped; }
+
+    /** The direction predictor (resolution/retire updates, repair). */
+    HybridPredictor predictor;
+
+    /** Indirect-target predictor. */
+    Btb btb;
+
+    /** Return address stack. */
+    Ras ras;
+
+    /** Fetch stall cycles due to instruction-cache misses (stats). */
+    std::uint64_t icacheStallCycles = 0;
+
+  private:
+    const MachineConfig &config;
+    const Program &program;
+    MemHierarchy &memory;
+
+    std::uint64_t fetchPc = 0;
+    Cycle resumeCycle = 0;
+    bool stopped = false;
+    Addr lastLine = ~Addr{0};
+};
+
+} // namespace rbsim
+
+#endif // RBSIM_FRONTEND_FETCH_HH

@@ -1,0 +1,103 @@
+#include "func/interp.hh"
+
+#include "common/bitutil.hh"
+#include "isa/opclass.hh"
+
+namespace rbsim
+{
+
+Interp::Interp(const Program &prog)
+    : program(prog), pcIndex(prog.entry)
+{
+    memory.loadProgram(prog);
+}
+
+StepRecord
+Interp::step()
+{
+    assert(!isHalted);
+    assert(pcIndex < program.code.size() && "PC ran off the code image");
+
+    const Inst &inst = program.code[pcIndex];
+    StepRecord rec;
+    rec.pcIndex = pcIndex;
+    rec.inst = inst;
+    rec.nextPc = pcIndex + 1;
+
+    Operands ops;
+    ops.a = reg(inst.ra);
+    ops.b = inst.useLit ? inst.lit : reg(inst.rb);
+    ops.c = reg(inst.rc);
+
+    const Addr return_addr = program.byteAddrOf(pcIndex + 1);
+    const EvalResult ev = evalOp(inst, ops, return_addr);
+
+    auto writeReg = [&](unsigned r, Word v) {
+        if (r == zeroReg)
+            return;
+        regs[r] = v;
+        rec.wroteReg = true;
+        rec.archReg = r;
+        rec.regValue = v;
+    };
+
+    if (isLoad(inst.op)) {
+        const unsigned size = memAccessSize(inst.op);
+        const Addr ea = ev.value & ~Addr{size - 1};
+        Word v = memory.read(ea, size);
+        if (inst.op == Opcode::LDL)
+            v = static_cast<Word>(sext(v, 32));
+        writeReg(inst.ra, v);
+    } else if (isStore(inst.op)) {
+        const unsigned size = memAccessSize(inst.op);
+        const Addr ea = ev.value & ~Addr{size - 1};
+        const Word v = size == 8 ? ops.a : (ops.a & 0xffffffffull);
+        // ops.a is the store data: srcRegs order is [data, base] but the
+        // data always comes from ra directly.
+        memory.write(ea, v, size);
+        rec.wroteMem = true;
+        rec.memAddr = ea;
+        rec.memValue = v;
+    } else if (isControl(inst.op)) {
+        rec.taken = ev.taken;
+        if (inst.op == Opcode::JMP) {
+            writeReg(inst.ra, ev.value);
+            const Word target = ops.b;
+            assert(program.isCodeAddr(target) &&
+                   "JMP to a non-code address");
+            rec.nextPc = program.indexOf(target);
+        } else if (inst.op == Opcode::BR || inst.op == Opcode::BSR) {
+            writeReg(inst.ra, ev.value);
+            rec.nextPc = static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(pcIndex) + 1 + inst.disp);
+        } else if (ev.taken) {
+            rec.nextPc = static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(pcIndex) + 1 + inst.disp);
+        }
+    } else if (inst.op == Opcode::HALT) {
+        isHalted = true;
+        rec.halted = true;
+        rec.nextPc = pcIndex;
+    } else if (inst.op != Opcode::NOP) {
+        writeReg(destReg(inst), ev.value);
+    }
+
+    pcIndex = rec.nextPc;
+    ++steps;
+    if (!isHalted && pcIndex >= program.code.size())
+        isHalted = true;
+    return rec;
+}
+
+std::uint64_t
+Interp::run(std::uint64_t max_steps)
+{
+    std::uint64_t n = 0;
+    while (!isHalted && n < max_steps) {
+        step();
+        ++n;
+    }
+    return n;
+}
+
+} // namespace rbsim

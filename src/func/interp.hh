@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Functional reference interpreter — the architectural golden model.
+ *
+ * Executes a program one instruction at a time in pure two's complement.
+ * The timing simulator runs this model in lockstep at retirement and
+ * cross-checks every register write, memory write, and control transfer
+ * (co-simulation), which is what validates the redundant binary datapath
+ * end to end.
+ */
+
+#ifndef RBSIM_FUNC_INTERP_HH
+#define RBSIM_FUNC_INTERP_HH
+
+#include <array>
+
+#include "func/mem_image.hh"
+#include "isa/eval.hh"
+#include "isa/program.hh"
+
+namespace rbsim
+{
+
+/** What one architectural step did (consumed by the co-sim checker). */
+struct StepRecord
+{
+    std::uint64_t pcIndex = 0;  //!< instruction index executed
+    Inst inst;                  //!< the instruction
+    bool wroteReg = false;      //!< wrote an integer register
+    unsigned archReg = zeroReg; //!< which register
+    Word regValue = 0;          //!< value written
+    bool wroteMem = false;      //!< was a store
+    Addr memAddr = 0;           //!< store address (aligned)
+    Word memValue = 0;          //!< store value (after size truncation)
+    bool taken = false;         //!< control transfer taken
+    std::uint64_t nextPc = 0;   //!< next instruction index
+    bool halted = false;        //!< this step executed HALT
+};
+
+/** The interpreter. */
+class Interp
+{
+  public:
+    /** Bind to a program; loads its data segments into a fresh memory. */
+    explicit Interp(const Program &prog);
+
+    /** True once HALT has executed or the PC ran off the code. */
+    bool halted() const { return isHalted; }
+
+    /** Execute one instruction. @pre !halted() */
+    StepRecord step();
+
+    /** Run until halted or `max_steps` instructions; returns steps run. */
+    std::uint64_t run(std::uint64_t max_steps);
+
+    /** Architectural register value. */
+    Word
+    reg(unsigned r) const
+    {
+        assert(r < numArchRegs);
+        return r == zeroReg ? 0 : regs[r];
+    }
+
+    /** Set an architectural register (test setup). */
+    void
+    setReg(unsigned r, Word v)
+    {
+        assert(r < numArchRegs);
+        if (r != zeroReg)
+            regs[r] = v;
+    }
+
+    /** Current PC (instruction index). */
+    std::uint64_t pc() const { return pcIndex; }
+
+    /** The memory image. */
+    MemImage &mem() { return memory; }
+    const MemImage &mem() const { return memory; }
+
+    /** Instructions executed so far. */
+    std::uint64_t instsExecuted() const { return steps; }
+
+  private:
+    const Program &program;
+    MemImage memory;
+    std::array<Word, numArchRegs> regs{};
+    std::uint64_t pcIndex = 0;
+    std::uint64_t steps = 0;
+    bool isHalted = false;
+};
+
+} // namespace rbsim
+
+#endif // RBSIM_FUNC_INTERP_HH

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Sparse 64-bit byte-addressable memory image.
+ *
+ * Backed by 4 KiB pages allocated on first touch. Reads of untouched
+ * memory return zero, which also makes wrong-path loads after a branch
+ * misprediction safe.
+ */
+
+#ifndef RBSIM_FUNC_MEM_IMAGE_HH
+#define RBSIM_FUNC_MEM_IMAGE_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/types.hh"
+#include "isa/program.hh"
+
+namespace rbsim
+{
+
+/** Sparse memory. */
+class MemImage
+{
+  public:
+    /** Read one byte. */
+    std::uint8_t
+    read8(Addr addr) const
+    {
+        const Page *page = findPage(addr);
+        return page ? (*page)[offsetOf(addr)] : 0;
+    }
+
+    /** Write one byte. */
+    void
+    write8(Addr addr, std::uint8_t value)
+    {
+        touchPage(addr)[offsetOf(addr)] = value;
+    }
+
+    /** Read a naturally-aligned little-endian value of `size` bytes. */
+    std::uint64_t read(Addr addr, unsigned size) const;
+
+    /** Write a naturally-aligned little-endian value of `size` bytes. */
+    void write(Addr addr, std::uint64_t value, unsigned size);
+
+    /** 64-bit convenience accessors (addresses are aligned down). */
+    Word read64(Addr addr) const { return read(addr & ~Addr{7}, 8); }
+    void write64(Addr addr, Word v) { write(addr & ~Addr{7}, v, 8); }
+
+    /** 32-bit convenience accessors. */
+    std::uint32_t
+    read32(Addr addr) const
+    {
+        return static_cast<std::uint32_t>(read(addr & ~Addr{3}, 4));
+    }
+    void
+    write32(Addr addr, std::uint32_t v)
+    {
+        write(addr & ~Addr{3}, v, 4);
+    }
+
+    /** Load a program's data segments. */
+    void loadProgram(const Program &prog);
+
+    /** Number of resident pages (for tests). */
+    std::size_t residentPages() const { return pages.size(); }
+
+  private:
+    static constexpr unsigned pageShift = 12;
+    static constexpr Addr pageSize = Addr{1} << pageShift;
+    using Page = std::array<std::uint8_t, pageSize>;
+
+    static Addr pageOf(Addr addr) { return addr >> pageShift; }
+    static std::size_t
+    offsetOf(Addr addr)
+    {
+        return static_cast<std::size_t>(addr & (pageSize - 1));
+    }
+
+    const Page *
+    findPage(Addr addr) const
+    {
+        const auto it = pages.find(pageOf(addr));
+        return it == pages.end() ? nullptr : it->second.get();
+    }
+
+    Page &
+    touchPage(Addr addr)
+    {
+        auto &slot = pages[pageOf(addr)];
+        if (!slot)
+            slot = std::make_unique<Page>();
+        return *slot;
+    }
+
+    std::unordered_map<Addr, std::unique_ptr<Page>> pages;
+};
+
+} // namespace rbsim
+
+#endif // RBSIM_FUNC_MEM_IMAGE_HH

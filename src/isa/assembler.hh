@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Two-pass text assembler for TinyAlpha.
+ *
+ * Syntax (one instruction per line, ';' or '#' comments):
+ *
+ *     .name demo            ; program name
+ *     .entry start          ; entry label (default: first instruction)
+ *     .org 0x20000          ; base address for following .quad data
+ *     .quad 1, 2, -3        ; 64-bit data words
+ *     start:
+ *         ldiq r1, 1000
+ *         addq r1, r2, r3   ; operate: op ra, rb, rc
+ *         subq r3, #5, r3   ; literal operand
+ *         ldq  r4, 8(r2)    ; memory: op ra, disp(rb)
+ *         lda  r5, -16(r4)
+ *         beq  r3, start    ; branch to label
+ *         bsr  r26, func
+ *         jmp  r26, r27
+ *         mov  r1, r2       ; pseudo-op -> bis r1, r1, r2
+ *         halt
+ */
+
+#ifndef RBSIM_ISA_ASSEMBLER_HH
+#define RBSIM_ISA_ASSEMBLER_HH
+
+#include <stdexcept>
+#include <string>
+
+#include "isa/program.hh"
+
+namespace rbsim
+{
+
+/** Error thrown on malformed assembly, carrying the 1-based line number. */
+class AsmError : public std::runtime_error
+{
+  public:
+    AsmError(unsigned line, const std::string &what_arg)
+        : std::runtime_error("line " + std::to_string(line) + ": " +
+                             what_arg),
+          lineNo(line)
+    {}
+
+    /** 1-based source line of the error. */
+    unsigned line() const { return lineNo; }
+
+  private:
+    unsigned lineNo;
+};
+
+/** Assemble a source string into a program. Throws AsmError. */
+Program assemble(const std::string &source);
+
+} // namespace rbsim
+
+#endif // RBSIM_ISA_ASSEMBLER_HH

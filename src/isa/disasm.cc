@@ -1,0 +1,64 @@
+#include "isa/disasm.hh"
+
+#include <sstream>
+
+#include "isa/opclass.hh"
+
+namespace rbsim
+{
+
+std::string
+disassemble(const Inst &inst, std::uint64_t index)
+{
+    std::ostringstream os;
+    os << opcodeName(inst.op);
+
+    auto reg = [](unsigned r) { return "r" + std::to_string(r); };
+    auto target = [&]() -> std::string {
+        if (index == ~0ull)
+            return "." + std::to_string(inst.disp);
+        return "@" + std::to_string(
+            static_cast<std::int64_t>(index) + 1 + inst.disp);
+    };
+
+    switch (inst.op) {
+      case Opcode::LDIQ:
+        os << ' ' << reg(inst.ra) << ", " << inst.imm64;
+        break;
+      case Opcode::LDA: case Opcode::LDAH:
+      case Opcode::LDQ: case Opcode::LDL:
+      case Opcode::STQ: case Opcode::STL:
+        os << ' ' << reg(inst.ra) << ", " << inst.disp << '('
+           << reg(inst.rb) << ')';
+        break;
+      case Opcode::CTLZ: case Opcode::CTTZ: case Opcode::CTPOP:
+        os << ' ' << reg(inst.ra) << ", " << reg(inst.rc);
+        break;
+      case Opcode::BR:
+        os << ' ' << target();
+        break;
+      case Opcode::BSR:
+        os << ' ' << reg(inst.ra) << ", " << target();
+        break;
+      case Opcode::JMP:
+        os << ' ' << reg(inst.ra) << ", " << reg(inst.rb);
+        break;
+      case Opcode::NOP: case Opcode::HALT:
+        break;
+      default:
+        if (isCondBranch(inst.op)) {
+            os << ' ' << reg(inst.ra) << ", " << target();
+        } else {
+            os << ' ' << reg(inst.ra) << ", ";
+            if (inst.useLit)
+                os << '#' << static_cast<unsigned>(inst.lit);
+            else
+                os << reg(inst.rb);
+            os << ", " << reg(inst.rc);
+        }
+        break;
+    }
+    return os.str();
+}
+
+} // namespace rbsim

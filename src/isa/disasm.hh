@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Disassembler: renders decoded instructions back to assembler syntax.
+ */
+
+#ifndef RBSIM_ISA_DISASM_HH
+#define RBSIM_ISA_DISASM_HH
+
+#include <string>
+
+#include "isa/inst.hh"
+
+namespace rbsim
+{
+
+/**
+ * Render one instruction. Branch displacements are shown as absolute
+ * instruction indices when the instruction's own index is supplied.
+ * @param inst the instruction
+ * @param index its position in the code (for branch target resolution);
+ *        pass ~0ull to print raw displacements
+ */
+std::string disassemble(const Inst &inst, std::uint64_t index = ~0ull);
+
+} // namespace rbsim
+
+#endif // RBSIM_ISA_DISASM_HH

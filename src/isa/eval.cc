@@ -1,0 +1,297 @@
+#include "isa/eval.hh"
+
+#include "common/bitutil.hh"
+#include "rb/multiplier.hh"
+#include "rb/rbalu.hh"
+
+namespace rbsim
+{
+
+namespace
+{
+
+/** Sign-extend the low 32 bits (longword results). */
+Word
+sext32(Word w)
+{
+    return static_cast<Word>(sext(w, 32));
+}
+
+/** ZAPNOT byte mask: byte i of the result is kept iff bit i of mask set. */
+Word
+zapnotMask(Word mask)
+{
+    Word out = 0;
+    for (unsigned i = 0; i < 8; ++i) {
+        if ((mask >> i) & 1)
+            out |= Word{0xff} << (8 * i);
+    }
+    return out;
+}
+
+/**
+ * Signed a < b in redundant binary: the sign of a - b, corrected by the
+ * section 3.5 overflow detection (when the subtraction overflows, the
+ * wrapped sign is the complement of the true sign — the same rule a TC
+ * comparator applies with its overflow flag).
+ */
+bool
+rbSignedLess(const RbNum &a, const RbNum &b)
+{
+    const RbAddResult d = rbSub(a, b);
+    const bool wrapped_negative = rbCompareZero(d.sum) < 0;
+    return wrapped_negative != d.tcOverflow;
+}
+
+} // namespace
+
+EvalResult
+evalOp(const Inst &inst, const Operands &ops, Addr return_addr)
+{
+    const Word a = ops.a;
+    const Word b = ops.b;
+    const SWord sa = static_cast<SWord>(a);
+    const SWord sb = static_cast<SWord>(b);
+    EvalResult res;
+
+    switch (inst.op) {
+      case Opcode::ADDQ: res.value = a + b; break;
+      case Opcode::SUBQ: res.value = a - b; break;
+      case Opcode::ADDL: res.value = sext32(a + b); break;
+      case Opcode::SUBL: res.value = sext32(a - b); break;
+      case Opcode::S4ADDQ: res.value = (a << 2) + b; break;
+      case Opcode::S8ADDQ: res.value = (a << 3) + b; break;
+      case Opcode::S4SUBQ: res.value = (a << 2) - b; break;
+      case Opcode::S8SUBQ: res.value = (a << 3) - b; break;
+      case Opcode::LDA:
+        res.value = b + static_cast<Word>(
+            static_cast<SWord>(inst.disp));
+        break;
+      case Opcode::LDAH:
+        res.value = b + (static_cast<Word>(
+            static_cast<SWord>(inst.disp)) << 16);
+        break;
+      case Opcode::LDIQ:
+        res.value = static_cast<Word>(inst.imm64);
+        break;
+      case Opcode::MULQ: res.value = a * b; break;
+      case Opcode::MULL: res.value = sext32(a * b); break;
+
+      case Opcode::AND: res.value = a & b; break;
+      case Opcode::BIS: res.value = a | b; break;
+      case Opcode::XOR: res.value = a ^ b; break;
+      case Opcode::BIC: res.value = a & ~b; break;
+      case Opcode::ORNOT: res.value = a | ~b; break;
+      case Opcode::EQV: res.value = a ^ ~b; break;
+
+      case Opcode::SLL: res.value = a << (b & 63); break;
+      case Opcode::SRL: res.value = a >> (b & 63); break;
+      case Opcode::SRA:
+        res.value = static_cast<Word>(sa >> (b & 63));
+        break;
+
+      case Opcode::CMPEQ: res.value = (a == b); break;
+      case Opcode::CMPLT: res.value = (sa < sb); break;
+      case Opcode::CMPLE: res.value = (sa <= sb); break;
+      case Opcode::CMPULT: res.value = (a < b); break;
+      case Opcode::CMPULE: res.value = (a <= b); break;
+
+      case Opcode::CMOVEQ: res.value = (a == 0) ? b : ops.c; break;
+      case Opcode::CMOVNE: res.value = (a != 0) ? b : ops.c; break;
+      case Opcode::CMOVLT: res.value = (sa < 0) ? b : ops.c; break;
+      case Opcode::CMOVGE: res.value = (sa >= 0) ? b : ops.c; break;
+      case Opcode::CMOVLE: res.value = (sa <= 0) ? b : ops.c; break;
+      case Opcode::CMOVGT: res.value = (sa > 0) ? b : ops.c; break;
+      case Opcode::CMOVLBS: res.value = (a & 1) ? b : ops.c; break;
+      case Opcode::CMOVLBC: res.value = !(a & 1) ? b : ops.c; break;
+
+      case Opcode::CTLZ: res.value = clz64(a); break;
+      case Opcode::CTTZ: res.value = ctz64(a); break;
+      case Opcode::CTPOP: res.value = popcount64(a); break;
+
+      case Opcode::EXTBL: res.value = (a >> (8 * (b & 7))) & 0xff; break;
+      case Opcode::EXTWL: res.value = (a >> (8 * (b & 7))) & 0xffff; break;
+      case Opcode::EXTLL:
+        res.value = (a >> (8 * (b & 7))) & 0xffffffffull;
+        break;
+      case Opcode::INSBL: res.value = (a & 0xff) << (8 * (b & 7)); break;
+      case Opcode::MSKBL:
+        res.value = a & ~(Word{0xff} << (8 * (b & 7)));
+        break;
+      case Opcode::ZAPNOT: res.value = a & zapnotMask(b); break;
+
+      // Memory: evaluate to the effective address (SAM consumes base and
+      // displacement together; the access itself happens elsewhere).
+      case Opcode::LDQ: case Opcode::LDL:
+      case Opcode::STQ: case Opcode::STL:
+        res.value = b + static_cast<Word>(
+            static_cast<SWord>(inst.disp));
+        break;
+
+      case Opcode::BEQ: res.taken = (a == 0); break;
+      case Opcode::BNE: res.taken = (a != 0); break;
+      case Opcode::BLT: res.taken = (sa < 0); break;
+      case Opcode::BGE: res.taken = (sa >= 0); break;
+      case Opcode::BLE: res.taken = (sa <= 0); break;
+      case Opcode::BGT: res.taken = (sa > 0); break;
+      case Opcode::BLBS: res.taken = (a & 1) != 0; break;
+      case Opcode::BLBC: res.taken = (a & 1) == 0; break;
+
+      case Opcode::BR: case Opcode::BSR: case Opcode::JMP:
+        res.taken = true;
+        res.value = return_addr;
+        break;
+
+      // The FP subset runs on integer values (see DESIGN.md): it exists to
+      // exercise the fp latency classes, which SPECint touches rarely.
+      case Opcode::ADDT: res.value = a + b; break;
+      case Opcode::MULT: res.value = a * b; break;
+      case Opcode::DIVT: res.value = sb == 0 ? 0 : a / (b | 1); break;
+
+      case Opcode::NOP: case Opcode::HALT:
+        break;
+      default:
+        assert(false && "unhandled opcode");
+    }
+    return res;
+}
+
+RbEvalResult
+evalOpRb(const Inst &inst, const RbOperands &ops)
+{
+    RbEvalResult res;
+    res.usedRbPath = true;
+
+    auto finish = [&res](const RbAddResult &r) {
+        res.value = r.sum;
+        res.bogusCorrected = r.bogusCorrected;
+        res.tcOverflow = r.tcOverflow;
+    };
+    auto dispRb = [&inst] {
+        return RbNum::fromTc(
+            static_cast<Word>(static_cast<SWord>(inst.disp)));
+    };
+
+    switch (inst.op) {
+      case Opcode::ADDQ: finish(rbAdd(ops.a, ops.b)); break;
+      case Opcode::SUBQ: finish(rbSub(ops.a, ops.b)); break;
+      case Opcode::ADDL: {
+        const RbAddResult r = rbAdd(ops.a, ops.b);
+        res.value = extractLongword(r.sum);
+        res.bogusCorrected = r.bogusCorrected;
+        break;
+      }
+      case Opcode::SUBL: {
+        const RbAddResult r = rbSub(ops.a, ops.b);
+        res.value = extractLongword(r.sum);
+        res.bogusCorrected = r.bogusCorrected;
+        break;
+      }
+      case Opcode::S4ADDQ: finish(rbScaledAdd(ops.a, 2, ops.b)); break;
+      case Opcode::S8ADDQ: finish(rbScaledAdd(ops.a, 3, ops.b)); break;
+      case Opcode::S4SUBQ:
+        finish(rbScaledAdd(ops.a, 2, rbNegate(ops.b)));
+        break;
+      case Opcode::S8SUBQ:
+        finish(rbScaledAdd(ops.a, 3, rbNegate(ops.b)));
+        break;
+      case Opcode::LDA: finish(rbAdd(ops.b, dispRb())); break;
+      case Opcode::LDAH:
+        finish(rbAdd(ops.b, RbNum::fromTc(
+            static_cast<Word>(static_cast<SWord>(inst.disp)) << 16)));
+        break;
+      case Opcode::LDIQ:
+        res.value = RbNum::fromTc(static_cast<Word>(inst.imm64));
+        break;
+
+      case Opcode::MULQ:
+        // The redundant binary addition tree (section 2's historic use
+        // of RB arithmetic); neither operand is converted.
+        res.value = rbTreeMultiplyBooth(ops.a, ops.b).product;
+        break;
+      case Opcode::MULL:
+        res.value = extractLongword(
+            rbTreeMultiplyBooth(ops.a, ops.b).product);
+        break;
+
+      case Opcode::SLL:
+        // The shifted operand is redundant binary; the shift amount is a
+        // small control value and is consumed in two's complement.
+        res.value = rbShiftLeftDigits(ops.a, ops.b.toTc() & 63);
+        break;
+
+      // Compares: RB subtraction plus a zero/sign test; the 0/1 result is
+      // identical in both encodings. Unsigned relations need borrow
+      // information from the full conversion, so they evaluate via TC
+      // values while keeping their RB-input timing class.
+      case Opcode::CMPEQ:
+        res.value = RbNum::fromTc(rbSub(ops.a, ops.b).sum.isZero());
+        break;
+      case Opcode::CMPLT:
+        res.value = RbNum::fromTc(rbSignedLess(ops.a, ops.b));
+        break;
+      case Opcode::CMPLE:
+        res.value = RbNum::fromTc(!rbSignedLess(ops.b, ops.a));
+        break;
+      case Opcode::CMPULT:
+        res.value = RbNum::fromTc(ops.a.toTc() < ops.b.toTc());
+        break;
+      case Opcode::CMPULE:
+        res.value = RbNum::fromTc(ops.a.toTc() <= ops.b.toTc());
+        break;
+
+      case Opcode::CMOVEQ:
+        res.value = ops.a.isZero() ? ops.b : ops.c;
+        break;
+      case Opcode::CMOVNE:
+        res.value = !ops.a.isZero() ? ops.b : ops.c;
+        break;
+      case Opcode::CMOVLT:
+        res.value = rbCompareZero(ops.a) < 0 ? ops.b : ops.c;
+        break;
+      case Opcode::CMOVGE:
+        res.value = rbCompareZero(ops.a) >= 0 ? ops.b : ops.c;
+        break;
+      case Opcode::CMOVLE:
+        res.value = rbCompareZero(ops.a) <= 0 ? ops.b : ops.c;
+        break;
+      case Opcode::CMOVGT:
+        res.value = rbCompareZero(ops.a) > 0 ? ops.b : ops.c;
+        break;
+      case Opcode::CMOVLBS:
+        res.value = ops.a.lsbSet() ? ops.b : ops.c;
+        break;
+      case Opcode::CMOVLBC:
+        res.value = !ops.a.lsbSet() ? ops.b : ops.c;
+        break;
+
+      case Opcode::CTTZ:
+        res.value = RbNum::fromTc(rbCttz(ops.a));
+        break;
+
+      // Effective addresses stay in RB; SAM indexes the cache directly
+      // from the (plus, minus) planes plus the TC displacement.
+      case Opcode::LDQ: case Opcode::LDL:
+      case Opcode::STQ: case Opcode::STL:
+        finish(rbAdd(ops.b, dispRb()));
+        break;
+
+      case Opcode::BEQ: res.taken = ops.a.isZero(); break;
+      case Opcode::BNE: res.taken = !ops.a.isZero(); break;
+      case Opcode::BLT: res.taken = rbCompareZero(ops.a) < 0; break;
+      case Opcode::BGE: res.taken = rbCompareZero(ops.a) >= 0; break;
+      case Opcode::BLE: res.taken = rbCompareZero(ops.a) <= 0; break;
+      case Opcode::BGT: res.taken = rbCompareZero(ops.a) > 0; break;
+      case Opcode::BLBS: res.taken = ops.a.lsbSet(); break;
+      case Opcode::BLBC: res.taken = !ops.a.lsbSet(); break;
+
+      default:
+        // TC-only opcode (logical, right shift, byte, CTLZ/CTPOP, MUL's
+        // final carry-propagate product, FP, BR/BSR/JMP): no RB datapath.
+        res.usedRbPath = false;
+        break;
+    }
+    return res;
+}
+
+} // namespace rbsim

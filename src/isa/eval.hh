@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Functional semantics of TinyAlpha instructions, in both number systems.
+ *
+ * `evalOp` is the architectural (two's complement) semantics used by the
+ * reference interpreter and, on the conventional machines, by the timing
+ * core. `evalOpRb` evaluates the RB-capable subset through the redundant
+ * binary datapath (paper section 3.6); the timing core uses it on the RB
+ * machines so the arithmetic library is exercised on the real execution
+ * path, and tests prove it value-equivalent to `evalOp`.
+ *
+ * Memory instructions evaluate to their effective address here; the memory
+ * access itself is performed by the interpreter or the load/store queue.
+ */
+
+#ifndef RBSIM_ISA_EVAL_HH
+#define RBSIM_ISA_EVAL_HH
+
+#include "isa/inst.hh"
+#include "rb/rbnum.hh"
+
+namespace rbsim
+{
+
+/** Resolved register operands of an instruction. */
+struct Operands
+{
+    Word a = 0; //!< value of ra (0 when ra is r31)
+    Word b = 0; //!< value of rb, or the zero-extended literal
+    Word c = 0; //!< old value of rc (conditional moves only)
+};
+
+/** Result of functional evaluation. */
+struct EvalResult
+{
+    Word value = 0;    //!< destination value, or effective address
+    bool taken = false; //!< conditional branch outcome
+};
+
+/**
+ * Evaluate one instruction in two's complement.
+ * @param inst the instruction
+ * @param ops resolved operand values
+ * @param return_addr byte address of the sequentially next instruction
+ *        (written by BR/BSR/JMP)
+ */
+EvalResult evalOp(const Inst &inst, const Operands &ops, Addr return_addr);
+
+/** Redundant binary operand set. */
+struct RbOperands
+{
+    RbNum a;
+    RbNum b;
+    RbNum c;
+};
+
+/** Result of redundant binary evaluation. */
+struct RbEvalResult
+{
+    RbNum value;            //!< destination value in RB representation
+    bool taken = false;     //!< conditional branch outcome
+    bool usedRbPath = false; //!< false: op has no RB datapath, use evalOp
+    bool bogusCorrected = false; //!< section 3.5 correction fired
+    bool tcOverflow = false;     //!< two's complement overflow detected
+};
+
+/**
+ * Evaluate through the redundant binary datapath. Sets usedRbPath=false
+ * for opcodes that must execute in two's complement (the caller falls back
+ * to evalOp). For the ops it implements, the result's toTc() equals
+ * evalOp's value for all inputs (property-tested).
+ */
+RbEvalResult evalOpRb(const Inst &inst, const RbOperands &ops);
+
+} // namespace rbsim
+
+#endif // RBSIM_ISA_EVAL_HH

@@ -1,0 +1,142 @@
+#include "isa/inst.hh"
+
+#include <cassert>
+
+namespace rbsim
+{
+
+bool
+isCondBranch(Opcode op)
+{
+    switch (op) {
+      case Opcode::BEQ: case Opcode::BNE: case Opcode::BLT:
+      case Opcode::BGE: case Opcode::BLE: case Opcode::BGT:
+      case Opcode::BLBS: case Opcode::BLBC:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isUncondControl(Opcode op)
+{
+    return op == Opcode::BR || op == Opcode::BSR || op == Opcode::JMP;
+}
+
+bool
+isControl(Opcode op)
+{
+    return isCondBranch(op) || isUncondControl(op);
+}
+
+bool
+isLoad(Opcode op)
+{
+    return op == Opcode::LDQ || op == Opcode::LDL;
+}
+
+bool
+isStore(Opcode op)
+{
+    return op == Opcode::STQ || op == Opcode::STL;
+}
+
+bool
+isCondMove(Opcode op)
+{
+    switch (op) {
+      case Opcode::CMOVEQ: case Opcode::CMOVNE: case Opcode::CMOVLT:
+      case Opcode::CMOVGE: case Opcode::CMOVLE: case Opcode::CMOVGT:
+      case Opcode::CMOVLBS: case Opcode::CMOVLBC:
+        return true;
+      default:
+        return false;
+    }
+}
+
+unsigned
+memAccessSize(Opcode op)
+{
+    switch (op) {
+      case Opcode::LDQ: case Opcode::STQ:
+        return 8;
+      case Opcode::LDL: case Opcode::STL:
+        return 4;
+      default:
+        assert(false && "not a memory opcode");
+        return 0;
+    }
+}
+
+bool
+writesDest(const Inst &inst)
+{
+    return destReg(inst) != zeroReg;
+}
+
+unsigned
+destReg(const Inst &inst)
+{
+    switch (inst.op) {
+      case Opcode::LDA: case Opcode::LDAH: case Opcode::LDIQ:
+      case Opcode::LDQ: case Opcode::LDL:
+      case Opcode::BR: case Opcode::BSR: case Opcode::JMP:
+        return inst.ra;
+      case Opcode::STQ: case Opcode::STL:
+      case Opcode::BEQ: case Opcode::BNE: case Opcode::BLT:
+      case Opcode::BGE: case Opcode::BLE: case Opcode::BGT:
+      case Opcode::BLBS: case Opcode::BLBC:
+      case Opcode::NOP: case Opcode::HALT:
+        return zeroReg;
+      default:
+        // Operate format: rc is the destination.
+        return inst.rc;
+    }
+}
+
+SrcRegs
+srcRegs(const Inst &inst)
+{
+    SrcRegs out;
+    auto push = [&out](unsigned r) {
+        if (r != zeroReg)
+            out.reg[out.count++] = static_cast<std::uint8_t>(r);
+    };
+
+    switch (inst.op) {
+      case Opcode::LDIQ:
+      case Opcode::BR: case Opcode::BSR:
+      case Opcode::NOP: case Opcode::HALT:
+        break;
+      case Opcode::LDA: case Opcode::LDAH:
+      case Opcode::LDQ: case Opcode::LDL:
+      case Opcode::JMP:
+        push(inst.rb);
+        break;
+      case Opcode::STQ: case Opcode::STL:
+        push(inst.ra); // store data
+        push(inst.rb); // base register
+        break;
+      case Opcode::BEQ: case Opcode::BNE: case Opcode::BLT:
+      case Opcode::BGE: case Opcode::BLE: case Opcode::BGT:
+      case Opcode::BLBS: case Opcode::BLBC:
+        push(inst.ra);
+        break;
+      case Opcode::CTLZ: case Opcode::CTTZ: case Opcode::CTPOP:
+        push(inst.ra);
+        break;
+      default:
+        // Operate format: ra and rb (unless a literal), and for
+        // conditional moves the old destination value as well.
+        push(inst.ra);
+        if (!inst.useLit)
+            push(inst.rb);
+        if (isCondMove(inst.op))
+            push(inst.rc);
+        break;
+    }
+    return out;
+}
+
+} // namespace rbsim

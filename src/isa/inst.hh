@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Decoded TinyAlpha instruction and its static operand/property queries.
+ *
+ * Instructions are stored pre-decoded (there is no binary encoding layer):
+ * operate format `op ra, rb|#lit, rc`, memory format `op ra, disp(rb)`,
+ * branch format `op ra, disp`. Register 31 reads as zero and discards
+ * writes, as on Alpha.
+ */
+
+#ifndef RBSIM_ISA_INST_HH
+#define RBSIM_ISA_INST_HH
+
+#include <cassert>
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+#include "isa/opcode.hh"
+
+namespace rbsim
+{
+
+/** The architectural zero register. */
+constexpr unsigned zeroReg = 31;
+
+/** Number of architectural integer registers. */
+constexpr unsigned numArchRegs = 32;
+
+/** A decoded instruction. */
+struct Inst
+{
+    Opcode op = Opcode::NOP;
+    std::uint8_t ra = zeroReg; //!< first register field
+    std::uint8_t rb = zeroReg; //!< second register field (or unused)
+    std::uint8_t rc = zeroReg; //!< destination field of operate format
+    bool useLit = false;       //!< operate format: rb replaced by literal
+    std::uint8_t lit = 0;      //!< 8-bit zero-extended literal
+    std::int32_t disp = 0;     //!< memory/branch displacement
+    std::int64_t imm64 = 0;    //!< LDIQ immediate
+
+    bool operator==(const Inst &other) const = default;
+};
+
+/** Source registers of an instruction (up to 3; unused slots are 31). */
+struct SrcRegs
+{
+    std::array<std::uint8_t, 3> reg{zeroReg, zeroReg, zeroReg};
+    unsigned count = 0;
+};
+
+/** True if the instruction writes an integer register. */
+bool writesDest(const Inst &inst);
+
+/** Destination architectural register (zeroReg when none). */
+unsigned destReg(const Inst &inst);
+
+/** Source architectural registers, zero-register sources omitted. */
+SrcRegs srcRegs(const Inst &inst);
+
+/** True for conditional branches (BEQ..BLBC). */
+bool isCondBranch(Opcode op);
+
+/** True for any control transfer (cond branches, BR, BSR, JMP). */
+bool isControl(Opcode op);
+
+/** True for BR/BSR/JMP (always taken). */
+bool isUncondControl(Opcode op);
+
+/** True for LDQ/LDL. */
+bool isLoad(Opcode op);
+
+/** True for STQ/STL. */
+bool isStore(Opcode op);
+
+/** True for conditional moves (which also read their old destination). */
+bool isCondMove(Opcode op);
+
+/** Memory access size in bytes (8 or 4); only valid for loads/stores. */
+unsigned memAccessSize(Opcode op);
+
+} // namespace rbsim
+
+#endif // RBSIM_ISA_INST_HH

@@ -1,0 +1,194 @@
+#include "isa/opclass.hh"
+
+namespace rbsim
+{
+
+OpClass
+opClass(Opcode op)
+{
+    switch (op) {
+      case Opcode::ADDQ: case Opcode::SUBQ: case Opcode::ADDL:
+      case Opcode::SUBL: case Opcode::S4ADDQ: case Opcode::S8ADDQ:
+      case Opcode::S4SUBQ: case Opcode::S8SUBQ: case Opcode::LDA:
+      case Opcode::LDAH: case Opcode::LDIQ:
+        return OpClass::IntArith;
+      case Opcode::MULQ: case Opcode::MULL:
+        return OpClass::IntMul;
+      case Opcode::AND: case Opcode::BIS: case Opcode::XOR:
+      case Opcode::BIC: case Opcode::ORNOT: case Opcode::EQV:
+        return OpClass::IntLogical;
+      case Opcode::SLL:
+        return OpClass::ShiftLeft;
+      case Opcode::SRL: case Opcode::SRA:
+        return OpClass::ShiftRight;
+      case Opcode::CMPEQ: case Opcode::CMPLT: case Opcode::CMPLE:
+      case Opcode::CMPULT: case Opcode::CMPULE:
+        return OpClass::IntCompare;
+      case Opcode::CMOVEQ: case Opcode::CMOVNE: case Opcode::CMOVLT:
+      case Opcode::CMOVGE: case Opcode::CMOVLE: case Opcode::CMOVGT:
+      case Opcode::CMOVLBS: case Opcode::CMOVLBC:
+        return OpClass::CondMove;
+      case Opcode::CTLZ: case Opcode::CTTZ: case Opcode::CTPOP:
+        return OpClass::Count;
+      case Opcode::EXTBL: case Opcode::EXTWL: case Opcode::EXTLL:
+      case Opcode::INSBL: case Opcode::MSKBL: case Opcode::ZAPNOT:
+        return OpClass::ByteManip;
+      case Opcode::LDQ: case Opcode::LDL:
+        return OpClass::Load;
+      case Opcode::STQ: case Opcode::STL:
+        return OpClass::Store;
+      case Opcode::BEQ: case Opcode::BNE: case Opcode::BLT:
+      case Opcode::BGE: case Opcode::BLE: case Opcode::BGT:
+      case Opcode::BLBS: case Opcode::BLBC: case Opcode::BR:
+      case Opcode::BSR: case Opcode::JMP:
+        return OpClass::Branch;
+      case Opcode::ADDT: case Opcode::MULT:
+        return OpClass::FpArith;
+      case Opcode::DIVT:
+        return OpClass::FpDiv;
+      default:
+        return OpClass::Nop;
+    }
+}
+
+const char *
+opClassName(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntArith: return "integer arithmetic";
+      case OpClass::IntMul: return "integer multiply";
+      case OpClass::IntLogical: return "integer logical";
+      case OpClass::ShiftLeft: return "integer shift left";
+      case OpClass::ShiftRight: return "integer shift right";
+      case OpClass::IntCompare: return "integer compare";
+      case OpClass::CondMove: return "conditional move";
+      case OpClass::Count: return "count (ctlz/cttz/ctpop)";
+      case OpClass::ByteManip: return "byte manipulation";
+      case OpClass::Load: return "load";
+      case OpClass::Store: return "store";
+      case OpClass::Branch: return "branch";
+      case OpClass::FpArith: return "fp arithmetic";
+      case OpClass::FpDiv: return "fp divide";
+      case OpClass::Nop: return "nop";
+      default: return "<bad>";
+    }
+}
+
+Format
+inputFormat(Opcode op)
+{
+    switch (opClass(op)) {
+      case OpClass::IntArith:
+      case OpClass::IntMul:
+      case OpClass::ShiftLeft:
+      case OpClass::IntCompare:
+      case OpClass::CondMove:
+      case OpClass::Load:
+      case OpClass::Store: // the store *address*; data is special-cased
+        return Format::RB;
+      case OpClass::Branch:
+        // Conditional branches test values and accept RB; indirect jumps
+        // feed a fetch address and are treated the same way (the target
+        // comparison happens via SAM-like equality in the BTB check).
+        return Format::RB;
+      case OpClass::Count:
+        // CTTZ counts trailing nonzero digits and works in RB; CTLZ and
+        // CTPOP need the unique TC representation (paper section 3.6).
+        return op == Opcode::CTTZ ? Format::RB : Format::TC;
+      default:
+        return Format::TC;
+    }
+}
+
+Format
+srcFormatReq(const Inst &inst, unsigned src_idx)
+{
+    if (isStore(inst.op)) {
+        // srcRegs order for stores is [data, base]; memory holds TC data,
+        // so the data operand needs conversion while SAM absorbs an RB
+        // base (paper section 3.6, memory access instructions). When the
+        // data register is r31 the only source is the base.
+        const bool has_data_src = inst.ra != zeroReg;
+        if (has_data_src && src_idx == 0)
+            return Format::TC;
+        return Format::RB;
+    }
+    return inputFormat(inst.op);
+}
+
+Format
+outputFormat(Opcode op)
+{
+    switch (opClass(op)) {
+      case OpClass::IntArith:
+      case OpClass::IntMul:
+      case OpClass::ShiftLeft:
+      case OpClass::CondMove:
+        return Format::RB;
+      case OpClass::Count:
+        return op == Opcode::CTTZ ? Format::RB : Format::TC;
+      default:
+        return Format::TC;
+    }
+}
+
+Table1Row
+table1Row(Opcode op)
+{
+    switch (op) {
+      case Opcode::CMOVLT: case Opcode::CMOVGE: case Opcode::CMOVLE:
+      case Opcode::CMOVGT:
+        return Table1Row::CmovSign;
+      case Opcode::CMOVEQ: case Opcode::CMOVNE:
+        return Table1Row::CmovZero;
+      case Opcode::LDQ: case Opcode::LDL: case Opcode::STQ:
+      case Opcode::STL:
+        return Table1Row::MemAccess;
+      case Opcode::CMPEQ:
+        return Table1Row::CmpEq;
+      case Opcode::CMPLT: case Opcode::CMPLE: case Opcode::CMPULT:
+      case Opcode::CMPULE:
+        return Table1Row::CmpRel;
+      default:
+        break;
+    }
+    if (isCondBranch(op))
+        return Table1Row::CondBranch;
+    switch (opClass(op)) {
+      case OpClass::IntArith: case OpClass::IntMul:
+      case OpClass::ShiftLeft: case OpClass::CondMove:
+        return Table1Row::ArithRbRb;
+      case OpClass::Count:
+        return op == Opcode::CTTZ ? Table1Row::ArithRbRb
+                                  : Table1Row::Other;
+      default:
+        return Table1Row::Other;
+    }
+}
+
+const char *
+table1RowLabel(Table1Row row)
+{
+    switch (row) {
+      case Table1Row::ArithRbRb:
+        return "ADD, SUB, MUL, LDA(H), CMOVLBx, SxADD/SUB, SLL (RB->RB)";
+      case Table1Row::CmovSign:
+        return "CMOVLT, CMOVGE, CMOVLE, CMOVGT (RB->RB)";
+      case Table1Row::CmovZero:
+        return "CMOVEQ, CMOVNE (RB->RB)";
+      case Table1Row::MemAccess:
+        return "Memory Access (RB->TC)";
+      case Table1Row::CmpEq:
+        return "CMPEQ (RB->TC)";
+      case Table1Row::CmpRel:
+        return "CMPLT, CMPLE, CMPULT, CMPULE (RB->TC)";
+      case Table1Row::CondBranch:
+        return "conditional branches (RB)";
+      case Table1Row::Other:
+        return "Other (TC->TC)";
+      default:
+        return "<bad>";
+    }
+}
+
+} // namespace rbsim

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Static instruction classification: latency classes (paper Table 3),
+ * input/output data formats, and the dynamic-mix rows of paper Table 1.
+ */
+
+#ifndef RBSIM_ISA_OPCLASS_HH
+#define RBSIM_ISA_OPCLASS_HH
+
+#include "isa/inst.hh"
+#include "rb/format.hh"
+
+namespace rbsim
+{
+
+/** Latency classes, one per row of paper Table 3 (plus control/nop). */
+enum class OpClass : unsigned char
+{
+    IntArith,   //!< add/sub/scaled-add/LDA family
+    IntMul,
+    IntLogical,
+    ShiftLeft,
+    ShiftRight,
+    IntCompare,
+    CondMove,   //!< latencies of IntArith (Table 1 groups CMOV with ADD)
+    Count,      //!< CTLZ/CTTZ/CTPOP; latencies of ByteManip
+    ByteManip,
+    Load,
+    Store,
+    Branch,
+    FpArith,
+    FpDiv,
+    Nop,
+
+    NumClasses,
+};
+
+/** Number of latency classes. */
+constexpr unsigned numOpClasses = static_cast<unsigned>(OpClass::NumClasses);
+
+/** Latency class of an opcode. */
+OpClass opClass(Opcode op);
+
+/** Printable class name. */
+const char *opClassName(OpClass cls);
+
+/**
+ * Input format requirement of the instruction as a whole (paper Table 1):
+ * Format::RB means operands may arrive in either representation;
+ * Format::TC means all register operands must be two's complement.
+ */
+Format inputFormat(Opcode op);
+
+/**
+ * Per-source format requirement. Differs from inputFormat only for
+ * stores, whose *data* operand must be two's complement while the *base*
+ * address operand may be redundant binary (SAM absorbs it).
+ * @param src_idx index into srcRegs(inst) order
+ */
+Format srcFormatReq(const Inst &inst, unsigned src_idx);
+
+/**
+ * Format the result is produced in on the RB machines (paper Table 1).
+ * Only meaningful for instructions with a destination.
+ */
+Format outputFormat(Opcode op);
+
+/** Rows of paper Table 1 for the dynamic instruction-mix experiment. */
+enum class Table1Row : unsigned char
+{
+    ArithRbRb,   //!< ADD, SUB, MUL, LDA(H), CMOVLBx, SxADD/SUB, SLL (+CTTZ)
+    CmovSign,    //!< CMOVLT/GE/LE/GT (sign test needs the logic tree)
+    CmovZero,    //!< CMOVEQ/NE (zero test)
+    MemAccess,   //!< loads and stores
+    CmpEq,       //!< CMPEQ
+    CmpRel,      //!< CMPLT/LE/ULT/ULE
+    CondBranch,  //!< conditional branches
+    Other,       //!< TC-only instructions
+
+    NumRows,
+};
+
+/** Number of Table 1 rows. */
+constexpr unsigned numTable1Rows = static_cast<unsigned>(Table1Row::NumRows);
+
+/** Table 1 row of an opcode. */
+Table1Row table1Row(Opcode op);
+
+/** Printable row label matching the paper's Table 1. */
+const char *table1RowLabel(Table1Row row);
+
+} // namespace rbsim
+
+#endif // RBSIM_ISA_OPCLASS_HH

@@ -1,0 +1,61 @@
+#include "isa/opcode.hh"
+
+#include <array>
+#include <unordered_map>
+
+#include "common/strutil.hh"
+
+namespace rbsim
+{
+
+namespace
+{
+
+const std::array<const char *, numOpcodes> opcodeNames = {
+    "addq", "subq", "addl", "subl",
+    "s4addq", "s8addq", "s4subq", "s8subq",
+    "lda", "ldah", "ldiq",
+    "mulq", "mull",
+    "and", "bis", "xor", "bic", "ornot", "eqv",
+    "sll",
+    "srl", "sra",
+    "cmpeq", "cmplt", "cmple", "cmpult", "cmpule",
+    "cmoveq", "cmovne", "cmovlt", "cmovge", "cmovle", "cmovgt",
+    "cmovlbs", "cmovlbc",
+    "ctlz", "ctpop",
+    "cttz",
+    "extbl", "extwl", "extll", "insbl", "mskbl", "zapnot",
+    "ldq", "ldl", "stq", "stl",
+    "beq", "bne", "blt", "bge", "ble", "bgt", "blbs", "blbc",
+    "br", "bsr", "jmp",
+    "addt", "mult", "divt",
+    "nop", "halt",
+};
+
+} // namespace
+
+const char *
+opcodeName(Opcode op)
+{
+    const auto idx = static_cast<unsigned>(op);
+    if (idx >= numOpcodes)
+        return "<bad>";
+    return opcodeNames[idx];
+}
+
+std::optional<Opcode>
+parseOpcode(const std::string &name)
+{
+    static const std::unordered_map<std::string, Opcode> table = [] {
+        std::unordered_map<std::string, Opcode> t;
+        for (unsigned i = 0; i < numOpcodes; ++i)
+            t.emplace(opcodeNames[i], static_cast<Opcode>(i));
+        return t;
+    }();
+    const auto it = table.find(toLower(name));
+    if (it == table.end())
+        return std::nullopt;
+    return it->second;
+}
+
+} // namespace rbsim

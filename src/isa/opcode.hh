@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Opcodes of TinyAlpha, the Alpha-like ISA used by rbsim.
+ *
+ * The set mirrors the fixed-point Alpha instructions the paper classifies
+ * in Table 1 (plus a small FP subset so the FP latency rows of Table 3 have
+ * something to exercise, and an LDIQ pseudo-op for constant
+ * materialization).
+ */
+
+#ifndef RBSIM_ISA_OPCODE_HH
+#define RBSIM_ISA_OPCODE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace rbsim
+{
+
+/** All TinyAlpha opcodes. */
+enum class Opcode : std::uint8_t
+{
+    // Integer arithmetic (RB in, RB out).
+    ADDQ, SUBQ, ADDL, SUBL,
+    S4ADDQ, S8ADDQ, S4SUBQ, S8SUBQ,
+    LDA, LDAH, LDIQ,
+    MULQ, MULL,
+
+    // Logical (TC in, TC out).
+    AND, BIS, XOR, BIC, ORNOT, EQV,
+
+    // Shifts.
+    SLL,            // RB in, RB out (digit shift)
+    SRL, SRA,       // TC in, TC out
+
+    // Compares (RB in, TC out).
+    CMPEQ, CMPLT, CMPLE, CMPULT, CMPULE,
+
+    // Conditional moves (RB in, RB out).
+    CMOVEQ, CMOVNE, CMOVLT, CMOVGE, CMOVLE, CMOVGT, CMOVLBS, CMOVLBC,
+
+    // Counts.
+    CTLZ, CTPOP,    // TC in (need a unique representation)
+    CTTZ,           // RB in (count trailing nonzero digits)
+
+    // Byte manipulation (TC in).
+    EXTBL, EXTWL, EXTLL, INSBL, MSKBL, ZAPNOT,
+
+    // Memory (RB-in address computation via SAM; TC data).
+    LDQ, LDL, STQ, STL,
+
+    // Control.
+    BEQ, BNE, BLT, BGE, BLE, BGT, BLBS, BLBC,
+    BR, BSR, JMP,
+
+    // FP subset (TC; exists to exercise Table 3's fp latency rows).
+    ADDT, MULT, DIVT,
+
+    // Misc.
+    NOP, HALT,
+
+    NumOpcodes,
+};
+
+/** Number of opcodes. */
+constexpr unsigned numOpcodes = static_cast<unsigned>(Opcode::NumOpcodes);
+
+/** Mnemonic of an opcode (lower case). */
+const char *opcodeName(Opcode op);
+
+/** Parse a mnemonic (case-insensitive); nullopt if unknown. */
+std::optional<Opcode> parseOpcode(const std::string &name);
+
+} // namespace rbsim
+
+#endif // RBSIM_ISA_OPCODE_HH

@@ -1,0 +1,25 @@
+#include "isa/program.hh"
+
+namespace rbsim
+{
+
+void
+Program::addDataWords(Addr base, const std::vector<Word> &words)
+{
+    DataSegment seg;
+    seg.base = base;
+    seg.bytes.reserve(words.size() * 8);
+    for (Word w : words) {
+        for (unsigned i = 0; i < 8; ++i)
+            seg.bytes.push_back(static_cast<std::uint8_t>(w >> (8 * i)));
+    }
+    data.push_back(std::move(seg));
+}
+
+void
+Program::addDataBytes(Addr base, std::vector<std::uint8_t> bytes)
+{
+    data.push_back(DataSegment{base, std::move(bytes)});
+}
+
+} // namespace rbsim

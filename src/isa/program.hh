@@ -1,0 +1,73 @@
+/**
+ * @file
+ * A loadable TinyAlpha program: code, initial data image, entry point.
+ *
+ * Internally the simulator addresses code by instruction index; register
+ * values holding code addresses (return addresses, jump tables) use byte
+ * addresses `codeBase + 4 * index`, so computed control flow works like on
+ * a real machine.
+ */
+
+#ifndef RBSIM_ISA_PROGRAM_HH
+#define RBSIM_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/inst.hh"
+
+namespace rbsim
+{
+
+/** A contiguous chunk of initialized data. */
+struct DataSegment
+{
+    Addr base = 0;
+    std::vector<std::uint8_t> bytes;
+};
+
+/** A complete program image. */
+struct Program
+{
+    std::string name = "program";
+    std::vector<Inst> code;
+    Addr codeBase = 0x10000;
+    std::uint64_t entry = 0; //!< entry instruction index
+    std::vector<DataSegment> data;
+
+    /** Byte address of an instruction index. */
+    Addr
+    byteAddrOf(std::uint64_t index) const
+    {
+        return codeBase + 4 * index;
+    }
+
+    /** Instruction index of a code byte address. */
+    std::uint64_t
+    indexOf(Addr byte_addr) const
+    {
+        return (byte_addr - codeBase) / 4;
+    }
+
+    /** True if the byte address falls inside the code image. */
+    bool
+    isCodeAddr(Addr byte_addr) const
+    {
+        return byte_addr >= codeBase &&
+               byte_addr < codeBase + 4 * code.size() &&
+               (byte_addr & 3) == 0;
+    }
+
+    /** Append a data segment initialized with 64-bit little-endian words. */
+    void addDataWords(Addr base, const std::vector<Word> &words);
+
+    /** Append a raw byte segment. */
+    void addDataBytes(Addr base, std::vector<std::uint8_t> bytes);
+};
+
+} // namespace rbsim
+
+#endif // RBSIM_ISA_PROGRAM_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Generic set-associative cache tag model with LRU replacement.
+ *
+ * Only tags and recency are modeled (data lives in the functional memory
+ * image); the timing wrapper in mem/hierarchy.* turns hits and misses into
+ * latencies and bank contention.
+ */
+
+#ifndef RBSIM_MEM_CACHE_HH
+#define RBSIM_MEM_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/machine_config.hh"
+
+namespace rbsim
+{
+
+/** Set-associative LRU tag array. */
+class CacheModel
+{
+  public:
+    /** Build from geometry parameters. */
+    explicit CacheModel(const CacheParams &params);
+
+    /** True if the line containing addr is present (no state change). */
+    bool probe(Addr addr) const;
+
+    /**
+     * Access the line: on hit, update recency and return true; on miss,
+     * return false (call fill() to install).
+     */
+    bool access(Addr addr);
+
+    /** Install the line, evicting the LRU way. */
+    void fill(Addr addr);
+
+    /** Invalidate everything (between benchmark runs). */
+    void reset();
+
+    /** Geometry introspection. */
+    unsigned numSets() const { return sets; }
+    unsigned numWays() const { return ways; }
+    unsigned lineBytes() const { return lineSize; }
+
+    /** Bank index of an address (line interleaved). */
+    unsigned
+    bankOf(Addr addr, unsigned banks) const
+    {
+        return static_cast<unsigned>((addr / lineSize) % banks);
+    }
+
+    /** Accumulated stats. */
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+
+  private:
+    struct Way
+    {
+        bool valid = false;
+        Addr tag = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    unsigned setOf(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+
+    unsigned sets;
+    unsigned ways;
+    unsigned lineSize;
+    std::vector<Way> array; // sets x ways
+    std::uint64_t useClock = 0;
+};
+
+} // namespace rbsim
+
+#endif // RBSIM_MEM_CACHE_HH

@@ -1,0 +1,84 @@
+#include "mem/hierarchy.hh"
+
+#include <algorithm>
+
+namespace rbsim
+{
+
+MemHierarchy::MemHierarchy(const MachineConfig &cfg)
+    : config(cfg),
+      il1Cache(cfg.il1),
+      dl1Cache(cfg.dl1),
+      l2Cache(cfg.l2),
+      l2BankFree(cfg.l2.banks, 0),
+      memBankFree(cfg.memBanks, 0)
+{
+}
+
+Cycle
+MemHierarchy::accessMem(Addr addr, Cycle start)
+{
+    ++memAccesses;
+    const unsigned bank = static_cast<unsigned>(
+        (addr / config.l2.lineBytes) % config.memBanks);
+    const Cycle begin = std::max(start, memBankFree[bank]);
+    memBankFree[bank] = begin + config.memBankBusy;
+    return begin + config.memLatency;
+}
+
+Cycle
+MemHierarchy::accessL2(Addr addr, Cycle start)
+{
+    const unsigned bank = l2Cache.bankOf(addr, config.l2.banks);
+    const Cycle begin = std::max(start, l2BankFree[bank]);
+    l2BankFree[bank] = begin + config.l2.bankBusy;
+    if (l2Cache.access(addr))
+        return begin + config.l2.latency;
+    const Cycle ready = accessMem(addr, begin + config.l2.latency);
+    l2Cache.fill(addr);
+    return ready;
+}
+
+Cycle
+MemHierarchy::instFetch(Addr addr, Cycle now)
+{
+    if (il1Cache.access(addr))
+        return now + config.il1.latency;
+    const Cycle ready = accessL2(addr, now + config.il1.latency);
+    il1Cache.fill(addr);
+    return ready;
+}
+
+Cycle
+MemHierarchy::dataRead(Addr addr, Cycle now)
+{
+    if (dl1Cache.access(addr))
+        return now + config.dl1.latency;
+    const Cycle ready = accessL2(addr, now + config.dl1.latency);
+    dl1Cache.fill(addr);
+    return ready;
+}
+
+void
+MemHierarchy::dataWriteTouch(Addr addr, Cycle now)
+{
+    if (!dl1Cache.access(addr)) {
+        // Write-allocate through the write buffer: occupy the L2 bank but
+        // do not stall retirement.
+        accessL2(addr, now + config.dl1.latency);
+        dl1Cache.fill(addr);
+    }
+}
+
+void
+MemHierarchy::reset()
+{
+    il1Cache.reset();
+    dl1Cache.reset();
+    l2Cache.reset();
+    std::fill(l2BankFree.begin(), l2BankFree.end(), 0);
+    std::fill(memBankFree.begin(), memBankFree.end(), 0);
+    memAccesses = 0;
+}
+
+} // namespace rbsim

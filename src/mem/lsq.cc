@@ -1,0 +1,119 @@
+#include "mem/lsq.hh"
+
+#include <cassert>
+
+namespace rbsim
+{
+
+void
+LoadStoreQueue::insert(std::uint64_t seq, bool is_store)
+{
+    assert(hasSpace());
+    assert(entries.empty() || entries.back().seq < seq);
+    LsqEntry e;
+    e.seq = seq;
+    e.isStore = is_store;
+    entries.push_back(e);
+}
+
+void
+LoadStoreQueue::setAddress(std::uint64_t seq, Addr addr, unsigned size)
+{
+    for (LsqEntry &e : entries) {
+        if (e.seq == seq) {
+            e.addrKnown = true;
+            e.addr = addr;
+            e.size = size;
+            return;
+        }
+    }
+    assert(false && "setAddress: seq not in LSQ");
+}
+
+void
+LoadStoreQueue::setStoreData(std::uint64_t seq, Word data)
+{
+    for (LsqEntry &e : entries) {
+        if (e.seq == seq) {
+            assert(e.isStore);
+            e.dataReady = true;
+            e.data = data;
+            return;
+        }
+    }
+    assert(false && "setStoreData: seq not in LSQ");
+}
+
+bool
+LoadStoreQueue::olderStoreAddrsKnown(std::uint64_t seq) const
+{
+    for (const LsqEntry &e : entries) {
+        if (e.seq >= seq)
+            break;
+        if (e.isStore && !e.addrKnown)
+            return false;
+    }
+    return true;
+}
+
+LoadSearch
+LoadStoreQueue::searchForLoad(std::uint64_t seq, Addr addr,
+                              unsigned size) const
+{
+    LoadSearch out;
+    const Addr lo = addr;
+    const Addr hi = addr + size;
+
+    // Walk older stores youngest-first.
+    const LsqEntry *hit = nullptr;
+    for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+        const LsqEntry &e = *it;
+        if (e.seq >= seq || !e.isStore)
+            continue;
+        if (!e.addrKnown)
+            return out; // must wait
+        const Addr slo = e.addr;
+        const Addr shi = e.addr + e.size;
+        if (shi <= lo || slo >= hi)
+            continue; // disjoint
+        if (slo <= lo && shi >= hi) {
+            if (!e.dataReady)
+                return out; // forwardable, but the data is not here yet
+            hit = &e; // youngest containing store decides
+            break;
+        }
+        // Partial overlap: delay until the store drains.
+        return out;
+    }
+
+    out.mayIssue = true;
+    if (hit) {
+        out.forwarded = true;
+        const unsigned shift =
+            static_cast<unsigned>((lo - hit->addr) * 8);
+        Word v = hit->data >> shift;
+        if (size == 4)
+            v &= 0xffffffffull;
+        out.data = v;
+    }
+    return out;
+}
+
+LsqEntry
+LoadStoreQueue::retire(std::uint64_t seq)
+{
+    assert(!entries.empty());
+    assert(entries.front().seq == seq && "LSQ retire out of order");
+    const LsqEntry e = entries.front();
+    entries.pop_front();
+    return e;
+}
+
+void
+LoadStoreQueue::squashAfter(std::uint64_t seq)
+{
+    while (!entries.empty() && entries.back().seq > seq)
+        entries.pop_back();
+}
+
+} // namespace rbsim

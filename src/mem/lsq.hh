@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Load/store queue with address-based disambiguation and store-to-load
+ * forwarding.
+ *
+ * Policy (uniform across machines, documented in DESIGN.md): a load may
+ * issue once every older store's address is known; it forwards from the
+ * youngest older store that exactly contains its bytes, is delayed behind
+ * a partially-overlapping store until that store leaves the queue, and
+ * otherwise reads committed memory. Stores write memory at retirement.
+ */
+
+#ifndef RBSIM_MEM_LSQ_HH
+#define RBSIM_MEM_LSQ_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "common/types.hh"
+
+namespace rbsim
+{
+
+/** One queue entry. */
+struct LsqEntry
+{
+    std::uint64_t seq = 0;   //!< program-order sequence number
+    bool isStore = false;
+    bool addrKnown = false;
+    bool dataReady = false;  //!< store data present (stores only)
+    Addr addr = 0;           //!< size-aligned effective address
+    unsigned size = 0;       //!< 4 or 8
+    Word data = 0;           //!< store data (valid once dataReady)
+};
+
+/** Outcome of a load's search of older stores. */
+struct LoadSearch
+{
+    bool mayIssue = false;    //!< all older store addresses known, no
+                              //!< partial overlap
+    bool forwarded = false;   //!< hit a containing older store
+    Word data = 0;            //!< forwarded data (size-extracted)
+};
+
+/** The queue. */
+class LoadStoreQueue
+{
+  public:
+    explicit LoadStoreQueue(unsigned max_entries)
+        : capacity(max_entries)
+    {}
+
+    /** True if another entry can be inserted. */
+    bool hasSpace() const { return entries.size() < capacity; }
+
+    /** Insert at dispatch (program order). */
+    void insert(std::uint64_t seq, bool is_store);
+
+    /**
+     * Record a computed address. Store address generation is decoupled
+     * from store data: a store's address arrives as soon as its base
+     * operand is ready, unblocking younger loads' disambiguation.
+     */
+    void setAddress(std::uint64_t seq, Addr addr, unsigned size);
+
+    /** Record store data once the data operand is ready. */
+    void setStoreData(std::uint64_t seq, Word data);
+
+    /**
+     * Disambiguation check and forwarding search for the load `seq` with
+     * (aligned) address/size. Call only after the load's own address is
+     * known.
+     */
+    LoadSearch searchForLoad(std::uint64_t seq, Addr addr,
+                             unsigned size) const;
+
+    /**
+     * True when every store older than `seq` has a known address (the
+     * load-issue gate, usable before the load's own address exists).
+     */
+    bool olderStoreAddrsKnown(std::uint64_t seq) const;
+
+    /** Remove the entry for a retired instruction. @return the entry */
+    LsqEntry retire(std::uint64_t seq);
+
+    /** Drop all entries younger than `seq` (branch squash). */
+    void squashAfter(std::uint64_t seq);
+
+    /** Occupancy (tests). */
+    std::size_t size() const { return entries.size(); }
+
+  private:
+    std::deque<LsqEntry> entries; // ordered by seq
+    unsigned capacity;
+};
+
+} // namespace rbsim
+
+#endif // RBSIM_MEM_LSQ_HH

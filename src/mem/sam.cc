@@ -1,0 +1,70 @@
+#include "mem/sam.hh"
+
+#include <cassert>
+
+#include "common/bitutil.hh"
+
+namespace rbsim
+{
+
+SamDecoder::SamDecoder(unsigned num_sets, unsigned line_bytes)
+    : sets(num_sets)
+{
+    assert(isPow2(num_sets) && isPow2(line_bytes));
+    lineShift = log2i(line_bytes);
+    setMask = num_sets - 1;
+}
+
+bool
+SamDecoder::rowMatches(Addr a, Addr b, unsigned row) const
+{
+    // Carry into the index field from the line-offset field: a short
+    // adder over lineShift bits, off the critical path.
+    const Addr off_mask = (Addr{1} << lineShift) - 1;
+    const Addr cin = ((a & off_mask) + (b & off_mask)) >> lineShift;
+
+    const Addr ai = a >> lineShift;
+    const Addr bi = b >> lineShift;
+    const Addr k = row;
+
+    // Required carries equal generated carries at every index bit.
+    const Addr p = ai ^ bi ^ k;
+    const Addr g = (ai & bi) | ((ai ^ bi) & ~k);
+    return ((p ^ ((g << 1) | cin)) & setMask) == 0;
+}
+
+unsigned
+SamDecoder::decode(Addr base, Addr disp) const
+{
+    unsigned selected = sets; // invalid
+    for (unsigned row = 0; row < sets; ++row) {
+        if (rowMatches(base, disp, row)) {
+            assert(selected == sets && "SAM asserted two word lines");
+            selected = row;
+        }
+    }
+    assert(selected < sets && "SAM asserted no word line");
+    return selected;
+}
+
+unsigned
+SamDecoder::decodeRb(const RbNum &base, SWord disp) const
+{
+    // base value = X+ - X- = X+ + ~X- + 1. Fold the three terms
+    // (X+, ~X- and disp) plus the +1 into two with a 3:2 carry-save
+    // compressor, exactly the "circuit similar to a carry-save adder"
+    // the paper describes in front of the conventional SAM.
+    const Addr x = base.plus();
+    const Addr y = ~base.minus();
+    const Addr z = static_cast<Addr>(disp);
+
+    const Addr sum = x ^ y ^ z;
+    const Addr carry = ((x & y) | (x & z) | (y & z)) << 1;
+
+    // The trailing +1 of the negation folds into the displacement term's
+    // free carry-in slot: feed it as the second SAM input's +1 by adding
+    // it to the carry word (bit 0 of `carry` is always zero).
+    return decode(sum, carry | 1);
+}
+
+} // namespace rbsim

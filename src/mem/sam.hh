@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Sum-addressed memory (SAM) decoder model (paper section 3.6; Heald et
+ * al., Lynch et al.).
+ *
+ * A SAM decoder accepts a base and a displacement and asserts one word
+ * line using a separate carry-free equality test per row instead of a
+ * full carry-propagating addition: row K matches A + B + cin iff
+ * P == (G << 1 | cin) over the index field, where P = A ^ B ^ K and
+ * G = (A & B) | ((A ^ B) & ~K). A short adder over the line-offset field
+ * supplies the carry into the index field.
+ *
+ * The paper's modified SAM takes a redundant binary base plus a two's
+ * complement displacement: a 3:2 carry-save compression folds
+ * X+ + (~X-) + 1 + disp into two terms, which feed the conventional SAM.
+ * This lets the RB machines index the data cache without ever converting
+ * the address to two's complement.
+ */
+
+#ifndef RBSIM_MEM_SAM_HH
+#define RBSIM_MEM_SAM_HH
+
+#include "common/types.hh"
+#include "rb/rbnum.hh"
+
+namespace rbsim
+{
+
+/** The SAM decoder for one cache's index field. */
+class SamDecoder
+{
+  public:
+    /**
+     * @param sets number of cache sets (power of two)
+     * @param line_bytes line size (power of two)
+     */
+    SamDecoder(unsigned sets, unsigned line_bytes);
+
+    /**
+     * Decode base + disp with the per-row equality test.
+     * Asserts that exactly one row matches.
+     * @return the selected set index
+     */
+    unsigned decode(Addr base, Addr disp) const;
+
+    /**
+     * Modified SAM: redundant binary base plus two's complement
+     * displacement, via 3:2 carry-save compression in front of the
+     * conventional decoder.
+     */
+    unsigned decodeRb(const RbNum &base, SWord disp) const;
+
+    /** Row-match predicate, exposed for the property tests. */
+    bool rowMatches(Addr a, Addr b, unsigned row) const;
+
+    unsigned numSets() const { return sets; }
+
+  private:
+    unsigned sets;
+    unsigned lineShift;
+    unsigned setMask;
+};
+
+} // namespace rbsim
+
+#endif // RBSIM_MEM_SAM_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Carry-save accumulation — the other redundant representation of paper
+ * section 3.4 (Nagendra et al. found a carry-save adder twice as fast as
+ * their signed-digit adder; the trade-off is that carry-save supports
+ * only accumulate-then-resolve, not general forwarding).
+ *
+ * State is a (sum, carry) pair of 64-bit planes whose value is
+ * sum + carry modulo 2^64. Adding a term is a single 3:2 compressor
+ * level (constant depth ~3 gates); reading the value out requires one
+ * full carry-propagating addition — exactly the conversion cost the
+ * paper's redundant binary pipeline works to keep off the critical path.
+ * The SAM decoder's 3-input variant uses the same compressor in front of
+ * its row comparators.
+ */
+
+#ifndef RBSIM_RB_CARRY_SAVE_HH
+#define RBSIM_RB_CARRY_SAVE_HH
+
+#include <cassert>
+#include "common/types.hh"
+
+namespace rbsim
+{
+
+/** A carry-save redundant accumulator. */
+class CsaAccumulator
+{
+  public:
+    /** Start at zero. */
+    CsaAccumulator() = default;
+
+    /** Start at a value. */
+    explicit CsaAccumulator(Word v)
+        : sumPlane(v)
+    {}
+
+    /** Accumulate one term: one 3:2 compressor level, no carry chain. */
+    void
+    add(Word term)
+    {
+        const Word s = sumPlane ^ carryPlane ^ term;
+        const Word c = (sumPlane & carryPlane) | (sumPlane & term) |
+                       (carryPlane & term);
+        sumPlane = s;
+        carryPlane = c << 1;
+    }
+
+    /** Subtract a term (two's complement identity, still carry-free:
+     * feed the complement and fold the +1 through a spare add). */
+    void
+    sub(Word term)
+    {
+        add(~term);
+        add(1);
+    }
+
+    /** The redundant planes. */
+    Word sumBits() const { return sumPlane; }
+    Word carryBits() const { return carryPlane; }
+
+    /** Resolve to two's complement: the full carry-propagate add. */
+    Word resolve() const { return sumPlane + carryPlane; }
+
+  private:
+    Word sumPlane = 0;
+    Word carryPlane = 0;
+};
+
+/** Unit-gate depth of one carry-save (3:2 compressor) level. */
+inline unsigned
+csaLevelDepth()
+{
+    return 3;
+}
+
+} // namespace rbsim
+
+#endif // RBSIM_RB_CARRY_SAVE_HH

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Data format tags used throughout the execution core.
+ *
+ * The paper's machines carry values either in conventional two's complement
+ * (TC) or in the redundant binary (RB) signed-digit representation.
+ */
+
+#ifndef RBSIM_RB_FORMAT_HH
+#define RBSIM_RB_FORMAT_HH
+
+namespace rbsim
+{
+
+/** The representation a value is carried in. */
+enum class Format : unsigned char
+{
+    TC, //!< two's complement
+    RB, //!< redundant binary (signed-digit, digits in {-1, 0, 1})
+};
+
+/** Printable name of a format. */
+inline const char *
+formatName(Format f)
+{
+    return f == Format::TC ? "TC" : "RB";
+}
+
+} // namespace rbsim
+
+#endif // RBSIM_RB_FORMAT_HH

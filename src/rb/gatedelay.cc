@@ -1,0 +1,64 @@
+#include "rb/gatedelay.hh"
+
+#include <cassert>
+
+namespace rbsim
+{
+
+namespace
+{
+
+/** ceil(log4(n)) for n >= 1. */
+unsigned
+ceilLog4(unsigned n)
+{
+    assert(n >= 1);
+    unsigned levels = 0;
+    unsigned reach = 1;
+    while (reach < n) {
+        reach *= 4;
+        ++levels;
+    }
+    return levels;
+}
+
+} // namespace
+
+unsigned
+rbAdderDepth(unsigned width)
+{
+    (void)width; // carry propagation is bounded; depth is width-independent
+    return 7;
+}
+
+unsigned
+rippleAdderDepth(unsigned width)
+{
+    // Two gate levels per full-adder carry stage plus the final sum XOR.
+    return 2 * width + 2;
+}
+
+unsigned
+claAdderDepth(unsigned width)
+{
+    // Propagate/generate (2 levels), a radix-4 lookahead tree traversed
+    // up and down (2 levels per tree level each way), final sum (2).
+    return 4 + 4 * ceilLog4(width);
+}
+
+unsigned
+converterDepth(unsigned width)
+{
+    // The converter is a full-width two's complement subtraction.
+    return claAdderDepth(width);
+}
+
+unsigned
+staggeredStageDepth(unsigned width)
+{
+    // Each stage adds half the width and hands the carry to the next
+    // stage's low end.
+    return claAdderDepth(width / 2) + 1;
+}
+
+} // namespace rbsim

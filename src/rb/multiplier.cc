@@ -1,0 +1,114 @@
+#include "rb/multiplier.hh"
+
+#include <cstdlib>
+#include <vector>
+
+#include "common/bitutil.hh"
+#include "rb/gatedelay.hh"
+
+namespace rbsim
+{
+
+namespace
+{
+
+/**
+ * Reduce partial products pairwise with carry-free adders; each round is
+ * one adder delay regardless of operand width.
+ */
+RbMulResult
+reduceTree(std::vector<RbNum> pps)
+{
+    unsigned levels = 0;
+    while (pps.size() > 1) {
+        std::vector<RbNum> next;
+        next.reserve((pps.size() + 1) / 2);
+        for (std::size_t i = 0; i + 1 < pps.size(); i += 2)
+            next.push_back(rbAdd(pps[i], pps[i + 1]).sum);
+        if (pps.size() % 2)
+            next.push_back(pps.back());
+        pps = std::move(next);
+        ++levels;
+    }
+    RbMulResult out;
+    out.product = pps.empty() ? RbNum() : pps[0];
+    out.treeLevels = levels;
+    return out;
+}
+
+/** -x with the unwrapped value renormalized into 64-bit range. */
+RbNum
+negNormalized(const RbNum &x)
+{
+    return normalizeMsd(rbNegate(x));
+}
+
+} // namespace
+
+RbMulResult
+rbTreeMultiply(const RbNum &a, const RbNum &b)
+{
+    // Partial products straight from the multiplier's *digits*: no
+    // conversion of b is needed, and negative digits cost only the free
+    // plane swap.
+    std::vector<RbNum> pps;
+    pps.reserve(64);
+    for (unsigned i = 0; i < 64; ++i) {
+        switch (b.digit(i)) {
+          case Digit::Zero:
+            break;
+          case Digit::Plus:
+            pps.push_back(rbShiftLeftDigits(a, i));
+            break;
+          case Digit::Minus:
+            pps.push_back(negNormalized(rbShiftLeftDigits(a, i)));
+            break;
+        }
+    }
+    if (pps.empty())
+        return RbMulResult{RbNum(), 0};
+    return reduceTree(std::move(pps));
+}
+
+RbMulResult
+rbTreeMultiplyBooth(const RbNum &a, const RbNum &b)
+{
+    // Radix-4 Booth recode of the multiplier's two's complement view:
+    // m_j in {-2,-1,0,1,2} from bit triples; +-a and +-2a are free in
+    // the redundant representation.
+    const Word w = b.toTc();
+    std::vector<RbNum> pps;
+    pps.reserve(32);
+    for (unsigned j = 0; j < 32; ++j) {
+        const unsigned lo = 2 * j;
+        const int b_m1 = lo == 0 ? 0 : static_cast<int>(bit(w, lo - 1));
+        const int b_0 = static_cast<int>(bit(w, lo));
+        const int b_1 = static_cast<int>(bit(w, lo + 1));
+        const int m = b_m1 + b_0 - 2 * b_1;
+        if (m == 0)
+            continue;
+        RbNum pp = rbShiftLeftDigits(a, lo + (std::abs(m) == 2 ? 1 : 0));
+        if (m < 0)
+            pp = negNormalized(pp);
+        pps.push_back(pp);
+    }
+    if (pps.empty())
+        return RbMulResult{RbNum(), 0};
+    return reduceTree(std::move(pps));
+}
+
+unsigned
+rbMulTreeDepth(unsigned width, bool booth)
+{
+    // Partial-product generation (recode/select), then one constant
+    // adder delay per tree level.
+    unsigned pps = booth ? width / 2 : width;
+    unsigned levels = 0;
+    while (pps > 1) {
+        pps = (pps + 1) / 2;
+        ++levels;
+    }
+    return (booth ? 3 : 2) + levels * rbAdderDepth(width);
+}
+
+} // namespace rbsim

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * A 64x64-bit multiplier built from a redundant binary addition tree —
+ * the historic home of redundant binary arithmetic (paper section 2:
+ * "redundant binary arithmetic has mainly been used in adders that are
+ * internal to hardware multipliers"; Takagi et al. 1985; Makino et al.
+ * 1996).
+ *
+ * Structure: 64 partial products (one per multiplier bit, hardwired into
+ * RB form for free) are reduced pairwise by carry-free RB adders in a
+ * log2(64) = 6-level binary tree. Each tree level costs one constant
+ * adder delay regardless of width, so the whole reduction is ~6 adder
+ * delays; a conventional Wallace/CSA tree is comparable, but the RB tree
+ * produces its result directly in the representation the rest of the RB
+ * datapath consumes — the final carry-propagate conversion can be
+ * skipped when the consumer accepts RB (which is how the paper's Table 3
+ * can charge MUL the same latency on every machine).
+ */
+
+#ifndef RBSIM_RB_MULTIPLIER_HH
+#define RBSIM_RB_MULTIPLIER_HH
+
+#include "rb/rbalu.hh"
+#include "rb/rbnum.hh"
+
+namespace rbsim
+{
+
+/** Result of a tree multiplication. */
+struct RbMulResult
+{
+    RbNum product;        //!< low 64 bits of the product, normalized
+    unsigned treeLevels;  //!< adder levels the reduction used
+};
+
+/**
+ * Multiply via the redundant binary addition tree. Produces the low 64
+ * bits of a * b (the wrap-around semantics of MULQ).
+ */
+RbMulResult rbTreeMultiply(const RbNum &a, const RbNum &b);
+
+/**
+ * Booth-style variant: radix-4 recoding of the multiplier halves the
+ * partial-product count (32 instead of 64) at the cost of one extra
+ * level of trivial digit manipulation. Negative recoded digits cost
+ * nothing in a redundant representation (negation is a plane swap).
+ */
+RbMulResult rbTreeMultiplyBooth(const RbNum &a, const RbNum &b);
+
+/** Unit-gate depth of the RB reduction tree for an n x n multiply. */
+unsigned rbMulTreeDepth(unsigned width, bool booth);
+
+} // namespace rbsim
+
+#endif // RBSIM_RB_MULTIPLIER_HH

@@ -1,0 +1,107 @@
+#include "rb/overflow.hh"
+
+#include <bit>
+
+namespace rbsim
+{
+
+namespace
+{
+
+/**
+ * Re-sign digit `msd_pos` of the planes so that the value of digits
+ * [0, msd_pos] lands in [-2^msd_pos, 2^msd_pos). Digits above msd_pos must
+ * be zero. Returns true if a flip happened (i.e. the value wrapped).
+ */
+bool
+resignMsd(std::uint64_t &plus, std::uint64_t &minus, unsigned msd_pos)
+{
+    const std::uint64_t msd_bit = std::uint64_t{1} << msd_pos;
+    const std::uint64_t rest_mask = msd_bit - 1;
+
+    // Sign of the rest (digits below the MSD) by top-nonzero-digit scan.
+    const std::uint64_t rest_nz = (plus | minus) & rest_mask;
+    bool rest_negative = false;
+    if (rest_nz != 0) {
+        const std::uint64_t top =
+            std::uint64_t{1} << (63 - std::countl_zero(rest_nz));
+        rest_negative = (minus & top) != 0;
+    }
+
+    if ((minus & msd_bit) && rest_negative) {
+        // MSD is -1 and the rest is negative: value below -2^msd_pos;
+        // setting the MSD to +1 adds 2^(msd_pos+1), wrapping into range.
+        minus &= ~msd_bit;
+        plus |= msd_bit;
+        return true;
+    }
+    if ((plus & msd_bit) && !rest_negative) {
+        // MSD is +1 and the rest is not negative: value at or above
+        // 2^msd_pos; setting the MSD to -1 subtracts 2^(msd_pos+1).
+        plus &= ~msd_bit;
+        minus |= msd_bit;
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+NormalizeResult
+normalizeQuad(const RbNum &raw, int carry_out)
+{
+    std::uint64_t plus = raw.plus();
+    std::uint64_t minus = raw.minus();
+    const std::uint64_t msd_bit = std::uint64_t{1} << 63;
+
+    NormalizeResult res{raw, false, false};
+
+    // Step 1: bogus overflow — carry-out and MSD of opposite signs cancel
+    // (<1,-1> -> <0,1> and <-1,1> -> <0,-1> at positions 64/63).
+    if (carry_out == 1 && (minus & msd_bit)) {
+        minus &= ~msd_bit;
+        plus |= msd_bit;
+        carry_out = 0;
+        res.bogusCorrected = true;
+    } else if (carry_out == -1 && (plus & msd_bit)) {
+        plus &= ~msd_bit;
+        minus |= msd_bit;
+        carry_out = 0;
+        res.bogusCorrected = true;
+    }
+
+    // Step 2: a carry-out that survives correction is a genuine two's
+    // complement overflow. With normalized addends the MSD is zero in this
+    // case, so dropping the carry leaves the wrapped value in range.
+    if (carry_out != 0) {
+        assert((plus & msd_bit) == 0 && (minus & msd_bit) == 0);
+        res.tcOverflow = true;
+    }
+
+    // Step 3: re-sign the MSD so the unwrapped value is in [-2^63, 2^63).
+    if (resignMsd(plus, minus, 63))
+        res.tcOverflow = true;
+
+    res.value = RbNum(plus, minus);
+    return res;
+}
+
+RbNum
+normalizeMsd(const RbNum &x)
+{
+    std::uint64_t plus = x.plus();
+    std::uint64_t minus = x.minus();
+    resignMsd(plus, minus, 63);
+    return RbNum(plus, minus);
+}
+
+RbNum
+extractLongword(const RbNum &x)
+{
+    std::uint64_t plus = x.plus() & 0xffffffffull;
+    std::uint64_t minus = x.minus() & 0xffffffffull;
+    resignMsd(plus, minus, 31);
+    return RbNum(plus, minus);
+}
+
+} // namespace rbsim

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Overflow handling for redundant binary results (paper section 3.5).
+ *
+ * A chain of redundant binary additions propagates nonzero digits toward
+ * the most significant end faster than two's complement does, so a result
+ * can produce a carry out of the top digit even though its value still fits
+ * ("bogus overflow"), and the top digit's sign can disagree with the two's
+ * complement sign of the wrapped value. The rules in this module:
+ *
+ *  1. correct bogus overflow (carry-out and MSD of opposite signs cancel),
+ *  2. detect genuine two's complement overflow, and
+ *  3. re-sign the most significant digit so that the number's unwrapped
+ *     value lies in [-2^63, 2^63) — making the paper's
+ *     most-significant-nonzero-digit sign test agree with the two's
+ *     complement sign of the value.
+ *
+ * The same machinery applied at digit 31 implements the quadword-to-
+ * longword forwarding rule of section 3.6.
+ */
+
+#ifndef RBSIM_RB_OVERFLOW_HH
+#define RBSIM_RB_OVERFLOW_HH
+
+#include "rb/rbnum.hh"
+
+namespace rbsim
+{
+
+/** Outcome of normalizing a raw adder result. */
+struct NormalizeResult
+{
+    RbNum value;         //!< normalized number, unwrapped value in range
+    bool bogusCorrected; //!< a bogus overflow was cancelled
+    bool tcOverflow;     //!< the unwrapped value did not fit in 64 bits
+};
+
+/**
+ * Normalize a raw 64-digit adder output with its carry-out digit.
+ *
+ * @param raw the 64 sum digits
+ * @param carry_out the adder's carry out of digit 63, in {-1, 0, 1}
+ * @pre the unwrapped value of (carry_out, raw) is in [-2^64, 2^64), which
+ *      holds whenever both addends were themselves normalized
+ */
+NormalizeResult normalizeQuad(const RbNum &raw, int carry_out);
+
+/**
+ * Re-sign the most significant digit (no carry-out involved) so the
+ * unwrapped value lands in [-2^63, 2^63). Used after digit shifts, whose
+ * dropped high digits change the value by a multiple of 2^64.
+ */
+RbNum normalizeMsd(const RbNum &x);
+
+/**
+ * Quadword-to-longword extraction (paper section 3.6): keep digits 31..0,
+ * re-sign digit 31 by the section 3.5 rules so the 32-digit value lands in
+ * [-2^31, 2^31), and zero the upper digits. The result, read as a 64-digit
+ * number, equals the sign-extended low 32 bits of the quadword's two's
+ * complement value.
+ */
+RbNum extractLongword(const RbNum &x);
+
+} // namespace rbsim
+
+#endif // RBSIM_RB_OVERFLOW_HH

@@ -1,0 +1,79 @@
+#include "rb/rbalu.hh"
+
+namespace rbsim
+{
+
+RbRawSum
+rbAddRaw(const RbNum &x, const RbNum &y)
+{
+    const std::uint64_t xp = x.plus(), xm = x.minus();
+    const std::uint64_t yp = y.plus(), ym = y.minus();
+
+    // Per-position digit sums z_i = x_i + y_i, classified by value.
+    const std::uint64_t z_p2 = xp & yp;                    // z == +2
+    const std::uint64_t z_m2 = xm & ym;                    // z == -2
+    const std::uint64_t z_p1 = (xp ^ yp) & ~xm & ~ym;      // z == +1
+    const std::uint64_t z_m1 = (xm ^ ym) & ~xp & ~yp;      // z == -1
+
+    // bn_i: both input digits at position i are nonnegative. The transfer
+    // rule inspects this predicate one position down (bn1_i = bn_{i-1});
+    // below position 0 there are no digits, which counts as nonnegative.
+    const std::uint64_t bn = ~xm & ~ym;
+    const std::uint64_t bn1 = (bn << 1) | 1;
+
+    // Transfer (intermediate carry) t_{i+1} and interim sum digit d_i:
+    //   z=+2          -> t=+1, d=0
+    //   z=+1, bn1     -> t=+1, d=-1
+    //   z=+1, !bn1    -> t= 0, d=+1
+    //   z=-1, bn1     -> t= 0, d=-1
+    //   z=-1, !bn1    -> t=-1, d=+1
+    //   z=-2          -> t=-1, d=0
+    // The bn1 condition guarantees an incoming transfer never has the same
+    // sign as the interim digit, so the final digit stays in {-1, 0, 1}.
+    const std::uint64_t t_plus = z_p2 | (z_p1 & bn1);
+    const std::uint64_t t_minus = z_m2 | (z_m1 & ~bn1);
+    const std::uint64_t d_plus = (z_p1 | z_m1) & ~bn1;
+    const std::uint64_t d_minus = (z_p1 | z_m1) & bn1;
+
+    // Incoming transfers (carry into position i from position i-1).
+    const std::uint64_t c_plus = t_plus << 1;
+    const std::uint64_t c_minus = t_minus << 1;
+
+    // Final digits: s_i = d_i + c_i, where (+1,+1) and (-1,-1) cannot
+    // occur; (+1,-1) and (-1,+1) cancel to zero.
+    const std::uint64_t s_plus = (d_plus & ~c_minus) | (c_plus & ~d_minus);
+    const std::uint64_t s_minus = (d_minus & ~c_plus) | (c_minus & ~d_plus);
+
+    int carry_out = 0;
+    if (t_plus >> 63)
+        carry_out = 1;
+    else if (t_minus >> 63)
+        carry_out = -1;
+
+    return RbRawSum{RbNum(s_plus, s_minus), carry_out};
+}
+
+RbAddResult
+rbAdd(const RbNum &x, const RbNum &y)
+{
+    const RbRawSum raw = rbAddRaw(x, y);
+    const NormalizeResult norm = normalizeQuad(raw.digits, raw.carryOut);
+    return RbAddResult{norm.value, norm.tcOverflow, norm.bogusCorrected};
+}
+
+RbNum
+rbShiftLeftDigits(const RbNum &x, unsigned k)
+{
+    assert(k < 64);
+    if (k == 0)
+        return x;
+    return normalizeMsd(RbNum(x.plus() << k, x.minus() << k));
+}
+
+RbAddResult
+rbScaledAdd(const RbNum &a, unsigned scale_log2, const RbNum &b)
+{
+    return rbAdd(rbShiftLeftDigits(a, scale_log2), b);
+}
+
+} // namespace rbsim

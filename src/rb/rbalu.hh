@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Carry-free redundant binary ALU operations (paper sections 3.3 and 3.6).
+ *
+ * Addition limits carry propagation to at most two digit positions: the sum
+ * digit at position i depends only on digits i, i-1, and i-2 of both
+ * inputs, so the adder's critical path is independent of operand width.
+ * The implementation here is the classic signed-digit transfer rule
+ * (Avizienis / Takagi et al.), evaluated bit-parallel over the two digit
+ * planes; `src/rb/digit_slice.*` provides the equivalent gate-level
+ * digit-slice network of the paper's Figure 2 and is tested to match.
+ */
+
+#ifndef RBSIM_RB_RBALU_HH
+#define RBSIM_RB_RBALU_HH
+
+#include "rb/overflow.hh"
+#include "rb/rbnum.hh"
+
+namespace rbsim
+{
+
+/** Un-normalized adder output: 64 sum digits plus the carry out of digit
+ * 63 (in {-1, 0, 1}). */
+struct RbRawSum
+{
+    RbNum digits;
+    int carryOut;
+};
+
+/** Normalized ALU result with overflow indications. */
+struct RbAddResult
+{
+    RbNum sum;           //!< normalized sum, unwrapped value in 64-bit range
+    bool tcOverflow;     //!< two's complement overflow occurred
+    bool bogusCorrected; //!< a bogus overflow was cancelled (section 3.5)
+};
+
+/**
+ * Raw carry-free addition: produces sum digits and carry-out without the
+ * section 3.5 normalization. Exposed for the digit-slice equivalence tests
+ * and the overflow unit tests.
+ */
+RbRawSum rbAddRaw(const RbNum &x, const RbNum &y);
+
+/** Full addition: raw add followed by section 3.5 normalization. */
+RbAddResult rbAdd(const RbNum &x, const RbNum &y);
+
+/** Negation is free in redundant binary: swap the digit planes. */
+inline RbNum
+rbNegate(const RbNum &x)
+{
+    return RbNum(x.minus(), x.plus());
+}
+
+/** Subtraction: x + (-y). */
+inline RbAddResult
+rbSub(const RbNum &x, const RbNum &y)
+{
+    return rbAdd(x, rbNegate(y));
+}
+
+/**
+ * Left shift by k digit positions (paper section 3.6): digits, not bits,
+ * are shifted; the most significant digit is then re-signed so the result
+ * keeps the two's complement sign of the wrapped value. (The paper states
+ * the +1 -> -1 case of the rule; we apply the symmetric -1 -> +1 case as
+ * well, which the section 3.5 machinery requires for exactness.)
+ */
+RbNum rbShiftLeftDigits(const RbNum &x, unsigned k);
+
+/**
+ * Scaled add (Alpha SxADD/SxSUB family): (a << scale_log2) + b, all in
+ * redundant binary.
+ */
+RbAddResult rbScaledAdd(const RbNum &a, unsigned scale_log2, const RbNum &b);
+
+/**
+ * Count trailing zeros in redundant binary (paper section 3.6): the number
+ * of trailing zero *digits* equals CTTZ of the two's complement value.
+ */
+inline unsigned
+rbCttz(const RbNum &x)
+{
+    return x.trailingZeroDigits();
+}
+
+/**
+ * Three-way compare against zero usable by conditional moves and branches
+ * (paper section 3.6): -1, 0, or +1 according to the sign of the value.
+ */
+inline int
+rbCompareZero(const RbNum &x)
+{
+    if (x.isZero())
+        return 0;
+    return x.signNegative() ? -1 : 1;
+}
+
+} // namespace rbsim
+
+#endif // RBSIM_RB_RBALU_HH

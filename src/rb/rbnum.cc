@@ -1,0 +1,50 @@
+#include "rb/rbnum.hh"
+
+#include <bit>
+#include <sstream>
+
+namespace rbsim
+{
+
+unsigned
+RbNum::clzNonzero(std::uint64_t v)
+{
+    assert(v != 0);
+    return static_cast<unsigned>(std::countl_zero(v));
+}
+
+unsigned
+RbNum::trailingZeroDigits() const
+{
+    const std::uint64_t nz = plusBits | minusBits;
+    if (nz == 0)
+        return 64;
+    return static_cast<unsigned>(std::countr_zero(nz));
+}
+
+std::string
+RbNum::toString(unsigned ndigits) const
+{
+    assert(ndigits >= 1 && ndigits <= 64);
+    std::ostringstream os;
+    os << '<';
+    for (unsigned i = ndigits; i-- > 0;) {
+        switch (digit(i)) {
+          case Digit::Plus:
+            os << '1';
+            break;
+          case Digit::Zero:
+            os << '0';
+            break;
+          case Digit::Minus:
+            os << "-1";
+            break;
+        }
+        if (i != 0)
+            os << ',';
+    }
+    os << '>';
+    return os.str();
+}
+
+} // namespace rbsim

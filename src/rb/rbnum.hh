@@ -1,0 +1,182 @@
+/**
+ * @file
+ * 64-digit redundant binary (signed-digit) number (paper section 3.1).
+ *
+ * Each digit takes a value in {-1, 0, 1} and is encoded in two bit planes:
+ * a "plus" plane and a "minus" plane (the paper's X+ and X- components). A
+ * digit may not be +1 and -1 at once, so `plusBits & minusBits == 0` is a
+ * class invariant. The integer value of a number is `plus - minus`
+ * interpreted modulo 2^64 (the wrap-around semantics of 64-bit
+ * architectures); the *unwrapped* signed value `plus - minus` as a wide
+ * integer is what the paper's sign test and overflow rules reason about.
+ */
+
+#ifndef RBSIM_RB_RBNUM_HH
+#define RBSIM_RB_RBNUM_HH
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace rbsim
+{
+
+/** One signed digit. */
+enum class Digit : signed char
+{
+    Minus = -1,
+    Zero = 0,
+    Plus = 1,
+};
+
+/**
+ * A 64-digit redundant binary number.
+ *
+ * The default-constructed number is zero. Factory functions build numbers
+ * from two's complement values using the hardwired conversion of paper
+ * section 3.2.
+ */
+class RbNum
+{
+  public:
+    /** Zero. */
+    RbNum() = default;
+
+    /**
+     * Build from explicit planes.
+     * @param plus positive-digit plane (X+)
+     * @param minus negative-digit plane (X-)
+     * @pre plus & minus == 0
+     */
+    RbNum(std::uint64_t plus, std::uint64_t minus)
+        : plusBits(plus), minusBits(minus)
+    {
+        assert((plus & minus) == 0 && "digit may not be +1 and -1 at once");
+    }
+
+    /**
+     * Hardwired conversion from a 64-bit two's complement value (paper
+     * section 3.2): all bits except the MSB go to the positive plane; the
+     * MSB goes to the negative plane so the number keeps its sign.
+     */
+    static RbNum
+    fromTc(Word w)
+    {
+        const std::uint64_t msb = w & (std::uint64_t{1} << 63);
+        return RbNum(w & ~msb, msb);
+    }
+
+    /**
+     * Hardwired conversion of a longword (32-bit) two's complement value:
+     * bit 31 is wired to the negative plane of digit 31 so longwords retain
+     * the correct sign (paper section 3.6, quadword-to-longword rule). The
+     * upper 32 digits are zero.
+     */
+    static RbNum
+    fromTcLong(std::uint32_t w)
+    {
+        const std::uint64_t msb = w & 0x80000000u;
+        return RbNum(w & ~msb, msb);
+    }
+
+    /** Positive-digit plane (X+). */
+    std::uint64_t plus() const { return plusBits; }
+
+    /** Negative-digit plane (X-). */
+    std::uint64_t minus() const { return minusBits; }
+
+    /**
+     * Two's complement value: X+ - X- modulo 2^64. In hardware this is the
+     * full borrow-propagating subtraction of paper section 3.2.
+     */
+    Word toTc() const { return plusBits - minusBits; }
+
+    /** Digit at position i. */
+    Digit
+    digit(unsigned i) const
+    {
+        assert(i < 64);
+        const std::uint64_t m = std::uint64_t{1} << i;
+        if (plusBits & m)
+            return Digit::Plus;
+        if (minusBits & m)
+            return Digit::Minus;
+        return Digit::Zero;
+    }
+
+    /** Replace the digit at position i. */
+    void
+    setDigit(unsigned i, Digit d)
+    {
+        assert(i < 64);
+        const std::uint64_t m = std::uint64_t{1} << i;
+        plusBits &= ~m;
+        minusBits &= ~m;
+        if (d == Digit::Plus)
+            plusBits |= m;
+        else if (d == Digit::Minus)
+            minusBits |= m;
+    }
+
+    /**
+     * True if the represented value is exactly zero. Because the planes are
+     * disjoint, `plus - minus == 0 (mod 2^64)` is only possible when every
+     * digit is zero, so the hardware zero test is an OR over all digit bits
+     * (paper section 3.6, conditional operations).
+     */
+    bool isZero() const { return (plusBits | minusBits) == 0; }
+
+    /**
+     * Sign of the *unwrapped* value by most-significant-nonzero-digit scan
+     * (paper section 3.6): negative iff the most significant nonzero digit
+     * is -1. Returns false for zero.
+     *
+     * This equals the two's complement sign bit only for numbers whose
+     * unwrapped value fits in [-2^63, 2^63), which the overflow
+     * normalization of section 3.5 guarantees for every ALU result.
+     */
+    bool
+    signNegative() const
+    {
+        const std::uint64_t nz = plusBits | minusBits;
+        if (nz == 0)
+            return false;
+        const std::uint64_t top = std::uint64_t{1} << (63 - clzNonzero(nz));
+        return (minusBits & top) != 0;
+    }
+
+    /**
+     * Least significant digit is nonzero, i.e. the value is odd. A 2-input
+     * OR of the two encoding bits of digit 0 (paper section 3.6).
+     */
+    bool lsbSet() const { return ((plusBits | minusBits) & 1) != 0; }
+
+    /**
+     * Number of trailing zero digits; equals CTTZ of the two's complement
+     * value (the lowest nonzero digit position is the lowest set bit of the
+     * value). Returns 64 for zero.
+     */
+    unsigned trailingZeroDigits() const;
+
+    /** Representation equality (same digits, not just same value). */
+    bool
+    operator==(const RbNum &other) const
+    {
+        return plusBits == other.plusBits && minusBits == other.minusBits;
+    }
+
+    /** Render digits most-significant first, e.g. "<0,1,0,-1>". */
+    std::string toString(unsigned ndigits = 64) const;
+
+  private:
+    static unsigned clzNonzero(std::uint64_t v);
+
+    std::uint64_t plusBits = 0;
+    std::uint64_t minusBits = 0;
+};
+
+} // namespace rbsim
+
+#endif // RBSIM_RB_RBNUM_HH

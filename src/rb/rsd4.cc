@@ -1,0 +1,87 @@
+#include "rb/rsd4.hh"
+
+#include <sstream>
+
+namespace rbsim
+{
+
+Rsd4Num
+Rsd4Num::fromTc(Word w)
+{
+    Rsd4Num out;
+    for (unsigned i = 0; i < 32; ++i)
+        out.digitsArr[i] = static_cast<std::int8_t>((w >> (2 * i)) & 3);
+    return out;
+}
+
+Word
+Rsd4Num::toTc() const
+{
+    Word value = 0;
+    for (unsigned i = 32; i-- > 0;) {
+        value = (value << 2) +
+                static_cast<Word>(static_cast<SWord>(digitsArr[i]));
+    }
+    return value;
+}
+
+Rsd4Num
+Rsd4Num::negated() const
+{
+    Rsd4Num out;
+    for (unsigned i = 0; i < 32; ++i)
+        out.digitsArr[i] = static_cast<std::int8_t>(-digitsArr[i]);
+    return out;
+}
+
+std::string
+Rsd4Num::toString(unsigned ndigits) const
+{
+    assert(ndigits >= 1 && ndigits <= 32);
+    std::ostringstream os;
+    os << '<';
+    for (unsigned i = ndigits; i-- > 0;) {
+        os << static_cast<int>(digitsArr[i]);
+        if (i != 0)
+            os << ',';
+    }
+    os << '>';
+    return os.str();
+}
+
+Rsd4Num
+rsd4Add(const Rsd4Num &x, const Rsd4Num &y)
+{
+    // Stage 1: per-digit sums -> (transfer, interim digit) with |w| <= 2.
+    std::array<int, 33> transfer{};
+    std::array<int, 32> interim{};
+    for (unsigned i = 0; i < 32; ++i) {
+        const int z = x.digit(i) + y.digit(i);
+        int t = 0;
+        if (z >= 3)
+            t = 1;
+        else if (z <= -3)
+            t = -1;
+        transfer[i + 1] = t;
+        interim[i] = z - 4 * t;
+        assert(interim[i] >= -2 && interim[i] <= 2);
+    }
+    // Stage 2: absorb the incoming transfer; |w| <= 2 and |t| <= 1 keep
+    // every final digit inside {-3..3} with no further propagation.
+    // (The transfer out of digit 31 drops: arithmetic is modulo 2^64.)
+    Rsd4Num out;
+    for (unsigned i = 0; i < 32; ++i)
+        out.setDigit(i, interim[i] + transfer[i]);
+    return out;
+}
+
+unsigned
+rsd4AdderDepth(unsigned width)
+{
+    (void)width;
+    // One more level than the radix-2 slice: the digit-sum classifier
+    // spans seven values instead of five.
+    return 9;
+}
+
+} // namespace rbsim

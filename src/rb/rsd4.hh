@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Radix-4 signed-digit arithmetic — the comparison point of paper
+ * section 3.4 (Nagendra et al. measured a radix-4 SD adder 2.6x faster
+ * than a 32-bit CLA; the paper's radix-2 redundant binary adder is
+ * faster still).
+ *
+ * Numbers are 32 digits of {-3..3} (maximally redundant radix 4), value
+ * = sum d_i * 4^i modulo 2^64. Addition limits carry propagation to one
+ * digit position: per-digit sums z in [-6, 6] split into a transfer
+ * t in {-1, 0, 1} and an interim digit w with |w| <= 2, so w + t_in
+ * never leaves the digit set.
+ */
+
+#ifndef RBSIM_RB_RSD4_HH
+#define RBSIM_RB_RSD4_HH
+
+#include <cassert>
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace rbsim
+{
+
+/** A 32-digit radix-4 signed-digit number. */
+class Rsd4Num
+{
+  public:
+    /** Zero. */
+    Rsd4Num() { digitsArr.fill(0); }
+
+    /** Hardwired conversion from two's complement: each digit takes two
+     * bits (all digits nonnegative; the value matches modulo 2^64). */
+    static Rsd4Num fromTc(Word w);
+
+    /** Two's complement value (sum of digit weights, wrapped). */
+    Word toTc() const;
+
+    /** Digit accessor, i in [0, 32). */
+    int
+    digit(unsigned i) const
+    {
+        return digitsArr[i];
+    }
+
+    /** Set a digit; d must be in [-3, 3]. */
+    void
+    setDigit(unsigned i, int d)
+    {
+        assert(d >= -3 && d <= 3);
+        digitsArr[i] = static_cast<std::int8_t>(d);
+    }
+
+    /** All-digit negation (free: per-digit sign flip). */
+    Rsd4Num negated() const;
+
+    /** Representation rendering, most significant digit first. */
+    std::string toString(unsigned ndigits = 32) const;
+
+    bool operator==(const Rsd4Num &other) const = default;
+
+  private:
+    std::array<std::int8_t, 32> digitsArr;
+};
+
+/**
+ * Carry-free radix-4 addition: transfer propagation bounded to one
+ * digit. Returns the 32-digit sum (value preserved modulo 2^64).
+ */
+Rsd4Num rsd4Add(const Rsd4Num &x, const Rsd4Num &y);
+
+/** Subtraction via free negation. */
+inline Rsd4Num
+rsd4Sub(const Rsd4Num &x, const Rsd4Num &y)
+{
+    return rsd4Add(x, y.negated());
+}
+
+/** Unit-gate critical-path depth of the radix-4 SD adder (width-
+ * independent, slightly deeper than the radix-2 RB adder because each
+ * digit slice handles a seven-valued digit sum). */
+unsigned rsd4AdderDepth(unsigned width);
+
+} // namespace rbsim
+
+#endif // RBSIM_RB_RSD4_HH

@@ -1,0 +1,66 @@
+#include "sim/cosim.hh"
+
+#include <sstream>
+
+#include "isa/disasm.hh"
+
+namespace rbsim
+{
+
+namespace
+{
+
+[[noreturn]] void
+fail(const RobEntry &e, const std::string &what)
+{
+    std::ostringstream os;
+    os << "co-sim mismatch at retired inst #" << e.seq << " pc="
+       << e.pcIndex << " [" << disassemble(e.inst, e.pcIndex) << "]: "
+       << what;
+    throw CosimMismatch(os.str());
+}
+
+} // namespace
+
+void
+CosimChecker::onRetire(const RobEntry &e)
+{
+    if (interp.halted())
+        fail(e, "reference already halted");
+    if (interp.pc() != e.pcIndex) {
+        fail(e, "pc diverged (reference at " +
+                std::to_string(interp.pc()) + ")");
+    }
+
+    const StepRecord rec = interp.step();
+    ++count;
+
+    if (rec.wroteReg != e.wroteReg)
+        fail(e, "register-write presence differs");
+    if (rec.wroteReg && rec.regValue != e.resultTc) {
+        std::ostringstream os;
+        os << "register value differs: core=0x" << std::hex << e.resultTc
+           << " ref=0x" << rec.regValue;
+        fail(e, os.str());
+    }
+    if (rec.wroteMem) {
+        if (!e.isMemStore)
+            fail(e, "reference stored but core did not");
+        if (rec.memAddr != e.effAddr)
+            fail(e, "store address differs");
+        const Word mask =
+            e.memSize == 8 ? ~Word{0} : Word{0xffffffff};
+        if (rec.memValue != (e.storeData & mask))
+            fail(e, "store data differs");
+    }
+    if (e.isCtrl) {
+        if (rec.taken != e.actualTaken)
+            fail(e, "branch direction differs");
+        if (rec.nextPc != e.actualNextPc)
+            fail(e, "branch target differs");
+    }
+    if (e.isHalt && !rec.halted)
+        fail(e, "core halted but reference did not");
+}
+
+} // namespace rbsim

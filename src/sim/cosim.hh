@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Co-simulation checker: locksteps the functional reference interpreter
+ * with the timing core's retirement stream and cross-checks every
+ * architectural effect. This is what proves the redundant binary
+ * datapath, the bypass/scheduling model, and misprediction recovery
+ * preserve program semantics end to end.
+ */
+
+#ifndef RBSIM_SIM_COSIM_HH
+#define RBSIM_SIM_COSIM_HH
+
+#include <stdexcept>
+
+#include "core/rob.hh"
+#include "func/interp.hh"
+
+namespace rbsim
+{
+
+/** Thrown when the timing core diverges from the reference. */
+class CosimMismatch : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** The checker. */
+class CosimChecker
+{
+  public:
+    explicit CosimChecker(const Program &prog)
+        : interp(prog)
+    {}
+
+    /**
+     * Verify one retired instruction against one architectural step.
+     * Throws CosimMismatch on any divergence.
+     */
+    void onRetire(const RobEntry &e);
+
+    /** Instructions verified. */
+    std::uint64_t checked() const { return count; }
+
+  private:
+    Interp interp;
+    std::uint64_t count = 0;
+};
+
+} // namespace rbsim
+
+#endif // RBSIM_SIM_COSIM_HH

@@ -1,0 +1,70 @@
+#include "sim/report.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rbsim
+{
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    head = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    rows.push_back(std::move(cells));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> width(head.size());
+    auto widen = [&width](const std::vector<std::string> &cells) {
+        if (cells.size() > width.size())
+            width.resize(cells.size());
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            width[i] = std::max(width[i], cells[i].size());
+    };
+    widen(head);
+    for (const auto &r : rows)
+        widen(r);
+
+    std::ostringstream os;
+    auto emit = [&os, &width](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            os << cells[i]
+               << std::string(width[i] - cells[i].size() + 2, ' ');
+        }
+        os << "\n";
+    };
+    emit(head);
+    std::size_t total = 0;
+    for (std::size_t w : width)
+        total += w + 2;
+    os << std::string(total, '-') << "\n";
+    for (const auto &r : rows)
+        emit(r);
+    return os.str();
+}
+
+std::string
+textBar(double value, double full, unsigned width)
+{
+    if (full <= 0.0)
+        full = 1.0;
+    const double frac = std::clamp(value / full, 0.0, 1.0);
+    const unsigned n = static_cast<unsigned>(frac * width + 0.5);
+    return std::string(n, '#') + std::string(width - n, ' ');
+}
+
+std::string
+banner(const std::string &title)
+{
+    std::string line(title.size() + 4, '=');
+    return line + "\n= " + title + " =\n" + line + "\n";
+}
+
+} // namespace rbsim

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Plain-text report helpers used by the benchmark binaries to print the
+ * paper's tables and figure data (aligned columns, text bar charts).
+ */
+
+#ifndef RBSIM_SIM_REPORT_HH
+#define RBSIM_SIM_REPORT_HH
+
+#include <string>
+#include <vector>
+
+namespace rbsim
+{
+
+/** A simple aligned-column table. */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Render with aligned columns. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** Horizontal text bar scaled to `width` characters at `full` value. */
+std::string textBar(double value, double full, unsigned width = 40);
+
+/** Section banner. */
+std::string banner(const std::string &title);
+
+} // namespace rbsim
+
+#endif // RBSIM_SIM_REPORT_HH

@@ -1,0 +1,37 @@
+#include "sim/simulator.hh"
+
+#include "sim/cosim.hh"
+
+namespace rbsim
+{
+
+SimResult
+simulate(const MachineConfig &cfg, const Program &prog,
+         const SimOptions &opts)
+{
+    OooCore core(cfg, prog);
+    CosimChecker checker(prog);
+    if (opts.cosim) {
+        core.onRetire(
+            [&checker](const RobEntry &e) { checker.onRetire(e); });
+    }
+
+    SimResult res;
+    res.machine = cfg.label;
+    res.workload = prog.name;
+    res.halted = core.run(opts.maxCycles);
+    res.core = core.stats();
+
+    const MemHierarchy &mh = core.memoryHierarchy();
+    res.il1Accesses = mh.il1().accesses;
+    res.il1Misses = mh.il1().misses;
+    res.dl1Accesses = mh.dl1().accesses;
+    res.dl1Misses = mh.dl1().misses;
+    res.l2Accesses = mh.l2().accesses;
+    res.l2Misses = mh.l2().misses;
+    res.memAccesses = mh.memAccesses;
+    res.cosimChecked = checker.checked();
+    return res;
+}
+
+} // namespace rbsim

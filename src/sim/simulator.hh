@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Top-level simulation entry point: run one program on one machine
+ * configuration with co-simulation, and collect everything the paper's
+ * experiments report.
+ */
+
+#ifndef RBSIM_SIM_SIMULATOR_HH
+#define RBSIM_SIM_SIMULATOR_HH
+
+#include <string>
+
+#include "core/core.hh"
+
+namespace rbsim
+{
+
+/** Everything a run produces. */
+struct SimResult
+{
+    std::string machine;
+    std::string workload;
+    bool halted = false;
+    CoreStats core;
+
+    // Memory system.
+    std::uint64_t il1Accesses = 0, il1Misses = 0;
+    std::uint64_t dl1Accesses = 0, dl1Misses = 0;
+    std::uint64_t l2Accesses = 0, l2Misses = 0;
+    std::uint64_t memAccesses = 0;
+
+    // Co-simulation.
+    std::uint64_t cosimChecked = 0;
+
+    /** Instructions per cycle. */
+    double ipc() const { return core.ipc(); }
+
+    /** Conditional-branch prediction accuracy. */
+    double
+    branchAccuracy() const
+    {
+        if (core.condBranches == 0)
+            return 1.0;
+        return 1.0 - double(core.condMispredicts) /
+                         double(core.condBranches);
+    }
+};
+
+/** Options for a run. */
+struct SimOptions
+{
+    Cycle maxCycles = 100'000'000;
+    bool cosim = true; //!< lockstep-verify against the reference model
+};
+
+/**
+ * Run `prog` to completion on `cfg`.
+ * Throws CosimMismatch if verification fails (cosim enabled).
+ */
+SimResult simulate(const MachineConfig &cfg, const Program &prog,
+                   const SimOptions &opts = SimOptions{});
+
+} // namespace rbsim
+
+#endif // RBSIM_SIM_SIMULATOR_HH

@@ -1,0 +1,69 @@
+#include "sim/trace.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "isa/disasm.hh"
+
+namespace rbsim
+{
+
+std::string
+PipelineTrace::renderLog(std::size_t first, std::size_t count) const
+{
+    std::ostringstream os;
+    const std::size_t end = std::min(records.size(), first + count);
+    for (std::size_t i = first; i < end; ++i) {
+        const TraceRecord &r = records[i];
+        os << "seq=" << r.seq << " pc=" << r.pcIndex << " disp="
+           << r.dispatch << " issue=" << r.issue << " done="
+           << r.complete << "  " << disassemble(r.inst, r.pcIndex);
+        if (r.mispredicted)
+            os << "  [mispredict]";
+        if (r.loadForwarded)
+            os << "  [fwd]";
+        if (r.bypassSlot != 0xff)
+            os << "  [byp+" << static_cast<unsigned>(r.bypassSlot) << "]";
+        os << "\n";
+    }
+    return os.str();
+}
+
+std::string
+PipelineTrace::renderDiagram(std::size_t first, std::size_t count) const
+{
+    std::ostringstream os;
+    const std::size_t end = std::min(records.size(), first + count);
+    if (first >= end)
+        return "";
+
+    Cycle base = records[first].dispatch;
+    Cycle last = 0;
+    for (std::size_t i = first; i < end; ++i) {
+        base = std::min(base, records[i].dispatch);
+        last = std::max(last, records[i].complete);
+    }
+    constexpr Cycle maxSpan = 60;
+    last = std::min(last, base + maxSpan - 1);
+
+    for (std::size_t i = first; i < end; ++i) {
+        const TraceRecord &r = records[i];
+        std::string text = disassemble(r.inst, r.pcIndex);
+        text.resize(24, ' ');
+        os << text << '|';
+        for (Cycle c = base; c <= last; ++c) {
+            char mark = ' ';
+            if (c == r.issue)
+                mark = 'E';
+            else if (c >= r.dispatch && c < r.issue)
+                mark = '.';
+            else if (c > r.issue && c <= r.complete)
+                mark = '=';
+            os << mark;
+        }
+        os << "|\n";
+    }
+    return os.str();
+}
+
+} // namespace rbsim

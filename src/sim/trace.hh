@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Pipeline tracing: records per-retired-instruction stage timings and
+ * renders them as text (a machine-readable log or a Figure 5/7-style
+ * pipeline diagram). Attachable to any core through the retire hook, so
+ * tracing composes with co-simulation.
+ */
+
+#ifndef RBSIM_SIM_TRACE_HH
+#define RBSIM_SIM_TRACE_HH
+
+#include <string>
+#include <vector>
+
+#include "core/rob.hh"
+
+namespace rbsim
+{
+
+/** One retired instruction's timing record. */
+struct TraceRecord
+{
+    std::uint64_t seq = 0;
+    std::uint64_t pcIndex = 0;
+    Inst inst;
+    Cycle dispatch = 0;
+    Cycle issue = 0;
+    Cycle complete = 0;
+    bool mispredicted = false;
+    bool loadForwarded = false;
+    std::uint8_t bypassSlot = 0xff;
+};
+
+/**
+ * Collects retirement-order timing records.
+ *
+ * Usage:
+ * @code
+ *   PipelineTrace trace(2000);
+ *   core.onRetire([&](const RobEntry &e) { trace.record(e); });
+ *   core.run(...);
+ *   std::cout << trace.renderDiagram(0, 20);
+ * @endcode
+ * To combine with co-simulation, call both from one hook.
+ */
+class PipelineTrace
+{
+  public:
+    /** @param max_records stop recording beyond this many (0 = all) */
+    explicit PipelineTrace(std::size_t max_records = 0)
+        : cap(max_records)
+    {}
+
+    /** Record one retired instruction. */
+    void
+    record(const RobEntry &e)
+    {
+        if (cap && records.size() >= cap)
+            return;
+        TraceRecord r;
+        r.seq = e.seq;
+        r.pcIndex = e.pcIndex;
+        r.inst = e.inst;
+        r.dispatch = e.dispatchCycle;
+        r.issue = e.issueCycle;
+        r.complete = e.completeCycle;
+        r.mispredicted = e.mispredicted;
+        r.loadForwarded = e.loadForwarded;
+        r.bypassSlot = e.bypassSlot;
+        records.push_back(r);
+    }
+
+    /** All records, retirement order. */
+    const std::vector<TraceRecord> &all() const { return records; }
+
+    /**
+     * One line per instruction: cycles, disassembly, annotations.
+     * @param first index of the first record to render
+     * @param count how many records
+     */
+    std::string renderLog(std::size_t first, std::size_t count) const;
+
+    /**
+     * A Figure 5/7-style diagram: one row per instruction, one column
+     * per cycle ('D' dispatch wait, 'E' issue, '=' completing).
+     */
+    std::string renderDiagram(std::size_t first, std::size_t count) const;
+
+  private:
+    std::vector<TraceRecord> records;
+    std::size_t cap;
+};
+
+} // namespace rbsim
+
+#endif // RBSIM_SIM_TRACE_HH

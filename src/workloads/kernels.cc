@@ -1,0 +1,95 @@
+#include "workloads/kernels.hh"
+
+#include <algorithm>
+#include <numeric>
+
+namespace rbsim
+{
+
+void
+emitXorshift(CodeBuilder &cb, Reg state, Reg tmp)
+{
+    cb.opi(Opcode::SLL, state, 13, tmp);
+    cb.op3(Opcode::XOR, state, tmp, state);
+    cb.opi(Opcode::SRL, state, 7, tmp);
+    cb.op3(Opcode::XOR, state, tmp, state);
+    cb.opi(Opcode::SLL, state, 17, tmp);
+    cb.op3(Opcode::XOR, state, tmp, state);
+}
+
+std::vector<Word>
+randomWords(Rng &rng, std::size_t n, Word mask)
+{
+    std::vector<Word> out(n);
+    for (Word &w : out)
+        w = rng.next() & mask;
+    return out;
+}
+
+Addr
+buildRandomStream(CodeBuilder &cb, Rng &rng, Addr base, std::size_t count,
+                  Word mask)
+{
+    cb.dataWords(base, randomWords(rng, count, mask));
+    return base;
+}
+
+Addr
+buildLinkedList(CodeBuilder &cb, Rng &rng, Addr base, std::size_t count,
+                std::size_t node_bytes)
+{
+    assert(node_bytes >= 16 && (node_bytes & 7) == 0);
+    // Shuffled placement order.
+    std::vector<std::size_t> order(count);
+    std::iota(order.begin(), order.end(), 0);
+    for (std::size_t i = count; i > 1; --i)
+        std::swap(order[i - 1], order[rng.below(i)]);
+
+    std::vector<Word> image(count * node_bytes / 8, 0);
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t slot = order[i];
+        const std::size_t next_slot =
+            i + 1 < count ? order[i + 1] : ~std::size_t{0};
+        const Addr next =
+            i + 1 < count ? base + next_slot * node_bytes : 0;
+        image[slot * node_bytes / 8] = next;
+        image[slot * node_bytes / 8 + 1] = rng.next() & 0xffff;
+    }
+    cb.dataWords(base, image);
+    return base + order[0] * node_bytes;
+}
+
+Addr
+buildBinaryTree(CodeBuilder &cb, Rng &rng, Addr base, std::size_t count)
+{
+    // Node: [left, right, key, payload], inserted in random key order so
+    // the tree is roughly balanced.
+    constexpr std::size_t nodeWords = 4;
+    std::vector<Word> image(count * nodeWords, 0);
+    auto addr_of = [base](std::size_t i) {
+        return base + i * nodeWords * 8;
+    };
+
+    std::vector<Word> keys = randomWords(rng, count, 0xffffff);
+    image[2] = keys[0];
+    image[3] = rng.next() & 0xff;
+    for (std::size_t i = 1; i < count; ++i) {
+        // Insert node i under the BST rooted at 0.
+        std::size_t cur = 0;
+        for (;;) {
+            const bool left = keys[i] < image[cur * nodeWords + 2];
+            const std::size_t slot = cur * nodeWords + (left ? 0 : 1);
+            if (image[slot] == 0) {
+                image[slot] = addr_of(i);
+                break;
+            }
+            cur = (image[slot] - base) / (nodeWords * 8);
+        }
+        image[i * nodeWords + 2] = keys[i];
+        image[i * nodeWords + 3] = rng.next() & 0xff;
+    }
+    cb.dataWords(base, image);
+    return base;
+}
+
+} // namespace rbsim

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Shared code-emission helpers for the workload generators.
+ */
+
+#ifndef RBSIM_WORKLOADS_KERNELS_HH
+#define RBSIM_WORKLOADS_KERNELS_HH
+
+#include "common/rng.hh"
+#include "isa/builder.hh"
+
+namespace rbsim
+{
+
+/**
+ * Emit an in-register xorshift64 step: state ^= state << 13;
+ * state ^= state >> 7; state ^= state << 17. Uses `tmp` as scratch.
+ * Exercises the shift-left (RB) and shift-right (TC) classes.
+ */
+void emitXorshift(CodeBuilder &cb, Reg state, Reg tmp);
+
+/**
+ * Emit `dst = src % (2^bits)` as a mask (AND with an immediate-built
+ * mask held in `mask_reg`, which the caller loaded once).
+ */
+inline void
+emitMask(CodeBuilder &cb, Reg src, Reg mask_reg, Reg dst)
+{
+    cb.op3(Opcode::AND, src, mask_reg, dst);
+}
+
+/** Generate `n` random 64-bit words. */
+std::vector<Word> randomWords(Rng &rng, std::size_t n,
+                              Word mask = ~Word{0});
+
+/**
+ * Lay down a pre-generated random input stream in memory and return its
+ * base address. Programs consume it sequentially with emitStreamNext —
+ * the SPEC-like way to be data-driven without a serial shift/xor RNG
+ * recurrence in the loop backbone.
+ */
+Addr buildRandomStream(CodeBuilder &cb, Rng &rng, Addr base,
+                       std::size_t count, Word mask = ~Word{0});
+
+/**
+ * Emit `dst = *cursor++`: one sequential load from the input stream plus
+ * the LDA cursor bump. The caller must size the stream to the iteration
+ * count (no wrap is emitted).
+ */
+inline void
+emitStreamNext(CodeBuilder &cb, Reg cursor, Reg dst)
+{
+    cb.load(Opcode::LDQ, dst, 0, cursor);
+    cb.lda(cursor, 8, cursor);
+}
+
+/**
+ * Build a singly-linked list in memory: each node is `node_bytes` long,
+ * with the next-pointer at offset 0 and a payload word at offset 8.
+ * Nodes are placed in a shuffled order so pointer chasing defeats the
+ * stride the array layout would give.
+ * @return the address of the head node
+ */
+Addr buildLinkedList(CodeBuilder &cb, Rng &rng, Addr base,
+                     std::size_t count, std::size_t node_bytes);
+
+/**
+ * Build a random binary tree: nodes of 4 words (left, right, key,
+ * payload); null pointers are 0. Returns the root address.
+ */
+Addr buildBinaryTree(CodeBuilder &cb, Rng &rng, Addr base,
+                     std::size_t count);
+
+} // namespace rbsim
+
+#endif // RBSIM_WORKLOADS_KERNELS_HH

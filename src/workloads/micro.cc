@@ -1,0 +1,170 @@
+#include "workloads/micro.hh"
+
+#include "workloads/kernels.hh"
+
+namespace rbsim
+{
+
+Program
+buildMicroDepChain(const WorkloadParams &wp)
+{
+    CodeBuilder cb("u-depchain");
+    const unsigned iters = 2000 * wp.scale;
+    cb.ldiq(R(1), 1);
+    cb.ldiq(R(2), iters);
+    const Label loop = cb.newLabel();
+    cb.bind(loop);
+    for (int i = 0; i < 16; ++i)
+        cb.opi(Opcode::ADDQ, R(1), 3, R(1));
+    cb.opi(Opcode::SUBQ, R(2), 1, R(2));
+    cb.branch(Opcode::BNE, R(2), loop);
+    cb.halt();
+    return cb.finish();
+}
+
+Program
+buildMicroIlp(const WorkloadParams &wp)
+{
+    CodeBuilder cb("u-ilp");
+    const unsigned iters = 1800 * wp.scale;
+    for (unsigned r = 1; r <= 16; ++r)
+        cb.ldiq(R(r), r);
+    cb.ldiq(R(17), iters);
+    const Label loop = cb.newLabel();
+    cb.bind(loop);
+    for (unsigned r = 1; r <= 16; ++r)
+        cb.opi(Opcode::ADDQ, R(r), 1, R(r));
+    cb.opi(Opcode::SUBQ, R(17), 1, R(17));
+    cb.branch(Opcode::BNE, R(17), loop);
+    cb.halt();
+    return cb.finish();
+}
+
+Program
+buildMicroPointerChase(const WorkloadParams &wp)
+{
+    CodeBuilder cb("u-chase");
+    Rng rng(wp.seed);
+    const Addr heap = 0x100000;
+    // 64 nodes x 32B = 2KB: L1-resident; latency, not misses.
+    const Addr head = buildLinkedList(cb, rng, heap, 64, 32);
+    const unsigned steps = 30000 * wp.scale;
+    cb.ldiq(R(1), static_cast<std::int64_t>(head));
+    cb.mov(R(1), R(2));
+    cb.ldiq(R(3), steps);
+    const Label loop = cb.newLabel();
+    const Label cont = cb.newLabel();
+    cb.bind(loop);
+    cb.load(Opcode::LDQ, R(2), 0, R(2));
+    cb.branch(Opcode::BNE, R(2), cont);
+    cb.mov(R(1), R(2));
+    cb.bind(cont);
+    cb.opi(Opcode::SUBQ, R(3), 1, R(3));
+    cb.branch(Opcode::BNE, R(3), loop);
+    cb.halt();
+    return cb.finish();
+}
+
+Program
+buildMicroShiftXor(const WorkloadParams &wp)
+{
+    CodeBuilder cb("u-shiftxor");
+    const unsigned iters = 4000 * wp.scale;
+    cb.ldiq(R(1), 0x123456789abcdefll);
+    cb.ldiq(R(2), iters);
+    const Label loop = cb.newLabel();
+    cb.bind(loop);
+    // The conversion-hostile serial backbone: SLL feeding XOR.
+    for (int i = 0; i < 4; ++i) {
+        cb.opi(Opcode::SLL, R(1), 13, R(3));
+        cb.op3(Opcode::XOR, R(1), R(3), R(1));
+    }
+    cb.opi(Opcode::SUBQ, R(2), 1, R(2));
+    cb.branch(Opcode::BNE, R(2), loop);
+    cb.halt();
+    return cb.finish();
+}
+
+Program
+buildMicroStoreLoad(const WorkloadParams &wp)
+{
+    CodeBuilder cb("u-stld");
+    const unsigned iters = 12000 * wp.scale;
+    cb.ldiq(R(1), 0x20000);
+    cb.ldiq(R(2), iters);
+    cb.ldiq(R(3), 7);
+    const Label loop = cb.newLabel();
+    cb.bind(loop);
+    cb.store(Opcode::STQ, R(3), 0, R(1));
+    cb.load(Opcode::LDQ, R(4), 0, R(1));
+    cb.op3(Opcode::ADDQ, R(4), R(3), R(3));
+    cb.opi(Opcode::SUBQ, R(2), 1, R(2));
+    cb.branch(Opcode::BNE, R(2), loop);
+    cb.halt();
+    return cb.finish();
+}
+
+Program
+buildMicroBranchTorture(const WorkloadParams &wp)
+{
+    CodeBuilder cb("u-branch");
+    Rng rng(wp.seed ^ 0xb7);
+    const unsigned iters = 9000 * wp.scale;
+    const Addr noise = 0xa00000;
+    buildRandomStream(cb, rng, noise, iters + 8);
+    cb.ldiq(R(1), static_cast<std::int64_t>(noise));
+    cb.ldiq(R(2), iters);
+    cb.ldiq(R(3), 0);
+    const Label loop = cb.newLabel();
+    const Label skip = cb.newLabel();
+    cb.bind(loop);
+    emitStreamNext(cb, R(1), R(4));
+    cb.opi(Opcode::AND, R(4), 1, R(5));
+    cb.branch(Opcode::BEQ, R(5), skip);
+    cb.opi(Opcode::ADDQ, R(3), 1, R(3));
+    cb.bind(skip);
+    cb.opi(Opcode::SUBQ, R(2), 1, R(2));
+    cb.branch(Opcode::BNE, R(2), loop);
+    cb.halt();
+    return cb.finish();
+}
+
+Program
+buildMicroMulChain(const WorkloadParams &wp)
+{
+    CodeBuilder cb("u-mulchain");
+    const unsigned iters = 1500 * wp.scale;
+    cb.ldiq(R(1), 3);
+    cb.ldiq(R(2), iters);
+    const Label loop = cb.newLabel();
+    cb.bind(loop);
+    cb.opi(Opcode::MULQ, R(1), 3, R(1));
+    cb.opi(Opcode::BIS, R(1), 1, R(1));
+    cb.opi(Opcode::SUBQ, R(2), 1, R(2));
+    cb.branch(Opcode::BNE, R(2), loop);
+    cb.halt();
+    return cb.finish();
+}
+
+const std::vector<WorkloadInfo> &
+microWorkloads()
+{
+    static const std::vector<WorkloadInfo> registry = {
+        {"u-depchain", "micro", "serial dependent adds",
+         buildMicroDepChain},
+        {"u-ilp", "micro", "16 independent add streams", buildMicroIlp},
+        {"u-chase", "micro", "L1-resident pointer chase",
+         buildMicroPointerChase},
+        {"u-shiftxor", "micro", "serial shift-xor (conversion-hostile)",
+         buildMicroShiftXor},
+        {"u-stld", "micro", "store immediately reloaded",
+         buildMicroStoreLoad},
+        {"u-branch", "micro", "random data-dependent branches",
+         buildMicroBranchTorture},
+        {"u-mulchain", "micro", "dependent 10-cycle multiplies",
+         buildMicroMulChain},
+    };
+    return registry;
+}
+
+} // namespace rbsim

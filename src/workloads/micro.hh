@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Microbenchmark workloads: single-behavior kernels that isolate one
+ * machine characteristic each (dependence-chain latency, issue
+ * bandwidth, load-to-use latency, shift-conversion cost, store-load
+ * forwarding, branch misprediction, multiplier throughput). Used by the
+ * characterization bench and handy for regression-hunting.
+ */
+
+#ifndef RBSIM_WORKLOADS_MICRO_HH
+#define RBSIM_WORKLOADS_MICRO_HH
+
+#include "workloads/workload.hh"
+
+namespace rbsim
+{
+
+/** Serial chain of dependent 1-cycle adds: pure add latency. */
+Program buildMicroDepChain(const WorkloadParams &);
+
+/** 16 independent add streams: pure issue bandwidth. */
+Program buildMicroIlp(const WorkloadParams &);
+
+/** Pointer chase through a cache-resident ring: load-to-use latency. */
+Program buildMicroPointerChase(const WorkloadParams &);
+
+/** Serial shift-xor chain: the RB machines' conversion-hostile case. */
+Program buildMicroShiftXor(const WorkloadParams &);
+
+/** Store immediately reloaded every iteration: forwarding path. */
+Program buildMicroStoreLoad(const WorkloadParams &);
+
+/** Random data-dependent branches: misprediction recovery. */
+Program buildMicroBranchTorture(const WorkloadParams &);
+
+/** Dependent multiply chain: the 10-cycle unit. */
+Program buildMicroMulChain(const WorkloadParams &);
+
+/** The micro suite (names prefixed "u-"). */
+const std::vector<WorkloadInfo> &microWorkloads();
+
+} // namespace rbsim
+
+#endif // RBSIM_WORKLOADS_MICRO_HH

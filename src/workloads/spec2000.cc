@@ -1,0 +1,822 @@
+/**
+ * @file
+ * SPECint2000-like workload generators (substitution for the paper's
+ * benchmark binaries — see DESIGN.md).
+ *
+ * gzip (LZ77 match loops), vpr (annealing swaps), gcc (tree walks +
+ * logical mix), mcf (out-of-cache pointer chasing), crafty (bitboard
+ * logicals + population counts), parser (hash buckets + list walks),
+ * eon (FP-flavored interpolation), perlbmk (hashing + dispatch), gap
+ * (multiword bignum arithmetic: serial add/carry chains), vortex
+ * (record transactions), bzip2 (partition sort + byte histograms),
+ * twolf (annealing accept/reject).
+ */
+
+#include "workloads/workload.hh"
+
+#include "workloads/kernels.hh"
+
+namespace rbsim
+{
+
+Program
+buildGzip00(const WorkloadParams &wp)
+{
+    // LZ77-style matching: hash three "bytes" (packed small values, one
+    // per word for addressing simplicity), probe the chain head, then
+    // run an inner match-length loop against the candidate.
+    constexpr unsigned inputLen = 8192;
+    const unsigned positions = 3400 * wp.scale;
+
+    CodeBuilder cb("gzip");
+    Rng rng(wp.seed ^ 0x62);
+    const Addr input = 0x100000;
+    const Addr heads = 0x200000;
+    // Compressible input: values repeat with period-ish structure.
+    std::vector<Word> data(inputLen);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        data[i] = (i % 97 < 52) ? (i % 7) : rng.below(64);
+    }
+    cb.dataWords(input, data);
+
+    const Reg ibase = R(1), hbase = R(2), pos = R(3), addr = R(4);
+    const Reg b0 = R(5), b1 = R(6), b2 = R(7), h = R(8);
+    const Reg cand = R(9), mlen = R(10), tmp = R(11), t2 = R(12);
+    const Reg matched = R(13), n = R(14), hmask = R(15), posmask = R(16);
+
+    cb.ldiq(ibase, static_cast<std::int64_t>(input));
+    cb.ldiq(hbase, static_cast<std::int64_t>(heads));
+    cb.ldiq(n, positions);
+    cb.ldiq(pos, 8);
+    cb.ldiq(hmask, 0x7ff);
+    cb.ldiq(posmask, inputLen - 9);
+    cb.ldiq(matched, 0);
+
+    const Label pos_loop = cb.newLabel();
+    const Label match_loop = cb.newLabel();
+    const Label match_done = cb.newLabel();
+    const Label no_cand = cb.newLabel();
+    const Label next_pos = cb.newLabel();
+
+    cb.bind(pos_loop);
+    cb.op3(Opcode::AND, pos, posmask, pos);
+    cb.op3(Opcode::S8ADDQ, pos, ibase, addr);
+    cb.load(Opcode::LDQ, b0, 0, addr);
+    cb.load(Opcode::LDQ, b1, 8, addr);
+    cb.load(Opcode::LDQ, b2, 16, addr);
+    // h = (b0*31 + b1*7 + b2) & hmask via shift-adds.
+    cb.opi(Opcode::SLL, b0, 5, h);
+    cb.op3(Opcode::SUBQ, h, b0, h);
+    cb.op3(Opcode::S8ADDQ, b1, h, h);
+    cb.op3(Opcode::SUBQ, h, b1, h);
+    cb.op3(Opcode::ADDQ, h, b2, h);
+    cb.op3(Opcode::AND, h, hmask, h);
+    // Probe the chain head; candidate position comes back.
+    cb.op3(Opcode::S8ADDQ, h, hbase, t2);
+    cb.load(Opcode::LDQ, cand, 0, t2);
+    cb.store(Opcode::STQ, pos, 0, t2); // new head
+    cb.branch(Opcode::BEQ, cand, no_cand);
+    // Match loop: compare up to 8 positions.
+    cb.ldiq(mlen, 0);
+    cb.bind(match_loop);
+    cb.op3(Opcode::ADDQ, pos, mlen, tmp);
+    cb.op3(Opcode::S8ADDQ, tmp, ibase, tmp);
+    cb.load(Opcode::LDQ, t2, 0, tmp);
+    cb.op3(Opcode::ADDQ, cand, mlen, tmp);
+    cb.op3(Opcode::S8ADDQ, tmp, ibase, tmp);
+    cb.load(Opcode::LDQ, tmp, 0, tmp);
+    cb.op3(Opcode::CMPEQ, t2, tmp, tmp);
+    cb.branch(Opcode::BEQ, tmp, match_done);
+    cb.opi(Opcode::ADDQ, mlen, 1, mlen);
+    cb.opi(Opcode::CMPLT, mlen, 8, tmp);
+    cb.branch(Opcode::BNE, tmp, match_loop);
+    cb.bind(match_done);
+    cb.op3(Opcode::ADDQ, matched, mlen, matched);
+    cb.bind(no_cand);
+    cb.bind(next_pos);
+    cb.opi(Opcode::ADDQ, pos, 3, pos);
+    cb.opi(Opcode::SUBQ, n, 1, n);
+    cb.branch(Opcode::BNE, n, pos_loop);
+    cb.store(Opcode::STQ, matched, -8, ibase);
+    cb.halt();
+    return cb.finish();
+}
+
+Program
+buildVpr00(const WorkloadParams &wp)
+{
+    // Placement annealing: pick two cells, compute the wirelength delta
+    // with abs-via-cmov, accept or reject (data-dependent branch), swap
+    // on accept.
+    constexpr unsigned cells = 4096;
+    const unsigned moves = 7000 * wp.scale;
+
+    CodeBuilder cb("vpr");
+    Rng rng(wp.seed ^ 0x47);
+    const Addr pos = 0x100000;
+    const Addr moves_in = 0xa00000;
+    cb.dataWords(pos, randomWords(rng, cells, 0xffff));
+    buildRandomStream(cb, rng, moves_in, moves + 8);
+
+    const Reg base = R(1), rngr = R(2), i = R(3), j = R(4);
+    const Reg xi = R(5), xj = R(6), d = R(7), nd = R(8);
+    const Reg cost = R(9), tmp = R(10), mask = R(11), n = R(12);
+    const Reg ai = R(13), aj = R(14);
+
+    cb.ldiq(base, static_cast<std::int64_t>(pos));
+    cb.ldiq(rngr, static_cast<std::int64_t>(moves_in)); // input cursor
+    cb.ldiq(mask, cells - 1);
+    cb.ldiq(cost, 0);
+    cb.ldiq(n, moves);
+
+    const Label move_loop = cb.newLabel();
+    const Label reject = cb.newLabel();
+
+    cb.bind(move_loop);
+    emitStreamNext(cb, rngr, tmp); // next proposed move from the input
+    cb.op3(Opcode::AND, tmp, mask, i);
+    cb.opi(Opcode::SRL, tmp, 17, j);
+    cb.op3(Opcode::AND, j, mask, j);
+    cb.op3(Opcode::S8ADDQ, i, base, ai);
+    cb.op3(Opcode::S8ADDQ, j, base, aj);
+    cb.load(Opcode::LDQ, xi, 0, ai);
+    cb.load(Opcode::LDQ, xj, 0, aj);
+    // d = |xi - xj|; nd = |xi - xj - 64| (pretend target offset).
+    cb.op3(Opcode::SUBQ, xi, xj, d);
+    cb.op3(Opcode::SUBQ, R(31), d, tmp);
+    cb.op3(Opcode::CMOVLT, d, tmp, d);
+    cb.opi(Opcode::SUBQ, d, 64, nd);
+    cb.op3(Opcode::SUBQ, R(31), nd, tmp);
+    cb.op3(Opcode::CMOVLT, nd, tmp, nd);
+    // Accept if the new distance is smaller (data-dependent).
+    cb.op3(Opcode::CMPLT, nd, d, tmp);
+    cb.branch(Opcode::BEQ, tmp, reject);
+    cb.store(Opcode::STQ, xj, 0, ai);
+    cb.store(Opcode::STQ, xi, 0, aj);
+    cb.op3(Opcode::ADDQ, cost, nd, cost);
+    cb.bind(reject);
+    cb.opi(Opcode::SUBQ, n, 1, n);
+    cb.branch(Opcode::BNE, n, move_loop);
+    cb.store(Opcode::STQ, cost, -8, base);
+    cb.halt();
+    return cb.finish();
+}
+
+Program
+buildGcc00(const WorkloadParams &wp)
+{
+    // Larger tree than gcc95 plus a per-visit "RTL mangling" mix of
+    // logicals, shifts, and byte operations.
+    constexpr unsigned treeNodes = 4096;
+    const unsigned searches = 1900 * wp.scale;
+
+    CodeBuilder cb("gcc00");
+    Rng rng(wp.seed ^ 0xcc00);
+    const Addr tree = 0x200000;
+    const Addr root = buildBinaryTree(cb, rng, tree, treeNodes);
+
+    const Reg rootr = R(1), node = R(2), key = R(3), nkey = R(4);
+    const Reg acc = R(5), tmp = R(6), rngr = R(7), n = R(8), mask = R(9);
+    const Reg flags = R(10);
+
+    buildRandomStream(cb, rng, 0xa00000, searches + 8);
+    cb.ldiq(rootr, static_cast<std::int64_t>(root));
+    cb.ldiq(rngr, 0xa00000); // input cursor
+    cb.ldiq(n, searches);
+    cb.ldiq(acc, 0);
+    cb.ldiq(flags, 0);
+    cb.ldiq(mask, 0xffffff);
+
+    const Label search = cb.newLabel();
+    const Label walk = cb.newLabel();
+    const Label go_right = cb.newLabel();
+    const Label done = cb.newLabel();
+
+    const Reg hotmask = R(11);
+    cb.ldiq(hotmask, 0x1ffff); // hot symbol range
+    cb.bind(search);
+    emitStreamNext(cb, rngr, tmp); // next symbol reference from input
+    cb.op3(Opcode::AND, tmp, mask, key);
+    // Compilers look the same symbols up repeatedly: bias 3 of 4
+    // searches into a hot key range.
+    cb.opi(Opcode::SRL, tmp, 27, tmp);
+    cb.opi(Opcode::AND, tmp, 3, tmp);
+    cb.op3(Opcode::AND, key, hotmask, nkey);
+    cb.op3(Opcode::CMOVNE, tmp, nkey, key);
+    cb.mov(rootr, node);
+
+    cb.bind(walk);
+    cb.branch(Opcode::BEQ, node, done);
+    cb.load(Opcode::LDQ, nkey, 16, node);
+    // Per-visit mangles: flag bookkeeping the way RTL passes chew bits.
+    cb.op3(Opcode::XOR, flags, nkey, flags);
+    cb.opi(Opcode::ZAPNOT, flags, 0x3f, flags);
+    cb.op3(Opcode::SUBQ, key, nkey, tmp);
+    cb.branch(Opcode::BEQ, tmp, done);
+    cb.branch(Opcode::BGT, tmp, go_right);
+    cb.load(Opcode::LDQ, node, 0, node);
+    cb.br(walk);
+    cb.bind(go_right);
+    cb.load(Opcode::LDQ, node, 8, node);
+    cb.br(walk);
+
+    cb.bind(done);
+    cb.op3(Opcode::CMOVEQ, node, key, tmp);
+    cb.op3(Opcode::ADDQ, acc, tmp, acc);
+    cb.op3(Opcode::ADDQ, acc, flags, acc);
+    cb.opi(Opcode::SUBQ, n, 1, n);
+    cb.branch(Opcode::BNE, n, search);
+    cb.ldiq(tmp, static_cast<std::int64_t>(tree - 8));
+    cb.store(Opcode::STQ, acc, 0, tmp);
+    cb.halt();
+    return cb.finish();
+}
+
+Program
+buildMcf00(const WorkloadParams &wp)
+{
+    // Network-simplex flavor: pointer chasing through a 1.5 MiB node
+    // pool (larger than the 1 MiB L2), long load-to-load dependence
+    // chains, sparse updates. Memory-bound, low IPC.
+    constexpr unsigned nodes = 48 * 1024; // 48k x 32B = 1.5 MiB
+    const unsigned steps = 30000 * wp.scale;
+
+    CodeBuilder cb("mcf");
+    Rng rng(wp.seed ^ 0x3c);
+    const Addr pool = 0x800000;
+    const Addr head = buildLinkedList(cb, rng, pool, nodes, 32);
+
+    const Reg node = R(1), headr = R(2), cost = R(3), val = R(4);
+    const Reg tmp = R(5), n = R(6), best = R(7);
+
+    cb.ldiq(headr, static_cast<std::int64_t>(head));
+    cb.mov(headr, node);
+    cb.ldiq(cost, 0);
+    cb.ldiq(best, 0);
+    cb.ldiq(n, steps);
+
+    const Label step = cb.newLabel();
+    const Label wrapped = cb.newLabel();
+    const Label cont = cb.newLabel();
+
+    cb.bind(step);
+    cb.load(Opcode::LDQ, val, 8, node);
+    cb.op3(Opcode::ADDQ, cost, val, cost);
+    cb.op3(Opcode::CMPLT, best, val, tmp);
+    cb.op3(Opcode::CMOVNE, tmp, val, best);
+    // Sparse update: nodes whose payload ends in 11 get reduced.
+    cb.opi(Opcode::AND, val, 3, tmp);
+    cb.opi(Opcode::CMPEQ, tmp, 3, tmp);
+    cb.branch(Opcode::BEQ, tmp, cont);
+    cb.opi(Opcode::SRL, val, 1, val);
+    cb.store(Opcode::STQ, val, 8, node);
+    cb.bind(cont);
+    cb.load(Opcode::LDQ, node, 0, node); // the chase
+    cb.branch(Opcode::BNE, node, wrapped);
+    cb.mov(headr, node);
+    cb.bind(wrapped);
+    cb.opi(Opcode::SUBQ, n, 1, n);
+    cb.branch(Opcode::BNE, n, step);
+    cb.ldiq(tmp, static_cast<std::int64_t>(pool - 8));
+    cb.store(Opcode::STQ, cost, 0, tmp);
+    cb.halt();
+    return cb.finish();
+}
+
+Program
+buildCrafty00(const WorkloadParams &wp)
+{
+    // Bitboard move generation flavor: 64-bit logicals, shifts, and the
+    // count instructions (CTPOP/CTLZ/CTTZ), mostly register-resident.
+    constexpr unsigned boards = 256;
+    const unsigned rounds = 35 * wp.scale;
+
+    CodeBuilder cb("crafty");
+    Rng rng(wp.seed ^ 0xcf);
+    const Addr bpool = 0x100000;
+    cb.dataWords(bpool, randomWords(rng, boards));
+
+    const Reg base = R(1), i = R(2), b = R(3), occ = R(4);
+    const Reg att = R(5), tmp = R(6), score = R(7), n = R(8);
+    const Reg t2 = R(9), nb = R(10);
+
+    cb.ldiq(base, static_cast<std::int64_t>(bpool));
+    cb.ldiq(score, 0);
+    cb.ldiq(occ, static_cast<std::int64_t>(0xaa55aa55aa55aa55ull));
+    cb.ldiq(n, rounds);
+    cb.ldiq(nb, boards);
+
+    const Label round_loop = cb.newLabel();
+    const Label board_loop = cb.newLabel();
+
+    cb.bind(round_loop);
+    cb.ldiq(i, 0);
+    cb.bind(board_loop);
+    cb.op3(Opcode::S8ADDQ, i, base, tmp);
+    cb.load(Opcode::LDQ, b, 0, tmp);
+    // Knight-ish attack spread: shifted copies OR-ed together.
+    cb.opi(Opcode::SLL, b, 17, att);
+    cb.opi(Opcode::SRL, b, 17, t2);
+    cb.op3(Opcode::BIS, att, t2, att);
+    cb.opi(Opcode::SLL, b, 15, t2);
+    cb.op3(Opcode::BIS, att, t2, att);
+    cb.opi(Opcode::SRL, b, 15, t2);
+    cb.op3(Opcode::BIS, att, t2, att);
+    cb.op3(Opcode::AND, att, occ, att);
+    // Move-list generation writes the attack set out.
+    cb.ldiq(t2, 0x118000);
+    cb.op3(Opcode::S8ADDQ, i, t2, t2);
+    cb.store(Opcode::STQ, att, 0, t2);
+    // Score: popcount of attacks, leading/trailing structure.
+    cb.op1(Opcode::CTPOP, att, t2);
+    cb.op3(Opcode::ADDQ, score, t2, score);
+    cb.op1(Opcode::CTLZ, att, t2);
+    cb.op3(Opcode::SUBQ, score, t2, score);
+    cb.op1(Opcode::CTTZ, b, t2);
+    cb.op3(Opcode::ADDQ, score, t2, score);
+    cb.opi(Opcode::ADDQ, i, 1, i);
+    cb.op3(Opcode::CMPLT, i, nb, tmp);
+    cb.branch(Opcode::BNE, tmp, board_loop);
+    // Rotate the occupancy once per round so rounds differ (kept out of
+    // the inner loop: boards within a round stay independent).
+    cb.opi(Opcode::SLL, occ, 1, tmp);
+    cb.opi(Opcode::SRL, occ, 63, occ);
+    cb.op3(Opcode::BIS, occ, tmp, occ);
+    cb.opi(Opcode::SUBQ, n, 1, n);
+    cb.branch(Opcode::BNE, n, round_loop);
+    cb.store(Opcode::STQ, score, -8, base);
+    cb.halt();
+    return cb.finish();
+}
+
+Program
+buildParser00(const WorkloadParams &wp)
+{
+    // Dictionary lookups: hash a token, walk the bucket's linked list
+    // comparing keys (chase + compare + branch).
+    constexpr unsigned buckets = 1024;
+    constexpr unsigned entries = 4096;
+    const unsigned lookups = 5500 * wp.scale;
+
+    CodeBuilder cb("parser");
+    Rng rng(wp.seed ^ 0xa3);
+    const Addr table = 0x100000;      // bucket heads
+    const Addr pool = 0x200000;       // entries: [next, key]
+    std::vector<Word> heads(buckets, 0);
+    std::vector<Word> epool(entries * 2, 0);
+    for (unsigned e = 0; e < entries; ++e) {
+        const Word key = rng.next() & 0xfffff;
+        const unsigned b = key & (buckets - 1);
+        epool[e * 2] = heads[b];
+        epool[e * 2 + 1] = key;
+        heads[b] = pool + e * 16;
+    }
+    cb.dataWords(table, heads);
+    cb.dataWords(pool, epool);
+    buildRandomStream(cb, rng, 0xa00000, lookups + 8);
+
+    const Reg tbase = R(1), rngr = R(2), key = R(3), node = R(4);
+    const Reg nkey = R(5), tmp = R(6), hits = R(7), n = R(8);
+    const Reg bmask = R(9), kmask = R(10);
+
+    cb.ldiq(tbase, static_cast<std::int64_t>(table));
+    cb.ldiq(rngr, static_cast<std::int64_t>(0xa00000)); // input cursor
+    cb.ldiq(hits, 0);
+    cb.ldiq(n, lookups);
+    cb.ldiq(bmask, buckets - 1);
+    cb.ldiq(kmask, 0xfffff);
+
+    const Label lookup = cb.newLabel();
+    const Label chase = cb.newLabel();
+    const Label found = cb.newLabel();
+    const Label next = cb.newLabel();
+
+    const Reg hotmask = R(11);
+    cb.ldiq(hotmask, 0xff); // common-word working set (fits the L1)
+    cb.bind(lookup);
+    emitStreamNext(cb, rngr, tmp); // next token from the input
+    cb.op3(Opcode::AND, tmp, kmask, key);
+    // Dictionaries see mostly common words: 3 of 4 lookups draw from a
+    // small hot key range.
+    cb.opi(Opcode::SRL, tmp, 27, tmp);
+    cb.opi(Opcode::AND, tmp, 3, tmp);
+    cb.op3(Opcode::AND, key, hotmask, nkey);
+    cb.op3(Opcode::CMOVNE, tmp, nkey, key);
+    cb.op3(Opcode::AND, key, bmask, tmp);
+    cb.op3(Opcode::S8ADDQ, tmp, tbase, tmp);
+    cb.load(Opcode::LDQ, node, 0, tmp);
+    cb.bind(chase);
+    cb.branch(Opcode::BEQ, node, next);
+    cb.load(Opcode::LDQ, nkey, 8, node);
+    cb.op3(Opcode::CMPEQ, nkey, key, tmp);
+    cb.branch(Opcode::BNE, tmp, found);
+    cb.load(Opcode::LDQ, node, 0, node);
+    cb.br(chase);
+    cb.bind(found);
+    cb.opi(Opcode::ADDQ, hits, 1, hits);
+    cb.bind(next);
+    cb.opi(Opcode::SUBQ, n, 1, n);
+    cb.branch(Opcode::BNE, n, lookup);
+    cb.store(Opcode::STQ, hits, -8, tbase);
+    cb.halt();
+    return cb.finish();
+}
+
+Program
+buildEon00(const WorkloadParams &wp)
+{
+    // Ray-marching flavor: regular interpolation loops using the FP
+    // subset (8-cycle ADDT/MULT) mixed with integer bookkeeping.
+    constexpr unsigned raysPerPass = 256;
+    const unsigned passes = 42 * wp.scale;
+
+    CodeBuilder cb("eon");
+    Rng rng(wp.seed ^ 0xe0);
+    const Addr scene = 0x100000;
+    cb.dataWords(scene, randomWords(rng, raysPerPass * 2, 0xffff));
+
+    const Reg base = R(1), ray = R(2), addr = R(3), px = R(4);
+    const Reg dx = R(5), acc = R(6), tmp = R(7), n = R(8), nr = R(9);
+    const Reg t = R(10);
+
+    cb.ldiq(base, static_cast<std::int64_t>(scene));
+    cb.ldiq(acc, 0);
+    cb.ldiq(n, passes);
+    cb.ldiq(nr, raysPerPass);
+
+    const Label pass_loop = cb.newLabel();
+    const Label ray_loop = cb.newLabel();
+
+    cb.bind(pass_loop);
+    cb.ldiq(ray, 0);
+    cb.bind(ray_loop);
+    cb.opi(Opcode::SLL, ray, 4, addr);
+    cb.op3(Opcode::ADDQ, addr, base, addr);
+    cb.load(Opcode::LDQ, px, 0, addr);
+    cb.load(Opcode::LDQ, dx, 8, addr);
+    // March "fp" steps: the multiplies depend only on the loaded
+    // direction, so independent rays overlap their 8-cycle units.
+    cb.op3(Opcode::MULT, dx, dx, t);
+    cb.opi(Opcode::SRL, t, 16, t);
+    cb.op3(Opcode::ADDT, px, t, px);
+    cb.op3(Opcode::ADDT, px, dx, px);
+    cb.opi(Opcode::SRL, t, 8, t);
+    cb.op3(Opcode::ADDQ, acc, t, acc);
+    cb.store(Opcode::STQ, px, 0, addr);
+    cb.opi(Opcode::ADDQ, ray, 1, ray);
+    cb.op3(Opcode::CMPLT, ray, nr, tmp);
+    cb.branch(Opcode::BNE, tmp, ray_loop);
+    cb.opi(Opcode::SUBQ, n, 1, n);
+    cb.branch(Opcode::BNE, n, pass_loop);
+    cb.store(Opcode::STQ, acc, -8, base);
+    cb.halt();
+    return cb.finish();
+}
+
+Program
+buildPerlbmk00(const WorkloadParams &wp)
+{
+    // Hashing plus a character-class jump table: the regex-engine flavor
+    // of perlbmk (indirect dispatch on data).
+    constexpr unsigned streamWords = 1024;
+    const unsigned rounds = 4 * wp.scale;
+
+    CodeBuilder cb("perlbmk");
+    Rng rng(wp.seed ^ 0x9b);
+    const Addr stream = 0x100000;
+    const Addr table = 0x180000;
+    // Text-like class distribution: most characters are "word" class, so
+    // the regex engine's dispatch jump repeats (BTB-predictable runs).
+    std::vector<Word> stream_words(streamWords);
+    for (Word &w : stream_words) {
+        w = rng.next();
+        if (rng.chance(7, 10))
+            w &= ~Word{3}; // low byte class 0
+    }
+    cb.dataWords(stream, stream_words);
+
+    const Reg sbase = R(1), tbl = R(2), wi = R(3), word = R(4);
+    const Reg cls = R(5), h = R(6), tmp = R(7), haddr = R(8);
+    const Reg counts = R(9), round = R(10), wlimit = R(11), ch = R(12);
+
+    cb.ldiq(sbase, static_cast<std::int64_t>(stream));
+    cb.ldiq(tbl, static_cast<std::int64_t>(table));
+    cb.ldiq(counts, 0);
+    cb.ldiq(round, rounds);
+    cb.ldiq(wlimit, streamWords);
+
+    const Label round_loop = cb.newLabel();
+    const Label word_loop = cb.newLabel();
+    const Label after = cb.newLabel();
+    std::array<Label, 4> cases{};
+    for (auto &c : cases)
+        c = cb.newLabel();
+
+    cb.bind(round_loop);
+    cb.ldiq(wi, 0);
+    cb.ldiq(h, 5381);
+
+    cb.bind(word_loop);
+    cb.op3(Opcode::S8ADDQ, wi, sbase, tmp);
+    cb.load(Opcode::LDQ, word, 0, tmp);
+    for (unsigned k = 0; k < 4; ++k) {
+        cb.opi(Opcode::EXTBL, word, static_cast<std::uint8_t>(k * 2), ch);
+        cb.opi(Opcode::SLL, h, 5, tmp);
+        cb.op3(Opcode::ADDQ, tmp, h, h);
+        cb.op3(Opcode::ADDQ, h, ch, h);
+    }
+    // Dispatch on the character's class bits through a jump table.
+    cb.opi(Opcode::AND, ch, 3, cls);
+    cb.op3(Opcode::S8ADDQ, cls, tbl, haddr);
+    cb.load(Opcode::LDQ, haddr, 0, haddr);
+    cb.jmp(R(25), haddr);
+
+    cb.bind(cases[0]);
+    cb.opi(Opcode::ADDQ, counts, 1, counts);
+    cb.br(after);
+    cb.bind(cases[1]);
+    cb.op3(Opcode::XOR, counts, h, counts);
+    cb.br(after);
+    cb.bind(cases[2]);
+    cb.opi(Opcode::S4ADDQ, counts, 1, counts);
+    cb.br(after);
+    cb.bind(cases[3]);
+    cb.opi(Opcode::SRL, counts, 1, counts);
+    cb.br(after);
+
+    cb.bind(after);
+    cb.opi(Opcode::ADDQ, wi, 1, wi);
+    cb.op3(Opcode::CMPLT, wi, wlimit, tmp);
+    cb.branch(Opcode::BNE, tmp, word_loop);
+    cb.opi(Opcode::SUBQ, round, 1, round);
+    cb.branch(Opcode::BNE, round, round_loop);
+    cb.store(Opcode::STQ, counts, -8, sbase);
+    cb.halt();
+
+    std::vector<Word> caddrs;
+    for (const Label &cl : cases)
+        caddrs.push_back(cb.labelByteAddr(cl));
+    cb.dataWords(table, caddrs);
+    return cb.finish();
+}
+
+Program
+buildGap00(const WorkloadParams &wp)
+{
+    // Multiword bignum arithmetic: 4-word adds with carry chains built
+    // from ADDQ + CMPULT — exactly the serial add-latency-bound pattern
+    // where redundant binary adders shine.
+    constexpr unsigned numbers = 512; // 4-word bignums
+    const unsigned ops = 4200 * wp.scale;
+
+    CodeBuilder cb("gap");
+    Rng rng(wp.seed ^ 0x6a);
+    const Addr pool = 0x100000;
+    const Addr ops_in = 0xa00000;
+    cb.dataWords(pool, randomWords(rng, numbers * 4));
+    buildRandomStream(cb, rng, ops_in, ops + 8);
+
+    const Reg base = R(1), rngr = R(2), an = R(3), bn = R(4);
+    const Reg aaddr = R(5), baddr = R(6), n = R(7), mask = R(8);
+    const Reg aw = R(9), bw = R(10), sum = R(11), carry = R(12);
+    const Reg tmp = R(13), t2 = R(14);
+
+    cb.ldiq(base, static_cast<std::int64_t>(pool));
+    cb.ldiq(rngr, static_cast<std::int64_t>(ops_in)); // input cursor
+    cb.ldiq(mask, numbers - 1);
+    cb.ldiq(n, ops);
+
+    const Label op_loop = cb.newLabel();
+
+    cb.bind(op_loop);
+    emitStreamNext(cb, rngr, tmp); // next operand pair from the input
+    cb.op3(Opcode::AND, tmp, mask, an);
+    cb.opi(Opcode::SRL, tmp, 23, bn);
+    cb.op3(Opcode::AND, bn, mask, bn);
+    cb.opi(Opcode::SLL, an, 5, aaddr);
+    cb.op3(Opcode::ADDQ, aaddr, base, aaddr);
+    cb.opi(Opcode::SLL, bn, 5, baddr);
+    cb.op3(Opcode::ADDQ, baddr, base, baddr);
+    // a += b over 4 words with carry propagation (serial chain).
+    cb.ldiq(carry, 0);
+    for (int w = 0; w < 4; ++w) {
+        cb.load(Opcode::LDQ, aw, w * 8, aaddr);
+        cb.load(Opcode::LDQ, bw, w * 8, baddr);
+        cb.op3(Opcode::ADDQ, aw, bw, sum);
+        cb.op3(Opcode::CMPULT, sum, aw, t2);   // carry out of the add
+        cb.op3(Opcode::ADDQ, sum, carry, sum);
+        cb.op3(Opcode::CMPULT, sum, carry, tmp); // carry from carry-in
+        cb.op3(Opcode::BIS, t2, tmp, carry);
+        cb.store(Opcode::STQ, sum, w * 8, aaddr);
+    }
+    cb.opi(Opcode::SUBQ, n, 1, n);
+    cb.branch(Opcode::BNE, n, op_loop);
+    cb.halt();
+    return cb.finish();
+}
+
+Program
+buildVortex00(const WorkloadParams &wp)
+{
+    // Scaled-up vortex95: larger database and a two-level index.
+    constexpr unsigned records = 8192;
+    const unsigned txns = 6200 * wp.scale;
+
+    CodeBuilder cb("vortex00");
+    Rng rng(wp.seed ^ 0x4000);
+    const Addr db = 0x400000;
+    const Addr index = 0x800000;
+    const Addr txn_in = 0xa00000;
+    cb.dataWords(db, randomWords(rng, records * 8, 0xffffff));
+    buildRandomStream(cb, rng, txn_in, txns + 8);
+
+    const Reg dbase = R(1), ibase = R(2), rec = R(3), raddr = R(4);
+    const Reg f0 = R(5), f1 = R(6), f2 = R(7), tmp = R(8);
+    const Reg rngr = R(9), n = R(10), mask = R(11), iaddr = R(12);
+
+    const Label update = cb.newLabel();
+    const Label txn_loop = cb.newLabel();
+    const Label start = cb.newLabel();
+
+    cb.br(start);
+
+    cb.bind(update);
+    cb.load(Opcode::LDQ, f0, 0, raddr);
+    cb.load(Opcode::LDQ, f1, 8, raddr);
+    cb.load(Opcode::LDQ, f2, 24, raddr);
+    cb.op3(Opcode::S4ADDQ, f1, f0, f0);
+    cb.opi(Opcode::EXTWL, f2, 2, tmp);
+    cb.op3(Opcode::XOR, f0, tmp, f2);
+    cb.store(Opcode::STQ, f0, 0, raddr);
+    cb.store(Opcode::STQ, f2, 24, raddr);
+    cb.ret(R(26));
+
+    cb.bind(start);
+    cb.ldiq(dbase, static_cast<std::int64_t>(db));
+    cb.ldiq(ibase, static_cast<std::int64_t>(index));
+    cb.ldiq(rngr, static_cast<std::int64_t>(txn_in)); // input cursor
+    cb.ldiq(n, txns);
+    cb.ldiq(mask, records - 1);
+
+    const Reg hotmask = R(13), rnd = R(14);
+    cb.ldiq(hotmask, 127); // hot page set
+    cb.bind(txn_loop);
+    emitStreamNext(cb, rngr, rnd); // next transaction id from the input
+    cb.op3(Opcode::AND, rnd, mask, rec);
+    cb.opi(Opcode::SRL, rnd, 29, tmp);
+    cb.opi(Opcode::AND, tmp, 7, tmp);
+    cb.op3(Opcode::AND, rnd, hotmask, raddr);
+    cb.op3(Opcode::CMOVNE, tmp, raddr, rec);
+    cb.opi(Opcode::SLL, rec, 6, raddr);
+    cb.op3(Opcode::ADDQ, raddr, dbase, raddr);
+    cb.bsr(R(26), update);
+    // Two-level index touch.
+    cb.ldiq(tmp, 2047);
+    cb.op3(Opcode::AND, rec, tmp, iaddr);
+    cb.op3(Opcode::S8ADDQ, iaddr, ibase, iaddr);
+    cb.load(Opcode::LDQ, tmp, 0, iaddr);
+    cb.op3(Opcode::ADDQ, tmp, f0, tmp);
+    cb.store(Opcode::STQ, tmp, 0, iaddr);
+    cb.opi(Opcode::SUBQ, n, 1, n);
+    cb.branch(Opcode::BNE, n, txn_loop);
+    cb.halt();
+    return cb.finish();
+}
+
+Program
+buildBzip200(const WorkloadParams &wp)
+{
+    // Block-sort flavor: repeated partition passes over a buffer
+    // (data-dependent compare/swap branches) plus byte-frequency
+    // counting with EXTBL.
+    constexpr unsigned bufLen = 2048;
+    const unsigned passes = 8 * wp.scale;
+
+    CodeBuilder cb("bzip2");
+    Rng rng(wp.seed ^ 0xb2);
+    const Addr buf = 0x100000;
+    const Addr freq = 0x180000;
+    cb.dataWords(buf, randomWords(rng, bufLen, 0xffffffff));
+
+    const Reg base = R(1), fbase = R(2), lo = R(3), hi = R(4);
+    const Reg pivot = R(5), lv = R(6), hv = R(7), tmp = R(8);
+    const Reg laddr = R(9), haddr = R(10), n = R(11), byte = R(12);
+    const Reg t2 = R(13);
+
+    cb.ldiq(base, static_cast<std::int64_t>(buf));
+    cb.ldiq(fbase, static_cast<std::int64_t>(freq));
+    cb.ldiq(n, passes);
+
+    const Label pass_loop = cb.newLabel();
+    const Label part_loop = cb.newLabel();
+    const Label no_swap = cb.newLabel();
+    const Label part_done = cb.newLabel();
+
+    cb.bind(pass_loop);
+    cb.ldiq(lo, 0);
+    cb.ldiq(hi, bufLen - 1);
+    // pivot = buf[mid]
+    cb.ldiq(tmp, bufLen / 2);
+    cb.op3(Opcode::S8ADDQ, tmp, base, tmp);
+    cb.load(Opcode::LDQ, pivot, 0, tmp);
+
+    cb.bind(part_loop);
+    cb.op3(Opcode::CMPLT, lo, hi, tmp);
+    cb.branch(Opcode::BEQ, tmp, part_done);
+    cb.op3(Opcode::S8ADDQ, lo, base, laddr);
+    cb.op3(Opcode::S8ADDQ, hi, base, haddr);
+    cb.load(Opcode::LDQ, lv, 0, laddr);
+    cb.load(Opcode::LDQ, hv, 0, haddr);
+    // Frequency count of one byte of lv while it is in hand.
+    cb.opi(Opcode::EXTBL, lv, 1, byte);
+    cb.op3(Opcode::S8ADDQ, byte, fbase, t2);
+    cb.load(Opcode::LDQ, tmp, 0, t2);
+    cb.opi(Opcode::ADDQ, tmp, 1, tmp);
+    cb.store(Opcode::STQ, tmp, 0, t2);
+    // Partition step: swap when out of order wrt the pivot.
+    cb.op3(Opcode::CMPULT, lv, pivot, tmp);
+    cb.branch(Opcode::BNE, tmp, no_swap);
+    cb.op3(Opcode::CMPULT, pivot, hv, tmp);
+    cb.branch(Opcode::BNE, tmp, no_swap);
+    cb.store(Opcode::STQ, hv, 0, laddr);
+    cb.store(Opcode::STQ, lv, 0, haddr);
+    cb.bind(no_swap);
+    cb.opi(Opcode::ADDQ, lo, 1, lo);
+    cb.opi(Opcode::SUBQ, hi, 1, hi);
+    cb.br(part_loop);
+
+    cb.bind(part_done);
+    cb.opi(Opcode::SUBQ, n, 1, n);
+    cb.branch(Opcode::BNE, n, pass_loop);
+    cb.halt();
+    return cb.finish();
+}
+
+Program
+buildTwolf00(const WorkloadParams &wp)
+{
+    // Standard-cell annealing: propose a random displacement, evaluate a
+    // table-driven cost, accept/reject on a data-dependent threshold.
+    constexpr unsigned cells = 2048;
+    const unsigned moves = 6800 * wp.scale;
+
+    CodeBuilder cb("twolf");
+    Rng rng(wp.seed ^ 0x2f);
+    const Addr place = 0x100000;
+    const Addr costs = 0x140000;
+    const Addr moves_in = 0xa00000;
+    cb.dataWords(place, randomWords(rng, cells, 0x3fff));
+    cb.dataWords(costs, randomWords(rng, 256, 0xff));
+    buildRandomStream(cb, rng, moves_in, moves + 8);
+
+    const Reg pbase = R(1), cbase = R(2), rngr = R(3), ci = R(4);
+    const Reg old_pos = R(5), new_pos = R(6), oc = R(7), nc = R(8);
+    const Reg tmp = R(9), n = R(10), mask = R(11), acc = R(12);
+    const Reg addr = R(13), t2 = R(14), rnd = R(15);
+
+    cb.ldiq(pbase, static_cast<std::int64_t>(place));
+    cb.ldiq(cbase, static_cast<std::int64_t>(costs));
+    cb.ldiq(rngr, static_cast<std::int64_t>(moves_in)); // input cursor
+    cb.ldiq(mask, cells - 1);
+    cb.ldiq(acc, 0);
+    cb.ldiq(n, moves);
+
+    const Label move_loop = cb.newLabel();
+    const Label rejectm = cb.newLabel();
+
+    cb.bind(move_loop);
+    emitStreamNext(cb, rngr, rnd); // next proposed move from the input
+    cb.op3(Opcode::AND, rnd, mask, ci);
+    cb.op3(Opcode::S8ADDQ, ci, pbase, addr);
+    cb.load(Opcode::LDQ, old_pos, 0, addr);
+    // Propose: new = old ^ (random & 0x3ff).
+    cb.opi(Opcode::SRL, rnd, 31, t2);
+    cb.ldiq(tmp, 0x3ff);
+    cb.op3(Opcode::AND, t2, tmp, t2);
+    cb.op3(Opcode::XOR, old_pos, t2, new_pos);
+    // Table-driven costs of old and new low bytes.
+    cb.opi(Opcode::EXTBL, old_pos, 0, tmp);
+    cb.op3(Opcode::S8ADDQ, tmp, cbase, tmp);
+    cb.load(Opcode::LDQ, oc, 0, tmp);
+    cb.opi(Opcode::EXTBL, new_pos, 0, tmp);
+    cb.op3(Opcode::S8ADDQ, tmp, cbase, tmp);
+    cb.load(Opcode::LDQ, nc, 0, tmp);
+    // Accept when cheaper, or occasionally uphill (random bit).
+    cb.op3(Opcode::CMPLT, nc, oc, tmp);
+    cb.opi(Opcode::SRL, rnd, 11, t2);
+    cb.opi(Opcode::AND, t2, 15, t2);
+    cb.opi(Opcode::CMPEQ, t2, 0, t2);
+    cb.op3(Opcode::BIS, tmp, t2, tmp);
+    cb.branch(Opcode::BEQ, tmp, rejectm);
+    cb.store(Opcode::STQ, new_pos, 0, addr);
+    cb.op3(Opcode::SUBQ, oc, nc, tmp);
+    cb.op3(Opcode::ADDQ, acc, tmp, acc);
+    cb.bind(rejectm);
+    cb.opi(Opcode::SUBQ, n, 1, n);
+    cb.branch(Opcode::BNE, n, move_loop);
+    cb.store(Opcode::STQ, acc, -8, pbase);
+    cb.halt();
+    return cb.finish();
+}
+
+} // namespace rbsim

@@ -1,0 +1,689 @@
+/**
+ * @file
+ * SPECint95-like workload generators (substitution for the paper's
+ * benchmark binaries — see DESIGN.md).
+ *
+ * Each generator mimics its namesake's dominant kernel: go (branchy
+ * board-scan heuristics), m88ksim (interpreter dispatch), gcc (tree
+ * walks), compress (LZW hash loop), li (cons-cell list processing),
+ * ijpeg (integer DCT blocks), perl (string hashing + probing), vortex
+ * (record/transaction processing).
+ */
+
+#include "workloads/workload.hh"
+
+#include "workloads/kernels.hh"
+
+namespace rbsim
+{
+
+Program
+buildGo95(const WorkloadParams &wp)
+{
+    // 32x32 board of random stone colors {0,1,2}; several evaluation
+    // passes count same-color neighbors with data-dependent branches,
+    // and mutate a cell between passes. ~21 insts/position.
+    constexpr unsigned n = 32;
+    const unsigned passes = 9 * wp.scale;
+
+    CodeBuilder cb("go");
+    Rng rng(wp.seed ^ 0x60);
+    const Addr board = 0x100000;
+    std::vector<Word> cells(n * n);
+    for (Word &c : cells)
+        c = rng.below(3);
+    cb.dataWords(board, cells);
+
+    const Reg base = R(1), idx = R(2), limit = R(3), cell = R(4);
+    const Reg nb = R(5), score = R(6), addr = R(7), tmp = R(8);
+    const Reg pass = R(9), rngr = R(10), t2 = R(11);
+
+    cb.ldiq(base, static_cast<std::int64_t>(board));
+    cb.ldiq(limit, n * n - n - 1);
+    cb.ldiq(score, 0);
+    cb.ldiq(pass, passes);
+    cb.ldiq(rngr, static_cast<std::int64_t>(wp.seed | 1));
+
+    const Label pass_loop = cb.newLabel();
+    const Label pos_loop = cb.newLabel();
+    const Label skip_empty = cb.newLabel();
+    const Label next_pos = cb.newLabel();
+
+    cb.bind(pass_loop);
+    cb.ldiq(idx, n + 1);
+
+    cb.bind(pos_loop);
+    cb.op3(Opcode::S8ADDQ, idx, base, addr);
+    cb.load(Opcode::LDQ, cell, 0, addr);
+    // Empty point: skip the neighbor scan (branchy on random data).
+    cb.branch(Opcode::BEQ, cell, skip_empty);
+    // Four neighbors; each same-color match bumps the score.
+    cb.load(Opcode::LDQ, nb, -8, addr);
+    cb.op3(Opcode::CMPEQ, cell, nb, tmp);
+    cb.op3(Opcode::ADDQ, score, tmp, score);
+    cb.load(Opcode::LDQ, nb, 8, addr);
+    cb.op3(Opcode::CMPEQ, cell, nb, tmp);
+    cb.op3(Opcode::ADDQ, score, tmp, score);
+    cb.load(Opcode::LDQ, nb, -8 * static_cast<int>(n), addr);
+    cb.op3(Opcode::CMPEQ, cell, nb, tmp);
+    cb.op3(Opcode::ADDQ, score, tmp, score);
+    cb.load(Opcode::LDQ, nb, 8 * static_cast<int>(n), addr);
+    cb.op3(Opcode::CMPEQ, cell, nb, tmp);
+    cb.op3(Opcode::ADDQ, score, tmp, score);
+    // Liberty bookkeeping: record the running score per position.
+    cb.ldiq(t2, 0x110000);
+    cb.op3(Opcode::S8ADDQ, idx, t2, t2);
+    cb.store(Opcode::STQ, score, 0, t2);
+    // A color-2 stone with a high score flips to color 1 (data-dependent
+    // store).
+    cb.opi(Opcode::AND, score, 7, t2);
+    cb.opi(Opcode::CMPEQ, t2, 7, t2);
+    cb.branch(Opcode::BEQ, t2, next_pos);
+    cb.opi(Opcode::AND, cell, 1, cell);
+    cb.store(Opcode::STQ, cell, 0, addr);
+    cb.br(next_pos);
+
+    cb.bind(skip_empty);
+    cb.opi(Opcode::ADDQ, score, 1, score);
+
+    cb.bind(next_pos);
+    cb.opi(Opcode::ADDQ, idx, 1, idx);
+    cb.op3(Opcode::CMPLT, idx, limit, tmp);
+    cb.branch(Opcode::BNE, tmp, pos_loop);
+
+    // Mutate one random cell between passes.
+    emitXorshift(cb, rngr, tmp);
+    cb.ldiq(t2, n * n - 1);
+    cb.op3(Opcode::AND, rngr, t2, t2);
+    cb.op3(Opcode::S8ADDQ, t2, base, addr);
+    cb.opi(Opcode::AND, rngr, 1, t2);
+    cb.store(Opcode::STQ, t2, 0, addr);
+
+    cb.opi(Opcode::SUBQ, pass, 1, pass);
+    cb.branch(Opcode::BNE, pass, pass_loop);
+    // Publish the score.
+    cb.store(Opcode::STQ, score, -8, base);
+    cb.halt();
+    return cb.finish();
+}
+
+Program
+buildM88ksim95(const WorkloadParams &wp)
+{
+    // Interpreter: a 256-entry pseudo-program of (op, operand) words is
+    // dispatched through an in-memory handler table with an indirect
+    // jump, the signature behaviour of a CPU simulator.
+    constexpr unsigned progLen = 256;
+    const unsigned rounds = 50 * wp.scale;
+
+    CodeBuilder cb("m88ksim");
+    Rng rng(wp.seed ^ 0x88);
+    const Addr pseudo = 0x100000;
+    const Addr table = 0x110000;
+    // Real instruction streams repeat opcodes in runs, which is what
+    // lets the BTB predict the dispatch jump most of the time.
+    std::vector<Word> ops(progLen);
+    Word cur_op = 0;
+    for (Word &w : ops) {
+        if (rng.chance(1, 4))
+            cur_op = rng.below(8);
+        w = cur_op | (rng.below(4096) << 8);
+    }
+    cb.dataWords(pseudo, ops);
+
+    const Reg pbase = R(1), pc = R(2), word = R(3), op = R(4);
+    const Reg operand = R(5), acc = R(6), tbl = R(7), haddr = R(8);
+    const Reg round = R(9), tmp = R(10), cnt = R(11), simrf = R(12);
+
+    cb.ldiq(pbase, static_cast<std::int64_t>(pseudo));
+    cb.ldiq(tbl, static_cast<std::int64_t>(table));
+    cb.ldiq(simrf, 0x120000); // the simulated CPU's register file
+    cb.ldiq(acc, 0x1234);
+    cb.ldiq(round, rounds);
+    cb.ldiq(cnt, 0);
+
+    const Label round_loop = cb.newLabel();
+    const Label dispatch = cb.newLabel();
+    const Label next = cb.newLabel();
+    std::array<Label, 8> handlers{};
+    for (auto &h : handlers)
+        h = cb.newLabel();
+
+    cb.bind(round_loop);
+    cb.ldiq(pc, 0);
+
+    cb.bind(dispatch);
+    cb.op3(Opcode::S8ADDQ, pc, pbase, tmp);
+    cb.load(Opcode::LDQ, word, 0, tmp);
+    cb.opi(Opcode::AND, word, 7, op);
+    cb.opi(Opcode::SRL, word, 8, operand);
+    cb.op3(Opcode::S8ADDQ, op, tbl, haddr);
+    cb.load(Opcode::LDQ, haddr, 0, haddr);
+    cb.jmp(R(26), haddr); // indirect dispatch
+
+    // Handlers.
+    cb.bind(handlers[0]); // add
+    cb.op3(Opcode::ADDQ, acc, operand, acc);
+    cb.br(next);
+    cb.bind(handlers[1]); // xor
+    cb.op3(Opcode::XOR, acc, operand, acc);
+    cb.br(next);
+    cb.bind(handlers[2]); // shift-add
+    cb.op3(Opcode::S4ADDQ, operand, acc, acc);
+    cb.br(next);
+    cb.bind(handlers[3]); // sub
+    cb.op3(Opcode::SUBQ, acc, operand, acc);
+    cb.br(next);
+    cb.bind(handlers[4]); // conditional count
+    cb.opi(Opcode::AND, acc, 1, tmp);
+    cb.op3(Opcode::ADDQ, cnt, tmp, cnt);
+    cb.br(next);
+    cb.bind(handlers[5]); // rotate-ish
+    cb.opi(Opcode::SLL, acc, 3, tmp);
+    cb.opi(Opcode::SRL, acc, 61, acc);
+    cb.op3(Opcode::BIS, acc, tmp, acc);
+    cb.br(next);
+    cb.bind(handlers[6]); // compare-accumulate
+    cb.op3(Opcode::CMPLT, acc, operand, tmp);
+    cb.op3(Opcode::ADDQ, cnt, tmp, cnt);
+    cb.br(next);
+    cb.bind(handlers[7]); // byte mix
+    cb.opi(Opcode::EXTBL, acc, 2, tmp);
+    cb.op3(Opcode::XOR, acc, tmp, acc);
+    cb.br(next);
+
+    cb.bind(next);
+    // Simulators write the result back to the simulated register file.
+    cb.opi(Opcode::AND, operand, 31, tmp);
+    cb.op3(Opcode::S8ADDQ, tmp, simrf, tmp);
+    cb.store(Opcode::STQ, acc, 0, tmp);
+    cb.opi(Opcode::ADDQ, pc, 1, pc);
+    cb.ldiq(tmp, progLen);
+    cb.op3(Opcode::CMPLT, pc, tmp, tmp);
+    cb.branch(Opcode::BNE, tmp, dispatch);
+    cb.opi(Opcode::SUBQ, round, 1, round);
+    cb.branch(Opcode::BNE, round, round_loop);
+    cb.store(Opcode::STQ, acc, 0, pbase);
+    cb.halt();
+
+    // Handler jump table: the byte addresses of the handler labels.
+    std::vector<Word> haddrs;
+    for (const Label &hl : handlers)
+        haddrs.push_back(cb.labelByteAddr(hl));
+    cb.dataWords(table, haddrs);
+    return cb.finish();
+}
+
+Program
+buildGcc95(const WorkloadParams &wp)
+{
+    // Binary-tree searches: load-compare-branch chains over pointers,
+    // the shape of gcc's symbol/tree manipulation.
+    constexpr unsigned treeNodes = 2048;
+    const unsigned searches = 2600 * wp.scale;
+
+    CodeBuilder cb("gcc");
+    Rng rng(wp.seed ^ 0xcc);
+    const Addr tree = 0x200000;
+    const Addr root = buildBinaryTree(cb, rng, tree, treeNodes);
+
+    const Reg rootr = R(1), node = R(2), key = R(3), nkey = R(4);
+    const Reg acc = R(5), tmp = R(6), rngr = R(7), n = R(8), mask = R(9);
+
+    buildRandomStream(cb, rng, 0xa00000, searches + 8);
+    cb.ldiq(rootr, static_cast<std::int64_t>(root));
+    cb.ldiq(rngr, 0xa00000); // input cursor
+    cb.ldiq(n, searches);
+    cb.ldiq(acc, 0);
+    cb.ldiq(mask, 0xffffff);
+
+    const Label search = cb.newLabel();
+    const Label walk = cb.newLabel();
+    const Label go_right = cb.newLabel();
+    const Label done = cb.newLabel();
+
+    const Reg hot = R(10);
+    cb.ldiq(hot, 0x1ffff); // hot symbol range
+    cb.bind(search);
+    emitStreamNext(cb, rngr, tmp); // next symbol reference from input
+    cb.op3(Opcode::AND, tmp, mask, key);
+    // Symbol tables see repeated lookups of the same names: bias 3 of 4
+    // searches into a hot key range.
+    cb.opi(Opcode::SRL, tmp, 27, tmp);
+    cb.opi(Opcode::AND, tmp, 3, tmp);
+    cb.op3(Opcode::AND, key, hot, nkey);
+    cb.op3(Opcode::CMOVNE, tmp, nkey, key);
+    cb.mov(rootr, node);
+
+    cb.bind(walk);
+    cb.branch(Opcode::BEQ, node, done);
+    cb.load(Opcode::LDQ, nkey, 16, node); // key field
+    cb.op3(Opcode::SUBQ, key, nkey, tmp);
+    cb.branch(Opcode::BEQ, tmp, done);
+    cb.branch(Opcode::BGT, tmp, go_right);
+    cb.load(Opcode::LDQ, node, 0, node); // left
+    cb.br(walk);
+    cb.bind(go_right);
+    cb.load(Opcode::LDQ, node, 8, node); // right
+    cb.br(walk);
+
+    cb.bind(done);
+    // Accumulate the payload of the last non-null node visited (or the
+    // key when the search fell off).
+    cb.op3(Opcode::CMOVEQ, node, key, tmp);
+    cb.op3(Opcode::ADDQ, acc, tmp, acc);
+    cb.opi(Opcode::SUBQ, n, 1, n);
+    cb.branch(Opcode::BNE, n, search);
+    cb.ldiq(tmp, static_cast<std::int64_t>(tree - 8));
+    cb.store(Opcode::STQ, acc, 0, tmp);
+    cb.halt();
+    return cb.finish();
+}
+
+Program
+buildCompress95(const WorkloadParams &wp)
+{
+    // LZW-flavored hash loop: walk a byte stream (packed 8 per word,
+    // unpacked with EXTBL), hash each (prefix, byte) pair, probe a code
+    // table, insert on miss.
+    constexpr unsigned streamWords = 1024; // 8 KiB of input bytes
+    const unsigned rounds = 2 * wp.scale;
+
+    CodeBuilder cb("compress");
+    Rng rng(wp.seed ^ 0xc0);
+    const Addr stream = 0x100000;
+    const Addr htab = 0x180000; // 4096-entry table
+    // Text-like input: a small alphabet with strong repetition so the
+    // probe branch behaves like real compress (mostly hits once warm).
+    std::vector<Word> text(streamWords);
+    Word phrase = 0;
+    for (Word &w : text) {
+        if (rng.chance(1, 5))
+            phrase = rng.next() & 0x0f0f0f0f0f0f0f0full;
+        w = phrase;
+    }
+    cb.dataWords(stream, text);
+
+    const Reg sbase = R(1), hbase = R(2), wi = R(3), word = R(4);
+    const Reg byte = R(5), h = R(6), pair = R(7), probe = R(8);
+    const Reg hits = R(9), tmp = R(10), addr = R(11), wlimit = R(12);
+    const Reg round = R(13), hmask = R(14);
+
+    cb.ldiq(sbase, static_cast<std::int64_t>(stream));
+    cb.ldiq(hbase, static_cast<std::int64_t>(htab));
+    cb.ldiq(wlimit, streamWords);
+    cb.ldiq(hmask, 0xfff);
+    cb.ldiq(hits, 0);
+    cb.ldiq(round, rounds);
+
+    const Reg pmask = R(15);
+    cb.ldiq(pmask, 0xffffff);
+
+    const Label round_loop = cb.newLabel();
+    const Label word_loop = cb.newLabel();
+
+    cb.bind(round_loop);
+    cb.ldiq(wi, 0);
+    cb.ldiq(h, 0);
+    cb.ldiq(pair, 0);
+
+    cb.bind(word_loop);
+    cb.op3(Opcode::S8ADDQ, wi, sbase, addr);
+    cb.load(Opcode::LDQ, word, 0, addr);
+    // Unrolled: consume all 8 bytes of the word.
+    for (unsigned k = 0; k < 8; ++k) {
+        cb.opi(Opcode::EXTBL, word, static_cast<std::uint8_t>(k), byte);
+        // h = ((h << 4) ^ byte) & 0xfff
+        cb.opi(Opcode::SLL, h, 4, h);
+        cb.op3(Opcode::XOR, h, byte, h);
+        cb.op3(Opcode::AND, h, hmask, h);
+        // pair = ((pair << 8) | byte) & 0xffffff
+        cb.opi(Opcode::SLL, pair, 8, pair);
+        cb.op3(Opcode::BIS, pair, byte, pair);
+        cb.op3(Opcode::AND, pair, pmask, pair);
+        // Probe.
+        cb.op3(Opcode::S8ADDQ, h, hbase, addr);
+        cb.load(Opcode::LDQ, probe, 0, addr);
+        cb.op3(Opcode::CMPEQ, probe, pair, tmp);
+        const Label miss = cb.newLabel();
+        const Label next_byte = cb.newLabel();
+        cb.branch(Opcode::BEQ, tmp, miss);
+        cb.opi(Opcode::ADDQ, hits, 1, hits);
+        cb.br(next_byte);
+        cb.bind(miss);
+        cb.store(Opcode::STQ, pair, 0, addr);
+        cb.bind(next_byte);
+    }
+    cb.opi(Opcode::ADDQ, wi, 1, wi);
+    cb.op3(Opcode::CMPLT, wi, wlimit, tmp);
+    cb.branch(Opcode::BNE, tmp, word_loop);
+    cb.opi(Opcode::SUBQ, round, 1, round);
+    cb.branch(Opcode::BNE, round, round_loop);
+    cb.store(Opcode::STQ, hits, -8, sbase);
+    cb.halt();
+    return cb.finish();
+}
+
+Program
+buildLi95(const WorkloadParams &wp)
+{
+    // Cons-cell list processing: pointer-chased traversals with a
+    // filtering helper called through BSR/RET, lisp-interpreter flavor.
+    constexpr unsigned cells = 2048;
+    const unsigned traversals = 11 * wp.scale;
+
+    CodeBuilder cb("li");
+    Rng rng(wp.seed ^ 0x11);
+    const Addr heap = 0x300000;
+    // Allocator-like layout: runs of 16 sequentially-placed cells with
+    // shuffled run order (lisp heaps have strong run locality), and
+    // payloads biased 3:1 odd so the filter branch is predictable-ish.
+    const Addr head = [&] {
+        constexpr std::size_t run = 16;
+        const std::size_t nruns = cells / run;
+        std::vector<std::size_t> order(nruns);
+        for (std::size_t i = 0; i < nruns; ++i)
+            order[i] = i;
+        for (std::size_t i = nruns; i > 1; --i)
+            std::swap(order[i - 1], order[rng.below(i)]);
+        std::vector<Word> image(cells * 4, 0);
+        std::size_t prev = ~std::size_t{0};
+        std::size_t first = 0;
+        for (std::size_t r = 0; r < nruns; ++r) {
+            for (std::size_t k = 0; k < run; ++k) {
+                const std::size_t cell = order[r] * run + k;
+                if (prev != ~std::size_t{0})
+                    image[prev * 4] = heap + cell * 32;
+                else
+                    first = cell;
+                Word payload = rng.next() & 0xffff;
+                if (rng.chance(3, 4))
+                    payload |= 1;
+                else
+                    payload &= ~Word{1};
+                image[cell * 4 + 1] = payload;
+                prev = cell;
+            }
+        }
+        cb.dataWords(heap, image);
+        return heap + first * 32;
+    }();
+
+    const Reg node = R(1), headr = R(2), sum = R(3), val = R(4);
+    const Reg tmp = R(5), trav = R(6), odd = R(7);
+    const Reg logb = R(8), logc = R(9), logmask = R(10);
+
+    const Label fn = cb.newLabel();
+    const Label fn_skip = cb.newLabel();
+    const Label trav_loop = cb.newLabel();
+    const Label walk = cb.newLabel();
+    const Label done = cb.newLabel();
+    const Label start = cb.newLabel();
+
+    cb.br(start);
+
+    // Helper: log the visit (heap write traffic), then
+    // if (val & 1) sum += val else sum -= 1.
+    cb.bind(fn);
+    cb.op3(Opcode::AND, logc, logmask, tmp);
+    cb.op3(Opcode::S8ADDQ, tmp, logb, tmp);
+    cb.store(Opcode::STQ, val, 0, tmp);
+    cb.opi(Opcode::ADDQ, logc, 1, logc);
+    cb.opi(Opcode::AND, val, 1, odd);
+    cb.branch(Opcode::BEQ, odd, fn_skip);
+    cb.op3(Opcode::ADDQ, sum, val, sum);
+    cb.ret(R(26));
+    cb.bind(fn_skip);
+    cb.opi(Opcode::SUBQ, sum, 1, sum);
+    cb.ret(R(26));
+
+    cb.bind(start);
+    cb.ldiq(headr, static_cast<std::int64_t>(head));
+    cb.ldiq(sum, 0);
+    cb.ldiq(trav, traversals);
+    cb.ldiq(logb, 0x380000);
+    cb.ldiq(logc, 0);
+    cb.ldiq(logmask, 511);
+
+    cb.bind(trav_loop);
+    cb.mov(headr, node);
+    cb.bind(walk);
+    cb.branch(Opcode::BEQ, node, done);
+    cb.load(Opcode::LDQ, val, 8, node); // payload
+    cb.bsr(R(26), fn);
+    cb.load(Opcode::LDQ, node, 0, node); // next
+    cb.br(walk);
+    cb.bind(done);
+    cb.opi(Opcode::SUBQ, trav, 1, trav);
+    cb.branch(Opcode::BNE, trav, trav_loop);
+    cb.ldiq(tmp, static_cast<std::int64_t>(heap - 8));
+    cb.store(Opcode::STQ, sum, 0, tmp);
+    cb.halt();
+    return cb.finish();
+}
+
+Program
+buildIjpeg95(const WorkloadParams &wp)
+{
+    // Integer DCT-like block transforms: regular, multiply- and
+    // shift-heavy, high ILP, highly predictable branches.
+    constexpr unsigned blocks = 64;
+    const unsigned passes = 48 * wp.scale;
+
+    CodeBuilder cb("ijpeg");
+    Rng rng(wp.seed ^ 0x3e);
+    const Addr data = 0x100000;
+    cb.dataWords(data, randomWords(rng, blocks * 8, 0xffff));
+
+    const Reg base = R(1), blk = R(2), addr = R(3), pass = R(16);
+    const Reg a = R(4), b = R(5), c = R(6), d = R(7);
+    const Reg t0 = R(8), t1 = R(9), t2 = R(10), t3 = R(11);
+    const Reg tmp = R(12), nblk = R(13);
+
+    cb.ldiq(base, static_cast<std::int64_t>(data));
+    cb.ldiq(pass, passes);
+    cb.ldiq(nblk, blocks);
+
+    const Label pass_loop = cb.newLabel();
+    const Label blk_loop = cb.newLabel();
+
+    cb.bind(pass_loop);
+    cb.ldiq(blk, 0);
+
+    cb.bind(blk_loop);
+    // addr = base + blk*64; process two independent blocks per
+    // iteration with disjoint registers so the 10-cycle multiplies of
+    // neighboring blocks overlap (real DCT code transforms independent
+    // rows/columns).
+    cb.opi(Opcode::SLL, blk, 6, addr);
+    cb.op3(Opcode::ADDQ, addr, base, addr);
+    const Reg c362 = R(14), c473 = R(15);
+    cb.ldiq(c362, 362);
+    cb.ldiq(c473, 473);
+    const Reg regs2[2][8] = {
+        {a, b, c, d, t0, t1, t2, t3},
+        {R(17), R(18), R(19), R(20), R(21), R(22), R(23), R(24)},
+    };
+    for (int half = 0; half < 2; ++half) {
+        const Reg va = regs2[half][0], vb = regs2[half][1];
+        const Reg vc = regs2[half][2], vd = regs2[half][3];
+        const Reg u0 = regs2[half][4], u1 = regs2[half][5];
+        const Reg u2 = regs2[half][6], u3 = regs2[half][7];
+        const int off = half * 32;
+        cb.load(Opcode::LDQ, va, off + 0, addr);
+        cb.load(Opcode::LDQ, vb, off + 8, addr);
+        cb.load(Opcode::LDQ, vc, off + 16, addr);
+        cb.load(Opcode::LDQ, vd, off + 24, addr);
+        cb.op3(Opcode::ADDQ, va, vd, u0);
+        cb.op3(Opcode::SUBQ, va, vd, u3);
+        cb.op3(Opcode::ADDQ, vb, vc, u1);
+        cb.op3(Opcode::SUBQ, vb, vc, u2);
+        cb.op3(Opcode::ADDQ, u0, u1, va);
+        cb.op3(Opcode::SUBQ, u0, u1, vc);
+        // Scaled rotation approximations: x*362 >> 8 etc., with the
+        // multiplies started straight off the loads' results.
+        cb.op3(Opcode::MULQ, u2, c362, u2);
+        cb.opi(Opcode::SRA, u2, 8, u2);
+        cb.op3(Opcode::MULQ, u3, c473, u3);
+        cb.opi(Opcode::SRA, u3, 8, u3);
+        cb.op3(Opcode::ADDQ, u2, u3, vb);
+        cb.op3(Opcode::SUBQ, u3, u2, vd);
+        cb.store(Opcode::STQ, va, off + 0, addr);
+        cb.store(Opcode::STQ, vb, off + 8, addr);
+        cb.store(Opcode::STQ, vc, off + 16, addr);
+        cb.store(Opcode::STQ, vd, off + 24, addr);
+    }
+    cb.opi(Opcode::ADDQ, blk, 1, blk);
+    cb.op3(Opcode::CMPLT, blk, nblk, tmp);
+    cb.branch(Opcode::BNE, tmp, blk_loop);
+    cb.opi(Opcode::SUBQ, pass, 1, pass);
+    cb.branch(Opcode::BNE, pass, pass_loop);
+    cb.halt();
+    return cb.finish();
+}
+
+Program
+buildPerl95(const WorkloadParams &wp)
+{
+    // String hashing and hash-table probing: h = h*33 + c inner loops
+    // (shift-add chains, byte extracts) with probe/compare branches.
+    constexpr unsigned strings = 512;
+    constexpr unsigned strWords = 2; // 16-byte strings
+    const unsigned rounds = 8 * wp.scale;
+
+    CodeBuilder cb("perl");
+    Rng rng(wp.seed ^ 0x9e);
+    const Addr pool = 0x100000;
+    const Addr htab = 0x140000;
+    cb.dataWords(pool, randomWords(rng, strings * strWords));
+
+    const Reg pbase = R(1), hbase = R(2), si = R(3), saddr = R(4);
+    const Reg word = R(5), ch = R(6), h = R(7), tmp = R(8);
+    const Reg probe = R(9), found = R(10), round = R(11), mask = R(12);
+    const Reg nstr = R(13);
+
+    cb.ldiq(pbase, static_cast<std::int64_t>(pool));
+    cb.ldiq(hbase, static_cast<std::int64_t>(htab));
+    cb.ldiq(mask, 0x7ff);
+    cb.ldiq(found, 0);
+    cb.ldiq(round, rounds);
+    cb.ldiq(nstr, strings);
+
+    const Label round_loop = cb.newLabel();
+    const Label str_loop = cb.newLabel();
+    const Label insert = cb.newLabel();
+    const Label next_str = cb.newLabel();
+
+    cb.bind(round_loop);
+    cb.ldiq(si, 0);
+
+    cb.bind(str_loop);
+    cb.opi(Opcode::SLL, si, 4, saddr);
+    cb.op3(Opcode::ADDQ, saddr, pbase, saddr);
+    cb.ldiq(h, 5381);
+    for (unsigned w = 0; w < strWords; ++w) {
+        cb.load(Opcode::LDQ, word, static_cast<int>(w * 8), saddr);
+        for (unsigned k = 0; k < 8; k += 2) { // every other byte
+            cb.opi(Opcode::EXTBL, word, static_cast<std::uint8_t>(k), ch);
+            // h = h*33 + ch  (h<<5 + h + ch: RB-friendly shift-add)
+            cb.opi(Opcode::SLL, h, 5, tmp);
+            cb.op3(Opcode::ADDQ, tmp, h, h);
+            cb.op3(Opcode::ADDQ, h, ch, h);
+        }
+    }
+    // Keep the hash in the per-string results vector.
+    cb.op3(Opcode::S8ADDQ, si, hbase, tmp);
+    cb.store(Opcode::STQ, h, 16384, tmp); // results live above the table
+    cb.op3(Opcode::AND, h, mask, tmp);
+    cb.op3(Opcode::S8ADDQ, tmp, hbase, tmp);
+    cb.load(Opcode::LDQ, probe, 0, tmp);
+    cb.op3(Opcode::CMPEQ, probe, h, probe);
+    cb.branch(Opcode::BEQ, probe, insert);
+    cb.opi(Opcode::ADDQ, found, 1, found);
+    cb.br(next_str);
+    cb.bind(insert);
+    cb.store(Opcode::STQ, h, 0, tmp);
+    cb.bind(next_str);
+    cb.opi(Opcode::ADDQ, si, 1, si);
+    cb.op3(Opcode::CMPLT, si, nstr, tmp);
+    cb.branch(Opcode::BNE, tmp, str_loop);
+    cb.opi(Opcode::SUBQ, round, 1, round);
+    cb.branch(Opcode::BNE, round, round_loop);
+    cb.store(Opcode::STQ, found, -8, pbase);
+    cb.halt();
+    return cb.finish();
+}
+
+Program
+buildVortex95(const WorkloadParams &wp)
+{
+    // Object-database transactions: pick a record, call an update
+    // routine that reads/writes several fields, maintain an index.
+    constexpr unsigned records = 4096; // 8 words each = 256 KiB
+    const unsigned txns = 8000 * wp.scale;
+
+    CodeBuilder cb("vortex");
+    Rng rng(wp.seed ^ 0x40);
+    const Addr db = 0x400000;
+    const Addr index = 0x600000;
+    const Addr txn_in = 0xa00000;
+    cb.dataWords(db, randomWords(rng, records * 8, 0xffffff));
+    buildRandomStream(cb, rng, txn_in, txns + 8);
+
+    const Reg dbase = R(1), ibase = R(2), rec = R(3), raddr = R(4);
+    const Reg f0 = R(5), f1 = R(6), f2 = R(7), tmp = R(8);
+    const Reg rngr = R(9), n = R(10), mask = R(11);
+
+    const Label update = cb.newLabel();
+    const Label txn_loop = cb.newLabel();
+    const Label start = cb.newLabel();
+
+    cb.br(start);
+
+    // update(raddr): f0 += f1; f2 = f0 ^ f1 (byte-swizzled); write back.
+    cb.bind(update);
+    cb.load(Opcode::LDQ, f0, 0, raddr);
+    cb.load(Opcode::LDQ, f1, 8, raddr);
+    cb.load(Opcode::LDQ, f2, 16, raddr);
+    cb.op3(Opcode::ADDQ, f0, f1, f0);
+    cb.op3(Opcode::XOR, f0, f1, tmp);
+    cb.opi(Opcode::ZAPNOT, tmp, 0x0f, tmp);
+    cb.op3(Opcode::ADDQ, f2, tmp, f2);
+    cb.store(Opcode::STQ, f0, 0, raddr);
+    cb.store(Opcode::STQ, f2, 16, raddr);
+    cb.ret(R(26));
+
+    cb.bind(start);
+    cb.ldiq(dbase, static_cast<std::int64_t>(db));
+    cb.ldiq(ibase, static_cast<std::int64_t>(index));
+    cb.ldiq(rngr, static_cast<std::int64_t>(txn_in)); // input cursor
+    cb.ldiq(n, txns);
+    cb.ldiq(mask, records - 1);
+
+    const Reg hotmask = R(12), rnd = R(13);
+    cb.ldiq(hotmask, 63); // 64 hot records = 4KB, fits the L1
+    cb.bind(txn_loop);
+    emitStreamNext(cb, rngr, rnd); // next transaction id from the input
+    // 7 of 8 transactions touch the hot page set; 1 of 8 goes cold
+    // (database page-buffer locality).
+    cb.op3(Opcode::AND, rnd, mask, rec);
+    cb.opi(Opcode::SRL, rnd, 29, tmp);
+    cb.opi(Opcode::AND, tmp, 7, tmp);
+    cb.op3(Opcode::AND, rnd, hotmask, raddr); // hot candidate index
+    cb.op3(Opcode::CMOVNE, tmp, raddr, rec);  // cold only when tmp==0
+    // raddr = dbase + rec*64
+    cb.opi(Opcode::SLL, rec, 6, raddr);
+    cb.op3(Opcode::ADDQ, raddr, dbase, raddr);
+    cb.bsr(R(26), update);
+    // Index maintenance: index[rec & 1023] = f0.
+    cb.ldiq(tmp, 1023);
+    cb.op3(Opcode::AND, rec, tmp, tmp);
+    cb.op3(Opcode::S8ADDQ, tmp, ibase, tmp);
+    cb.store(Opcode::STQ, f0, 0, tmp);
+    cb.opi(Opcode::SUBQ, n, 1, n);
+    cb.branch(Opcode::BNE, n, txn_loop);
+    cb.halt();
+    return cb.finish();
+}
+
+} // namespace rbsim

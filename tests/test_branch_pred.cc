@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Unit tests for the branch prediction substrate: hybrid gshare/PAs
+ * training, chooser arbitration, history repair, BTB, and RAS.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "frontend/branch_pred.hh"
+
+namespace rbsim
+{
+namespace
+{
+
+/** Drive the predictor the way the core does for a correct prediction. */
+bool
+predictAndTrain(HybridPredictor &p, std::uint64_t pc, bool actual)
+{
+    BpIndices idx;
+    const bool pred = p.predict(pc, &idx);
+    p.speculate(pc, pred);
+    if (pred != actual) {
+        // Mispredict: the core restores pre-branch history and re-applies
+        // the actual outcome; emulate with a local reconstruction.
+        // (History was already shifted with the wrong bit; correct it.)
+        const std::uint32_t h = p.globalHistory();
+        p.restoreHistory((h >> 1));
+        p.speculate(pc, actual);
+    }
+    p.update(idx, actual);
+    return pred;
+}
+
+TEST(BranchPred, LearnsAlwaysTaken)
+{
+    HybridPredictor p;
+    int wrong = 0;
+    for (int i = 0; i < 100; ++i)
+        wrong += predictAndTrain(p, 42, true) != true;
+    // Cold start plus history warmup; must lock in quickly.
+    EXPECT_LT(wrong, 25);
+    // Steady state is perfect.
+    for (int i = 0; i < 20; ++i)
+        EXPECT_TRUE(predictAndTrain(p, 42, true));
+}
+
+TEST(BranchPred, LearnsAlternatingPatternViaHistory)
+{
+    HybridPredictor p;
+    int wrong_late = 0;
+    for (int i = 0; i < 400; ++i) {
+        const bool actual = (i & 1) != 0;
+        const bool pred = predictAndTrain(p, 7, actual);
+        if (i >= 200 && pred != actual)
+            ++wrong_late;
+    }
+    // A history-based predictor nails a period-2 pattern.
+    EXPECT_LT(wrong_late, 5);
+}
+
+TEST(BranchPred, LearnsShortLoopExitPattern)
+{
+    // taken x7 then not-taken, repeatedly: local/global history covers
+    // period 8 easily.
+    HybridPredictor p;
+    int wrong_late = 0;
+    for (int i = 0; i < 1600; ++i) {
+        const bool actual = (i % 8) != 7;
+        const bool pred = predictAndTrain(p, 99, actual);
+        if (i >= 800 && pred != actual)
+            ++wrong_late;
+    }
+    EXPECT_LT(wrong_late, 10);
+}
+
+TEST(BranchPred, HistoryRestoreRoundTrips)
+{
+    HybridPredictor p;
+    for (int i = 0; i < 10; ++i)
+        p.speculate(5, i % 2 == 0);
+    const std::uint32_t h = p.globalHistory();
+    p.speculate(5, true);
+    p.speculate(5, false);
+    EXPECT_NE(p.globalHistory(), h);
+    p.restoreHistory(h);
+    EXPECT_EQ(p.globalHistory(), h);
+}
+
+TEST(BranchPred, TwoBranchesDoNotDestructivelyAlias)
+{
+    // One always-taken and one always-not-taken branch at different PCs
+    // must both converge.
+    HybridPredictor p;
+    int wrong_late = 0;
+    for (int i = 0; i < 600; ++i) {
+        const bool pred1 = predictAndTrain(p, 1000, true);
+        const bool pred2 = predictAndTrain(p, 2000, false);
+        if (i >= 300) {
+            wrong_late += pred1 != true;
+            wrong_late += pred2 != false;
+        }
+    }
+    EXPECT_LT(wrong_late, 8);
+}
+
+TEST(BranchPred, CounterUpdateSaturates)
+{
+    std::uint8_t c = 0;
+    c = counterUpdate(c, false);
+    EXPECT_EQ(c, 0);
+    c = counterUpdate(c, true);
+    c = counterUpdate(c, true);
+    c = counterUpdate(c, true);
+    c = counterUpdate(c, true);
+    EXPECT_EQ(c, 3);
+}
+
+TEST(Btb, MissThenHitAfterUpdate)
+{
+    Btb btb(4096);
+    std::uint64_t target = 0;
+    EXPECT_FALSE(btb.lookup(123, target));
+    btb.update(123, 777);
+    ASSERT_TRUE(btb.lookup(123, target));
+    EXPECT_EQ(target, 777u);
+}
+
+TEST(Btb, IndexConflictEvicts)
+{
+    Btb btb(16); // tiny: pc and pc+16 conflict
+    btb.update(3, 100);
+    btb.update(3 + 16, 200);
+    std::uint64_t target = 0;
+    // Different tag in the same slot: original entry replaced.
+    EXPECT_FALSE(btb.lookup(3, target));
+    ASSERT_TRUE(btb.lookup(3 + 16, target));
+    EXPECT_EQ(target, 200u);
+}
+
+TEST(Btb, RetargetsOnUpdate)
+{
+    Btb btb(4096);
+    btb.update(50, 111);
+    btb.update(50, 222);
+    std::uint64_t target = 0;
+    ASSERT_TRUE(btb.lookup(50, target));
+    EXPECT_EQ(target, 222u);
+}
+
+TEST(Ras, LifoOrder)
+{
+    Ras ras;
+    ras.push(0x100);
+    ras.push(0x200);
+    ras.push(0x300);
+    EXPECT_EQ(ras.pop(), 0x300u);
+    EXPECT_EQ(ras.pop(), 0x200u);
+    EXPECT_EQ(ras.pop(), 0x100u);
+}
+
+TEST(Ras, SaveRestoreRepairsSpeculativePops)
+{
+    Ras ras;
+    ras.push(0x100);
+    ras.push(0x200);
+    BpSnapshot snap;
+    ras.save(snap);
+    // Wrong-path activity: pops and pushes.
+    ras.pop();
+    ras.pop();
+    ras.push(0xbad);
+    ras.restore(snap);
+    EXPECT_EQ(ras.pop(), 0x200u);
+    EXPECT_EQ(ras.pop(), 0x100u);
+}
+
+TEST(Ras, WrapsAtCapacity)
+{
+    Ras ras;
+    for (Addr a = 1; a <= 20; ++a)
+        ras.push(a * 0x10);
+    // Capacity 16: the newest 16 survive.
+    for (Addr a = 20; a > 4; --a)
+        EXPECT_EQ(ras.pop(), a * 0x10);
+}
+
+} // namespace
+} // namespace rbsim

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Tests for functional instruction semantics: directed checks of evalOp
+ * and the central property that the redundant binary datapath (evalOpRb)
+ * is value-equivalent to two's complement for every opcode it implements
+ * (paper section 3.6).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "isa/eval.hh"
+#include "rb/rbalu.hh"
+#include "isa/opclass.hh"
+
+namespace rbsim
+{
+namespace
+{
+
+Inst
+mk3(Opcode op, unsigned ra = 1, unsigned rb = 2, unsigned rc = 3)
+{
+    Inst i;
+    i.op = op;
+    i.ra = static_cast<std::uint8_t>(ra);
+    i.rb = static_cast<std::uint8_t>(rb);
+    i.rc = static_cast<std::uint8_t>(rc);
+    return i;
+}
+
+TEST(Eval, DirectedArithmetic)
+{
+    Operands ops;
+    ops.a = 7;
+    ops.b = 5;
+    EXPECT_EQ(evalOp(mk3(Opcode::ADDQ), ops, 0).value, 12u);
+    EXPECT_EQ(evalOp(mk3(Opcode::SUBQ), ops, 0).value, 2u);
+    EXPECT_EQ(evalOp(mk3(Opcode::S4ADDQ), ops, 0).value, 33u);
+    EXPECT_EQ(evalOp(mk3(Opcode::S8SUBQ), ops, 0).value, 51u);
+    EXPECT_EQ(evalOp(mk3(Opcode::MULQ), ops, 0).value, 35u);
+}
+
+TEST(Eval, LongwordOpsSignExtend)
+{
+    Operands ops;
+    ops.a = 0x7fffffff;
+    ops.b = 1;
+    EXPECT_EQ(evalOp(mk3(Opcode::ADDL), ops, 0).value,
+              0xffffffff80000000ull);
+    ops.a = 0x100000000ull; // bits above 31 ignored by ADDL
+    ops.b = 5;
+    EXPECT_EQ(evalOp(mk3(Opcode::ADDL), ops, 0).value, 5u);
+}
+
+TEST(Eval, DirectedLogicalAndShifts)
+{
+    Operands ops;
+    ops.a = 0xff00;
+    ops.b = 0x0ff0;
+    EXPECT_EQ(evalOp(mk3(Opcode::AND), ops, 0).value, 0x0f00u);
+    EXPECT_EQ(evalOp(mk3(Opcode::BIS), ops, 0).value, 0xfff0u);
+    EXPECT_EQ(evalOp(mk3(Opcode::XOR), ops, 0).value, 0xf0f0u);
+    EXPECT_EQ(evalOp(mk3(Opcode::BIC), ops, 0).value, 0xf000u);
+    ops.a = static_cast<Word>(-8);
+    ops.b = 1;
+    EXPECT_EQ(static_cast<SWord>(evalOp(mk3(Opcode::SRA), ops, 0).value),
+              -4);
+    EXPECT_EQ(evalOp(mk3(Opcode::SRL), ops, 0).value,
+              0x7ffffffffffffffcull);
+    EXPECT_EQ(evalOp(mk3(Opcode::SLL), ops, 0).value,
+              static_cast<Word>(-16));
+}
+
+TEST(Eval, DirectedCompares)
+{
+    Operands ops;
+    ops.a = static_cast<Word>(-3);
+    ops.b = 2;
+    EXPECT_EQ(evalOp(mk3(Opcode::CMPLT), ops, 0).value, 1u);
+    EXPECT_EQ(evalOp(mk3(Opcode::CMPEQ), ops, 0).value, 0u);
+    // Unsigned: -3 is huge.
+    EXPECT_EQ(evalOp(mk3(Opcode::CMPULT), ops, 0).value, 0u);
+    EXPECT_EQ(evalOp(mk3(Opcode::CMPULE), ops, 0).value, 0u);
+}
+
+TEST(Eval, DirectedCmov)
+{
+    Operands ops;
+    ops.a = 0;
+    ops.b = 111;
+    ops.c = 222;
+    EXPECT_EQ(evalOp(mk3(Opcode::CMOVEQ), ops, 0).value, 111u);
+    EXPECT_EQ(evalOp(mk3(Opcode::CMOVNE), ops, 0).value, 222u);
+    ops.a = 1;
+    EXPECT_EQ(evalOp(mk3(Opcode::CMOVLBS), ops, 0).value, 111u);
+}
+
+TEST(Eval, DirectedByteOps)
+{
+    Operands ops;
+    ops.a = 0x1122334455667788ull;
+    ops.b = 2;
+    EXPECT_EQ(evalOp(mk3(Opcode::EXTBL), ops, 0).value, 0x66u);
+    EXPECT_EQ(evalOp(mk3(Opcode::EXTWL), ops, 0).value, 0x5566u);
+    EXPECT_EQ(evalOp(mk3(Opcode::EXTLL), ops, 0).value, 0x33445566u);
+    ops.a = 0xab;
+    EXPECT_EQ(evalOp(mk3(Opcode::INSBL), ops, 0).value, 0xab0000u);
+    ops.a = 0x1122334455667788ull;
+    ops.b = 0x0f; // keep low 4 bytes
+    EXPECT_EQ(evalOp(mk3(Opcode::ZAPNOT), ops, 0).value, 0x55667788u);
+}
+
+TEST(Eval, DirectedCounts)
+{
+    Operands ops;
+    ops.a = 0x00f0;
+    EXPECT_EQ(evalOp(mk3(Opcode::CTLZ), ops, 0).value, 56u);
+    EXPECT_EQ(evalOp(mk3(Opcode::CTTZ), ops, 0).value, 4u);
+    EXPECT_EQ(evalOp(mk3(Opcode::CTPOP), ops, 0).value, 4u);
+    ops.a = 0;
+    EXPECT_EQ(evalOp(mk3(Opcode::CTLZ), ops, 0).value, 64u);
+    EXPECT_EQ(evalOp(mk3(Opcode::CTTZ), ops, 0).value, 64u);
+}
+
+TEST(Eval, BranchOutcomes)
+{
+    Operands ops;
+    ops.a = 0;
+    EXPECT_TRUE(evalOp(mk3(Opcode::BEQ), ops, 0).taken);
+    EXPECT_FALSE(evalOp(mk3(Opcode::BNE), ops, 0).taken);
+    EXPECT_TRUE(evalOp(mk3(Opcode::BGE), ops, 0).taken);
+    EXPECT_TRUE(evalOp(mk3(Opcode::BLE), ops, 0).taken);
+    EXPECT_FALSE(evalOp(mk3(Opcode::BLT), ops, 0).taken);
+    EXPECT_FALSE(evalOp(mk3(Opcode::BGT), ops, 0).taken);
+    ops.a = static_cast<Word>(-5);
+    EXPECT_TRUE(evalOp(mk3(Opcode::BLT), ops, 0).taken);
+    EXPECT_TRUE(evalOp(mk3(Opcode::BLBS), ops, 0).taken);
+}
+
+TEST(Eval, ReturnAddressOps)
+{
+    Operands ops;
+    const EvalResult r = evalOp(mk3(Opcode::BSR), ops, 0x10040);
+    EXPECT_TRUE(r.taken);
+    EXPECT_EQ(r.value, 0x10040u);
+}
+
+TEST(Eval, MemoryOpsEvaluateToEffectiveAddress)
+{
+    Inst i;
+    i.op = Opcode::LDQ;
+    i.ra = 1;
+    i.rb = 2;
+    i.disp = -8;
+    Operands ops;
+    ops.b = 0x20010;
+    EXPECT_EQ(evalOp(i, ops, 0).value, 0x20008u);
+}
+
+/**
+ * The central equivalence property: for every opcode with an RB datapath,
+ * evalOpRb(inst, rb(ops)).value.toTc() == evalOp(inst, ops).value, and
+ * branch outcomes agree, over random operands and random representations
+ * (operands that went through chains of RB adds, not just fromTc).
+ */
+class RbEquivalence : public ::testing::TestWithParam<Opcode>
+{
+};
+
+TEST_P(RbEquivalence, RbPathMatchesTcPath)
+{
+    const Opcode op = GetParam();
+    Rng rng(1000 + static_cast<unsigned>(op));
+    for (int trial = 0; trial < 4000; ++trial) {
+        Inst inst = mk3(op);
+        if (op == Opcode::LDA || op == Opcode::LDAH || isLoad(op) ||
+            isStore(op)) {
+            inst.disp = static_cast<std::int32_t>(rng.range(-32768, 32767));
+        }
+        if (op == Opcode::LDIQ)
+            inst.imm64 = static_cast<std::int64_t>(rng.next());
+
+        Operands tc;
+        tc.a = rng.next();
+        tc.b = rng.next();
+        tc.c = rng.next();
+        // Shift amounts and byte indexes: keep small sometimes.
+        if (op == Opcode::SLL && rng.chance(3, 4))
+            tc.b = rng.below(64);
+
+        // RB operands with history: run each through a few adds and back
+        // so representations are "messy" but values match.
+        RbOperands rb;
+        auto messy = [&rng](Word v) {
+            RbNum x = RbNum::fromTc(v);
+            const Word tweak = rng.next();
+            x = rbAdd(x, RbNum::fromTc(tweak)).sum;
+            x = rbSub(x, RbNum::fromTc(tweak)).sum;
+            return x;
+        };
+        rb.a = messy(tc.a);
+        rb.b = messy(tc.b);
+        rb.c = messy(tc.c);
+        ASSERT_EQ(rb.a.toTc(), tc.a);
+
+        const EvalResult ref = evalOp(inst, tc, 0);
+        const RbEvalResult got = evalOpRb(inst, rb);
+        ASSERT_TRUE(got.usedRbPath) << opcodeName(op);
+        EXPECT_EQ(got.taken, ref.taken) << opcodeName(op);
+        if (writesDest(inst) || isLoad(op) || isStore(op)) {
+            EXPECT_EQ(got.value.toTc(), ref.value)
+                << opcodeName(op) << " a=" << tc.a << " b=" << tc.b;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRbOps, RbEquivalence,
+    ::testing::Values(
+        Opcode::ADDQ, Opcode::SUBQ, Opcode::ADDL, Opcode::SUBL,
+        Opcode::S4ADDQ, Opcode::S8ADDQ, Opcode::S4SUBQ, Opcode::S8SUBQ,
+        Opcode::LDA, Opcode::LDAH, Opcode::LDIQ, Opcode::SLL,
+        Opcode::CMPEQ, Opcode::CMPLT, Opcode::CMPLE, Opcode::CMPULT,
+        Opcode::CMPULE, Opcode::CMOVEQ, Opcode::CMOVNE, Opcode::CMOVLT,
+        Opcode::CMOVGE, Opcode::CMOVLE, Opcode::CMOVGT, Opcode::CMOVLBS,
+        Opcode::CMOVLBC, Opcode::CTTZ, Opcode::MULQ, Opcode::MULL,
+        Opcode::LDQ, Opcode::LDL,
+        Opcode::STQ, Opcode::STL, Opcode::BEQ, Opcode::BNE, Opcode::BLT,
+        Opcode::BGE, Opcode::BLE, Opcode::BGT, Opcode::BLBS,
+        Opcode::BLBC),
+    [](const ::testing::TestParamInfo<Opcode> &param_info) {
+        return std::string(opcodeName(param_info.param));
+    });
+
+TEST(Eval, TcOnlyOpsDeclineRbPath)
+{
+    RbOperands rb;
+    for (Opcode op : {Opcode::AND, Opcode::XOR, Opcode::SRL, Opcode::SRA,
+                      Opcode::EXTBL, Opcode::CTLZ, Opcode::CTPOP,
+                      Opcode::ADDT, Opcode::BR}) {
+        EXPECT_FALSE(evalOpRb(mk3(op), rb).usedRbPath) << opcodeName(op);
+    }
+}
+
+} // namespace
+} // namespace rbsim

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Unit tests for the fetch engine: width/block limits, prediction at
+ * fetch, HALT/JMP parking, redirect, and statistics utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+#include "common/strutil.hh"
+#include "frontend/fetch.hh"
+#include "isa/assembler.hh"
+
+namespace rbsim
+{
+namespace
+{
+
+struct FetchRig
+{
+    explicit FetchRig(const Program &p)
+        : prog(p), cfg(MachineConfig::make(MachineKind::Ideal, 8)),
+          mem(cfg), fetch(cfg, prog, mem)
+    {}
+
+    /** Advance until the engine delivers something (icache warmup). */
+    std::vector<FetchedInst>
+    fetchWarm(Cycle &now)
+    {
+        for (int tries = 0; tries < 300; ++tries) {
+            auto got = fetch.fetchCycle(now);
+            ++now;
+            if (!got.empty())
+                return got;
+            if (fetch.parked())
+                return {};
+        }
+        return {};
+    }
+
+    Program prog;
+    MachineConfig cfg;
+    MemHierarchy mem;
+    FetchEngine fetch;
+};
+
+TEST(Fetch, DeliversUpToEightStraightLine)
+{
+    FetchRig rig(assemble(R"(
+        nop
+        nop
+        nop
+        nop
+        nop
+        nop
+        nop
+        nop
+        nop
+        halt
+    )"));
+    Cycle now = 0;
+    const auto got = rig.fetchWarm(now);
+    EXPECT_EQ(got.size(), 8u);
+    EXPECT_EQ(got[0].pcIndex, 0u);
+    EXPECT_EQ(got[7].pcIndex, 7u);
+}
+
+TEST(Fetch, StopsAfterTwoBasicBlocks)
+{
+    // Two taken branches in quick succession: the second block ends the
+    // cycle's fetch even though width remains.
+    FetchRig rig(assemble(R"(
+        a:  br b
+            nop
+        b:  br c
+            nop
+        c:  nop
+            halt
+    )"));
+    Cycle now = 0;
+    const auto got = rig.fetchWarm(now);
+    // br (block 1 ends) + br (block 2 ends) -> stop.
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0].pcIndex, 0u);
+    EXPECT_EQ(got[1].pcIndex, 2u);
+}
+
+TEST(Fetch, FollowsPredictedTakenBranchSameCycle)
+{
+    FetchRig rig(assemble(R"(
+            br target
+            nop
+            nop
+        target:
+            nop
+            halt
+    )"));
+    Cycle now = 0;
+    const auto got = rig.fetchWarm(now);
+    ASSERT_GE(got.size(), 2u);
+    EXPECT_EQ(got[0].pcIndex, 0u);
+    EXPECT_TRUE(got[0].predTaken);
+    EXPECT_EQ(got[1].pcIndex, 3u); // the target, same cycle
+}
+
+TEST(Fetch, ParksOnHalt)
+{
+    FetchRig rig(assemble("nop\nhalt\nnop\nnop"));
+    Cycle now = 0;
+    const auto got = rig.fetchWarm(now);
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[1].inst.op, Opcode::HALT);
+    EXPECT_TRUE(rig.fetch.parked());
+    EXPECT_TRUE(rig.fetch.fetchCycle(now).empty());
+}
+
+TEST(Fetch, RedirectReawakensParkedEngine)
+{
+    FetchRig rig(assemble("halt\nnop\nhalt"));
+    Cycle now = 0;
+    rig.fetchWarm(now);
+    ASSERT_TRUE(rig.fetch.parked());
+    rig.fetch.redirect(1, now);
+    now += 1;
+    const auto got = rig.fetchWarm(now);
+    ASSERT_GE(got.size(), 1u);
+    EXPECT_EQ(got[0].pcIndex, 1u);
+}
+
+TEST(Fetch, UnpredictableJmpStalls)
+{
+    // A JMP through a register with cold RAS/BTB parks fetch until the
+    // core resolves it.
+    FetchRig rig(assemble(R"(
+            ldiq r4, 0x10008
+            jmp r9, r4
+            nop
+            halt
+    )"));
+    Cycle now = 0;
+    const auto got = rig.fetchWarm(now);
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_TRUE(got[1].stalledJmp);
+    EXPECT_TRUE(rig.fetch.parked());
+}
+
+TEST(Fetch, CondBranchSnapshotsPredictorState)
+{
+    FetchRig rig(assemble(R"(
+            ldiq r1, 5
+        top:
+            subq r1, #1, r1
+            bne r1, top
+            halt
+    )"));
+    Cycle now = 0;
+    std::vector<FetchedInst> all;
+    for (int i = 0; i < 400 && all.size() < 6; ++i) {
+        auto got = rig.fetch.fetchCycle(now);
+        ++now;
+        all.insert(all.end(), got.begin(), got.end());
+    }
+    bool saw_branch = false;
+    for (const auto &f : all) {
+        if (isCondBranch(f.inst.op)) {
+            saw_branch = true;
+            // Snapshot captured (history may legitimately be 0 early; at
+            // least the structure is present and indices latched).
+            EXPECT_EQ(f.inst.op, Opcode::BNE);
+        }
+    }
+    EXPECT_TRUE(saw_branch);
+}
+
+TEST(Stats, Means)
+{
+    EXPECT_DOUBLE_EQ(arithmeticMean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_NEAR(harmonicMean({1.0, 2.0, 4.0}), 3.0 / 1.75, 1e-12);
+    EXPECT_NEAR(geometricMean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_EQ(arithmeticMean({}), 0.0);
+}
+
+TEST(Stats, StatSetAndHistogram)
+{
+    StatSet s;
+    s.add("a");
+    s.add("a", 4);
+    s.add("b", 10);
+    EXPECT_EQ(s.get("a"), 5u);
+    EXPECT_EQ(s.get("missing"), 0u);
+    EXPECT_DOUBLE_EQ(s.ratio("a", "b"), 0.5);
+    EXPECT_NE(s.format().find("a = 5"), std::string::npos);
+
+    Histogram h(4);
+    h.record(0);
+    h.record(1);
+    h.record(1);
+    h.record(99); // clamps into the last bucket
+    EXPECT_EQ(h.samples(), 4u);
+    EXPECT_DOUBLE_EQ(h.fraction(1), 0.5);
+    EXPECT_EQ(h.raw()[3], 1u);
+}
+
+TEST(Strutil, Helpers)
+{
+    EXPECT_EQ(trim("  x y  "), "x y");
+    EXPECT_EQ(toLower("AbC"), "abc");
+    EXPECT_TRUE(startsWith("hello", "he"));
+    EXPECT_FALSE(startsWith("h", "he"));
+    EXPECT_EQ(splitTokens("a, b,,c", ", "),
+              (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_EQ(fmtDouble(1.2345, 2), "1.23");
+}
+
+} // namespace
+} // namespace rbsim

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Tests for the functional reference interpreter: loops, memory, calls,
+ * computed jumps, and the memory image.
+ */
+
+#include <gtest/gtest.h>
+
+#include "func/interp.hh"
+#include "isa/assembler.hh"
+#include "isa/builder.hh"
+
+namespace rbsim
+{
+namespace
+{
+
+TEST(MemImage, ReadWriteRoundTrip)
+{
+    MemImage m;
+    m.write64(0x1000, 0x1122334455667788ull);
+    EXPECT_EQ(m.read64(0x1000), 0x1122334455667788ull);
+    EXPECT_EQ(m.read32(0x1000), 0x55667788u);
+    EXPECT_EQ(m.read32(0x1004), 0x11223344u);
+    EXPECT_EQ(m.read8(0x1007), 0x11u);
+    m.write32(0x1004, 0xdeadbeefu);
+    EXPECT_EQ(m.read64(0x1000), 0xdeadbeef55667788ull);
+}
+
+TEST(MemImage, UntouchedMemoryReadsZero)
+{
+    MemImage m;
+    EXPECT_EQ(m.read64(0xdead0000), 0u);
+    EXPECT_EQ(m.residentPages(), 0u);
+}
+
+TEST(Interp, CountdownLoop)
+{
+    const Program p = assemble(R"(
+            ldiq r1, 100
+            ldiq r2, 0
+        loop:
+            addq r2, r1, r2
+            subq r1, #1, r1
+            bne r1, loop
+            halt
+    )");
+    Interp in(p);
+    in.run(10000);
+    EXPECT_TRUE(in.halted());
+    EXPECT_EQ(in.reg(2), 5050u); // sum 1..100
+}
+
+TEST(Interp, MemorySumLoop)
+{
+    const Program p = assemble(R"(
+        .org 0x20000
+        .quad 5, 10, 15, 20, 25
+            ldiq r1, 0x20000
+            ldiq r2, 5
+            ldiq r3, 0
+        loop:
+            ldq r4, 0(r1)
+            addq r3, r4, r3
+            lda r1, 8(r1)
+            subq r2, #1, r2
+            bne r2, loop
+            stq r3, 0(r1)
+            halt
+    )");
+    Interp in(p);
+    in.run(10000);
+    EXPECT_TRUE(in.halted());
+    EXPECT_EQ(in.reg(3), 75u);
+    EXPECT_EQ(in.mem().read64(0x20028), 75u);
+}
+
+TEST(Interp, LongwordLoadSignExtends)
+{
+    const Program p = assemble(R"(
+        .org 0x20000
+        .quad 0xffffffff
+            ldiq r1, 0x20000
+            ldl r2, 0(r1)
+            halt
+    )");
+    Interp in(p);
+    in.run(100);
+    EXPECT_EQ(static_cast<SWord>(in.reg(2)), -1);
+}
+
+TEST(Interp, StoreLongTruncates)
+{
+    const Program p = assemble(R"(
+            ldiq r1, 0x20000
+            ldiq r2, 0x11223344aabbccdd
+            stl r2, 0(r1)
+            ldq r3, 0(r1)
+            halt
+    )");
+    Interp in(p);
+    in.run(100);
+    EXPECT_EQ(in.reg(3), 0xaabbccddull);
+}
+
+TEST(Interp, SubroutineCallAndReturn)
+{
+    const Program p = assemble(R"(
+        .entry main
+        double:
+            addq r1, r1, r1
+            ret r26
+        main:
+            ldiq r1, 21
+            bsr r26, double
+            halt
+    )");
+    Interp in(p);
+    in.run(100);
+    EXPECT_TRUE(in.halted());
+    EXPECT_EQ(in.reg(1), 42u);
+}
+
+TEST(Interp, ComputedJumpThroughTable)
+{
+    // Build a jump table of code byte addresses in memory, load one, and
+    // jump through it.
+    CodeBuilder cb("jumptable");
+    const Label case0 = cb.newLabel();
+    const Label case1 = cb.newLabel();
+    const Label done = cb.newLabel();
+    const Label table_fill = cb.newLabel();
+
+    // r1 = selector (1), r2 = table base.
+    cb.ldiq(R(1), 1);
+    cb.ldiq(R(2), 0x50000);
+    cb.bind(table_fill);
+    // Load the target address and jump.
+    cb.op3(Opcode::S8ADDQ, R(1), R(2), R(3));
+    cb.load(Opcode::LDQ, R(4), 0, R(3));
+    cb.jmp(R(31), R(4));
+    cb.bind(case0);
+    cb.ldiq(R(5), 100);
+    cb.br(done);
+    cb.bind(case1);
+    cb.ldiq(R(5), 200);
+    cb.bind(done);
+    cb.halt();
+    Program p = cb.finish();
+
+    // Table: entries point at case0 (index 5) and case1 (index 7).
+    p.addDataWords(0x50000, {p.byteAddrOf(5), p.byteAddrOf(7)});
+
+    Interp in(p);
+    in.run(100);
+    EXPECT_TRUE(in.halted());
+    EXPECT_EQ(in.reg(5), 200u);
+}
+
+TEST(Interp, CmovAndCompare)
+{
+    const Program p = assemble(R"(
+            ldiq r1, -5
+            ldiq r2, 7
+            cmplt r1, r2, r3      ; r3 = 1
+            ldiq r4, 999
+            cmovne r3, r2, r4     ; r4 = 7
+            cmoveq r3, r1, r4     ; unchanged
+            halt
+    )");
+    Interp in(p);
+    in.run(100);
+    EXPECT_EQ(in.reg(3), 1u);
+    EXPECT_EQ(in.reg(4), 7u);
+}
+
+TEST(Interp, ZeroRegisterIgnoresWrites)
+{
+    const Program p = assemble(R"(
+            ldiq r31, 55
+            addq r31, #7, r1
+            halt
+    )");
+    Interp in(p);
+    in.run(100);
+    EXPECT_EQ(in.reg(31), 0u);
+    EXPECT_EQ(in.reg(1), 7u);
+}
+
+TEST(Interp, RunOffCodeEndHalts)
+{
+    const Program p = assemble("nop\nnop");
+    Interp in(p);
+    in.run(100);
+    EXPECT_TRUE(in.halted());
+    EXPECT_EQ(in.instsExecuted(), 2u);
+}
+
+TEST(Interp, StepRecordsStores)
+{
+    const Program p = assemble(R"(
+            ldiq r1, 0x20008
+            ldiq r2, 77
+            stq r2, 8(r1)
+            halt
+    )");
+    Interp in(p);
+    in.step();
+    in.step();
+    const StepRecord rec = in.step();
+    EXPECT_TRUE(rec.wroteMem);
+    EXPECT_EQ(rec.memAddr, 0x20010u);
+    EXPECT_EQ(rec.memValue, 77u);
+}
+
+} // namespace
+} // namespace rbsim

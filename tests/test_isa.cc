@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Tests for ISA static properties: operand extraction, latency classes,
+ * format classification (paper Table 1), and opcode naming.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/disasm.hh"
+#include "isa/opclass.hh"
+
+namespace rbsim
+{
+namespace
+{
+
+Inst
+mk3(Opcode op, unsigned ra, unsigned rb, unsigned rc)
+{
+    Inst i;
+    i.op = op;
+    i.ra = static_cast<std::uint8_t>(ra);
+    i.rb = static_cast<std::uint8_t>(rb);
+    i.rc = static_cast<std::uint8_t>(rc);
+    return i;
+}
+
+TEST(IsaInst, OperateFormatOperands)
+{
+    const Inst i = mk3(Opcode::ADDQ, 1, 2, 3);
+    EXPECT_EQ(destReg(i), 3u);
+    const SrcRegs s = srcRegs(i);
+    ASSERT_EQ(s.count, 2u);
+    EXPECT_EQ(s.reg[0], 1u);
+    EXPECT_EQ(s.reg[1], 2u);
+}
+
+TEST(IsaInst, LiteralSuppressesRbSource)
+{
+    Inst i = mk3(Opcode::ADDQ, 1, 0, 3);
+    i.useLit = true;
+    i.lit = 7;
+    const SrcRegs s = srcRegs(i);
+    ASSERT_EQ(s.count, 1u);
+    EXPECT_EQ(s.reg[0], 1u);
+}
+
+TEST(IsaInst, ZeroRegisterSourcesAreOmitted)
+{
+    const Inst i = mk3(Opcode::ADDQ, zeroReg, 2, 3);
+    const SrcRegs s = srcRegs(i);
+    ASSERT_EQ(s.count, 1u);
+    EXPECT_EQ(s.reg[0], 2u);
+}
+
+TEST(IsaInst, ZeroRegisterDestMeansNoDest)
+{
+    const Inst i = mk3(Opcode::ADDQ, 1, 2, zeroReg);
+    EXPECT_FALSE(writesDest(i));
+}
+
+TEST(IsaInst, CondMoveReadsOldDest)
+{
+    const Inst i = mk3(Opcode::CMOVEQ, 1, 2, 3);
+    const SrcRegs s = srcRegs(i);
+    ASSERT_EQ(s.count, 3u);
+    EXPECT_EQ(s.reg[2], 3u);
+    EXPECT_EQ(destReg(i), 3u);
+}
+
+TEST(IsaInst, StoreReadsDataThenBase)
+{
+    Inst i;
+    i.op = Opcode::STQ;
+    i.ra = 4; // data
+    i.rb = 5; // base
+    i.disp = 16;
+    EXPECT_FALSE(writesDest(i));
+    const SrcRegs s = srcRegs(i);
+    ASSERT_EQ(s.count, 2u);
+    EXPECT_EQ(s.reg[0], 4u);
+    EXPECT_EQ(s.reg[1], 5u);
+    // Store data must be TC; the base (consumed by SAM) accepts RB.
+    EXPECT_EQ(srcFormatReq(i, 0), Format::TC);
+    EXPECT_EQ(srcFormatReq(i, 1), Format::RB);
+}
+
+TEST(IsaInst, LoadWritesRaReadsBase)
+{
+    Inst i;
+    i.op = Opcode::LDQ;
+    i.ra = 4;
+    i.rb = 5;
+    EXPECT_EQ(destReg(i), 4u);
+    const SrcRegs s = srcRegs(i);
+    ASSERT_EQ(s.count, 1u);
+    EXPECT_EQ(s.reg[0], 5u);
+}
+
+TEST(IsaInst, BranchReadsTestRegisterOnly)
+{
+    Inst i;
+    i.op = Opcode::BNE;
+    i.ra = 9;
+    i.disp = -4;
+    EXPECT_FALSE(writesDest(i));
+    const SrcRegs s = srcRegs(i);
+    ASSERT_EQ(s.count, 1u);
+    EXPECT_EQ(s.reg[0], 9u);
+}
+
+TEST(IsaInst, JmpWritesReturnAddress)
+{
+    Inst i;
+    i.op = Opcode::JMP;
+    i.ra = 26;
+    i.rb = 27;
+    EXPECT_EQ(destReg(i), 26u);
+    const SrcRegs s = srcRegs(i);
+    ASSERT_EQ(s.count, 1u);
+    EXPECT_EQ(s.reg[0], 27u);
+}
+
+TEST(IsaClass, Table3LatencyClassMembership)
+{
+    EXPECT_EQ(opClass(Opcode::ADDQ), OpClass::IntArith);
+    EXPECT_EQ(opClass(Opcode::LDA), OpClass::IntArith);
+    EXPECT_EQ(opClass(Opcode::S8SUBQ), OpClass::IntArith);
+    EXPECT_EQ(opClass(Opcode::MULQ), OpClass::IntMul);
+    EXPECT_EQ(opClass(Opcode::BIS), OpClass::IntLogical);
+    EXPECT_EQ(opClass(Opcode::SLL), OpClass::ShiftLeft);
+    EXPECT_EQ(opClass(Opcode::SRA), OpClass::ShiftRight);
+    EXPECT_EQ(opClass(Opcode::CMPULE), OpClass::IntCompare);
+    EXPECT_EQ(opClass(Opcode::CMOVGT), OpClass::CondMove);
+    EXPECT_EQ(opClass(Opcode::EXTBL), OpClass::ByteManip);
+    EXPECT_EQ(opClass(Opcode::CTPOP), OpClass::Count);
+    EXPECT_EQ(opClass(Opcode::LDL), OpClass::Load);
+    EXPECT_EQ(opClass(Opcode::STL), OpClass::Store);
+    EXPECT_EQ(opClass(Opcode::BSR), OpClass::Branch);
+    EXPECT_EQ(opClass(Opcode::ADDT), OpClass::FpArith);
+    EXPECT_EQ(opClass(Opcode::DIVT), OpClass::FpDiv);
+}
+
+TEST(IsaClass, Table1FormatClassification)
+{
+    // RB in / RB out: the arithmetic family.
+    for (Opcode op : {Opcode::ADDQ, Opcode::SUBQ, Opcode::MULQ,
+                      Opcode::LDA, Opcode::LDAH, Opcode::S4ADDQ,
+                      Opcode::SLL, Opcode::CMOVLBS, Opcode::CMOVLT,
+                      Opcode::CMOVEQ}) {
+        EXPECT_EQ(inputFormat(op), Format::RB) << opcodeName(op);
+        EXPECT_EQ(outputFormat(op), Format::RB) << opcodeName(op);
+    }
+    // RB in / TC out: memory and compares.
+    for (Opcode op : {Opcode::LDQ, Opcode::STQ, Opcode::CMPEQ,
+                      Opcode::CMPULT}) {
+        EXPECT_EQ(inputFormat(op), Format::RB) << opcodeName(op);
+    }
+    EXPECT_EQ(outputFormat(Opcode::LDQ), Format::TC);
+    EXPECT_EQ(outputFormat(Opcode::CMPEQ), Format::TC);
+    // TC in / TC out: logical, right shifts, byte, CTLZ/CTPOP.
+    for (Opcode op : {Opcode::AND, Opcode::XOR, Opcode::SRL, Opcode::SRA,
+                      Opcode::EXTBL, Opcode::ZAPNOT, Opcode::CTLZ,
+                      Opcode::CTPOP}) {
+        EXPECT_EQ(inputFormat(op), Format::TC) << opcodeName(op);
+        EXPECT_EQ(outputFormat(op), Format::TC) << opcodeName(op);
+    }
+    // CTTZ works in RB (count trailing nonzero digits).
+    EXPECT_EQ(inputFormat(Opcode::CTTZ), Format::RB);
+    // Conditional branches test RB values.
+    EXPECT_EQ(inputFormat(Opcode::BLT), Format::RB);
+}
+
+TEST(IsaClass, Table1RowAssignment)
+{
+    EXPECT_EQ(table1Row(Opcode::ADDQ), Table1Row::ArithRbRb);
+    EXPECT_EQ(table1Row(Opcode::SLL), Table1Row::ArithRbRb);
+    EXPECT_EQ(table1Row(Opcode::CMOVLBS), Table1Row::ArithRbRb);
+    EXPECT_EQ(table1Row(Opcode::CMOVLT), Table1Row::CmovSign);
+    EXPECT_EQ(table1Row(Opcode::CMOVNE), Table1Row::CmovZero);
+    EXPECT_EQ(table1Row(Opcode::LDQ), Table1Row::MemAccess);
+    EXPECT_EQ(table1Row(Opcode::STL), Table1Row::MemAccess);
+    EXPECT_EQ(table1Row(Opcode::CMPEQ), Table1Row::CmpEq);
+    EXPECT_EQ(table1Row(Opcode::CMPULE), Table1Row::CmpRel);
+    EXPECT_EQ(table1Row(Opcode::BNE), Table1Row::CondBranch);
+    EXPECT_EQ(table1Row(Opcode::AND), Table1Row::Other);
+    EXPECT_EQ(table1Row(Opcode::EXTBL), Table1Row::Other);
+    EXPECT_EQ(table1Row(Opcode::BR), Table1Row::Other);
+}
+
+TEST(IsaOpcode, NamesRoundTrip)
+{
+    for (unsigned i = 0; i < numOpcodes; ++i) {
+        const Opcode op = static_cast<Opcode>(i);
+        const auto parsed = parseOpcode(opcodeName(op));
+        ASSERT_TRUE(parsed.has_value()) << opcodeName(op);
+        EXPECT_EQ(*parsed, op);
+    }
+    EXPECT_FALSE(parseOpcode("bogus").has_value());
+}
+
+TEST(IsaDisasm, RendersCommonForms)
+{
+    EXPECT_EQ(disassemble(mk3(Opcode::ADDQ, 1, 2, 3)), "addq r1, r2, r3");
+    Inst lit = mk3(Opcode::SUBQ, 1, 0, 3);
+    lit.useLit = true;
+    lit.lit = 8;
+    EXPECT_EQ(disassemble(lit), "subq r1, #8, r3");
+    Inst mem;
+    mem.op = Opcode::LDQ;
+    mem.ra = 4;
+    mem.rb = 5;
+    mem.disp = 16;
+    EXPECT_EQ(disassemble(mem), "ldq r4, 16(r5)");
+    Inst b;
+    b.op = Opcode::BEQ;
+    b.ra = 2;
+    b.disp = -3;
+    EXPECT_EQ(disassemble(b, 10), "beq r2, @8");
+}
+
+} // namespace
+} // namespace rbsim

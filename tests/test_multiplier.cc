@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for the redundant binary tree multiplier (paper section 2's
+ * historic application of RB arithmetic): value correctness against
+ * 64-bit two's complement multiplication, both the digit-direct and the
+ * Booth-recoded variants, and the constant-per-level delay model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "rb/gatedelay.hh"
+#include "rb/multiplier.hh"
+
+namespace rbsim
+{
+namespace
+{
+
+RbNum
+messy(Rng &rng, Word v)
+{
+    RbNum x = RbNum::fromTc(v);
+    const Word t = rng.next();
+    x = rbAdd(x, RbNum::fromTc(t)).sum;
+    return rbSub(x, RbNum::fromTc(t)).sum;
+}
+
+TEST(RbMultiplier, DigitTreeMatchesTcMultiply)
+{
+    Rng rng(81);
+    for (int i = 0; i < 4000; ++i) {
+        const Word a = rng.next();
+        const Word b = rng.next();
+        const RbMulResult r =
+            rbTreeMultiply(messy(rng, a), messy(rng, b));
+        EXPECT_EQ(r.product.toTc(), a * b) << a << " * " << b;
+    }
+}
+
+TEST(RbMultiplier, BoothTreeMatchesTcMultiply)
+{
+    Rng rng(82);
+    for (int i = 0; i < 4000; ++i) {
+        const Word a = rng.next();
+        const Word b = rng.next();
+        const RbMulResult r =
+            rbTreeMultiplyBooth(messy(rng, a), messy(rng, b));
+        EXPECT_EQ(r.product.toTc(), a * b) << a << " * " << b;
+    }
+}
+
+TEST(RbMultiplier, SmallAndEdgeValues)
+{
+    const Word cases[] = {0, 1, 2, 3, 7, 0xff, 0x8000000000000000ull,
+                          0x7fffffffffffffffull, ~Word{0}};
+    for (Word a : cases) {
+        for (Word b : cases) {
+            EXPECT_EQ(rbTreeMultiply(RbNum::fromTc(a),
+                                     RbNum::fromTc(b)).product.toTc(),
+                      a * b);
+            EXPECT_EQ(rbTreeMultiplyBooth(RbNum::fromTc(a),
+                                          RbNum::fromTc(b))
+                          .product.toTc(),
+                      a * b);
+        }
+    }
+}
+
+TEST(RbMultiplier, ZeroMultiplierShortCircuits)
+{
+    const RbMulResult r =
+        rbTreeMultiply(RbNum::fromTc(12345), RbNum());
+    EXPECT_TRUE(r.product.isZero());
+    EXPECT_EQ(r.treeLevels, 0u);
+}
+
+TEST(RbMultiplier, TreeDepthIsLogarithmic)
+{
+    Rng rng(83);
+    const RbMulResult full = rbTreeMultiply(
+        RbNum::fromTc(rng.next() | 1), RbNum::fromTc(~Word{0}));
+    // ~64 partial products -> ceil(log2) = 6 reduction levels.
+    EXPECT_LE(full.treeLevels, 7u);
+    EXPECT_GE(full.treeLevels, 6u);
+
+    const RbMulResult booth = rbTreeMultiplyBooth(
+        RbNum::fromTc(rng.next() | 1),
+        RbNum::fromTc(0x5555555555555555ull));
+    EXPECT_LE(booth.treeLevels, 6u);
+}
+
+TEST(RbMultiplier, BoothHalvesModeledDepth)
+{
+    EXPECT_LT(rbMulTreeDepth(64, true), rbMulTreeDepth(64, false));
+    // Each level costs one constant adder delay, independent of width.
+    EXPECT_EQ(rbMulTreeDepth(64, false) - rbMulTreeDepth(32, false),
+              rbAdderDepth(64));
+}
+
+TEST(RbMultiplier, NegativeDigitOperandsExerciseFreeNegation)
+{
+    // A multiplier value whose representation is rich in -1 digits
+    // (subtraction results) must still multiply exactly.
+    Rng rng(84);
+    for (int i = 0; i < 2000; ++i) {
+        const Word a = rng.next();
+        const Word big = rng.next() | 0x8000000000000000ull;
+        const Word small = rng.next() & 0xffff;
+        const RbNum b = rbSub(RbNum::fromTc(small),
+                              RbNum::fromTc(big)).sum;
+        EXPECT_EQ(rbTreeMultiply(RbNum::fromTc(a), b).product.toTc(),
+                  a * (small - big));
+    }
+}
+
+} // namespace
+} // namespace rbsim

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Tests for carry-free redundant binary arithmetic (paper §3.3, §3.5,
+ * §3.6): value correctness against 64-bit two's complement, the bounded
+ * carry propagation property, the paper's worked increment sequence, and
+ * the overflow rules.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "rb/rbalu.hh"
+
+namespace rbsim
+{
+namespace
+{
+
+/** Random RB number that is normalized (built from a TC value) or the
+ * result of normalized adds, depending on depth. */
+RbNum
+randomRb(Rng &rng, int depth = 0)
+{
+    RbNum x = RbNum::fromTc(rng.next());
+    for (int i = 0; i < depth; ++i)
+        x = rbAdd(x, RbNum::fromTc(rng.next())).sum;
+    return x;
+}
+
+TEST(RbAlu, AddMatchesTwosComplementRandom)
+{
+    Rng rng(11);
+    for (int i = 0; i < 50000; ++i) {
+        const Word a = rng.next();
+        const Word b = rng.next();
+        const RbAddResult r = rbAdd(RbNum::fromTc(a), RbNum::fromTc(b));
+        EXPECT_EQ(r.sum.toTc(), a + b) << a << " + " << b;
+    }
+}
+
+TEST(RbAlu, AddChainsStayCorrect)
+{
+    // Results of adds feed further adds without any conversion, as in the
+    // forwarding of intermediate results the paper relies on.
+    Rng rng(12);
+    for (int trial = 0; trial < 2000; ++trial) {
+        Word expect = rng.next();
+        RbNum acc = RbNum::fromTc(expect);
+        for (int i = 0; i < 20; ++i) {
+            const Word v = rng.next();
+            if (rng.chance(1, 2)) {
+                expect += v;
+                acc = rbAdd(acc, RbNum::fromTc(v)).sum;
+            } else {
+                expect -= v;
+                acc = rbSub(acc, RbNum::fromTc(v)).sum;
+            }
+            EXPECT_EQ(acc.toTc(), expect);
+            EXPECT_EQ(acc.signNegative(),
+                      static_cast<SWord>(expect) < 0);
+        }
+    }
+}
+
+TEST(RbAlu, PaperIncrementSequence)
+{
+    // Paper section 3.5: repeatedly incrementing 1 yields the digit
+    // patterns <0001>, <0010>, <010-1>, <1-100>, <1-11-1>, ...
+    const RbNum one = RbNum::fromTc(1);
+    RbNum x = one;
+    EXPECT_EQ(x.toString(4), "<0,0,0,1>");
+    x = rbAdd(x, one).sum;
+    EXPECT_EQ(x.toString(4), "<0,0,1,0>");
+    x = rbAdd(x, one).sum;
+    EXPECT_EQ(x.toString(4), "<0,1,0,-1>");
+    x = rbAdd(x, one).sum;
+    EXPECT_EQ(x.toString(4), "<1,-1,0,0>");
+    x = rbAdd(x, one).sum;
+    EXPECT_EQ(x.toString(4), "<1,-1,1,-1>");
+    EXPECT_EQ(x.toTc(), 5u);
+}
+
+TEST(RbAlu, CarryPropagationIsBounded)
+{
+    // The defining property (paper section 3.3): sum digit i depends only
+    // on input digits i, i-1, i-2. Verify by perturbing digits >= i+1 and
+    // checking digits <= i of the raw sum never change.
+    Rng rng(13);
+    for (int trial = 0; trial < 3000; ++trial) {
+        const RbNum x = randomRb(rng, 1);
+        const RbNum y = randomRb(rng, 1);
+        const RbRawSum base = rbAddRaw(x, y);
+
+        const unsigned i = static_cast<unsigned>(rng.below(60));
+        // Perturb x above digit i by clearing all higher digits.
+        const std::uint64_t keep = (std::uint64_t{1} << (i + 1)) - 1;
+        const RbNum x2(x.plus() & keep, x.minus() & keep);
+        const RbRawSum mod = rbAddRaw(x2, y);
+
+        const std::uint64_t low_mask = keep;
+        EXPECT_EQ(base.digits.plus() & low_mask,
+                  mod.digits.plus() & low_mask);
+        EXPECT_EQ(base.digits.minus() & low_mask,
+                  mod.digits.minus() & low_mask);
+    }
+}
+
+TEST(RbAlu, RawSumValueIdentityWithCarryOut)
+{
+    // carry * 2^64 + digits == x + y as wide integers.
+    Rng rng(14);
+    for (int i = 0; i < 20000; ++i) {
+        const RbNum x = randomRb(rng, rng.below(3));
+        const RbNum y = randomRb(rng, rng.below(3));
+        const RbRawSum raw = rbAddRaw(x, y);
+        // Compare unwrapped values via 128-bit arithmetic.
+        auto unwrap = [](const RbNum &n) {
+            return static_cast<__int128>(n.plus()) -
+                   static_cast<__int128>(n.minus());
+        };
+        const __int128 lhs = unwrap(x) + unwrap(y);
+        const __int128 rhs =
+            (static_cast<__int128>(raw.carryOut) << 64) +
+            unwrap(raw.digits);
+        EXPECT_TRUE(lhs == rhs);
+    }
+}
+
+TEST(RbAlu, NegationIsFreeAndExact)
+{
+    Rng rng(15);
+    for (int i = 0; i < 20000; ++i) {
+        const RbNum x = randomRb(rng, rng.below(4));
+        const RbNum n = rbNegate(x);
+        EXPECT_EQ(n.toTc(), static_cast<Word>(0) - x.toTc());
+        EXPECT_EQ(n.plus(), x.minus());
+        EXPECT_EQ(n.minus(), x.plus());
+    }
+}
+
+TEST(RbAlu, SubMatchesTwosComplement)
+{
+    Rng rng(16);
+    for (int i = 0; i < 20000; ++i) {
+        const Word a = rng.next();
+        const Word b = rng.next();
+        EXPECT_EQ(rbSub(RbNum::fromTc(a), RbNum::fromTc(b)).sum.toTc(),
+                  a - b);
+    }
+}
+
+TEST(RbAlu, SignScanCorrectAfterNormalizedAdds)
+{
+    Rng rng(17);
+    for (int i = 0; i < 20000; ++i) {
+        const RbNum x = randomRb(rng, rng.below(5));
+        EXPECT_EQ(x.signNegative(), static_cast<SWord>(x.toTc()) < 0)
+            << x.toString();
+    }
+}
+
+TEST(RbAlu, TcOverflowFlagMatchesWideArithmetic)
+{
+    Rng rng(18);
+    int overflows = 0;
+    for (int i = 0; i < 50000; ++i) {
+        // Bias operands toward large magnitudes to hit overflow often.
+        const Word a = rng.next() | (rng.chance(1, 2)
+            ? 0xc000000000000000ull : 0);
+        const Word b = rng.chance(1, 2) ? (rng.next() | a) : rng.next();
+        const RbAddResult r = rbAdd(RbNum::fromTc(a), RbNum::fromTc(b));
+        const __int128 wide = static_cast<__int128>(
+            static_cast<SWord>(a)) + static_cast<SWord>(b);
+        const bool expect_ovf =
+            wide < -(static_cast<__int128>(1) << 63) ||
+            wide >= (static_cast<__int128>(1) << 63);
+        EXPECT_EQ(r.tcOverflow, expect_ovf) << a << " " << b;
+        overflows += r.tcOverflow;
+    }
+    EXPECT_GT(overflows, 1000); // the bias actually produced overflow
+}
+
+TEST(RbAlu, BogusOverflowOccursAndIsCorrected)
+{
+    // Drive a long chain of adds; bogus overflow (carry-out cancelling an
+    // opposite-sign MSD) must occur and never corrupt the value.
+    Rng rng(19);
+    int bogus = 0;
+    RbNum acc = RbNum::fromTc(0x4000000000000000ull);
+    Word expect = 0x4000000000000000ull;
+    for (int i = 0; i < 200000; ++i) {
+        const Word v = rng.next();
+        const RbAddResult r = rbAdd(acc, RbNum::fromTc(v));
+        acc = r.sum;
+        expect += v;
+        ASSERT_EQ(acc.toTc(), expect);
+        bogus += r.bogusCorrected;
+    }
+    EXPECT_GT(bogus, 0);
+}
+
+TEST(RbAlu, ShiftLeftDigitsPaperExample)
+{
+    // <-1,1,0,1> (-3) shifted left one digit becomes -6; the paper shows
+    // the MSD re-signing making the 4-digit result <-1,0,1,0>. In our
+    // 64-digit numbers -3 << 1 is simply -6.
+    const RbNum minus3(0b0101, 0b1000); // -8+4+1 = -3
+    EXPECT_EQ(static_cast<SWord>(minus3.toTc()), -3);
+    const RbNum shifted = rbShiftLeftDigits(minus3, 1);
+    EXPECT_EQ(static_cast<SWord>(shifted.toTc()), -6);
+}
+
+TEST(RbAlu, ShiftLeftDigitsMatchesTcShift)
+{
+    Rng rng(20);
+    for (int i = 0; i < 30000; ++i) {
+        const RbNum x = randomRb(rng, rng.below(3));
+        const unsigned k = static_cast<unsigned>(rng.below(64));
+        const RbNum s = rbShiftLeftDigits(x, k);
+        EXPECT_EQ(s.toTc(), x.toTc() << k);
+        // Normalization keeps the sign scan valid.
+        EXPECT_EQ(s.signNegative(),
+                  static_cast<SWord>(s.toTc()) < 0);
+    }
+}
+
+TEST(RbAlu, ScaledAddMatchesTc)
+{
+    Rng rng(21);
+    for (int i = 0; i < 20000; ++i) {
+        const Word a = rng.next();
+        const Word b = rng.next();
+        EXPECT_EQ(rbScaledAdd(RbNum::fromTc(a), 2,
+                              RbNum::fromTc(b)).sum.toTc(),
+                  (a << 2) + b);
+        EXPECT_EQ(rbScaledAdd(RbNum::fromTc(a), 3,
+                              RbNum::fromTc(b)).sum.toTc(),
+                  (a << 3) + b);
+    }
+}
+
+TEST(RbAlu, CompareZeroAgreesWithSignedCompare)
+{
+    Rng rng(22);
+    for (int i = 0; i < 20000; ++i) {
+        const RbNum x = randomRb(rng, rng.below(4));
+        const SWord v = static_cast<SWord>(x.toTc());
+        const int expect = v < 0 ? -1 : (v == 0 ? 0 : 1);
+        EXPECT_EQ(rbCompareZero(x), expect);
+    }
+}
+
+TEST(RbOverflow, ExtractLongwordMatchesSext32)
+{
+    Rng rng(23);
+    for (int i = 0; i < 30000; ++i) {
+        const RbNum x = randomRb(rng, rng.below(4));
+        const RbNum lw = extractLongword(x);
+        const Word expect = static_cast<Word>(
+            static_cast<SWord>(static_cast<std::int32_t>(x.toTc())));
+        EXPECT_EQ(lw.toTc(), expect) << x.toString();
+        // Upper digits are clear so the RB number *is* the sign-extended
+        // longword.
+        EXPECT_EQ((lw.plus() | lw.minus()) >> 32, 0u);
+        EXPECT_EQ(lw.signNegative(), static_cast<SWord>(expect) < 0);
+    }
+}
+
+TEST(RbOverflow, NormalizeQuadIdempotentOnNormalValues)
+{
+    Rng rng(24);
+    for (int i = 0; i < 10000; ++i) {
+        const RbNum x = randomRb(rng, rng.below(4));
+        const NormalizeResult n = normalizeQuad(x, 0);
+        EXPECT_EQ(n.value.toTc(), x.toTc());
+        EXPECT_FALSE(n.tcOverflow);
+        EXPECT_FALSE(n.bogusCorrected);
+    }
+}
+
+} // namespace
+} // namespace rbsim

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Unit tests for the redundant binary number representation (paper §3.1,
+ * §3.2): encoding invariants, hardwired TC->RB conversion, value queries.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "rb/rbnum.hh"
+
+namespace rbsim
+{
+namespace
+{
+
+TEST(RbNum, DefaultIsZero)
+{
+    RbNum x;
+    EXPECT_TRUE(x.isZero());
+    EXPECT_EQ(x.toTc(), 0u);
+    EXPECT_FALSE(x.signNegative());
+    EXPECT_FALSE(x.lsbSet());
+}
+
+TEST(RbNum, PaperExampleValueThree)
+{
+    // <0,1,0,-1> represents 2^2 - 2^0 = 3 (paper section 3.1).
+    RbNum x(0b0100, 0b0001);
+    EXPECT_EQ(x.toTc(), 3u);
+    EXPECT_EQ(x.digit(2), Digit::Plus);
+    EXPECT_EQ(x.digit(0), Digit::Minus);
+    EXPECT_EQ(x.digit(1), Digit::Zero);
+
+    // Three is also <0,0,1,1>: redundancy means multiple representations.
+    RbNum y(0b0011, 0);
+    EXPECT_EQ(y.toTc(), 3u);
+    EXPECT_FALSE(x == y); // different representations
+}
+
+TEST(RbNum, FromTcPositive)
+{
+    const RbNum x = RbNum::fromTc(42);
+    EXPECT_EQ(x.toTc(), 42u);
+    EXPECT_EQ(x.minus(), 0u); // no MSB, purely positive digits
+    EXPECT_FALSE(x.signNegative());
+}
+
+TEST(RbNum, FromTcNegativePutsSignBitInMinusPlane)
+{
+    const RbNum x = RbNum::fromTc(static_cast<Word>(-1));
+    EXPECT_EQ(x.toTc(), static_cast<Word>(-1));
+    // MSB of the TC value lands in the negative plane (paper section 3.2).
+    EXPECT_EQ(x.minus(), std::uint64_t{1} << 63);
+    EXPECT_EQ(x.plus(), 0x7fffffffffffffffull);
+    EXPECT_TRUE(x.signNegative());
+}
+
+TEST(RbNum, FromTcRoundTripsRandomValues)
+{
+    Rng rng(1);
+    for (int i = 0; i < 10000; ++i) {
+        const Word w = rng.next();
+        const RbNum x = RbNum::fromTc(w);
+        EXPECT_EQ(x.toTc(), w);
+        EXPECT_EQ((x.plus() & x.minus()), 0u);
+    }
+}
+
+TEST(RbNum, FromTcSignScanMatchesTcSign)
+{
+    Rng rng(2);
+    for (int i = 0; i < 10000; ++i) {
+        const Word w = rng.next();
+        const RbNum x = RbNum::fromTc(w);
+        EXPECT_EQ(x.signNegative(), static_cast<SWord>(w) < 0) << w;
+    }
+}
+
+TEST(RbNum, FromTcLongKeepsLongwordSign)
+{
+    const RbNum x = RbNum::fromTcLong(0xffffffffu); // -1 as a longword
+    // Bit 31 is hardwired to the negative plane of digit 31 (section 3.6).
+    EXPECT_EQ(x.minus(), 0x80000000ull);
+    EXPECT_EQ(x.plus(), 0x7fffffffull);
+    EXPECT_TRUE(x.signNegative());
+    // Value of the 32-digit number is -1.
+    EXPECT_EQ(static_cast<SWord>(x.toTc()), -1);
+}
+
+TEST(RbNum, DigitSetAndGet)
+{
+    RbNum x;
+    x.setDigit(5, Digit::Minus);
+    EXPECT_EQ(x.digit(5), Digit::Minus);
+    x.setDigit(5, Digit::Plus);
+    EXPECT_EQ(x.digit(5), Digit::Plus);
+    x.setDigit(5, Digit::Zero);
+    EXPECT_TRUE(x.isZero());
+}
+
+TEST(RbNum, LsbSetIsValueOddness)
+{
+    Rng rng(3);
+    for (int i = 0; i < 2000; ++i) {
+        const Word w = rng.next();
+        EXPECT_EQ(RbNum::fromTc(w).lsbSet(), (w & 1) != 0);
+    }
+    // Also with a mixed representation: <1,-1> has value 1, odd.
+    RbNum x(0b10, 0b01);
+    EXPECT_EQ(x.toTc(), 1u);
+    EXPECT_TRUE(x.lsbSet());
+}
+
+TEST(RbNum, TrailingZeroDigitsEqualsCttzOfValue)
+{
+    Rng rng(4);
+    for (int i = 0; i < 2000; ++i) {
+        const Word w = rng.next() << rng.below(20);
+        const RbNum x = RbNum::fromTc(w);
+        const unsigned expect =
+            w == 0 ? 64u : static_cast<unsigned>(__builtin_ctzll(w));
+        EXPECT_EQ(x.trailingZeroDigits(), expect);
+    }
+}
+
+TEST(RbNum, ToStringShowsDigits)
+{
+    RbNum x(0b0100, 0b0001);
+    EXPECT_EQ(x.toString(4), "<0,1,0,-1>");
+}
+
+TEST(RbNum, ZeroTestIsAllDigitsZero)
+{
+    // Disjoint planes mean value zero implies every digit zero, so the
+    // hardware zero test is a wide OR (paper section 3.6).
+    Rng rng(5);
+    for (int i = 0; i < 5000; ++i) {
+        std::uint64_t p = rng.next();
+        std::uint64_t m = rng.next() & ~p;
+        RbNum x(p, m);
+        EXPECT_EQ(x.isZero(), x.toTc() == 0 && p == m);
+        if (x.toTc() == 0) {
+            EXPECT_TRUE(p == 0 && m == 0);
+        }
+    }
+}
+
+} // namespace
+} // namespace rbsim

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the section 3.4 comparison arithmetic: radix-4 signed-digit
+ * addition (bounded transfer propagation, value correctness) and the
+ * carry-save accumulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "rb/carry_save.hh"
+#include "rb/gatedelay.hh"
+#include "rb/rsd4.hh"
+
+namespace rbsim
+{
+namespace
+{
+
+TEST(Rsd4, FromTcRoundTrips)
+{
+    Rng rng(91);
+    for (int i = 0; i < 20000; ++i) {
+        const Word w = rng.next();
+        EXPECT_EQ(Rsd4Num::fromTc(w).toTc(), w);
+    }
+}
+
+TEST(Rsd4, AddMatchesTwosComplement)
+{
+    Rng rng(92);
+    for (int i = 0; i < 30000; ++i) {
+        const Word a = rng.next();
+        const Word b = rng.next();
+        EXPECT_EQ(rsd4Add(Rsd4Num::fromTc(a),
+                          Rsd4Num::fromTc(b)).toTc(),
+                  a + b);
+    }
+}
+
+TEST(Rsd4, ChainsOfAddsAndSubsStayExact)
+{
+    Rng rng(93);
+    for (int trial = 0; trial < 500; ++trial) {
+        Word expect = rng.next();
+        Rsd4Num acc = Rsd4Num::fromTc(expect);
+        for (int i = 0; i < 30; ++i) {
+            const Word v = rng.next();
+            if (rng.chance(1, 2)) {
+                expect += v;
+                acc = rsd4Add(acc, Rsd4Num::fromTc(v));
+            } else {
+                expect -= v;
+                acc = rsd4Sub(acc, Rsd4Num::fromTc(v));
+            }
+            ASSERT_EQ(acc.toTc(), expect);
+        }
+    }
+}
+
+TEST(Rsd4, DigitsStayInRangeThroughChains)
+{
+    Rng rng(94);
+    Rsd4Num acc = Rsd4Num::fromTc(rng.next());
+    for (int i = 0; i < 5000; ++i) {
+        acc = rsd4Add(acc, Rsd4Num::fromTc(rng.next()));
+        for (unsigned d = 0; d < 32; ++d) {
+            ASSERT_GE(acc.digit(d), -3);
+            ASSERT_LE(acc.digit(d), 3);
+        }
+    }
+}
+
+TEST(Rsd4, TransferPropagationIsBounded)
+{
+    // Digit i of the sum depends only on digits i and i-1 of the inputs:
+    // clearing all digits above i must not change digits <= i.
+    Rng rng(95);
+    for (int trial = 0; trial < 3000; ++trial) {
+        const Rsd4Num x = Rsd4Num::fromTc(rng.next());
+        const Rsd4Num y =
+            rsd4Sub(Rsd4Num::fromTc(rng.next()),
+                    Rsd4Num::fromTc(rng.next())); // digits of mixed sign
+        const Rsd4Num base = rsd4Add(x, y);
+        const unsigned cut = 1 + static_cast<unsigned>(rng.below(30));
+        Rsd4Num x2 = x;
+        for (unsigned d = cut + 1; d < 32; ++d)
+            x2.setDigit(d, 0);
+        const Rsd4Num mod = rsd4Add(x2, y);
+        for (unsigned d = 0; d <= cut; ++d)
+            ASSERT_EQ(base.digit(d), mod.digit(d));
+    }
+}
+
+TEST(Rsd4, NegationIsFree)
+{
+    Rng rng(96);
+    for (int i = 0; i < 5000; ++i) {
+        const Word w = rng.next();
+        EXPECT_EQ(Rsd4Num::fromTc(w).negated().toTc(), Word(0) - w);
+    }
+}
+
+TEST(Rsd4, DelayModelOrdering)
+{
+    // Section 3.4's family ordering: carry-save < radix-2 RB < radix-4
+    // SD << CLA(64) << ripple(64).
+    EXPECT_LT(csaLevelDepth(), rbAdderDepth(64));
+    EXPECT_LT(rbAdderDepth(64), rsd4AdderDepth(64));
+    EXPECT_LT(rsd4AdderDepth(64), claAdderDepth(64));
+    EXPECT_LT(claAdderDepth(64), rippleAdderDepth(64));
+}
+
+TEST(CarrySave, AccumulateAndResolve)
+{
+    Rng rng(97);
+    for (int trial = 0; trial < 2000; ++trial) {
+        CsaAccumulator acc(rng.next());
+        Word expect = acc.resolve();
+        for (int i = 0; i < 20; ++i) {
+            const Word v = rng.next();
+            if (rng.chance(3, 4)) {
+                acc.add(v);
+                expect += v;
+            } else {
+                acc.sub(v);
+                expect -= v;
+            }
+        }
+        EXPECT_EQ(acc.resolve(), expect);
+    }
+}
+
+TEST(CarrySave, PlanesAreRedundant)
+{
+    CsaAccumulator acc;
+    acc.add(7);
+    acc.add(9);
+    // The value is right even though neither plane alone holds it.
+    EXPECT_EQ(acc.resolve(), 16u);
+    EXPECT_NE(acc.sumBits(), 16u);
+}
+
+} // namespace
+} // namespace rbsim

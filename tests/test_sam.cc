@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Property tests for the sum-addressed memory decoder (paper section
+ * 3.6): per-row equality matches the full addition, exactly one row
+ * asserts, and the 3-input redundant binary variant agrees.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "mem/sam.hh"
+#include "rb/rbalu.hh"
+
+namespace rbsim
+{
+namespace
+{
+
+TEST(Sam, DecodeEqualsFullAdditionRandom)
+{
+    SamDecoder sam(64, 64);
+    Rng rng(71);
+    for (int i = 0; i < 50000; ++i) {
+        const Addr base = rng.next() & 0xffffffffull;
+        const Addr disp = rng.next() & 0xffff;
+        const unsigned expect =
+            static_cast<unsigned>(((base + disp) / 64) % 64);
+        EXPECT_EQ(sam.decode(base, disp), expect) << base << "+" << disp;
+    }
+}
+
+TEST(Sam, DecodeHandlesCarryOutOfOffsetField)
+{
+    SamDecoder sam(64, 64);
+    // base offset 63 + disp offset 1 -> carry into the index field.
+    EXPECT_EQ(sam.decode(63, 1), 1u);
+    EXPECT_EQ(sam.decode(0x3f, 0x1), 1u);
+    EXPECT_EQ(sam.decode(0xfff, 0x1), (0x1000u / 64) % 64);
+}
+
+TEST(Sam, ExactlyOneRowMatches)
+{
+    SamDecoder sam(32, 64);
+    Rng rng(72);
+    for (int i = 0; i < 5000; ++i) {
+        const Addr a = rng.next() & 0xfffff;
+        const Addr b = rng.next() & 0xffff;
+        unsigned matches = 0;
+        for (unsigned row = 0; row < 32; ++row)
+            matches += sam.rowMatches(a, b, row);
+        EXPECT_EQ(matches, 1u);
+    }
+}
+
+TEST(Sam, VariousGeometries)
+{
+    Rng rng(73);
+    for (unsigned sets : {16u, 64u, 256u}) {
+        for (unsigned line : {32u, 64u, 128u}) {
+            SamDecoder sam(sets, line);
+            for (int i = 0; i < 2000; ++i) {
+                const Addr base = rng.next() & 0xffffff;
+                const Addr disp = rng.next() & 0x7fff;
+                const unsigned expect = static_cast<unsigned>(
+                    ((base + disp) / line) % sets);
+                ASSERT_EQ(sam.decode(base, disp), expect)
+                    << sets << "x" << line;
+            }
+        }
+    }
+}
+
+TEST(Sam, RbVariantMatchesConversionFreePath)
+{
+    // The paper's modified SAM: redundant binary base plus TC
+    // displacement, never converting the base.
+    SamDecoder sam(64, 64);
+    Rng rng(74);
+    for (int i = 0; i < 30000; ++i) {
+        // An RB base with add history (messy representation).
+        const Word v1 = rng.next() & 0xffffff;
+        const Word v2 = rng.next() & 0xffff;
+        const RbNum base = rbAdd(RbNum::fromTc(v1),
+                                 RbNum::fromTc(v2)).sum;
+        const SWord disp = static_cast<SWord>(rng.range(-4096, 4095));
+        const Addr ea = base.toTc() + static_cast<Addr>(disp);
+        const unsigned expect =
+            static_cast<unsigned>((ea / 64) % 64);
+        ASSERT_EQ(sam.decodeRb(base, disp), expect)
+            << v1 << "+" << v2 << " disp " << disp;
+    }
+}
+
+TEST(Sam, RbVariantNegativeBaseDigits)
+{
+    SamDecoder sam(64, 64);
+    // A base whose representation has many negative digits: subtraction
+    // results.
+    const RbNum base = rbSub(RbNum::fromTc(0x100000),
+                             RbNum::fromTc(0x0fffc0)).sum; // = 0x40
+    EXPECT_EQ(base.toTc(), 0x40u);
+    EXPECT_EQ(sam.decodeRb(base, 0), 1u);
+    EXPECT_EQ(sam.decodeRb(base, 64), 2u);
+    EXPECT_EQ(sam.decodeRb(base, -64), 0u);
+}
+
+} // namespace
+} // namespace rbsim
