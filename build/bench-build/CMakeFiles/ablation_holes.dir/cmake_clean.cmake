@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_holes"
+  "../bench/ablation_holes.pdb"
+  "CMakeFiles/ablation_holes.dir/ablation_holes.cc.o"
+  "CMakeFiles/ablation_holes.dir/ablation_holes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_holes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

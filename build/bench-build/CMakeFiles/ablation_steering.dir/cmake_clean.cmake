@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_steering"
+  "../bench/ablation_steering.pdb"
+  "CMakeFiles/ablation_steering.dir/ablation_steering.cc.o"
+  "CMakeFiles/ablation_steering.dir/ablation_steering.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_steering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/adder_delay"
+  "../bench/adder_delay.pdb"
+  "CMakeFiles/adder_delay.dir/adder_delay.cc.o"
+  "CMakeFiles/adder_delay.dir/adder_delay.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adder_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

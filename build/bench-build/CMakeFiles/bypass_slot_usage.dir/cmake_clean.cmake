@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bypass_slot_usage"
+  "../bench/bypass_slot_usage.pdb"
+  "CMakeFiles/bypass_slot_usage.dir/bypass_slot_usage.cc.o"
+  "CMakeFiles/bypass_slot_usage.dir/bypass_slot_usage.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bypass_slot_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

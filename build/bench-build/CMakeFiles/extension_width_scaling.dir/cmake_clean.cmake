@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extension_width_scaling"
+  "../bench/extension_width_scaling.pdb"
+  "CMakeFiles/extension_width_scaling.dir/extension_width_scaling.cc.o"
+  "CMakeFiles/extension_width_scaling.dir/extension_width_scaling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_width_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

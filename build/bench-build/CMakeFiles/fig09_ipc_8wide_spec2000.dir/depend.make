@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_ipc_8wide_spec2000.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_ipc_8wide_spec95"
+  "../bench/fig10_ipc_8wide_spec95.pdb"
+  "CMakeFiles/fig10_ipc_8wide_spec95.dir/fig10_ipc_8wide_spec95.cc.o"
+  "CMakeFiles/fig10_ipc_8wide_spec95.dir/fig10_ipc_8wide_spec95.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_ipc_8wide_spec95.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig10_ipc_8wide_spec95.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_ipc_4wide_spec2000"
+  "../bench/fig11_ipc_4wide_spec2000.pdb"
+  "CMakeFiles/fig11_ipc_4wide_spec2000.dir/fig11_ipc_4wide_spec2000.cc.o"
+  "CMakeFiles/fig11_ipc_4wide_spec2000.dir/fig11_ipc_4wide_spec2000.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_ipc_4wide_spec2000.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

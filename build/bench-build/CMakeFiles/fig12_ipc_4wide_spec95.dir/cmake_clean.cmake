@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_ipc_4wide_spec95"
+  "../bench/fig12_ipc_4wide_spec95.pdb"
+  "CMakeFiles/fig12_ipc_4wide_spec95.dir/fig12_ipc_4wide_spec95.cc.o"
+  "CMakeFiles/fig12_ipc_4wide_spec95.dir/fig12_ipc_4wide_spec95.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_ipc_4wide_spec95.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig12_ipc_4wide_spec95.
+# This may be replaced when dependencies are built.

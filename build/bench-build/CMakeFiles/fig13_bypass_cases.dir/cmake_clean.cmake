@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_bypass_cases"
+  "../bench/fig13_bypass_cases.pdb"
+  "CMakeFiles/fig13_bypass_cases.dir/fig13_bypass_cases.cc.o"
+  "CMakeFiles/fig13_bypass_cases.dir/fig13_bypass_cases.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_bypass_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_limited_bypass"
+  "../bench/fig14_limited_bypass.pdb"
+  "CMakeFiles/fig14_limited_bypass.dir/fig14_limited_bypass.cc.o"
+  "CMakeFiles/fig14_limited_bypass.dir/fig14_limited_bypass.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_limited_bypass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

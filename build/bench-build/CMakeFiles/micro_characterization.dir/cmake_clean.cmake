@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_characterization"
+  "../bench/micro_characterization.pdb"
+  "CMakeFiles/micro_characterization.dir/micro_characterization.cc.o"
+  "CMakeFiles/micro_characterization.dir/micro_characterization.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_latencies"
+  "../bench/table3_latencies.pdb"
+  "CMakeFiles/table3_latencies.dir/table3_latencies.cc.o"
+  "CMakeFiles/table3_latencies.dir/table3_latencies.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_latencies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

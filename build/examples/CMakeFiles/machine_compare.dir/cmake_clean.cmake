@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_compare.dir/machine_compare.cpp.o"
+  "CMakeFiles/machine_compare.dir/machine_compare.cpp.o.d"
+  "machine_compare"
+  "machine_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

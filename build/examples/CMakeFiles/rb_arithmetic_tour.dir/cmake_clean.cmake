@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rb_arithmetic_tour.dir/rb_arithmetic_tour.cpp.o"
+  "CMakeFiles/rb_arithmetic_tour.dir/rb_arithmetic_tour.cpp.o.d"
+  "rb_arithmetic_tour"
+  "rb_arithmetic_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rb_arithmetic_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

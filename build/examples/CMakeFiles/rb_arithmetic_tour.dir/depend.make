@@ -1,0 +1,2 @@
+# Empty dependencies file for rb_arithmetic_tour.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sam_cache_demo.dir/sam_cache_demo.cpp.o"
+  "CMakeFiles/sam_cache_demo.dir/sam_cache_demo.cpp.o.d"
+  "sam_cache_demo"
+  "sam_cache_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sam_cache_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

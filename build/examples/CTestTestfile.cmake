@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_rb_tour "/root/repo/build/examples/rb_arithmetic_tour")
+set_tests_properties(example_rb_tour PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_pipeline_diagram "/root/repo/build/examples/pipeline_diagram")
+set_tests_properties(example_pipeline_diagram PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sam_demo "/root/repo/build/examples/sam_cache_demo")
+set_tests_properties(example_sam_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_workload_explorer "/root/repo/build/examples/workload_explorer" "crafty" "rbfull")
+set_tests_properties(example_workload_explorer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_machine_compare "/root/repo/build/examples/machine_compare" "u-depchain")
+set_tests_properties(example_machine_compare PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_run_asm "/root/repo/build/examples/run_asm" "/root/repo/examples/asm/fib.s" "--machine" "rblim" "--width" "4" "--dump-mem" "0x200e8,1")
+set_tests_properties(example_run_asm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_run_asm_gcd "/root/repo/build/examples/run_asm" "/root/repo/examples/asm/gcd.s" "--machine" "ideal" "--dump-mem" "0x20000,1")
+set_tests_properties(example_run_asm_gcd PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_run_asm_memcopy "/root/repo/build/examples/run_asm" "/root/repo/examples/asm/memcopy.s" "--steer-dep" "--dump-mem" "0x22000,1")
+set_tests_properties(example_run_asm_memcopy PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;29;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/rbsim.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/rbsim.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/strutil.cc" "src/CMakeFiles/rbsim.dir/common/strutil.cc.o" "gcc" "src/CMakeFiles/rbsim.dir/common/strutil.cc.o.d"
+  "/root/repo/src/core/bypass.cc" "src/CMakeFiles/rbsim.dir/core/bypass.cc.o" "gcc" "src/CMakeFiles/rbsim.dir/core/bypass.cc.o.d"
+  "/root/repo/src/core/core.cc" "src/CMakeFiles/rbsim.dir/core/core.cc.o" "gcc" "src/CMakeFiles/rbsim.dir/core/core.cc.o.d"
+  "/root/repo/src/core/exec.cc" "src/CMakeFiles/rbsim.dir/core/exec.cc.o" "gcc" "src/CMakeFiles/rbsim.dir/core/exec.cc.o.d"
+  "/root/repo/src/core/machine_config.cc" "src/CMakeFiles/rbsim.dir/core/machine_config.cc.o" "gcc" "src/CMakeFiles/rbsim.dir/core/machine_config.cc.o.d"
+  "/root/repo/src/core/regfile.cc" "src/CMakeFiles/rbsim.dir/core/regfile.cc.o" "gcc" "src/CMakeFiles/rbsim.dir/core/regfile.cc.o.d"
+  "/root/repo/src/core/rename.cc" "src/CMakeFiles/rbsim.dir/core/rename.cc.o" "gcc" "src/CMakeFiles/rbsim.dir/core/rename.cc.o.d"
+  "/root/repo/src/core/rob.cc" "src/CMakeFiles/rbsim.dir/core/rob.cc.o" "gcc" "src/CMakeFiles/rbsim.dir/core/rob.cc.o.d"
+  "/root/repo/src/core/scheduler.cc" "src/CMakeFiles/rbsim.dir/core/scheduler.cc.o" "gcc" "src/CMakeFiles/rbsim.dir/core/scheduler.cc.o.d"
+  "/root/repo/src/core/scoreboard.cc" "src/CMakeFiles/rbsim.dir/core/scoreboard.cc.o" "gcc" "src/CMakeFiles/rbsim.dir/core/scoreboard.cc.o.d"
+  "/root/repo/src/frontend/branch_pred.cc" "src/CMakeFiles/rbsim.dir/frontend/branch_pred.cc.o" "gcc" "src/CMakeFiles/rbsim.dir/frontend/branch_pred.cc.o.d"
+  "/root/repo/src/frontend/fetch.cc" "src/CMakeFiles/rbsim.dir/frontend/fetch.cc.o" "gcc" "src/CMakeFiles/rbsim.dir/frontend/fetch.cc.o.d"
+  "/root/repo/src/func/interp.cc" "src/CMakeFiles/rbsim.dir/func/interp.cc.o" "gcc" "src/CMakeFiles/rbsim.dir/func/interp.cc.o.d"
+  "/root/repo/src/func/mem_image.cc" "src/CMakeFiles/rbsim.dir/func/mem_image.cc.o" "gcc" "src/CMakeFiles/rbsim.dir/func/mem_image.cc.o.d"
+  "/root/repo/src/isa/assembler.cc" "src/CMakeFiles/rbsim.dir/isa/assembler.cc.o" "gcc" "src/CMakeFiles/rbsim.dir/isa/assembler.cc.o.d"
+  "/root/repo/src/isa/builder.cc" "src/CMakeFiles/rbsim.dir/isa/builder.cc.o" "gcc" "src/CMakeFiles/rbsim.dir/isa/builder.cc.o.d"
+  "/root/repo/src/isa/disasm.cc" "src/CMakeFiles/rbsim.dir/isa/disasm.cc.o" "gcc" "src/CMakeFiles/rbsim.dir/isa/disasm.cc.o.d"
+  "/root/repo/src/isa/eval.cc" "src/CMakeFiles/rbsim.dir/isa/eval.cc.o" "gcc" "src/CMakeFiles/rbsim.dir/isa/eval.cc.o.d"
+  "/root/repo/src/isa/inst.cc" "src/CMakeFiles/rbsim.dir/isa/inst.cc.o" "gcc" "src/CMakeFiles/rbsim.dir/isa/inst.cc.o.d"
+  "/root/repo/src/isa/opclass.cc" "src/CMakeFiles/rbsim.dir/isa/opclass.cc.o" "gcc" "src/CMakeFiles/rbsim.dir/isa/opclass.cc.o.d"
+  "/root/repo/src/isa/opcode.cc" "src/CMakeFiles/rbsim.dir/isa/opcode.cc.o" "gcc" "src/CMakeFiles/rbsim.dir/isa/opcode.cc.o.d"
+  "/root/repo/src/isa/program.cc" "src/CMakeFiles/rbsim.dir/isa/program.cc.o" "gcc" "src/CMakeFiles/rbsim.dir/isa/program.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/rbsim.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/rbsim.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/hierarchy.cc" "src/CMakeFiles/rbsim.dir/mem/hierarchy.cc.o" "gcc" "src/CMakeFiles/rbsim.dir/mem/hierarchy.cc.o.d"
+  "/root/repo/src/mem/lsq.cc" "src/CMakeFiles/rbsim.dir/mem/lsq.cc.o" "gcc" "src/CMakeFiles/rbsim.dir/mem/lsq.cc.o.d"
+  "/root/repo/src/mem/sam.cc" "src/CMakeFiles/rbsim.dir/mem/sam.cc.o" "gcc" "src/CMakeFiles/rbsim.dir/mem/sam.cc.o.d"
+  "/root/repo/src/rb/convert.cc" "src/CMakeFiles/rbsim.dir/rb/convert.cc.o" "gcc" "src/CMakeFiles/rbsim.dir/rb/convert.cc.o.d"
+  "/root/repo/src/rb/digit_slice.cc" "src/CMakeFiles/rbsim.dir/rb/digit_slice.cc.o" "gcc" "src/CMakeFiles/rbsim.dir/rb/digit_slice.cc.o.d"
+  "/root/repo/src/rb/gatedelay.cc" "src/CMakeFiles/rbsim.dir/rb/gatedelay.cc.o" "gcc" "src/CMakeFiles/rbsim.dir/rb/gatedelay.cc.o.d"
+  "/root/repo/src/rb/multiplier.cc" "src/CMakeFiles/rbsim.dir/rb/multiplier.cc.o" "gcc" "src/CMakeFiles/rbsim.dir/rb/multiplier.cc.o.d"
+  "/root/repo/src/rb/overflow.cc" "src/CMakeFiles/rbsim.dir/rb/overflow.cc.o" "gcc" "src/CMakeFiles/rbsim.dir/rb/overflow.cc.o.d"
+  "/root/repo/src/rb/rbalu.cc" "src/CMakeFiles/rbsim.dir/rb/rbalu.cc.o" "gcc" "src/CMakeFiles/rbsim.dir/rb/rbalu.cc.o.d"
+  "/root/repo/src/rb/rbnum.cc" "src/CMakeFiles/rbsim.dir/rb/rbnum.cc.o" "gcc" "src/CMakeFiles/rbsim.dir/rb/rbnum.cc.o.d"
+  "/root/repo/src/rb/rsd4.cc" "src/CMakeFiles/rbsim.dir/rb/rsd4.cc.o" "gcc" "src/CMakeFiles/rbsim.dir/rb/rsd4.cc.o.d"
+  "/root/repo/src/sim/cosim.cc" "src/CMakeFiles/rbsim.dir/sim/cosim.cc.o" "gcc" "src/CMakeFiles/rbsim.dir/sim/cosim.cc.o.d"
+  "/root/repo/src/sim/report.cc" "src/CMakeFiles/rbsim.dir/sim/report.cc.o" "gcc" "src/CMakeFiles/rbsim.dir/sim/report.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/rbsim.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/rbsim.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/CMakeFiles/rbsim.dir/sim/trace.cc.o" "gcc" "src/CMakeFiles/rbsim.dir/sim/trace.cc.o.d"
+  "/root/repo/src/workloads/kernels.cc" "src/CMakeFiles/rbsim.dir/workloads/kernels.cc.o" "gcc" "src/CMakeFiles/rbsim.dir/workloads/kernels.cc.o.d"
+  "/root/repo/src/workloads/micro.cc" "src/CMakeFiles/rbsim.dir/workloads/micro.cc.o" "gcc" "src/CMakeFiles/rbsim.dir/workloads/micro.cc.o.d"
+  "/root/repo/src/workloads/spec2000.cc" "src/CMakeFiles/rbsim.dir/workloads/spec2000.cc.o" "gcc" "src/CMakeFiles/rbsim.dir/workloads/spec2000.cc.o.d"
+  "/root/repo/src/workloads/spec95.cc" "src/CMakeFiles/rbsim.dir/workloads/spec95.cc.o" "gcc" "src/CMakeFiles/rbsim.dir/workloads/spec95.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/CMakeFiles/rbsim.dir/workloads/workload.cc.o" "gcc" "src/CMakeFiles/rbsim.dir/workloads/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fetch.dir/test_fetch.cc.o"
+  "CMakeFiles/test_fetch.dir/test_fetch.cc.o.d"
+  "test_fetch"
+  "test_fetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

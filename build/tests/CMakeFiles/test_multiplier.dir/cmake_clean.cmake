@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multiplier.dir/test_multiplier.cc.o"
+  "CMakeFiles/test_multiplier.dir/test_multiplier.cc.o.d"
+  "test_multiplier"
+  "test_multiplier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multiplier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rb_digit_slice.dir/test_rb_digit_slice.cc.o"
+  "CMakeFiles/test_rb_digit_slice.dir/test_rb_digit_slice.cc.o.d"
+  "test_rb_digit_slice"
+  "test_rb_digit_slice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rb_digit_slice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

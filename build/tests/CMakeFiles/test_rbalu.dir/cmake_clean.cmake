@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rbalu.dir/test_rbalu.cc.o"
+  "CMakeFiles/test_rbalu.dir/test_rbalu.cc.o.d"
+  "test_rbalu"
+  "test_rbalu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rbalu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rbnum.dir/test_rbnum.cc.o"
+  "CMakeFiles/test_rbnum.dir/test_rbnum.cc.o.d"
+  "test_rbnum"
+  "test_rbnum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rbnum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rsd4.dir/test_rsd4.cc.o"
+  "CMakeFiles/test_rsd4.dir/test_rsd4.cc.o.d"
+  "test_rsd4"
+  "test_rsd4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rsd4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
