@@ -18,14 +18,18 @@
 #include "sim/report.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rbsim;
     using namespace rbsim::bench;
 
+    const BenchOptions opts = parseBenchArgs(argc, argv);
+
     std::printf("%s",
                 banner("Ablation: cross-cluster forwarding delay, 8-wide"
                        " (hmean IPC, all 20 benchmarks)").c_str());
+
+    BenchReport report("ablation_cluster", opts);
 
     TextTable t;
     t.header({"machine", "delay 0", "delay 1 (paper)", "delay 2"});
@@ -35,11 +39,13 @@ main()
         for (unsigned delay : {0u, 1u, 2u}) {
             MachineConfig cfg = MachineConfig::make(kind, 8);
             cfg.crossClusterDelay = delay;
-            const auto cells = sweepAll({cfg});
+            cfg.label += " delay-" + std::to_string(delay);
+            const auto cells = sweepAll({cfg}, opts.scale);
             std::vector<double> ipcs;
             for (const Cell &c : cells)
                 ipcs.push_back(c.result.ipc());
             row.push_back(fmtDouble(harmonicMean(ipcs), 3));
+            report.addCells(cells);
         }
         t.row(row);
         std::fflush(stdout);
@@ -47,5 +53,7 @@ main()
     std::printf("%s\n", t.render().c_str());
     std::printf("expected: the faster the adders, the more the extra "
                 "forwarding cycle costs relative to execution latency.\n");
+
+    report.write();
     return 0;
 }

@@ -17,14 +17,18 @@
 #include "sim/report.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rbsim;
     using namespace rbsim::bench;
 
+    const BenchOptions opts = parseBenchArgs(argc, argv);
+
     std::printf("%s",
                 banner("Ablation: hole-aware wakeup on the RB-limited "
                        "machine (hmean IPC, all 20 benchmarks)").c_str());
+
+    BenchReport report("ablation_holes", opts);
 
     TextTable t;
     t.header({"width", "hole-aware (Fig. 8)", "plain wakeup", "loss"});
@@ -34,11 +38,14 @@ main()
             MachineConfig cfg =
                 MachineConfig::make(MachineKind::RbLimited, width);
             cfg.holeAwareScheduling = aware != 0;
-            const auto cells = sweepAll({cfg});
+            cfg.label += " " + std::to_string(width) + "w" +
+                         (aware ? "" : " plain-wakeup");
+            const auto cells = sweepAll({cfg}, opts.scale);
             std::vector<double> ipcs;
             for (const Cell &c : cells)
                 ipcs.push_back(c.result.ipc());
             ipc[aware] = harmonicMean(ipcs);
+            report.addCells(cells);
         }
         t.row({std::to_string(width) + "-wide", fmtDouble(ipc[1], 3),
                fmtDouble(ipc[0], 3),
@@ -49,5 +56,7 @@ main()
     std::printf("expected: without hole awareness, every RB->RB\n"
                 "back-to-back forward through BYP-1 is lost and dependent"
                 " chains pay the register-file round trip.\n");
+
+    report.write();
     return 0;
 }

@@ -16,10 +16,12 @@
 #include "sim/report.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rbsim;
     using namespace rbsim::bench;
+
+    const BenchOptions opts = parseBenchArgs(argc, argv);
 
     std::printf("%s",
                 banner("Ablation: window partitioning, 8-wide Ideal "
@@ -38,6 +40,8 @@ main()
         {8, 16, 1},
     };
 
+    BenchReport report("ablation_partition", opts);
+
     TextTable t;
     t.header({"organization", "hmean IPC", "vs paper's 4x32"});
     double paper_ipc = 0;
@@ -50,7 +54,7 @@ main()
         cfg.label = std::to_string(p.schedulers) + "x" +
                     std::to_string(p.entries) + " select-" +
                     std::to_string(p.select);
-        const auto cells = sweepAll({cfg});
+        const auto cells = sweepAll({cfg}, opts.scale);
         std::vector<double> ipcs;
         for (const Cell &c : cells)
             ipcs.push_back(c.result.ipc());
@@ -58,6 +62,7 @@ main()
         results.push_back(h);
         if (p.schedulers == 4)
             paper_ipc = h;
+        report.addCells(cells);
         std::fflush(stdout);
     }
     for (std::size_t i = 0; i < std::size(parts); ++i) {
@@ -75,5 +80,7 @@ main()
                 "partitions also see fewer cross-cluster forwards; the "
                 "monolithic select-8 window is the\nidealized (and "
                 "unbuildably slow) upper bound.\n");
+
+    report.write();
     return 0;
 }

@@ -21,26 +21,33 @@ namespace
 {
 
 double
-hmeanIpc(const rbsim::MachineConfig &cfg)
+hmeanIpc(rbsim::MachineConfig cfg, const char *steering_tag,
+         unsigned scale, rbsim::bench::BenchReport &report)
 {
-    const auto cells = rbsim::bench::sweepAll({cfg});
+    cfg.label += std::string(" ") + steering_tag;
+    const auto cells = rbsim::bench::sweepAll({cfg}, scale);
     std::vector<double> ipcs;
     for (const auto &c : cells)
         ipcs.push_back(c.result.ipc());
+    report.addCells(cells);
     return rbsim::harmonicMean(ipcs);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rbsim;
     using namespace rbsim::bench;
 
+    const BenchOptions opts = parseBenchArgs(argc, argv);
+
     std::printf("%s",
                 banner("Extension: dependence-aware steering "
                        "(hmean IPC, all 20 benchmarks, 8-wide)").c_str());
+
+    BenchReport report("ablation_steering", opts);
 
     struct Machine
     {
@@ -60,11 +67,11 @@ main()
               "dependence-aware", "gain (dep vs rr)"});
     for (Machine &m : machines) {
         m.cfg.steering = Steering::RoundRobinPairs;
-        const double rr = hmeanIpc(m.cfg);
+        const double rr = hmeanIpc(m.cfg, "rr", opts.scale, report);
         m.cfg.steering = Steering::ClassPartition;
-        const double cp = hmeanIpc(m.cfg);
+        const double cp = hmeanIpc(m.cfg, "class", opts.scale, report);
         m.cfg.steering = Steering::DependenceAware;
-        const double da = hmeanIpc(m.cfg);
+        const double da = hmeanIpc(m.cfg, "dep", opts.scale, report);
         t.row({m.name, fmtDouble(rr, 3), fmtDouble(cp, 3),
                fmtDouble(da, 3),
                fmtDouble(100.0 * (da / rr - 1.0), 1) + "%"});
@@ -74,5 +81,7 @@ main()
     std::printf("expected: steering helps most when the bypass network "
                 "is most restricted (chains stay near their one "
                 "forwarding level and inside one cluster).\n");
+
+    report.write();
     return 0;
 }

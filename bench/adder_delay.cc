@@ -22,6 +22,8 @@
 #include "rb/rbalu.hh"
 #include "sim/report.hh"
 
+#include "bench_common.hh"
+
 namespace
 {
 
@@ -143,7 +145,25 @@ BENCHMARK(BM_SignTestMsdScan);
 int
 main(int argc, char **argv)
 {
+    using namespace rbsim::bench;
+    // Take the shared flags first; whatever is left belongs to
+    // google-benchmark (e.g. --benchmark_filter).
+    const BenchOptions opts = parseBenchArgs(argc, argv);
     printGateModel();
+
+    BenchReport report("adder_delay", opts);
+    for (unsigned w : {8u, 16u, 32u, 64u, 128u}) {
+        const std::string suffix = "." + std::to_string(w);
+        report.addMetric("depth.ripple" + suffix, rippleAdderDepth(w));
+        report.addMetric("depth.cla" + suffix, claAdderDepth(w));
+        report.addMetric("depth.rb" + suffix, rbAdderDepth(w));
+        report.addMetric("depth.rsd4" + suffix, rsd4AdderDepth(w));
+        report.addMetric("depth.converter" + suffix, converterDepth(w));
+    }
+    report.addMetric("depth.csa", csaLevelDepth());
+    report.addMetric("depth.staggered_stage.64", staggeredStageDepth(64));
+    report.write();
+
     ::benchmark::Initialize(&argc, argv);
     ::benchmark::RunSpecifiedBenchmarks();
     return 0;

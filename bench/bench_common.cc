@@ -2,6 +2,9 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <thread>
 
 #include "common/stats.hh"
@@ -10,6 +13,200 @@
 
 namespace rbsim::bench
 {
+
+// ------------------------------------------------------------- options
+
+namespace
+{
+
+[[noreturn]] void
+usageDie(const char *prog, const char *why)
+{
+    std::fprintf(stderr,
+                 "%s: %s\n"
+                 "usage: %s [--json <path>] [--scale <n>] "
+                 "[--machines <label,label,...>]\n",
+                 prog, why, prog);
+    std::exit(2);
+}
+
+std::vector<std::string>
+splitCsv(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= csv.size()) {
+        const std::size_t comma = csv.find(',', start);
+        const std::size_t end =
+            comma == std::string::npos ? csv.size() : comma;
+        if (end > start)
+            out.push_back(csv.substr(start, end - start));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return out;
+}
+
+} // namespace
+
+BenchOptions
+parseBenchArgs(int &argc, char **argv)
+{
+    BenchOptions opts;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        auto value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc)
+                usageDie(argv[0],
+                         (std::string(flag) + " needs a value").c_str());
+            return argv[++i];
+        };
+        if (std::strcmp(arg, "--json") == 0) {
+            opts.jsonPath = value("--json");
+        } else if (std::strcmp(arg, "--scale") == 0) {
+            const long n = std::strtol(value("--scale"), nullptr, 10);
+            if (n < 1)
+                usageDie(argv[0], "--scale must be >= 1");
+            opts.scale = static_cast<unsigned>(n);
+        } else if (std::strcmp(arg, "--machines") == 0) {
+            opts.machines = splitCsv(value("--machines"));
+            if (opts.machines.empty())
+                usageDie(argv[0], "--machines needs at least one label");
+        } else {
+            argv[out++] = argv[i]; // not ours; leave for the caller
+        }
+    }
+    argc = out;
+    argv[argc] = nullptr;
+    return opts;
+}
+
+std::vector<MachineConfig>
+filterMachines(std::vector<MachineConfig> configs,
+               const BenchOptions &opts)
+{
+    if (opts.machines.empty())
+        return configs;
+    std::vector<MachineConfig> kept;
+    for (const MachineConfig &c : configs) {
+        for (const std::string &want : opts.machines) {
+            if (c.label == want) {
+                kept.push_back(c);
+                break;
+            }
+        }
+    }
+    if (kept.empty()) {
+        std::fprintf(stderr, "--machines matched no configuration\n");
+        std::exit(2);
+    }
+    return kept;
+}
+
+// -------------------------------------------------------------- report
+
+BenchReport::BenchReport(std::string bench_, BenchOptions opts_)
+    : bench(std::move(bench_)), opts(std::move(opts_))
+{}
+
+void
+BenchReport::addCell(const Cell &cell)
+{
+    cells.push_back(cell);
+}
+
+void
+BenchReport::addCells(const std::vector<Cell> &more)
+{
+    cells.insert(cells.end(), more.begin(), more.end());
+}
+
+void
+BenchReport::addMetric(const std::string &name, double value)
+{
+    metrics.emplace_back(name, value);
+}
+
+void
+BenchReport::write() const
+{
+    if (opts.jsonPath.empty())
+        return;
+
+    Json root = Json::object();
+    root["schema"] = "rbsim-bench-1";
+    root["bench"] = bench;
+    root["scale"] = opts.scale;
+
+    Json machines = Json::array();
+    std::vector<std::string> seen;
+    for (const Cell &c : cells) {
+        bool dup = false;
+        for (const std::string &m : seen)
+            dup = dup || m == c.machine;
+        if (!dup) {
+            seen.push_back(c.machine);
+            machines.push(c.machine);
+        }
+    }
+    root["machines"] = std::move(machines);
+
+    Json cellArr = Json::array();
+    for (const Cell &c : cells) {
+        Json jc = Json::object();
+        jc["machine"] = c.machine;
+        jc["workload"] = c.workload;
+        jc["ipc"] = c.result.ipc();
+        Json stats = Json::object();
+        Json counters = Json::object();
+        for (const auto &[name, v] : c.result.stats.counters)
+            counters[name] = v;
+        Json formulas = Json::object();
+        for (const auto &[name, v] : c.result.stats.formulas)
+            formulas[name] = v;
+        Json vectors = Json::object();
+        for (const auto &[name, vec] : c.result.stats.vectors) {
+            Json a = Json::array();
+            for (std::uint64_t v : vec)
+                a.push(v);
+            vectors[name] = std::move(a);
+        }
+        stats["counters"] = std::move(counters);
+        stats["formulas"] = std::move(formulas);
+        stats["vectors"] = std::move(vectors);
+        jc["stats"] = std::move(stats);
+        cellArr.push(std::move(jc));
+    }
+    root["cells"] = std::move(cellArr);
+
+    Json summary = Json::object();
+    Json hmeans = Json::object();
+    for (const std::string &m : seen) {
+        std::vector<double> ipcs;
+        for (const Cell &c : cells) {
+            if (c.machine == m)
+                ipcs.push_back(c.result.ipc());
+        }
+        hmeans[m] = harmonicMean(ipcs);
+    }
+    summary["hmean_ipc"] = std::move(hmeans);
+    Json jmetrics = Json::object();
+    for (const auto &[name, v] : metrics)
+        jmetrics[name] = v;
+    summary["metrics"] = std::move(jmetrics);
+    root["summary"] = std::move(summary);
+
+    std::ofstream out(opts.jsonPath);
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", opts.jsonPath.c_str());
+        std::exit(1);
+    }
+    out << root.dump(2) << '\n';
+}
+
+// --------------------------------------------------------------- sweep
 
 namespace
 {
@@ -31,9 +228,12 @@ sweep(const std::vector<MachineConfig> &configs,
 
     std::vector<Cell> cells(tasks.size());
     std::atomic<std::size_t> next{0};
-    const unsigned nthreads =
-        std::min<unsigned>(std::thread::hardware_concurrency(),
-                           static_cast<unsigned>(tasks.size()));
+    // hardware_concurrency() may legitimately report 0 (unknown);
+    // always run at least the calling thread.
+    const unsigned hw = std::thread::hardware_concurrency();
+    const unsigned nthreads = std::max(
+        1u, std::min<unsigned>(hw ? hw : 1u,
+                               static_cast<unsigned>(tasks.size())));
 
     auto worker = [&]() {
         for (;;) {
@@ -50,7 +250,7 @@ sweep(const std::vector<MachineConfig> &configs,
         }
     };
     std::vector<std::thread> pool;
-    for (unsigned t = 0; t + 1 < std::max(1u, nthreads); ++t)
+    for (unsigned t = 0; t + 1 < nthreads; ++t)
         pool.emplace_back(worker);
     worker();
     for (std::thread &t : pool)
@@ -72,6 +272,8 @@ sweepAll(const std::vector<MachineConfig> &configs, unsigned scale)
 {
     return sweep(configs, allWorkloads(), scale);
 }
+
+// ------------------------------------------------------------- figures
 
 void
 printIpcFigure(const std::string &title,
@@ -120,6 +322,39 @@ printIpcFigure(const std::string &title,
                     textBar(ameans[m], maxmean, 44).c_str(), ameans[m]);
     }
     std::printf("\n");
+
+    // Per-stage cycle accounting: where each machine's cycles go,
+    // summed over the suite. retire-idle / fetch-idle are the share of
+    // cycles with zero instructions through that stage; hole-wait is
+    // entry-cycles spent blocked only on bypass-availability holes.
+    TextTable acct;
+    acct.header({"machine", "retire-idle", "fetch-idle", "icache-stall",
+                 "hole-wait/kcyc", "issue-wait (cyc)"});
+    for (std::size_t m = 0; m < configs.size(); ++m) {
+        std::uint64_t cycles = 0, retire_idle = 0, fetch_idle = 0,
+                      icache = 0, hole = 0, wait_sum = 0, retired = 0;
+        for (std::size_t c = m; c < cells.size(); c += configs.size()) {
+            const SimResult &r = cells[c].result;
+            cycles += r.counter("core.cycles");
+            retire_idle += r.vec("core.retireSlots")[0];
+            fetch_idle += r.vec("core.fetchSlots")[0];
+            icache += r.counter("fetch.icacheStallCycles");
+            hole += r.counter("core.holeWaitCycles");
+            wait_sum += r.counter("core.issueWaitSum");
+            retired += r.counter("core.retired");
+        }
+        const double cyc = cycles ? double(cycles) : 1.0;
+        acct.row({configs[m].label,
+                  fmtDouble(100.0 * double(retire_idle) / cyc, 1) + "%",
+                  fmtDouble(100.0 * double(fetch_idle) / cyc, 1) + "%",
+                  fmtDouble(100.0 * double(icache) / cyc, 1) + "%",
+                  fmtDouble(1000.0 * double(hole) / cyc, 1),
+                  fmtDouble(retired ? double(wait_sum) / double(retired)
+                                    : 0.0,
+                            2)});
+    }
+    std::printf("Per-stage cycle accounting (suite totals):\n%s\n",
+                acct.render().c_str());
 }
 
 void
@@ -127,6 +362,10 @@ printHeadline(const std::vector<MachineConfig> &configs,
               const std::vector<Cell> &cells,
               const std::string &paper_note)
 {
+    // The comparison only makes sense on the full Baseline / RB-limited
+    // / RB-full / Ideal grid; a --machines filter drops it.
+    if (configs.size() != 4)
+        return;
     std::vector<double> mean(configs.size(), 0.0);
     std::vector<unsigned> count(configs.size(), 0);
     for (std::size_t i = 0; i < cells.size(); ++i) {

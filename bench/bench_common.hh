@@ -1,16 +1,19 @@
 /**
  * @file
  * Shared sweep machinery for the figure/table reproduction binaries:
- * runs (machine, workload) grids in parallel and prints IPC tables in
- * the layout of the paper's figures.
+ * runs (machine, workload) grids in parallel, prints IPC tables in the
+ * layout of the paper's figures, and dumps machine-readable JSON results
+ * (`--json <path>`) for scripts/bench_diff.py.
  */
 
 #ifndef RBSIM_BENCH_COMMON_HH
 #define RBSIM_BENCH_COMMON_HH
 
+#include <map>
 #include <string>
 #include <vector>
 
+#include "common/json.hh"
 #include "sim/simulator.hh"
 #include "workloads/workload.hh"
 
@@ -23,6 +26,65 @@ struct Cell
     std::string machine;
     std::string workload;
     SimResult result;
+};
+
+/**
+ * Options every bench binary accepts:
+ *   --json <path>     dump a structured result file (schema
+ *                     "rbsim-bench-1") next to the text output
+ *   --scale <n>       workload scale factor (default 1)
+ *   --machines <csv>  comma-separated machine labels to keep
+ *                     (e.g. "Baseline,RB-full"); default all
+ */
+struct BenchOptions
+{
+    std::string jsonPath;
+    unsigned scale = 1;
+    std::vector<std::string> machines;
+};
+
+/**
+ * Parse and REMOVE the shared bench flags from argv (so leftovers can be
+ * forwarded, e.g. to google-benchmark). Exits with a usage message on a
+ * malformed flag.
+ */
+BenchOptions parseBenchArgs(int &argc, char **argv);
+
+/** Keep only the configs whose label is listed in `opts.machines`
+ *  (all of them when the filter is empty). */
+std::vector<MachineConfig>
+filterMachines(std::vector<MachineConfig> configs,
+               const BenchOptions &opts);
+
+/**
+ * Accumulates cells and scalar metrics and writes the JSON dump on
+ * destruction-free explicit write(). Every bench funnels its results
+ * through one of these so all dumps share one schema:
+ *
+ *   { "schema": "rbsim-bench-1", "bench": ..., "scale": ...,
+ *     "machines": [...],
+ *     "cells": [ {machine, workload, ipc, stats:{counters,formulas,
+ *                 vectors}} ],
+ *     "summary": { "hmean_ipc": {machine: value}, "metrics": {...} } }
+ */
+class BenchReport
+{
+  public:
+    BenchReport(std::string bench, BenchOptions opts);
+
+    void addCell(const Cell &cell);
+    void addCells(const std::vector<Cell> &cells);
+    /** A named scalar that isn't tied to one cell (e.g. a gate depth). */
+    void addMetric(const std::string &name, double value);
+
+    /** Write the dump if --json was given; no-op otherwise. */
+    void write() const;
+
+  private:
+    std::string bench;
+    BenchOptions opts;
+    std::vector<Cell> cells; //!< owned copies; cheap next to a sim run
+    std::vector<std::pair<std::string, double>> metrics;
 };
 
 /**
@@ -41,7 +103,8 @@ std::vector<Cell> sweepAll(const std::vector<MachineConfig> &configs,
 /**
  * Print a per-benchmark IPC table (benchmarks as rows, machines as
  * columns) followed by harmonic and arithmetic means, the layout of the
- * paper's Figures 9-12.
+ * paper's Figures 9-12, and close with a per-stage cycle-accounting
+ * table (retire/fetch idle, icache stalls, hole waits, issue wait).
  */
 void printIpcFigure(const std::string &title,
                     const std::vector<MachineConfig> &configs,
@@ -54,7 +117,7 @@ std::vector<MachineConfig> paperMachines(unsigned width);
 /**
  * Print the headline comparisons for a 4-machine sweep (Baseline,
  * RB-limited, RB-full, Ideal) next to the numbers the paper reports for
- * this figure.
+ * this figure. Skipped when --machines trimmed the grid.
  * @param paper_note the paper's claim, printed verbatim for comparison
  */
 void printHeadline(const std::vector<MachineConfig> &configs,

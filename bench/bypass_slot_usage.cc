@@ -19,14 +19,15 @@
 #include "sim/report.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rbsim;
     using namespace rbsim::bench;
 
-    const std::vector<MachineConfig> configs = {
-        MachineConfig::make(MachineKind::Ideal, 8)};
-    const auto cells = sweepAll(configs);
+    const BenchOptions opts = parseBenchArgs(argc, argv);
+    const std::vector<MachineConfig> configs = filterMachines(
+        {MachineConfig::make(MachineKind::Ideal, 8)}, opts);
+    const auto cells = sweepAll(configs, opts.scale);
 
     std::printf("%s",
                 banner("Section 5.2: where last-arriving operands come "
@@ -37,12 +38,11 @@ main()
               "other bypass level"});
     double min_first = 100, max_first = 0;
     for (const Cell &c : cells) {
-        const CoreStats &s = c.result.core;
-        const double retired = double(s.retired);
-        const double first = 100.0 * s.bypassSlotUsed[0] / retired;
-        const double other =
-            100.0 * (s.bypassSlotUsed[1] + s.bypassSlotUsed[2]) /
-            retired;
+        const auto &slots = c.result.vec("bypass.slot");
+        const double retired =
+            double(c.result.counter("core.retired"));
+        const double first = 100.0 * slots[0] / retired;
+        const double other = 100.0 * (slots[1] + slots[2]) / retired;
         const double none = 100.0 - first - other;
         min_first = std::min(min_first, first);
         max_first = std::max(max_first, first);
@@ -56,5 +56,11 @@ main()
                 "first-level, 5%%-14%% another bypass path — the heavy "
                 "first-level skew is why removing BYP-1 hurts most in "
                 "Figure 14.\n");
+
+    BenchReport report("bypass_slot_usage", opts);
+    report.addCells(cells);
+    report.addMetric("first_level_min_pct", min_first);
+    report.addMetric("first_level_max_pct", max_first);
+    report.write();
     return 0;
 }

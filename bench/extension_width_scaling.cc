@@ -18,14 +18,18 @@
 #include "sim/report.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rbsim;
     using namespace rbsim::bench;
 
+    const BenchOptions opts = parseBenchArgs(argc, argv);
+
     std::printf("%s",
                 banner("Extension: width scaling (hmean IPC, all 20 "
                        "benchmarks)").c_str());
+
+    BenchReport report("extension_width_scaling", opts);
 
     TextTable t;
     t.header({"width", "Baseline", "RB-full", "Ideal",
@@ -36,12 +40,14 @@ main()
         for (MachineKind kind : {MachineKind::Baseline,
                                  MachineKind::RbFull,
                                  MachineKind::Ideal}) {
-            const auto cells =
-                sweepAll({MachineConfig::make(kind, width)});
+            MachineConfig cfg = MachineConfig::make(kind, width);
+            cfg.label += " " + std::to_string(width) + "w";
+            const auto cells = sweepAll({cfg}, opts.scale);
             std::vector<double> ipcs;
             for (const Cell &c : cells)
                 ipcs.push_back(c.result.ipc());
             ipc[i++] = harmonicMean(ipcs);
+            report.addCells(cells);
         }
         t.row({std::to_string(width) + "-wide", fmtDouble(ipc[0], 3),
                fmtDouble(ipc[1], 3), fmtDouble(ipc[2], 3),
@@ -53,5 +59,7 @@ main()
                 "(the paper's bandwidth-vs-latency argument), while "
                 "absolute returns diminish as the window, front end, and "
                 "cluster crossings bind.\n");
+
+    report.write();
     return 0;
 }

@@ -7,16 +7,20 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rbsim;
     using namespace rbsim::bench;
-    const auto configs = paperMachines(8);
-    const auto cells = sweepSuite(configs, "spec2000");
+    const BenchOptions opts = parseBenchArgs(argc, argv);
+    const auto configs = filterMachines(paperMachines(8), opts);
+    const auto cells = sweepSuite(configs, "spec2000", opts.scale);
     printIpcFigure("Figure 9: IPC, 8-wide machines, SPECint2000-like",
                    configs, cells, suiteWorkloads("spec2000"));
     printHeadline(configs, cells,
                   "RB-full +7% vs Baseline, within 1.1% of Ideal; "
                   "RB-limited within 2% of RB-full");
+    BenchReport report("fig09_ipc_8wide_spec2000", opts);
+    report.addCells(cells);
+    report.write();
     return 0;
 }

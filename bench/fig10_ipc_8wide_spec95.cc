@@ -7,16 +7,20 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rbsim;
     using namespace rbsim::bench;
-    const auto configs = paperMachines(8);
-    const auto cells = sweepSuite(configs, "spec95");
+    const BenchOptions opts = parseBenchArgs(argc, argv);
+    const auto configs = filterMachines(paperMachines(8), opts);
+    const auto cells = sweepSuite(configs, "spec95", opts.scale);
     printIpcFigure("Figure 10: IPC, 8-wide machines, SPECint95-like",
                    configs, cells, suiteWorkloads("spec95"));
     printHeadline(configs, cells,
                   "RB +9% vs Baseline, within 2% of Ideal; RB-limited "
                   "within 2% of RB-full");
+    BenchReport report("fig10_ipc_8wide_spec95", opts);
+    report.addCells(cells);
+    report.write();
     return 0;
 }

@@ -9,16 +9,20 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rbsim;
     using namespace rbsim::bench;
-    const auto configs = paperMachines(4);
-    const auto cells = sweepSuite(configs, "spec2000");
+    const BenchOptions opts = parseBenchArgs(argc, argv);
+    const auto configs = filterMachines(paperMachines(4), opts);
+    const auto cells = sweepSuite(configs, "spec2000", opts.scale);
     printIpcFigure("Figure 11: IPC, 4-wide machines, SPECint2000-like",
                    configs, cells, suiteWorkloads("spec2000"));
     printHeadline(configs, cells,
                   "RB-full +5% vs Baseline, within 0.5% of Ideal; "
                   "RB-limited within 2.3% of RB-full");
+    BenchReport report("fig11_ipc_4wide_spec2000", opts);
+    report.addCells(cells);
+    report.write();
     return 0;
 }

@@ -7,16 +7,20 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rbsim;
     using namespace rbsim::bench;
-    const auto configs = paperMachines(4);
-    const auto cells = sweepSuite(configs, "spec95");
+    const BenchOptions opts = parseBenchArgs(argc, argv);
+    const auto configs = filterMachines(paperMachines(4), opts);
+    const auto cells = sweepSuite(configs, "spec95", opts.scale);
     printIpcFigure("Figure 12: IPC, 4-wide machines, SPECint95-like",
                    configs, cells, suiteWorkloads("spec95"));
     printHeadline(configs, cells,
                   "RB-full +6% vs Baseline, within 1.3% of Ideal; "
                   "RB-limited within 2.3% of RB-full");
+    BenchReport report("fig12_ipc_4wide_spec95", opts);
+    report.addCells(cells);
+    report.write();
     return 0;
 }

@@ -16,14 +16,15 @@
 #include "sim/report.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rbsim;
     using namespace rbsim::bench;
 
-    const std::vector<MachineConfig> configs = {
-        MachineConfig::make(MachineKind::RbFull, 8)};
-    const auto cells = sweepSuite(configs, "spec2000");
+    const BenchOptions opts = parseBenchArgs(argc, argv);
+    const std::vector<MachineConfig> configs = filterMachines(
+        {MachineConfig::make(MachineKind::RbFull, 8)}, opts);
+    const auto cells = sweepSuite(configs, "spec2000", opts.scale);
 
     std::printf("%s",
                 banner("Figure 13: Potentially critical bypass cases "
@@ -34,23 +35,26 @@ main()
               "%insts w/ bypassed src", "%conv of bypasses"});
     double conv_sum = 0;
     for (const Cell &c : cells) {
-        const CoreStats &s = c.result.core;
+        const auto &bycase = c.result.vec("bypass.case");
         std::uint64_t total = 0;
-        for (std::uint64_t v : s.bypassCase)
+        for (std::uint64_t v : bycase)
             total += v;
         auto pct = [total](std::uint64_t v) {
             return total ? 100.0 * double(v) / double(total) : 0.0;
         };
-        const double conv = pct(s.bypassCase[static_cast<unsigned>(
+        const double conv = pct(bycase[static_cast<unsigned>(
             BypassCase::RbToTc)]);
         conv_sum += conv;
         t.row({c.workload,
-               fmtDouble(pct(s.bypassCase[0]), 1) + "%",
-               fmtDouble(pct(s.bypassCase[1]), 1) + "%",
-               fmtDouble(pct(s.bypassCase[2]), 1) + "%",
+               fmtDouble(pct(bycase[0]), 1) + "%",
+               fmtDouble(pct(bycase[1]), 1) + "%",
+               fmtDouble(pct(bycase[2]), 1) + "%",
                fmtDouble(conv, 1) + "%",
-               fmtDouble(100.0 * double(s.withBypassedSource) /
-                             double(s.retired), 1) + "%",
+               fmtDouble(100.0 *
+                             double(c.result.counter(
+                                 "core.withBypassedSource")) /
+                             double(c.result.counter("core.retired")),
+                         1) + "%",
                fmtDouble(conv, 1) + "%"});
     }
     std::printf("%s\n", t.render().c_str());
@@ -60,5 +64,11 @@ main()
     std::printf("paper: conversions are a small share (e.g. bzip2 2.4%% "
                 "of 69%%) because most last-arriving sources are loads, "
                 "which produce TC results.\n");
+
+    BenchReport report("fig13_bypass_cases", opts);
+    report.addCells(cells);
+    report.addMetric("mean_rbtc_conversion_pct",
+                     conv_sum / double(cells.size()));
+    report.write();
     return 0;
 }

@@ -15,10 +15,12 @@
 #include "sim/report.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rbsim;
     using namespace rbsim::bench;
+
+    const BenchOptions opts = parseBenchArgs(argc, argv);
 
     struct Variant
     {
@@ -35,19 +37,25 @@ main()
                        "(Ideal machine, harmonic mean of all 20 "
                        "benchmarks)").c_str());
 
+    BenchReport report("fig14_limited_bypass", opts);
+
     TextTable t;
     t.header({"config", "4-wide hmean IPC", "8-wide hmean IPC"});
     std::vector<std::vector<double>> table_vals;
     for (const Variant &v : variants) {
         std::vector<double> row_vals;
         for (unsigned width : {4u, 8u}) {
-            const std::vector<MachineConfig> cfg = {
-                MachineConfig::makeIdealLimited(width, v.mask)};
-            const auto cells = sweepAll(cfg);
+            MachineConfig cfg =
+                MachineConfig::makeIdealLimited(width, v.mask);
+            // Width in the label keeps the JSON's (machine, workload)
+            // cells distinct across the two sweeps.
+            cfg.label += " " + std::to_string(width) + "w";
+            const auto cells = sweepAll({cfg}, opts.scale);
             std::vector<double> ipcs;
             for (const Cell &c : cells)
                 ipcs.push_back(c.result.ipc());
             row_vals.push_back(harmonicMean(ipcs));
+            report.addCells(cells);
         }
         table_vals.push_back(row_vals);
         t.row({v.name, fmtDouble(row_vals[0], 3),
@@ -71,5 +79,7 @@ main()
                 "one level can be removed while staying within 3%%-1%% "
                 "of the full network; the 4-wide No-1,2 machine "
                 "outperforms the 8-wide No-1,2 machine.\n");
+
+    report.write();
     return 0;
 }

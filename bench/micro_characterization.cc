@@ -9,32 +9,47 @@
 
 #include <cstdio>
 
+#include "bench_common.hh"
 #include "common/strutil.hh"
 #include "sim/report.hh"
 #include "sim/simulator.hh"
 #include "workloads/micro.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rbsim;
+    using namespace rbsim::bench;
+
+    const BenchOptions opts = parseBenchArgs(argc, argv);
+    const std::vector<MachineConfig> configs =
+        filterMachines(paperMachines(8), opts);
 
     std::printf("%s",
                 banner("Microbenchmark characterization (IPC, 8-wide)")
                     .c_str());
 
+    BenchReport report("micro_characterization", opts);
+
     TextTable t;
-    t.header({"kernel", "Baseline", "RB-limited", "RB-full", "Ideal",
-              "what it isolates"});
+    std::vector<std::string> head{"kernel"};
+    for (const MachineConfig &cfg : configs)
+        head.push_back(cfg.label);
+    head.push_back("what it isolates");
+    t.header(head);
     for (const WorkloadInfo &w : microWorkloads()) {
-        const Program p = w.build(WorkloadParams{});
+        WorkloadParams wp;
+        wp.scale = opts.scale;
+        const Program p = w.build(wp);
         std::vector<std::string> row{w.name};
-        for (MachineKind kind : {MachineKind::Baseline,
-                                 MachineKind::RbLimited,
-                                 MachineKind::RbFull, MachineKind::Ideal}) {
-            const SimResult r =
-                simulate(MachineConfig::make(kind, 8), p);
+        for (const MachineConfig &cfg : configs) {
+            SimResult r = simulate(cfg, p);
             row.push_back(fmtDouble(r.ipc(), 3));
+            Cell cell;
+            cell.machine = cfg.label;
+            cell.workload = w.name;
+            cell.result = std::move(r);
+            report.addCell(cell);
         }
         row.push_back(w.description);
         t.row(row);
@@ -46,5 +61,7 @@ main()
                 "pay the 5-cycle shift-to-TC conversion); u-ilp, "
                 "u-chase, u-stld and\nu-branch are adder-insensitive "
                 "and come out nearly equal.\n");
+
+    report.write();
     return 0;
 }

@@ -9,6 +9,7 @@
 #include <array>
 #include <cstdio>
 
+#include "bench_common.hh"
 #include "common/strutil.hh"
 #include "func/interp.hh"
 #include "isa/opclass.hh"
@@ -16,14 +17,19 @@
 #include "workloads/workload.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rbsim;
+    using namespace rbsim::bench;
+
+    const BenchOptions opts = parseBenchArgs(argc, argv);
 
     std::array<std::uint64_t, numTable1Rows> totals{};
     std::uint64_t all = 0;
     for (const WorkloadInfo &w : allWorkloads()) {
-        const Program p = w.build(WorkloadParams{});
+        WorkloadParams wp;
+        wp.scale = opts.scale;
+        const Program p = w.build(wp);
         Interp in(p);
         while (!in.halted()) {
             const StepRecord rec = in.step();
@@ -39,6 +45,8 @@ main()
     const std::array<double, numTable1Rows> paper = {
         18.0, 0.4, 0.5, 36.6, 0.5, 3.9, 14.4, 25.7};
 
+    BenchReport report("table1_classification", opts);
+
     TextTable t;
     t.header({"Instruction class", "measured", "paper"});
     double rb_out = 0, tc_in = 0;
@@ -46,6 +54,9 @@ main()
         const double frac = 100.0 * double(totals[r]) / double(all);
         t.row({table1RowLabel(static_cast<Table1Row>(r)),
                fmtDouble(frac, 1) + "%", fmtDouble(paper[r], 1) + "%"});
+        report.addMetric(std::string("pct.") +
+                             table1RowLabel(static_cast<Table1Row>(r)),
+                         frac);
         const auto row = static_cast<Table1Row>(r);
         if (row == Table1Row::ArithRbRb || row == Table1Row::CmovSign ||
             row == Table1Row::CmovZero) {
@@ -64,5 +75,10 @@ main()
                 tc_in);
     std::printf("dynamic instructions classified: %llu\n",
                 static_cast<unsigned long long>(all));
+
+    report.addMetric("pct_rb_results", rb_out);
+    report.addMetric("pct_tc_inputs", tc_in);
+    report.addMetric("dynamic_instructions", double(all));
+    report.write();
     return 0;
 }

@@ -8,13 +8,19 @@
 
 #include <cstdio>
 
+#include "bench_common.hh"
+
 #include "core/machine_config.hh"
 #include "sim/report.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rbsim;
+    using namespace rbsim::bench;
+
+    const BenchOptions opts = parseBenchArgs(argc, argv);
+    BenchReport report("table3_latencies", opts);
 
     const MachineConfig base = MachineConfig::make(MachineKind::Baseline, 8);
     const MachineConfig rb = MachineConfig::make(MachineKind::RbFull, 8);
@@ -60,10 +66,16 @@ main()
                    " for stores]";
         t3.row({opClassName(cls), std::to_string(b.early), rbs,
                 std::to_string(i.early)});
+        const std::string key = opClassName(cls);
+        report.addMetric("latency.base." + key, b.early);
+        report.addMetric("latency.rb_early." + key, r.early);
+        report.addMetric("latency.rb_late." + key, r.late);
+        report.addMetric("latency.ideal." + key, i.early);
     }
     t3.row({"dcache latency", "2", "2", "2"});
     std::printf("%s\n", t3.render().c_str());
     std::printf("RB machines resolve conditional branches with the "
                 "1-cycle compare (Baseline: 2 cycles).\n");
+    report.write();
     return 0;
 }

@@ -85,12 +85,12 @@ main(int argc, char **argv)
         const SimResult r = simulate(v.cfg, prog);
         std::printf("%-18s %8llu %6.3f %9llu %9.1f%% %8.1f%%\n",
                     v.cfg.label.c_str(),
-                    static_cast<unsigned long long>(r.core.cycles),
+                    static_cast<unsigned long long>(r.counter("core.cycles")),
                     r.ipc(),
-                    static_cast<unsigned long long>(r.core.condBranches),
+                    static_cast<unsigned long long>(r.counter("core.condBranches")),
                     100.0 * (1.0 - r.branchAccuracy()),
-                    r.dl1Accesses
-                        ? 100.0 * double(r.dl1Misses) / double(r.dl1Accesses)
+                    r.counter("dl1.accesses")
+                        ? 100.0 * double(r.counter("dl1.misses")) / double(r.counter("dl1.accesses"))
                         : 0.0);
     }
     return 0;

@@ -56,10 +56,10 @@ main()
         const SimResult r = simulate(cfg, prog);
         std::printf("%-12s %8llu %8llu %6.2f %9llu ok\n",
                     cfg.label.c_str(),
-                    static_cast<unsigned long long>(r.core.cycles),
-                    static_cast<unsigned long long>(r.core.retired),
+                    static_cast<unsigned long long>(r.counter("core.cycles")),
+                    static_cast<unsigned long long>(r.counter("core.retired")),
                     r.ipc(),
-                    static_cast<unsigned long long>(r.cosimChecked));
+                    static_cast<unsigned long long>(r.counter("cosim.checked")));
     }
 
     // Inspect the architectural result through the reference interpreter.

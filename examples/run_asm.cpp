@@ -161,17 +161,17 @@ main(int argc, char **argv)
         return 1;
     }
     std::printf("cycles %llu  retired %llu  IPC %.3f  (verified %llu)\n",
-                static_cast<unsigned long long>(r.core.cycles),
-                static_cast<unsigned long long>(r.core.retired), r.ipc(),
-                static_cast<unsigned long long>(r.cosimChecked));
+                static_cast<unsigned long long>(r.counter("core.cycles")),
+                static_cast<unsigned long long>(r.counter("core.retired")), r.ipc(),
+                static_cast<unsigned long long>(r.counter("cosim.checked")));
     std::printf("branch accuracy %.2f%%  flushes %llu  dl1 miss %.1f%%"
                 "  l2 miss %.1f%%\n",
                 100.0 * r.branchAccuracy(),
-                static_cast<unsigned long long>(r.core.flushes),
-                r.dl1Accesses
-                    ? 100.0 * r.dl1Misses / double(r.dl1Accesses) : 0.0,
-                r.l2Accesses
-                    ? 100.0 * r.l2Misses / double(r.l2Accesses) : 0.0);
+                static_cast<unsigned long long>(r.counter("core.flushes")),
+                r.counter("dl1.accesses")
+                    ? 100.0 * r.counter("dl1.misses") / double(r.counter("dl1.accesses")) : 0.0,
+                r.counter("l2.accesses")
+                    ? 100.0 * r.counter("l2.misses") / double(r.counter("l2.accesses")) : 0.0);
 
     if (dump_count) {
         std::printf("\nmemory at 0x%llx:\n",

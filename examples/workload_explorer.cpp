@@ -42,53 +42,53 @@ main(int argc, char **argv)
                 cfg.label.c_str());
     std::printf("  %s\n\n", info.description.c_str());
 
-    const CoreStats &s = r.core;
+    const StatSnapshot &s = r.stats;
     std::printf("cycles %llu, retired %llu, IPC %.3f (co-sim verified "
                 "%llu)\n",
-                static_cast<unsigned long long>(s.cycles),
-                static_cast<unsigned long long>(s.retired), r.ipc(),
-                static_cast<unsigned long long>(r.cosimChecked));
+                static_cast<unsigned long long>(s.counter("core.cycles")),
+                static_cast<unsigned long long>(s.counter("core.retired")), r.ipc(),
+                static_cast<unsigned long long>(r.counter("cosim.checked")));
     std::printf("fetched %llu, squashed %llu, flushes %llu\n",
-                static_cast<unsigned long long>(s.fetched),
-                static_cast<unsigned long long>(s.squashed),
-                static_cast<unsigned long long>(s.flushes));
+                static_cast<unsigned long long>(s.counter("core.fetched")),
+                static_cast<unsigned long long>(s.counter("core.squashed")),
+                static_cast<unsigned long long>(s.counter("core.flushes")));
     std::printf("cond branches %llu, mispredicted %.2f%%\n",
-                static_cast<unsigned long long>(s.condBranches),
+                static_cast<unsigned long long>(s.counter("core.condBranches")),
                 100.0 * (1.0 - r.branchAccuracy()));
     std::printf("loads %llu (forwarded %llu), stores %llu\n",
-                static_cast<unsigned long long>(s.loads),
-                static_cast<unsigned long long>(s.loadForwards),
-                static_cast<unsigned long long>(s.stores));
+                static_cast<unsigned long long>(s.counter("core.loads")),
+                static_cast<unsigned long long>(s.counter("core.loadForwards")),
+                static_cast<unsigned long long>(s.counter("core.stores")));
     std::printf("dl1 miss %.1f%%, l2 miss %.1f%%, DRAM accesses %llu\n",
-                r.dl1Accesses ? 100.0 * r.dl1Misses / double(r.dl1Accesses)
+                r.counter("dl1.accesses") ? 100.0 * r.counter("dl1.misses") / double(r.counter("dl1.accesses"))
                               : 0.0,
-                r.l2Accesses ? 100.0 * r.l2Misses / double(r.l2Accesses)
+                r.counter("l2.accesses") ? 100.0 * r.counter("l2.misses") / double(r.counter("l2.accesses"))
                              : 0.0,
-                static_cast<unsigned long long>(r.memAccesses));
+                static_cast<unsigned long long>(r.counter("mem.accesses")));
     std::printf("mean issue wait %.2f cycles; hole-blocked entry-cycles "
                 "%llu\n",
-                s.retired ? double(s.issueWaitSum) / double(s.retired) : 0,
-                static_cast<unsigned long long>(s.holeWaitCycles));
-    if (s.rbPathExecs) {
+                s.counter("core.retired") ? double(s.counter("core.issueWaitSum")) / double(s.counter("core.retired")) : 0,
+                static_cast<unsigned long long>(s.counter("core.holeWaitCycles")));
+    if (s.counter("core.rbPathExecs")) {
         std::printf("RB-datapath executions %llu (%.1f%% of retired); "
                     "bogus-overflow corrections %llu\n",
-                    static_cast<unsigned long long>(s.rbPathExecs),
-                    100.0 * double(s.rbPathExecs) / double(s.retired),
+                    static_cast<unsigned long long>(s.counter("core.rbPathExecs")),
+                    100.0 * double(s.counter("core.rbPathExecs")) / double(s.counter("core.retired")),
                     static_cast<unsigned long long>(
-                        s.rbBogusCorrections));
+                        s.counter("core.rbBogusCorrections")));
     }
 
     std::printf("\nTable 1 classification of the retired stream:\n");
     for (unsigned i = 0; i < numTable1Rows; ++i) {
-        if (s.table1[i] == 0)
+        if (s.vec("core.table1")[i] == 0)
             continue;
         std::printf("  %-55s %6.1f%%\n",
                     table1RowLabel(static_cast<Table1Row>(i)),
-                    100.0 * double(s.table1[i]) / double(s.retired));
+                    100.0 * double(s.vec("core.table1")[i]) / double(s.counter("core.retired")));
     }
 
     std::uint64_t bypass_total = 0;
-    for (std::uint64_t v : s.bypassCase)
+    for (std::uint64_t v : s.vec("bypass.case"))
         bypass_total += v;
     if (bypass_total) {
         std::printf("\nFigure 13 bypass cases (last-arriving bypassed "
@@ -96,21 +96,21 @@ main(int argc, char **argv)
         for (unsigned i = 0; i < numBypassCases; ++i) {
             std::printf("  %-36s %6.1f%%\n",
                         bypassCaseName(static_cast<BypassCase>(i)),
-                        100.0 * double(s.bypassCase[i]) /
+                        100.0 * double(s.vec("bypass.case")[i]) /
                             double(bypass_total));
         }
         std::printf("  instructions with a bypassed source: %.1f%%\n",
-                    100.0 * double(s.withBypassedSource) /
-                        double(s.retired));
+                    100.0 * double(s.counter("core.withBypassedSource")) /
+                        double(s.counter("core.retired")));
     }
 
     std::printf("\nbypass slot used by the last-arriving operand "
                 "(cycles past first availability):\n");
-    for (unsigned i = 0; i < s.bypassSlotUsed.size(); ++i) {
-        if (s.bypassSlotUsed[i] == 0)
+    for (unsigned i = 0; i < s.vec("bypass.slot").size(); ++i) {
+        if (s.vec("bypass.slot")[i] == 0)
             continue;
         std::printf("  +%u: %llu\n", i,
-                    static_cast<unsigned long long>(s.bypassSlotUsed[i]));
+                    static_cast<unsigned long long>(s.vec("bypass.slot")[i]));
     }
     return 0;
 }

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Compare two rbsim bench JSON dumps and flag IPC regressions.
+
+Usage: bench_diff.py [--threshold PCT] old.json new.json
+
+Cells are matched on (machine, workload); per-machine harmonic-mean IPC
+is recomputed over the *common* cells only, so dumps taken with
+different --machines/--scale filters still compare what they share.
+Exits 1 when any machine's harmonic-mean IPC dropped by more than the
+threshold (default 1%), 0 otherwise (including when there is nothing
+comparable, which is reported).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    schema = doc.get("schema")
+    if schema != "rbsim-bench-1":
+        sys.exit(f"{path}: unsupported schema {schema!r}")
+    return doc
+
+
+def cell_map(doc):
+    return {(c["machine"], c["workload"]): c["ipc"] for c in doc["cells"]}
+
+
+def hmean(xs):
+    return len(xs) / sum(1.0 / x for x in xs)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--threshold", type=float, default=1.0,
+                    help="max tolerated hmean-IPC drop, percent "
+                         "(default 1.0)")
+    ap.add_argument("old")
+    ap.add_argument("new")
+    args = ap.parse_args()
+
+    old_doc, new_doc = load(args.old), load(args.new)
+    old_cells, new_cells = cell_map(old_doc), cell_map(new_doc)
+    common = sorted(set(old_cells) & set(new_cells))
+    if not common:
+        print("bench_diff: no common (machine, workload) cells; "
+              "nothing to compare")
+        return 0
+
+    machines = []
+    for machine, _ in common:
+        if machine not in machines:
+            machines.append(machine)
+
+    print(f"comparing {len(common)} common cells across "
+          f"{len(machines)} machines "
+          f"({old_doc['bench']} vs {new_doc['bench']})")
+    width = max(len(m) for m in machines)
+    failures = []
+    for machine in machines:
+        old_ipcs = [old_cells[k] for k in common if k[0] == machine]
+        new_ipcs = [new_cells[k] for k in common if k[0] == machine]
+        if min(old_ipcs) <= 0 or min(new_ipcs) <= 0:
+            print(f"  {machine:<{width}}  skipped (non-positive IPC)")
+            continue
+        old_h, new_h = hmean(old_ipcs), hmean(new_ipcs)
+        delta = 100.0 * (new_h / old_h - 1.0)
+        flag = ""
+        if delta < -args.threshold:
+            failures.append(machine)
+            flag = f"  REGRESSION (> {args.threshold:g}% drop)"
+        print(f"  {machine:<{width}}  hmean IPC {old_h:.4f} -> "
+              f"{new_h:.4f}  ({delta:+.2f}%){flag}")
+
+    if failures:
+        print(f"bench_diff: FAIL — {len(failures)} machine(s) regressed: "
+              + ", ".join(failures))
+        return 1
+    print("bench_diff: OK — no machine regressed beyond "
+          f"{args.threshold:g}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

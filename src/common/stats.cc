@@ -3,6 +3,9 @@
 #include <cassert>
 #include <cmath>
 #include <sstream>
+#include <stdexcept>
+
+#include "common/json.hh"
 
 namespace rbsim
 {
@@ -50,6 +53,158 @@ StatSet::format() const
     std::ostringstream os;
     for (const auto &[name, value] : counters)
         os << name << " = " << value << "\n";
+    return os.str();
+}
+
+// ------------------------------------------------------------- snapshot
+
+std::uint64_t
+StatSnapshot::counter(const std::string &name) const
+{
+    const auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+}
+
+double
+StatSnapshot::value(const std::string &name) const
+{
+    const auto it = formulas.find(name);
+    if (it != formulas.end())
+        return it->second;
+    return static_cast<double>(counter(name));
+}
+
+const std::vector<std::uint64_t> &
+StatSnapshot::vec(const std::string &name) const
+{
+    static const std::vector<std::uint64_t> empty;
+    const auto it = vectors.find(name);
+    return it == vectors.end() ? empty : it->second;
+}
+
+double
+StatSnapshot::ratio(const std::string &num, const std::string &den) const
+{
+    const std::uint64_t d = counter(den);
+    return d == 0 ? 0.0 : static_cast<double>(counter(num)) / d;
+}
+
+std::string
+StatSnapshot::toJson() const
+{
+    Json j = Json::object();
+    Json &c = (j["counters"] = Json::object());
+    for (const auto &[name, v] : counters)
+        c[name] = Json(v);
+    Json &f = (j["formulas"] = Json::object());
+    for (const auto &[name, v] : formulas)
+        f[name] = Json(v);
+    Json &vecs = (j["vectors"] = Json::object());
+    for (const auto &[name, buckets] : vectors) {
+        Json a = Json::array();
+        for (std::uint64_t b : buckets)
+            a.push(Json(b));
+        vecs[name] = std::move(a);
+    }
+    return j.dump();
+}
+
+StatSnapshot
+StatSnapshot::fromJson(const std::string &text)
+{
+    const Json j = Json::parse(text);
+    StatSnapshot s;
+    if (const Json *c = j.find("counters")) {
+        for (const auto &[name, v] : c->items())
+            s.counters[name] = v.asU64();
+    }
+    if (const Json *f = j.find("formulas")) {
+        for (const auto &[name, v] : f->items())
+            s.formulas[name] = v.asDouble();
+    }
+    if (const Json *vecs = j.find("vectors")) {
+        for (const auto &[name, a] : vecs->items()) {
+            std::vector<std::uint64_t> buckets;
+            for (const Json &b : a.elements())
+                buckets.push_back(b.asU64());
+            s.vectors[name] = std::move(buckets);
+        }
+    }
+    return s;
+}
+
+// ------------------------------------------------------------- registry
+
+void
+StatRegistry::claimName(const std::string &name)
+{
+    if (counterRefs.count(name) || vectorRefs.count(name) ||
+        histRefs.count(name) || formulaRefs.count(name)) {
+        throw std::logic_error("duplicate stat name: " + name);
+    }
+}
+
+void
+StatRegistry::addCounter(const std::string &name, const std::uint64_t *v,
+                         const std::string &desc)
+{
+    assert(v);
+    claimName(name);
+    counterRefs[name] = CounterRef{v, desc};
+}
+
+void
+StatRegistry::addVector(const std::string &name, const std::uint64_t *v,
+                        std::size_t n, const std::string &desc)
+{
+    assert(v);
+    claimName(name);
+    vectorRefs[name] = VectorRef{v, n, desc};
+}
+
+void
+StatRegistry::addHistogram(const std::string &name, const Histogram *h,
+                           const std::string &desc)
+{
+    assert(h);
+    claimName(name);
+    histRefs[name] = HistRef{h, desc};
+}
+
+void
+StatRegistry::addFormula(const std::string &name,
+                         std::function<double()> fn,
+                         const std::string &desc)
+{
+    assert(fn);
+    claimName(name);
+    formulaRefs[name] = FormulaRef{std::move(fn), desc};
+}
+
+StatSnapshot
+StatRegistry::snapshot() const
+{
+    StatSnapshot s;
+    for (const auto &[name, ref] : counterRefs)
+        s.counters[name] = *ref.v;
+    for (const auto &[name, ref] : formulaRefs)
+        s.formulas[name] = ref.fn();
+    for (const auto &[name, ref] : vectorRefs)
+        s.vectors[name].assign(ref.v, ref.v + ref.n);
+    for (const auto &[name, ref] : histRefs)
+        s.vectors[name] = ref.h->raw();
+    return s;
+}
+
+std::string
+StatRegistry::format() const
+{
+    // Scalars only, merged alphabetically: the quick human-readable view.
+    std::ostringstream os;
+    for (const auto &[name, ref] : counterRefs)
+        os << name << " = " << *ref.v << "\n";
+    for (const auto &[name, ref] : formulaRefs)
+        os << name << " = " << ref.fn() << "\n";
     return os.str();
 }
 

@@ -57,12 +57,93 @@ void
 OooCore::cycle()
 {
     doFlushes();
+    const std::uint64_t retired0 = coreStats.retired;
     doRetire();
+    coreStats.retireSlots.record(coreStats.retired - retired0);
     doSelect();
     doDispatch();
+    const std::uint64_t fetched0 = coreStats.fetched;
     doFetch();
+    coreStats.fetchSlots.record(coreStats.fetched - fetched0);
     ++now;
     ++coreStats.cycles;
+}
+
+void
+OooCore::registerStats(StatRegistry &reg) const
+{
+    const CoreStats &s = coreStats;
+    StatGroup core = statGroup(reg, "core");
+    core.counter("cycles", &s.cycles, "simulated cycles");
+    core.counter("retired", &s.retired, "instructions retired");
+    core.counter("fetched", &s.fetched, "instructions fetched");
+    core.counter("dispatched", &s.dispatched,
+                 "instructions renamed and dispatched");
+    core.counter("issued", &s.issued, "instructions issued");
+    core.counter("squashed", &s.squashed,
+                 "in-flight instructions squashed");
+    core.counter("condBranches", &s.condBranches,
+                 "conditional branches retired");
+    core.counter("condMispredicts", &s.condMispredicts,
+                 "conditional branches mispredicted");
+    core.counter("flushes", &s.flushes, "pipeline flushes fired");
+    core.counter("jmpFetchStalls", &s.jmpFetchStalls,
+                 "mispredicted JMPs that also stalled fetch");
+    core.counter("loads", &s.loads, "loads retired");
+    core.counter("stores", &s.stores, "stores retired");
+    core.counter("loadForwards", &s.loadForwards,
+                 "retired loads served by store forwarding");
+    core.counter("rbPathExecs", &s.rbPathExecs,
+                 "retired instructions executed on the RB datapath");
+    core.counter("rbBogusCorrections", &s.rbBogusCorrections,
+                 "section 3.5 bogus-overflow corrections");
+    core.counter("withBypassedSource", &s.withBypassedSource,
+                 "retired instructions with >= 1 bypassed source");
+    core.counter("withAnySource", &s.withAnySource,
+                 "retired instructions with >= 1 register source");
+    core.counter("issueWaitSum", &s.issueWaitSum,
+                 "total cycles between dispatch and issue");
+    core.counter("holeWaitCycles", &s.holeWaitCycles,
+                 "entry-cycles blocked only by availability holes");
+    core.vector("table1", s.table1.data(), s.table1.size(),
+                "retired instructions per paper Table 1 row");
+    StatGroup bypass = statGroup(reg, "bypass");
+    bypass.vector("case", s.bypassCase.data(), s.bypassCase.size(),
+                  "Figure 13 classification of last-arriving bypassed "
+                  "sources");
+    bypass.vector("slot", s.bypassSlotUsed.data(),
+                  s.bypassSlotUsed.size(),
+                  "bypass level serving the last-arriving operand "
+                  "(last bucket = register file)");
+    core.histogram("issueWait", &s.issueWait,
+                   "per-instruction cycles from dispatch to issue");
+    core.histogram("holeWait", &s.holeWait,
+                   "per-instruction cycles waiting only on holes");
+    core.histogram("retireSlots", &s.retireSlots,
+                   "instructions retired per cycle");
+    core.histogram("fetchSlots", &s.fetchSlots,
+                   "instructions fetched per cycle");
+    core.formula("ipc", [&s] { return s.ipc(); },
+                 "retired instructions per cycle");
+    core.formula("branchAccuracy",
+                 [&s] {
+                     return s.condBranches
+                                ? 1.0 - double(s.condMispredicts) /
+                                            double(s.condBranches)
+                                : 1.0;
+                 },
+                 "conditional-branch prediction accuracy");
+    core.formula("issueWaitMean",
+                 [&s] {
+                     return s.retired ? double(s.issueWaitSum) /
+                                            double(s.retired)
+                                      : 0.0;
+                 },
+                 "mean dispatch-to-issue wait of retired instructions");
+
+    hierarchy.registerStats(reg);
+    fetch.registerStats(reg);
+    lsq.registerStats(statGroup(reg, "lsq"));
 }
 
 // ---------------------------------------------------------------- flush
@@ -192,6 +273,9 @@ OooCore::doRetire()
         if (e.bogusCorrected)
             ++coreStats.rbBogusCorrections;
         coreStats.issueWaitSum += e.issueCycle - e.dispatchCycle - 1;
+        coreStats.issueWait.record(static_cast<std::size_t>(
+            e.issueCycle - e.dispatchCycle - 1));
+        coreStats.holeWait.record(e.holeWait);
 
         if (retireHook)
             retireHook(e);
@@ -257,8 +341,10 @@ OooCore::readyToIssue(std::uint64_t seq, unsigned scheduler)
         }
     }
     if (failed) {
-        if (all_failing_are_holes)
+        if (all_failing_are_holes) {
             ++coreStats.holeWaitCycles;
+            ++e.holeWait;
+        }
         return false;
     }
 

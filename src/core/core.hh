@@ -13,6 +13,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/stats.hh"
 #include "core/exec.hh"
 #include "core/machine_config.hh"
 #include "core/regfile.hh"
@@ -67,6 +68,13 @@ struct CoreStats
     std::uint64_t holeWaitCycles = 0; //!< entry-cycles blocked only by a
                                       //!< hole in availability
 
+    //! Per-stage cycle accounting (first-class histograms).
+    Histogram issueWait{16};   //!< per retired inst: issue-dispatch-1
+    Histogram holeWait{16};    //!< per retired inst: cycles blocked only
+                               //!< by availability holes
+    Histogram retireSlots{17}; //!< per cycle: instructions retired
+    Histogram fetchSlots{17};  //!< per cycle: instructions fetched
+
     double ipc() const
     { return cycles ? double(retired) / double(cycles) : 0.0; }
 };
@@ -102,6 +110,13 @@ class OooCore
 
     /** Statistics. */
     const CoreStats &stats() const { return coreStats; }
+
+    /**
+     * Self-register every statistic of the core and its subcomponents
+     * (memory hierarchy, fetch/predictor, LSQ) into `reg`. The registry
+     * must not outlive the core.
+     */
+    void registerStats(StatRegistry &reg) const;
 
     /** The memory hierarchy (cache stats). */
     const MemHierarchy &memoryHierarchy() const { return hierarchy; }

@@ -81,6 +81,8 @@ struct RobEntry
                                        //!< last-arriving bypassed source
     bool anyBypassed = false;          //!< >= 1 source came off a bypass
     std::uint8_t bypassSlot = 0xff;    //!< cycles past first availability
+    std::uint32_t holeWait = 0;        //!< wait cycles where every
+                                       //!< missing operand sat in a hole
     bool usedRbPath = false;           //!< executed on the RB datapath
     bool bogusCorrected = false;       //!< section 3.5 correction fired
     bool loadForwarded = false;        //!< store-to-load forwarding hit

@@ -59,7 +59,10 @@ HybridPredictor::predict(std::uint64_t pc, BpIndices *latched) const
         *latched = idx;
     const bool g = gshareTable[idx.gidx] >= 2;
     const bool l = localPht[idx.lidx] >= 2;
-    return chooser[idx.cidx] >= 2 ? g : l;
+    const bool useGshare = chooser[idx.cidx] >= 2;
+    ++lookups;
+    ++(useGshare ? gshareChosen : localChosen);
+    return useGshare ? g : l;
 }
 
 BpComponent

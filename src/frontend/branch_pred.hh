@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/stats.hh"
 #include "common/types.hh"
 
 namespace rbsim
@@ -85,7 +86,25 @@ class HybridPredictor
     /** Retirement update: train the exact entries read at fetch. */
     void update(const BpIndices &idx, bool taken);
 
+    /** Bind predictor stats into `g` (the "bpred" group). */
+    void
+    registerStats(StatGroup g) const
+    {
+        g.counter("lookups", &lookups,
+                  "direction predictions (wrong path included)");
+        g.counter("gshareChosen", &gshareChosen,
+                  "lookups the chooser sent to gshare");
+        g.counter("localChosen", &localChosen,
+                  "lookups the chooser sent to PAs");
+    }
+
   private:
+    // Lookup tallies live in const predict(); wrong-path predictions
+    // are counted, matching the hardware's table activity.
+    mutable std::uint64_t lookups = 0;
+    mutable std::uint64_t gshareChosen = 0;
+    mutable std::uint64_t localChosen = 0;
+
     static constexpr unsigned ghistBits = 17;
     static constexpr std::uint32_t ghistMask = (1u << ghistBits) - 1;
     static constexpr unsigned localHistBits = 12;

@@ -63,6 +63,17 @@ class FetchEngine
     /** Fetch stall cycles due to instruction-cache misses (stats). */
     std::uint64_t icacheStallCycles = 0;
 
+    /** Register fetch + branch predictor stats as root groups of
+     * `reg`. */
+    void
+    registerStats(StatRegistry &reg) const
+    {
+        statGroup(reg, "fetch").counter(
+            "icacheStallCycles", &icacheStallCycles,
+            "fetch cycles lost to instruction-cache misses");
+        predictor.registerStats(statGroup(reg, "bpred"));
+    }
+
   private:
     const MachineConfig &config;
     const Program &program;

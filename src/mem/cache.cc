@@ -16,6 +16,20 @@ CacheModel::CacheModel(const CacheParams &params)
     array.resize(static_cast<std::size_t>(sets) * ways);
 }
 
+void
+CacheModel::registerStats(StatGroup g) const
+{
+    g.counter("accesses", &accesses, "tag array accesses");
+    g.counter("misses", &misses, "tag array misses");
+    g.formula("missRate",
+              [this] {
+                  return accesses
+                             ? double(misses) / double(accesses)
+                             : 0.0;
+              },
+              "misses / accesses");
+}
+
 unsigned
 CacheModel::setOf(Addr addr) const
 {

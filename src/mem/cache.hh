@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/stats.hh"
 #include "common/types.hh"
 #include "core/machine_config.hh"
 
@@ -56,6 +57,9 @@ class CacheModel
     /** Accumulated stats. */
     std::uint64_t accesses = 0;
     std::uint64_t misses = 0;
+
+    /** Bind this cache's stats into `g` (e.g. the "dl1" group). */
+    void registerStats(StatGroup g) const;
 
   private:
     struct Way

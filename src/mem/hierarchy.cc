@@ -15,6 +15,16 @@ MemHierarchy::MemHierarchy(const MachineConfig &cfg)
 {
 }
 
+void
+MemHierarchy::registerStats(StatRegistry &reg) const
+{
+    il1Cache.registerStats(statGroup(reg, "il1"));
+    dl1Cache.registerStats(statGroup(reg, "dl1"));
+    l2Cache.registerStats(statGroup(reg, "l2"));
+    statGroup(reg, "mem").counter("accesses", &memAccesses,
+                                  "DRAM accesses");
+}
+
 Cycle
 MemHierarchy::accessMem(Addr addr, Cycle start)
 {

@@ -54,6 +54,9 @@ class MemHierarchy
     /** Accumulated memory (DRAM) accesses. */
     std::uint64_t memAccesses = 0;
 
+    /** Register il1/dl1/l2/mem stats as root groups of `reg`. */
+    void registerStats(StatRegistry &reg) const;
+
   private:
     /** L2 access beginning at `start`; returns data-ready cycle. */
     Cycle accessL2(Addr addr, Cycle start);

@@ -14,6 +14,7 @@ LoadStoreQueue::insert(std::uint64_t seq, bool is_store)
     e.seq = seq;
     e.isStore = is_store;
     entries.push_back(e);
+    ++inserted;
 }
 
 void
@@ -61,6 +62,7 @@ LoadStoreQueue::searchForLoad(std::uint64_t seq, Addr addr,
                               unsigned size) const
 {
     LoadSearch out;
+    ++searches;
     const Addr lo = addr;
     const Addr hi = addr + size;
 
@@ -89,6 +91,7 @@ LoadStoreQueue::searchForLoad(std::uint64_t seq, Addr addr,
     out.mayIssue = true;
     if (hit) {
         out.forwarded = true;
+        ++forwards;
         const unsigned shift =
             static_cast<unsigned>((lo - hit->addr) * 8);
         Word v = hit->data >> shift;

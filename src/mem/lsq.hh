@@ -17,6 +17,7 @@
 #include <deque>
 #include <optional>
 
+#include "common/stats.hh"
 #include "common/types.hh"
 
 namespace rbsim
@@ -90,9 +91,25 @@ class LoadStoreQueue
     /** Occupancy (tests). */
     std::size_t size() const { return entries.size(); }
 
+    /** Bind queue stats into `g` (the "lsq" group). */
+    void
+    registerStats(StatGroup g) const
+    {
+        g.counter("inserted", &inserted, "entries inserted at dispatch");
+        g.counter("searches", &searches,
+                  "load disambiguation/forwarding searches");
+        g.counter("forwards", &forwards,
+                  "searches served by store-to-load forwarding");
+    }
+
   private:
     std::deque<LsqEntry> entries; // ordered by seq
     unsigned capacity;
+
+    std::uint64_t inserted = 0;
+    // Counted inside const search paths (wrong-path searches included).
+    mutable std::uint64_t searches = 0;
+    mutable std::uint64_t forwards = 0;
 };
 
 } // namespace rbsim

@@ -12,6 +12,7 @@
 
 #include <stdexcept>
 
+#include "common/stats.hh"
 #include "core/rob.hh"
 #include "func/interp.hh"
 
@@ -41,6 +42,14 @@ class CosimChecker
 
     /** Instructions verified. */
     std::uint64_t checked() const { return count; }
+
+    /** Bind checker stats into `g` (the "cosim" group). */
+    void
+    registerStats(StatGroup g) const
+    {
+        g.counter("checked", &count,
+                  "retired instructions architecturally verified");
+    }
 
   private:
     Interp interp;

@@ -16,21 +16,17 @@ simulate(const MachineConfig &cfg, const Program &prog,
             [&checker](const RobEntry &e) { checker.onRetire(e); });
     }
 
+    // Every component self-registers its statistics; the snapshot taken
+    // after the run is the complete machine-readable result.
+    StatRegistry reg;
+    core.registerStats(reg);
+    checker.registerStats(statGroup(reg, "cosim"));
+
     SimResult res;
     res.machine = cfg.label;
     res.workload = prog.name;
     res.halted = core.run(opts.maxCycles);
-    res.core = core.stats();
-
-    const MemHierarchy &mh = core.memoryHierarchy();
-    res.il1Accesses = mh.il1().accesses;
-    res.il1Misses = mh.il1().misses;
-    res.dl1Accesses = mh.dl1().accesses;
-    res.dl1Misses = mh.dl1().misses;
-    res.l2Accesses = mh.l2().accesses;
-    res.l2Misses = mh.l2().misses;
-    res.memAccesses = mh.memAccesses;
-    res.cosimChecked = checker.checked();
+    res.stats = reg.snapshot();
     return res;
 }
 

@@ -10,39 +10,50 @@
 
 #include <string>
 
+#include "common/stats.hh"
 #include "core/core.hh"
 
 namespace rbsim
 {
 
-/** Everything a run produces. */
+/**
+ * Everything a run produces: identification plus a snapshot of every
+ * statistic the pipeline components registered (core.*, bypass.*,
+ * il1/dl1/l2/mem.*, fetch.*, bpred.*, lsq.*, cosim.*). There are no
+ * hand-flattened counter fields; the named accessors below are thin
+ * views over the registry snapshot.
+ */
 struct SimResult
 {
     std::string machine;
     std::string workload;
     bool halted = false;
-    CoreStats core;
-
-    // Memory system.
-    std::uint64_t il1Accesses = 0, il1Misses = 0;
-    std::uint64_t dl1Accesses = 0, dl1Misses = 0;
-    std::uint64_t l2Accesses = 0, l2Misses = 0;
-    std::uint64_t memAccesses = 0;
-
-    // Co-simulation.
-    std::uint64_t cosimChecked = 0;
+    StatSnapshot stats;
 
     /** Instructions per cycle. */
-    double ipc() const { return core.ipc(); }
+    double ipc() const { return stats.value("core.ipc"); }
 
     /** Conditional-branch prediction accuracy. */
     double
     branchAccuracy() const
     {
-        if (core.condBranches == 0)
-            return 1.0;
-        return 1.0 - double(core.condMispredicts) /
-                         double(core.condBranches);
+        return stats.counter("core.condBranches")
+                   ? stats.value("core.branchAccuracy")
+                   : 1.0;
+    }
+
+    /** Any registered counter by dotted name (0 when absent). */
+    std::uint64_t
+    counter(const std::string &name) const
+    {
+        return stats.counter(name);
+    }
+
+    /** Any registered vector/histogram by dotted name. */
+    const std::vector<std::uint64_t> &
+    vec(const std::string &name) const
+    {
+        return stats.vec(name);
     }
 };
 

@@ -69,7 +69,7 @@ marginalCyclesPerIter(const MachineConfig &cfg,
 {
     const SimResult a = simulate(cfg, make(lo));
     const SimResult b = simulate(cfg, make(hi));
-    return double(b.core.cycles - a.core.cycles) / double(hi - lo);
+    return double(b.counter("core.cycles") - a.counter("core.cycles")) / double(hi - lo);
 }
 
 /** Mixed program exercising memory, branches, cmov, and logic. */
@@ -112,8 +112,8 @@ TEST(Core, AllMachinesRunMixedKernelWithCosim)
             const MachineConfig cfg = MachineConfig::make(kind, width);
             const SimResult r = simulate(cfg, p);
             EXPECT_TRUE(r.halted) << cfg.label << " w=" << width;
-            EXPECT_GT(r.cosimChecked, 100u);
-            EXPECT_EQ(r.cosimChecked, r.core.retired);
+            EXPECT_GT(r.counter("cosim.checked"), 100u);
+            EXPECT_EQ(r.counter("cosim.checked"), r.counter("core.retired"));
             // Architectural results (from committed memory, via the
             // reference which checked them): sum of digits of pi = 80.
         }
@@ -212,8 +212,8 @@ TEST(Core, MispredictionRecoveryIsArchitecturallyClean)
         const MachineConfig cfg = MachineConfig::make(kind, 8);
         const SimResult r = simulate(cfg, p);
         EXPECT_TRUE(r.halted) << cfg.label;
-        EXPECT_GT(r.core.condMispredicts, 100u) << cfg.label;
-        EXPECT_GT(r.core.squashed, 1000u);
+        EXPECT_GT(r.counter("core.condMispredicts"), 100u) << cfg.label;
+        EXPECT_GT(r.counter("core.squashed"), 1000u);
     }
 }
 
@@ -234,7 +234,7 @@ TEST(Core, StoreToLoadForwardingHappens)
     const MachineConfig cfg = MachineConfig::make(MachineKind::Ideal, 8);
     const SimResult r = simulate(cfg, p);
     EXPECT_TRUE(r.halted);
-    EXPECT_GT(r.core.loadForwards, 100u);
+    EXPECT_GT(r.counter("core.loadForwards"), 100u);
 }
 
 TEST(Core, SubroutinesAndReturnPrediction)
@@ -258,7 +258,7 @@ TEST(Core, SubroutinesAndReturnPrediction)
     EXPECT_TRUE(r.halted);
     // Returns predicted through the RAS: the only flushes allowed are
     // gshare warmup on the loop branch plus the exit misprediction.
-    EXPECT_LT(r.core.flushes, 30u);
+    EXPECT_LT(r.counter("core.flushes"), 30u);
 }
 
 TEST(Core, JumpTableResolvesViaBtb)
@@ -290,10 +290,10 @@ TEST(Core, JumpTableResolvesViaBtb)
     const MachineConfig cfg = MachineConfig::make(MachineKind::Ideal, 8);
     const SimResult r = simulate(cfg, p);
     EXPECT_TRUE(r.halted);
-    EXPECT_EQ(r.core.retired, r.cosimChecked);
+    EXPECT_EQ(r.counter("core.retired"), r.counter("cosim.checked"));
     // After warmup the BTB predicts the jump; stalled resolutions stay
     // far below the 200 iterations.
-    EXPECT_LT(r.core.jmpFetchStalls, 10u);
+    EXPECT_LT(r.counter("core.jmpFetchStalls"), 10u);
 }
 
 TEST(Core, RbMachinesExerciseRbDatapath)
@@ -301,10 +301,10 @@ TEST(Core, RbMachinesExerciseRbDatapath)
     const Program p = mixedKernel();
     const SimResult rb =
         simulate(MachineConfig::make(MachineKind::RbFull, 8), p);
-    EXPECT_GT(rb.core.rbPathExecs, rb.core.retired / 4);
+    EXPECT_GT(rb.counter("core.rbPathExecs"), rb.counter("core.retired") / 4);
     const SimResult ideal =
         simulate(MachineConfig::make(MachineKind::Ideal, 8), p);
-    EXPECT_EQ(ideal.core.rbPathExecs, 0u);
+    EXPECT_EQ(ideal.counter("core.rbPathExecs"), 0u);
 }
 
 TEST(Core, Table1TalliesArePlausible)
@@ -313,12 +313,12 @@ TEST(Core, Table1TalliesArePlausible)
     const SimResult r =
         simulate(MachineConfig::make(MachineKind::Ideal, 8), p);
     std::uint64_t total = 0;
-    for (std::uint64_t c : r.core.table1)
+    for (std::uint64_t c : r.vec("core.table1"))
         total += c;
-    EXPECT_EQ(total, r.core.retired);
-    EXPECT_GT(r.core.table1[static_cast<unsigned>(Table1Row::MemAccess)],
+    EXPECT_EQ(total, r.counter("core.retired"));
+    EXPECT_GT(r.vec("core.table1")[static_cast<unsigned>(Table1Row::MemAccess)],
               0u);
-    EXPECT_GT(r.core.table1[static_cast<unsigned>(Table1Row::ArithRbRb)],
+    EXPECT_GT(r.vec("core.table1")[static_cast<unsigned>(Table1Row::ArithRbRb)],
               0u);
 }
 
@@ -333,8 +333,8 @@ TEST(Core, MinimumPipelineDepthRespected)
     EXPECT_TRUE(r.halted);
     // Cold caches: the very first fetch misses IL1 and L2 and pays the
     // ~110-cycle memory latency before the 13-stage minimum pipeline.
-    EXPECT_GE(r.core.cycles, 13u);
-    EXPECT_LT(r.core.cycles, 160u);
+    EXPECT_GE(r.counter("core.cycles"), 13u);
+    EXPECT_LT(r.counter("core.cycles"), 160u);
 }
 
 TEST(Core, SixteenWideExtensionRunsClean)
@@ -348,7 +348,7 @@ TEST(Core, SixteenWideExtensionRunsClean)
     EXPECT_EQ(cfg16.numClusters, 4u);
     const SimResult r16 = simulate(cfg16, p);
     EXPECT_TRUE(r16.halted);
-    EXPECT_EQ(r16.cosimChecked, r16.core.retired);
+    EXPECT_EQ(r16.counter("cosim.checked"), r16.counter("core.retired"));
     const SimResult r8 =
         simulate(MachineConfig::make(MachineKind::RbFull, 8), p);
     EXPECT_GT(r16.ipc(), r8.ipc());
@@ -363,11 +363,10 @@ TEST(Core, SimulationIsDeterministic)
         MachineConfig::make(MachineKind::RbLimited, 8);
     const SimResult a = simulate(cfg, p);
     const SimResult b = simulate(cfg, p);
-    EXPECT_EQ(a.core.cycles, b.core.cycles);
-    EXPECT_EQ(a.core.retired, b.core.retired);
-    EXPECT_EQ(a.core.flushes, b.core.flushes);
-    EXPECT_EQ(a.core.issueWaitSum, b.core.issueWaitSum);
-    EXPECT_EQ(a.dl1Misses, b.dl1Misses);
+    // The registry snapshot covers every registered statistic, so one
+    // comparison pins the complete machine state accounting.
+    EXPECT_EQ(a.stats, b.stats);
+    EXPECT_EQ(a.counter("core.cycles"), b.counter("core.cycles"));
 }
 
 TEST(Core, BackToBackRunsDoNotLeakAcrossCores)

@@ -88,7 +88,7 @@ TEST(Workloads, CosimCleanOnTimingCoreSample)
             const MachineConfig cfg = MachineConfig::make(kind, 8);
             const SimResult r = simulate(cfg, p);
             EXPECT_TRUE(r.halted) << name << " on " << cfg.label;
-            EXPECT_EQ(r.cosimChecked, r.core.retired);
+            EXPECT_EQ(r.counter("cosim.checked"), r.counter("core.retired"));
         }
     }
 }
@@ -150,7 +150,8 @@ TEST(Workloads, MicroSuiteRunsCleanEverywhere)
         const SimResult r =
             simulate(MachineConfig::make(MachineKind::RbLimited, 8), p);
         EXPECT_TRUE(r.halted) << w.name;
-        EXPECT_EQ(r.cosimChecked, r.core.retired) << w.name;
+        EXPECT_EQ(r.counter("cosim.checked"),
+                  r.counter("core.retired")) << w.name;
     }
 }
 
