@@ -25,9 +25,23 @@ usageDie(const char *prog, const char *why)
     std::fprintf(stderr,
                  "%s: %s\n"
                  "usage: %s [--json <path>] [--scale <n>] "
-                 "[--machines <label,label,...>]\n",
+                 "[--machines <label,label,...>] "
+                 "[--scheduler wakeup|polled|oracle]\n",
                  prog, why, prog);
     std::exit(2);
+}
+
+// The scheduler mode applies to every config a bench builds, including
+// ablation grids assembled after parseBenchArgs, so it lives here and is
+// applied to a copy of each config right before simulate().
+std::string g_scheduler = "wakeup";
+
+MachineConfig
+applyScheduler(MachineConfig cfg)
+{
+    cfg.polledScheduler = g_scheduler == "polled";
+    cfg.wakeupOracle = g_scheduler == "oracle";
+    return cfg;
 }
 
 std::vector<std::string>
@@ -74,6 +88,13 @@ parseBenchArgs(int &argc, char **argv)
             opts.machines = splitCsv(value("--machines"));
             if (opts.machines.empty())
                 usageDie(argv[0], "--machines needs at least one label");
+        } else if (std::strcmp(arg, "--scheduler") == 0) {
+            opts.scheduler = value("--scheduler");
+            if (opts.scheduler != "wakeup" &&
+                opts.scheduler != "polled" && opts.scheduler != "oracle")
+                usageDie(argv[0],
+                         "--scheduler must be wakeup, polled or oracle");
+            g_scheduler = opts.scheduler;
         } else {
             argv[out++] = argv[i]; // not ours; leave for the caller
         }
@@ -139,6 +160,7 @@ BenchReport::write() const
     root["schema"] = "rbsim-bench-1";
     root["bench"] = bench;
     root["scale"] = opts.scale;
+    root["scheduler"] = opts.scheduler;
 
     Json machines = Json::array();
     std::vector<std::string> seen;
@@ -159,6 +181,8 @@ BenchReport::write() const
         jc["machine"] = c.machine;
         jc["workload"] = c.workload;
         jc["ipc"] = c.result.ipc();
+        jc["host_ms"] = c.result.hostSeconds * 1e3;
+        jc["sim_khz"] = c.result.simKhz();
         Json stats = Json::object();
         Json counters = Json::object();
         for (const auto &[name, v] : c.result.stats.counters)
@@ -192,6 +216,16 @@ BenchReport::write() const
         hmeans[m] = harmonicMean(ipcs);
     }
     summary["hmean_ipc"] = std::move(hmeans);
+    Json hspeed = Json::object();
+    for (const std::string &m : seen) {
+        std::vector<double> khz;
+        for (const Cell &c : cells) {
+            if (c.machine == m)
+                khz.push_back(c.result.simKhz());
+        }
+        hspeed[m] = harmonicMean(khz);
+    }
+    summary["hmean_sim_khz"] = std::move(hspeed);
     Json jmetrics = Json::object();
     for (const auto &[name, v] : metrics)
         jmetrics[name] = v;
@@ -243,7 +277,7 @@ sweep(const std::vector<MachineConfig> &configs,
             WorkloadParams wp;
             wp.scale = scale;
             const Program prog = tasks[i].wl->build(wp);
-            SimResult r = simulate(*tasks[i].cfg, prog);
+            SimResult r = simulate(applyScheduler(*tasks[i].cfg), prog);
             cells[i].machine = tasks[i].cfg->label;
             cells[i].workload = tasks[i].wl->name;
             cells[i].result = std::move(r);
@@ -355,6 +389,23 @@ printIpcFigure(const std::string &title,
     }
     std::printf("Per-stage cycle accounting (suite totals):\n%s\n",
                 acct.render().c_str());
+
+    // Host simulation speed: how fast the simulator itself ran. sim_khz
+    // is simulated kilocycles per host-wall-clock second; the harmonic
+    // mean matches the per-machine summary in the JSON dump.
+    TextTable speed;
+    speed.header({"machine", "host total", "hmean sim speed"});
+    for (std::size_t m = 0; m < configs.size(); ++m) {
+        double host = 0.0;
+        std::vector<double> khz;
+        for (std::size_t c = m; c < cells.size(); c += configs.size()) {
+            host += cells[c].result.hostSeconds;
+            khz.push_back(cells[c].result.simKhz());
+        }
+        speed.row({configs[m].label, fmtDouble(host, 2) + " s",
+                   fmtSimSpeed(harmonicMean(khz))});
+    }
+    std::printf("Host simulation speed:\n%s\n", speed.render().c_str());
 }
 
 void

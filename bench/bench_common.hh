@@ -35,12 +35,18 @@ struct Cell
  *   --scale <n>       workload scale factor (default 1)
  *   --machines <csv>  comma-separated machine labels to keep
  *                     (e.g. "Baseline,RB-full"); default all
+ *   --scheduler <m>   scheduler select mechanism: "wakeup" (default,
+ *                     event-driven bitset array), "polled" (the original
+ *                     per-cycle operand scan), or "oracle" (wakeup with
+ *                     the polled model co-simulated every cycle as a
+ *                     cross-check)
  */
 struct BenchOptions
 {
     std::string jsonPath;
     unsigned scale = 1;
     std::vector<std::string> machines;
+    std::string scheduler = "wakeup";
 };
 
 /**
@@ -62,10 +68,13 @@ filterMachines(std::vector<MachineConfig> configs,
  * through one of these so all dumps share one schema:
  *
  *   { "schema": "rbsim-bench-1", "bench": ..., "scale": ...,
+ *     "scheduler": "wakeup"|"polled"|"oracle",
  *     "machines": [...],
- *     "cells": [ {machine, workload, ipc, stats:{counters,formulas,
- *                 vectors}} ],
- *     "summary": { "hmean_ipc": {machine: value}, "metrics": {...} } }
+ *     "cells": [ {machine, workload, ipc, host_ms, sim_khz,
+ *                 stats:{counters,formulas,vectors}} ],
+ *     "summary": { "hmean_ipc": {machine: value},
+ *                  "hmean_sim_khz": {machine: value},
+ *                  "metrics": {...} } }
  */
 class BenchReport
 {

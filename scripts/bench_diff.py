@@ -9,6 +9,12 @@ different --machines/--scale filters still compare what they share.
 Exits 1 when any machine's harmonic-mean IPC dropped by more than the
 threshold (default 1%), 0 otherwise (including when there is nothing
 comparable, which is reported).
+
+When both dumps carry per-cell host speed (sim_khz, written since the
+wakeup-array scheduler landed), a second informational section reports
+per-machine harmonic-mean simulation-speed deltas. Host speed is noisy
+and machine-dependent, so it never gates: only IPC affects the exit
+status.
 """
 
 import argparse
@@ -27,6 +33,11 @@ def load(path):
 
 def cell_map(doc):
     return {(c["machine"], c["workload"]): c["ipc"] for c in doc["cells"]}
+
+
+def speed_map(doc):
+    return {(c["machine"], c["workload"]): c["sim_khz"]
+            for c in doc["cells"] if c.get("sim_khz", 0) > 0}
 
 
 def hmean(xs):
@@ -74,6 +85,26 @@ def main():
             flag = f"  REGRESSION (> {args.threshold:g}% drop)"
         print(f"  {machine:<{width}}  hmean IPC {old_h:.4f} -> "
               f"{new_h:.4f}  ({delta:+.2f}%){flag}")
+
+    old_speed, new_speed = speed_map(old_doc), speed_map(new_doc)
+    speed_common = [k for k in common
+                    if k in old_speed and k in new_speed]
+    if speed_common:
+        sched = (old_doc.get("scheduler", "?"),
+                 new_doc.get("scheduler", "?"))
+        print(f"host speed (informational, non-gating; scheduler "
+              f"{sched[0]} vs {sched[1]}):")
+        for machine in machines:
+            old_khz = [old_speed[k] for k in speed_common
+                       if k[0] == machine]
+            new_khz = [new_speed[k] for k in speed_common
+                       if k[0] == machine]
+            if not old_khz or not new_khz:
+                continue
+            old_h, new_h = hmean(old_khz), hmean(new_khz)
+            delta = 100.0 * (new_h / old_h - 1.0)
+            print(f"  {machine:<{width}}  hmean sim speed "
+                  f"{old_h:.0f} -> {new_h:.0f} kcyc/s  ({delta:+.1f}%)")
 
     if failures:
         print(f"bench_diff: FAIL — {len(failures)} machine(s) regressed: "

@@ -96,6 +96,16 @@ class Histogram
         ++count;
     }
 
+    /** Record the same sample `n` times (idle-cycle fast-forward). */
+    void
+    record(std::size_t value, std::uint64_t n)
+    {
+        if (value >= buckets.size())
+            value = buckets.size() - 1;
+        buckets[value] += n;
+        count += n;
+    }
+
     /** Samples recorded so far. */
     std::uint64_t samples() const { return count; }
 

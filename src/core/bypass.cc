@@ -102,6 +102,17 @@ firstAvail(const MachineConfig &cfg, const ProdAvail &p, bool needs_tc,
     return t;
 }
 
+Cycle
+stableAvailFrom(const MachineConfig &cfg, const ProdAvail &p,
+                bool needs_tc, unsigned consumer_cluster)
+{
+    // With hole-aware scheduling off, operandAvail is already a single
+    // step function at continuousFrom; with it on, the raw pattern is
+    // continuous from the same cycle. Either way this is the exact
+    // per-cycle truth's last edge.
+    return continuousFrom(cfg, p, needs_tc, consumer_cluster);
+}
+
 std::uint64_t
 availabilityPattern(const MachineConfig &cfg, const ProdAvail &p,
                     bool needs_tc, unsigned consumer_cluster, Cycle base,

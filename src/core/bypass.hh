@@ -80,6 +80,15 @@ Cycle firstAvail(const MachineConfig &cfg, const ProdAvail &p,
                  bool needs_tc, unsigned consumer_cluster, Cycle from);
 
 /**
+ * First cycle from which the operand is available at *every* later
+ * cycle — the end of the last availability hole. Together with
+ * `firstAvail(.., p.early)` this brackets the window the wakeup array
+ * must latch per-cycle bits for; outside it the ready bit is constant.
+ */
+Cycle stableAvailFrom(const MachineConfig &cfg, const ProdAvail &p,
+                      bool needs_tc, unsigned consumer_cluster);
+
+/**
  * The wakeup shift-register pattern of paper Figure 8: bit i is 1 iff the
  * operand is available at select cycle `base + i`. Bits beyond the window
  * are implied 1 (register file). Used by tests and the scheduling-logic

@@ -23,7 +23,13 @@ OooCore::OooCore(const MachineConfig &cfg, const Program &prog)
       lsq(cfg.lsqEntries),
       samDl1(cfg.dl1.sizeBytes / (cfg.dl1.assoc * cfg.dl1.lineBytes),
              cfg.dl1.lineBytes),
-      producerSched(cfg.physRegs, 0xff)
+      producerSched(cfg.physRegs, 0xff),
+      regWaiters(cfg.physRegs),
+      slotPendingOps(
+          static_cast<std::size_t>(cfg.numSchedulers) * cfg.schedEntries,
+          0),
+      useWakeup(!cfg.polledScheduler &&
+                cfg.schedEntries <= 64 /* wakeupCapable */)
 {
     commitMem.loadProgram(prog);
     frontPipeCap =
@@ -41,16 +47,122 @@ OooCore::run(Cycle max_cycles)
             last_retired = coreStats.retired;
             last_progress = now;
         }
-        assert(now - last_progress < 100000 &&
-               "core deadlock: no retirement progress");
+        if (now - last_progress >= config.deadlockCycles) {
+            // No retirement progress for an entire watchdog window: a
+            // genuine model deadlock. Diagnose and abort the run instead
+            // of spinning until max_cycles (the assert that used to live
+            // here vanished in -DNDEBUG builds).
+            ++coreStats.deadlockAborts;
+            diagnoseDeadlock();
+            return false;
+        }
         // A program that runs off the end of its code without HALT drains
         // and stops.
         if (fetch.parked() && frontPipe.empty() && rob.empty() &&
             pendingFlushes.empty()) {
             haltRetired = true;
+        } else if (useWakeup && config.idleSkip) {
+            maybeSkipIdle(max_cycles, last_progress);
         }
     }
     return haltRetired;
+}
+
+void
+OooCore::diagnoseDeadlock() const
+{
+    std::fprintf(stderr,
+                 "rbsim: core deadlock: no retirement progress for %llu "
+                 "cycles (cycle=%llu retired=%llu rob=%zu sched=%zu "
+                 "lsq=%zu frontPipe=%zu flushes=%zu fetchParked=%d)\n",
+                 static_cast<unsigned long long>(config.deadlockCycles),
+                 static_cast<unsigned long long>(now),
+                 static_cast<unsigned long long>(coreStats.retired),
+                 rob.size(), sched.occupancy(), lsq.size(),
+                 frontPipe.size(), pendingFlushes.size(),
+                 static_cast<int>(fetch.parked()));
+}
+
+void
+OooCore::maybeSkipIdle(Cycle max_cycles, Cycle last_progress)
+{
+    // Anything latched for this cycle's select means work now.
+    if (sched.anyReady() || sched.anyAttention())
+        return;
+
+    Cycle target = neverCycle;
+
+    for (const PendingFlush &f : pendingFlushes)
+        target = std::min(target, f.at);
+
+    if (!rob.empty()) {
+        const RobEntry &h = rob.head();
+        // !complete == !issued here (completion is timestamped at
+        // issue), so an incomplete head is covered by the select/event
+        // bounds below.
+        if (h.complete) {
+            if (h.completeCycle <= now)
+                return; // retirement due this cycle
+            target = std::min(target, h.completeCycle);
+        }
+    }
+
+    if (!wakeupEvents.empty()) {
+        if (wakeupEvents.top().at <= now)
+            return;
+        target = std::min(target, wakeupEvents.top().at);
+    }
+
+    if (!frontPipe.empty()) {
+        const FrontEntry &fe = frontPipe.front();
+        const Cycle mature = fe.fetchedAt + config.fetchDecodeDepth +
+                             config.renameDepth;
+        if (mature > now) {
+            target = std::min(target, mature);
+        } else {
+            // A mature head may only be skipped past when provably
+            // blocked by a resource that frees via retire, issue, or
+            // flush — all already bounded above.
+            const Inst &inst = fe.fi.inst;
+            const bool is_mem = isLoad(inst.op) || isStore(inst.op);
+            const bool blocked =
+                !rob.hasSpace() || (is_mem && !lsq.hasSpace()) ||
+                pickScheduler(inst, /*commit=*/false) >=
+                    config.numSchedulers ||
+                (writesDest(inst) && !rename.hasFree());
+            if (!blocked)
+                return;
+        }
+    }
+
+    if (!fetch.parked() &&
+        frontPipe.size() + config.fetchWidth <= frontPipeCap) {
+        // Fetch is live and not backpressured: inert only while stalled
+        // on an instruction-cache fill (the miss cost was charged when
+        // the miss was discovered, so skipped stall cycles are
+        // stat-exact).
+        const Cycle resume = fetch.resumeAt();
+        if (resume <= now)
+            return;
+        target = std::min(target, resume);
+    }
+
+    // A target of neverCycle with in-flight state means a genuine
+    // deadlock: fast-forward straight into the watchdog window. Either
+    // way, never overrun the watchdog or the caller's cycle budget, so
+    // aborted and budget-capped runs report the same cycle counts as a
+    // cycle-by-cycle (polled) simulation.
+    target = std::min(target, last_progress + config.deadlockCycles - 1);
+    target = std::min(target, max_cycles);
+    if (target <= now)
+        return;
+
+    const Cycle n = target - now;
+    now += n;
+    coreStats.cycles += n;
+    coreStats.retireSlots.record(0, n);
+    coreStats.fetchSlots.record(0, n);
+    idleSkipped += n;
 }
 
 void
@@ -97,6 +209,8 @@ OooCore::registerStats(StatRegistry &reg) const
                  "retired instructions executed on the RB datapath");
     core.counter("rbBogusCorrections", &s.rbBogusCorrections,
                  "section 3.5 bogus-overflow corrections");
+    core.counter("deadlockAborts", &s.deadlockAborts,
+                 "runs aborted by the retirement-progress watchdog");
     core.counter("withBypassedSource", &s.withBypassedSource,
                  "retired instructions with >= 1 bypassed source");
     core.counter("withAnySource", &s.withAnySource,
@@ -190,6 +304,19 @@ OooCore::flushAfter(const RobEntry &branch)
     });
     sched.squashAfter(branch.seq);
     lsq.squashAfter(branch.seq);
+    if (useWakeup) {
+        // Squashed consumers' waiter records are now dead (their slot
+        // generation no longer matches); drop them so a hot mispredict
+        // loop cannot grow the per-register lists. Stale heap events
+        // are cheaper to drain lazily (generation-guarded, time-bounded).
+        for (std::vector<Waiter> &ws : regWaiters) {
+            ws.erase(std::remove_if(ws.begin(), ws.end(),
+                                    [this](const Waiter &w) {
+                                        return !sched.live(w.ref, w.gen);
+                                    }),
+                     ws.end());
+        }
+    }
     coreStats.squashed += frontPipe.size();
     frontPipe.clear();
 
@@ -295,13 +422,8 @@ OooCore::doRetire()
 // --------------------------------------------------------------- select
 
 bool
-OooCore::readyToIssue(std::uint64_t seq, unsigned scheduler)
+OooCore::operandScan(RobEntry &e)
 {
-    (void)scheduler;
-    RobEntry &e = rob.get(seq);
-    if (now <= e.dispatchCycle)
-        return false;
-
     bool failed = false;
     bool all_failing_are_holes = true;
     for (unsigned i = 0; i < e.numSrcs; ++i) {
@@ -347,31 +469,262 @@ OooCore::readyToIssue(std::uint64_t seq, unsigned scheduler)
         }
         return false;
     }
-
-    if (e.isMemLoad) {
-        // Loads additionally pass memory disambiguation: all older store
-        // addresses known and no partial overlap (DESIGN.md).
-        if (!lsq.olderStoreAddrsKnown(seq))
-            return false;
-        const Word base = e.inst.rb == zeroReg ? 0 : regs.readTc(e.physB);
-        const unsigned size = memAccessSize(e.inst.op);
-        const Addr ea =
-            (base + static_cast<Word>(static_cast<SWord>(e.inst.disp))) &
-            ~Addr{size - 1};
-        if (!lsq.searchForLoad(seq, ea, size).mayIssue)
-            return false;
-    }
     return true;
+}
+
+bool
+OooCore::loadMayIssue(std::uint64_t seq, const RobEntry &e)
+{
+    // Loads additionally pass memory disambiguation: all older store
+    // addresses known and no partial overlap (DESIGN.md).
+    if (!lsq.olderStoreAddrsKnown(seq))
+        return false;
+    const Word base = e.inst.rb == zeroReg ? 0 : regs.readTc(e.physB);
+    const unsigned size = memAccessSize(e.inst.op);
+    const Addr ea =
+        (base + static_cast<Word>(static_cast<SWord>(e.inst.disp))) &
+        ~Addr{size - 1};
+    return lsq.searchForLoad(seq, ea, size).mayIssue;
+}
+
+bool
+OooCore::readyToIssue(std::uint64_t seq, unsigned scheduler)
+{
+    (void)scheduler;
+    RobEntry &e = rob.get(seq);
+    if (now <= e.dispatchCycle)
+        return false;
+    if (!operandScan(e))
+        return false;
+    if (e.isMemLoad)
+        return loadMayIssue(seq, e);
+    return true;
+}
+
+bool
+OooCore::tryIssueWakeup(std::uint64_t seq)
+{
+    RobEntry &e = rob.get(seq);
+    assert(now > e.dispatchCycle);
+    // The ready bit already certifies every operand; loads still pass
+    // memory disambiguation per scan, exactly like the polled path (the
+    // LSQ search counters tick identically).
+    if (e.isMemLoad && !loadMayIssue(seq, e))
+        return false;
+    issueInst(seq);
+    return true;
+}
+
+void
+OooCore::attendEntry(std::uint64_t seq, SchedulerBank::SlotRef ref)
+{
+    // Per-cycle side effects of scanning a non-ready entry: hole-wait
+    // accounting and early store address generation, computed by the
+    // same operand walk the polled path runs.
+    RobEntry &e = rob.get(seq);
+    assert(now > e.dispatchCycle);
+    const bool all_ready = operandScan(e);
+    assert(!all_ready && "wakeup ready bit missed an available entry");
+    (void)all_ready;
+    if (e.isMemStore && e.storeAddrRecorded)
+        sched.setStoreScan(ref, false);
 }
 
 void
 OooCore::doSelect()
 {
-    sched.selectCycle(
-        [this](std::uint64_t seq, unsigned s) {
-            return readyToIssue(seq, s);
+    if (!useWakeup) {
+        sched.selectCycle(
+            [this](std::uint64_t seq, unsigned s) {
+                return readyToIssue(seq, s);
+            },
+            [this](std::uint64_t seq, unsigned) { issueInst(seq); });
+        return;
+    }
+    drainWakeupEvents();
+    if (config.wakeupOracle)
+        verifyWakeupOracle();
+    sched.selectWakeup(
+        [this](std::uint64_t seq, unsigned) {
+            return tryIssueWakeup(seq);
         },
-        [this](std::uint64_t seq, unsigned) { issueInst(seq); });
+        [this](std::uint64_t seq, unsigned,
+               SchedulerBank::SlotRef ref) { attendEntry(seq, ref); });
+}
+
+// ---------------------------------------------------------------- wakeup
+
+void
+OooCore::drainWakeupEvents()
+{
+    while (!wakeupEvents.empty() && wakeupEvents.top().at <= now) {
+        const WakeupEvent ev = wakeupEvents.top();
+        wakeupEvents.pop();
+        if (!sched.live(ev.ref, ev.gen))
+            continue; // issued, squashed, or slot reused
+        sched.setReady(ev.ref, ev.ready);
+        sched.setHole(ev.ref, ev.hole);
+    }
+}
+
+void
+OooCore::armDispatch(const RobEntry &e, SchedulerBank::SlotRef ref)
+{
+    const std::size_t idx =
+        static_cast<std::size_t>(ref.sched) * config.schedEntries +
+        ref.slot;
+    std::uint8_t pending = 0;
+    for (unsigned i = 0; i < e.numSrcs; ++i) {
+        if (scoreboard.of(e.src[i].reg).rfTc == neverCycle) {
+            ++pending;
+            regWaiters[e.src[i].reg].push_back(
+                Waiter{ref, sched.genOf(ref)});
+        }
+    }
+    slotPendingOps[idx] = pending;
+    // Stores want the oldest-first scan's attention until their address
+    // reaches the LSQ, even while the data producer is still unknown.
+    if (e.isMemStore && !e.storeAddrRecorded)
+        sched.setStoreScan(ref, true);
+    if (pending == 0)
+        armWakeup(e, ref);
+}
+
+void
+OooCore::produceAndWake(PhysReg r, const ProdAvail &p)
+{
+    scoreboard.produce(r, p);
+    if (!useWakeup)
+        return;
+    std::vector<Waiter> &ws = regWaiters[r];
+    for (const Waiter &w : ws) {
+        if (!sched.live(w.ref, w.gen))
+            continue;
+        const std::size_t idx =
+            static_cast<std::size_t>(w.ref.sched) * config.schedEntries +
+            w.ref.slot;
+        assert(slotPendingOps[idx] > 0);
+        if (--slotPendingOps[idx] == 0) {
+            armWakeup(rob.get(sched.seqAt(w.ref.sched, w.ref.slot)),
+                      w.ref);
+        }
+    }
+    ws.clear();
+}
+
+void
+OooCore::armWakeup(const RobEntry &e, SchedulerBank::SlotRef ref)
+{
+    // Every producer timeline is now final: render the entry's whole
+    // readiness future as ready/hole bit transitions. Before the last
+    // producer's first availability (fmax) the entry is plain not-ready
+    // (no bits); from fmax to the end of the last availability hole
+    // (stable) not-ready means hole-blocked; from stable on it stays
+    // ready until selected.
+    const Cycle start = now + 1; // polled readiness needs now > dispatch
+    Cycle fmax = 0;
+    Cycle stable = 0;
+    for (unsigned i = 0; i < e.numSrcs; ++i) {
+        const ProdAvail &p = scoreboard.of(e.src[i].reg);
+        assert(p.rfTc != neverCycle);
+        fmax = std::max(fmax, firstAvail(config, p, e.src[i].needsTc,
+                                         e.cluster, p.early));
+        stable = std::max(stable,
+                          stableAvailFrom(config, p, e.src[i].needsTc,
+                                          e.cluster));
+    }
+    const std::uint32_t gen = sched.genOf(ref);
+    const Cycle base = std::max(start, fmax);
+    if (base >= stable) {
+        wakeupEvents.push(WakeupEvent{base, ref, gen, true, false});
+        return;
+    }
+    auto all_avail = [&](Cycle t) {
+        for (unsigned i = 0; i < e.numSrcs; ++i) {
+            const ProdAvail &p = scoreboard.of(e.src[i].reg);
+            if (!operandAvail(config, p, e.src[i].needsTc, e.cluster, t))
+                return false;
+        }
+        return true;
+    };
+    bool prev_ready = false;
+    bool first = true;
+    for (Cycle t = base; t <= stable; ++t) {
+        const bool r = all_avail(t);
+        if (first || r != prev_ready) {
+            // For t >= fmax, "blocked only by holes" is exactly
+            // !ready: every failing operand has been available before.
+            wakeupEvents.push(WakeupEvent{t, ref, gen, r, !r});
+            first = false;
+            prev_ready = r;
+        }
+    }
+}
+
+void
+OooCore::verifyWakeupOracle()
+{
+    for (unsigned s = 0; s < sched.numSchedulers(); ++s) {
+        const std::uint64_t ready_mask = sched.readyMaskOf(s);
+        const std::uint64_t hole_mask = sched.holeMaskOf(s);
+        for (std::uint64_t m = sched.validMaskOf(s); m; m &= m - 1) {
+            const unsigned slot =
+                static_cast<unsigned>(std::countr_zero(m));
+            const std::uint64_t seq = sched.seqAt(s, slot);
+            const RobEntry &e = rob.get(seq);
+            const bool bit = ready_mask >> slot & 1;
+            const bool pure = operandsReadyPure(e);
+            const bool hole_bit = hole_mask >> slot & 1;
+            const bool hole_pure = holeClassPure(e);
+            ++oracleChecks;
+            if (bit != pure || hole_bit != hole_pure) {
+                std::fprintf(stderr,
+                             "rbsim: wakeup oracle mismatch: cycle=%llu "
+                             "seq=%llu sched=%u slot=%u ready=%d/%d "
+                             "hole=%d/%d\n",
+                             static_cast<unsigned long long>(now),
+                             static_cast<unsigned long long>(seq), s,
+                             slot, static_cast<int>(bit),
+                             static_cast<int>(pure),
+                             static_cast<int>(hole_bit),
+                             static_cast<int>(hole_pure));
+                std::abort();
+            }
+        }
+    }
+}
+
+bool
+OooCore::operandsReadyPure(const RobEntry &e) const
+{
+    if (now <= e.dispatchCycle)
+        return false;
+    for (unsigned i = 0; i < e.numSrcs; ++i) {
+        const ProdAvail &p = scoreboard.of(e.src[i].reg);
+        if (!operandAvail(config, p, e.src[i].needsTc, e.cluster, now))
+            return false;
+    }
+    return true;
+}
+
+bool
+OooCore::holeClassPure(const RobEntry &e) const
+{
+    if (now <= e.dispatchCycle)
+        return false;
+    bool failed = false;
+    for (unsigned i = 0; i < e.numSrcs; ++i) {
+        const ProdAvail &p = scoreboard.of(e.src[i].reg);
+        if (operandAvail(config, p, e.src[i].needsTc, e.cluster, now))
+            continue;
+        failed = true;
+        if (p.rfTc == neverCycle ||
+            now <= firstAvail(config, p, e.src[i].needsTc, e.cluster,
+                              p.early)) {
+            return false;
+        }
+    }
+    return failed;
 }
 
 void
@@ -486,7 +839,7 @@ OooCore::issueInst(std::uint64_t seq)
             p.rfTc = data_ready + config.numBypassLevels;
             p.cluster = e.cluster;
             p.dual = false;
-            scoreboard.produce(e.dest, p);
+            produceAndWake(e.dest, p);
         }
         e.complete = true;
         e.completeCycle = data_ready + config.rfReadDepth;
@@ -515,7 +868,7 @@ OooCore::issueInst(std::uint64_t seq)
             now + config.rfReadDepth + config.branchResolveLat();
         if (e.dest != invalidPhysReg) {
             regs.writeTc(e.dest, x.tc);
-            scoreboard.produce(
+            produceAndWake(
                 e.dest, ProdAvail::make(now, lat, config.numBypassLevels,
                                         e.cluster));
             e.resultTc = x.tc;
@@ -539,7 +892,7 @@ OooCore::issueInst(std::uint64_t seq)
             regs.writeRb(e.dest, x.rb);
         else
             regs.writeTc(e.dest, x.tc);
-        scoreboard.produce(
+        produceAndWake(
             e.dest, ProdAvail::make(now, lat, config.numBypassLevels,
                                     e.cluster));
         e.resultTc = x.tc;
@@ -622,8 +975,10 @@ OooCore::doDispatch()
 
         if (is_mem)
             lsq.insert(seq, e.isMemStore);
-        sched.insert(target, seq);
+        const SchedulerBank::SlotRef ref = sched.insert(target, seq);
         sched.advanceSteering();
+        if (useWakeup)
+            armDispatch(e, ref);
 
         frontPipe.pop_front();
         ++coreStats.dispatched;
@@ -631,7 +986,7 @@ OooCore::doDispatch()
 }
 
 unsigned
-OooCore::pickScheduler(const Inst &inst)
+OooCore::pickScheduler(const Inst &inst, bool commit)
 {
     if (config.steering == Steering::RoundRobinPairs) {
         const unsigned target = sched.steerTarget();
@@ -651,7 +1006,8 @@ OooCore::pickScheduler(const Inst &inst)
         for (unsigned k = 0; k < n; ++k) {
             const unsigned s = lo + (classRr + k) % n;
             if (s < config.numSchedulers && sched.hasSpace(s)) {
-                classRr = (classRr + k + 1) % n;
+                if (commit)
+                    classRr = (classRr + k + 1) % n;
                 return s;
             }
         }

@@ -11,6 +11,7 @@
 
 #include <deque>
 #include <functional>
+#include <queue>
 #include <vector>
 
 #include "common/stats.hh"
@@ -68,6 +69,9 @@ struct CoreStats
     std::uint64_t holeWaitCycles = 0; //!< entry-cycles blocked only by a
                                       //!< hole in availability
 
+    //! Runs aborted by the no-retirement-progress watchdog.
+    std::uint64_t deadlockAborts = 0;
+
     //! Per-stage cycle accounting (first-class histograms).
     Histogram issueWait{16};   //!< per retired inst: issue-dispatch-1
     Histogram holeWait{16};    //!< per retired inst: cycles blocked only
@@ -108,6 +112,17 @@ class OooCore
     /** True once HALT has retired (or the program ran off its code). */
     bool halted() const { return haltRetired; }
 
+    /** True when run() aborted on the no-retirement-progress watchdog. */
+    bool deadlocked() const { return coreStats.deadlockAborts != 0; }
+
+    /** Cycles fast-forwarded by idle skipping (host-perf telemetry; not
+     * a registered statistic so polled and wakeup snapshots compare
+     * equal). */
+    Cycle idleSkippedCycles() const { return idleSkipped; }
+
+    /** Wakeup-bit vs polled-oracle comparisons performed (oracle mode). */
+    std::uint64_t wakeupOracleChecks() const { return oracleChecks; }
+
     /** Statistics. */
     const CoreStats &stats() const { return coreStats; }
 
@@ -145,13 +160,28 @@ class OooCore
     void doRetire();
     void doSelect();
     void doDispatch();
-    unsigned pickScheduler(const Inst &inst);
+    unsigned pickScheduler(const Inst &inst, bool commit = true);
     void doFetch();
 
     bool readyToIssue(std::uint64_t seq, unsigned sched);
+    bool operandScan(RobEntry &e);
+    bool loadMayIssue(std::uint64_t seq, const RobEntry &e);
     void issueInst(std::uint64_t seq);
     void flushAfter(const RobEntry &branch);
     void recordBypassStats(RobEntry &e);
+
+    // Wakeup-array machinery (Figure 8 as an event-driven bitset).
+    void produceAndWake(PhysReg r, const ProdAvail &p);
+    void armDispatch(const RobEntry &e, SchedulerBank::SlotRef ref);
+    void armWakeup(const RobEntry &e, SchedulerBank::SlotRef ref);
+    void drainWakeupEvents();
+    bool tryIssueWakeup(std::uint64_t seq);
+    void attendEntry(std::uint64_t seq, SchedulerBank::SlotRef ref);
+    void verifyWakeupOracle();
+    bool operandsReadyPure(const RobEntry &e) const;
+    bool holeClassPure(const RobEntry &e) const;
+    void maybeSkipIdle(Cycle max_cycles, Cycle last_progress);
+    void diagnoseDeadlock() const;
 
     const MachineConfig &config;
     const Program &program;
@@ -176,6 +206,56 @@ class OooCore
 
     CoreStats coreStats;
     std::function<void(const RobEntry &)> retireHook;
+
+    // ---------------------------------------------- wakeup-array state
+    //
+    // The in-core half of Figure 8: when a producer is selected, its
+    // availability timeline is broadcast to the waiting consumers
+    // (`regWaiters`, the CAM match), and once a consumer knows all of its
+    // producers, `armWakeup` converts the timelines into a handful of
+    // ready/hole bit-transition events on a time-ordered heap — the
+    // software image of the interleaved 0/1 shift-register patterns.
+    // Slot-generation counters guard events and waiter records against
+    // slot reuse after issue or squash.
+
+    /** One scheduled transition of a slot's ready/hole bits. */
+    struct WakeupEvent
+    {
+        Cycle at = 0;
+        SchedulerBank::SlotRef ref;
+        std::uint32_t gen = 0; //!< slot generation at arm time
+        bool ready = false;
+        bool hole = false;
+    };
+
+    struct EventLater
+    {
+        bool
+        operator()(const WakeupEvent &a, const WakeupEvent &b) const
+        {
+            return a.at > b.at;
+        }
+    };
+
+    /** A consumer slot waiting for one producer register's broadcast. */
+    struct Waiter
+    {
+        SchedulerBank::SlotRef ref;
+        std::uint32_t gen = 0;
+    };
+
+    std::priority_queue<WakeupEvent, std::vector<WakeupEvent>, EventLater>
+        wakeupEvents;
+    //! Per physical register: consumer slots awaiting its producer.
+    std::vector<std::vector<Waiter>> regWaiters;
+    //! Per (scheduler, slot): producers still unknown (not yet issued).
+    std::vector<std::uint8_t> slotPendingOps;
+    bool useWakeup = false; //!< wakeup array active (vs polled debug path)
+
+    // Host-perf telemetry; deliberately NOT registered statistics, so
+    // polled and wakeup StatSnapshots stay bit-identical.
+    Cycle idleSkipped = 0;
+    std::uint64_t oracleChecks = 0;
 
     Cycle now = 0;
     unsigned classRr = 0; //!< round-robin cursor for ClassPartition

@@ -111,6 +111,18 @@ struct MachineConfig
     bool holeAwareScheduling = true;  //!< section 4.3 wakeup; ablation knob
     Steering steering = Steering::RoundRobinPairs;
 
+    // Host-simulation knobs (no effect on simulated behavior; the
+    // polled scheduler and the wakeup array produce bit-identical
+    // statistics — CI enforces it via scripts/bench_diff.py).
+    bool polledScheduler = false; //!< debug: per-cycle readiness polling
+                                  //!< instead of the bitset wakeup array
+    bool wakeupOracle = false;    //!< cross-check wakeup bits against the
+                                  //!< polled readiness oracle every cycle
+    bool idleSkip = true;         //!< fast-forward provably idle cycles
+                                  //!< (stats stay cycle-exact)
+    Cycle deadlockCycles = 100000; //!< abort a run after this many cycles
+                                   //!< without retirement progress
+
     // Memory system (paper Table 2).
     CacheParams il1{64 * 1024, 4, 64, 2, 1, 1};
     CacheParams dl1{8 * 1024, 2, 64, 2, 1, 1};

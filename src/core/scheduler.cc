@@ -1,18 +1,21 @@
 #include "core/scheduler.hh"
 
-#include <algorithm>
-#include <cassert>
-
 namespace rbsim
 {
 
 SchedulerBank::SchedulerBank(unsigned num_schedulers, unsigned entries_per,
                              unsigned select_width)
-    : queues(num_schedulers), entriesPer(entries_per),
+    : banks(num_schedulers), entriesPer(entries_per),
       selectWidth(select_width)
 {
-    for (auto &q : queues)
-        q.reserve(entries_per);
+    for (Bank &b : banks) {
+        if (wakeupCapable()) {
+            b.seqs.resize(entries_per, 0);
+            b.gens.resize(entries_per, 0);
+        } else {
+            b.queue.reserve(entries_per);
+        }
+    }
 }
 
 void
@@ -22,59 +25,64 @@ SchedulerBank::advanceSteering()
     // round-robin manner (paper section 5.1).
     if (++steerCount == 2) {
         steerCount = 0;
-        rrIndex = (rrIndex + 1) % queues.size();
+        rrIndex = (rrIndex + 1) % banks.size();
     }
 }
 
 bool
 SchedulerBank::hasSpace(unsigned s) const
 {
-    assert(s < queues.size());
-    return queues[s].size() < entriesPer;
+    assert(s < banks.size());
+    return occupancyOf(s) < entriesPer;
 }
 
-void
+SchedulerBank::SlotRef
 SchedulerBank::insert(unsigned s, std::uint64_t seq)
 {
     assert(hasSpace(s));
-    assert(queues[s].empty() || queues[s].back() < seq);
-    queues[s].push_back(seq);
-}
-
-void
-SchedulerBank::selectCycle(
-    const std::function<bool(std::uint64_t, unsigned)> &ready,
-    const std::function<void(std::uint64_t, unsigned)> &issue)
-{
-    for (unsigned s = 0; s < queues.size(); ++s) {
-        auto &q = queues[s];
-        unsigned picked = 0;
-        // Oldest-first scan; erase picked entries in one pass.
-        std::size_t out = 0;
-        std::size_t i = 0;
-        for (; i < q.size() && picked < selectWidth; ++i) {
-            if (ready(q[i], s)) {
-                issue(q[i], s);
-                ++picked;
-            } else {
-                q[out++] = q[i];
-            }
-        }
-        // Once the select ports are exhausted, keep the rest untouched
-        // without evaluating readiness.
-        for (; i < q.size(); ++i)
-            q[out++] = q[i];
-        q.resize(out);
+    Bank &b = banks[s];
+    if (!wakeupCapable()) {
+        assert(b.queue.empty() || b.queue.back() < seq);
+        b.queue.push_back(seq);
+        return SlotRef{static_cast<std::uint16_t>(s), 0xffff};
     }
+    const std::uint64_t cap =
+        entriesPer == 64 ? ~std::uint64_t{0}
+                         : (std::uint64_t{1} << entriesPer) - 1;
+    const unsigned slot =
+        static_cast<unsigned>(std::countr_zero(~b.valid & cap));
+    assert(slot < entriesPer);
+    b.valid |= std::uint64_t{1} << slot;
+    b.seqs[slot] = seq;
+    ++b.gens[slot];
+    return SlotRef{static_cast<std::uint16_t>(s),
+                   static_cast<std::uint16_t>(slot)};
 }
 
 void
 SchedulerBank::squashAfter(std::uint64_t seq)
 {
-    for (auto &q : queues) {
-        q.erase(std::remove_if(q.begin(), q.end(),
+    for (Bank &b : banks) {
+        if (!wakeupCapable()) {
+            b.queue.erase(
+                std::remove_if(b.queue.begin(), b.queue.end(),
                                [seq](std::uint64_t e) { return e > seq; }),
-                q.end());
+                b.queue.end());
+            continue;
+        }
+        for (std::uint64_t m = b.valid; m; m &= m - 1) {
+            const unsigned slot =
+                static_cast<unsigned>(std::countr_zero(m));
+            if (b.seqs[slot] > seq)
+                removeSlot(b, slot);
+        }
+    }
+    // A flush that emptied the whole window restarts steering at
+    // scheduler 0, pair-aligned, so post-flush dispatch is independent
+    // of the squashed instructions' steering history.
+    if (occupancy() == 0) {
+        rrIndex = 0;
+        steerCount = 0;
     }
 }
 
@@ -82,9 +90,18 @@ std::size_t
 SchedulerBank::occupancy() const
 {
     std::size_t n = 0;
-    for (const auto &q : queues)
-        n += q.size();
+    for (std::size_t s = 0; s < banks.size(); ++s)
+        n += occupancyOf(static_cast<unsigned>(s));
     return n;
+}
+
+std::size_t
+SchedulerBank::occupancyOf(unsigned s) const
+{
+    const Bank &b = banks[s];
+    return wakeupCapable()
+               ? static_cast<std::size_t>(std::popcount(b.valid))
+               : b.queue.size();
 }
 
 } // namespace rbsim

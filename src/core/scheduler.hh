@@ -1,21 +1,43 @@
 /**
  * @file
- * Partitioned select-2 schedulers (paper sections 4.3 and 5.1).
+ * Partitioned select-2 schedulers with a bitset wakeup array (paper
+ * sections 4.3 and 5.1, Figure 8).
  *
  * The 128-entry instruction window is split into select-2 schedulers
  * (2 x 64 for the 4-wide machine, 4 x 32 for the 8-wide machine). Pairs
- * of consecutive instructions are steered round-robin at dispatch. Each
- * cycle, every scheduler scans its entries oldest-first and picks up to
- * two whose RESOURCE AVAILABLE conditions hold *this* cycle — which is
- * where the hole-aware wakeup of Figure 8 lives (the availability test is
- * delegated to the core via a per-entry readiness callback).
+ * of consecutive instructions are steered round-robin at dispatch.
+ *
+ * Each scheduler keeps fixed entry slots and three per-slot bit masks,
+ * the in-simulator image of Figure 8's latched RESOURCE AVAILABLE bits:
+ *
+ *  - `ready`: every operand is obtainable this cycle. Maintained by the
+ *    core via availability events broadcast when producers are selected
+ *    (set at the first usable cycle, cleared and re-set across
+ *    availability holes), not recomputed by polling.
+ *  - `hole`: the entry is blocked *only* by availability holes this
+ *    cycle (drives the hole-wait accounting without a per-entry poll).
+ *  - `storeScan`: an unrecorded-address store whose base register's
+ *    producer is known; it wants early address generation when scanned.
+ *
+ * Select is then an oldest-first scan over the union of the masks: up
+ * to `select_width` ready entries issue, non-ready attention entries get
+ * their per-cycle side effects (hole statistics, early store AGEN). The
+ * legacy per-entry polling loop is kept as `selectCycle` — it is the
+ * debug/oracle path and the fallback when a scheduler holds more than 64
+ * entries (masks are one `uint64_t` wide).
+ *
+ * Both select paths take their callbacks as template parameters so the
+ * readiness/issue code of OooCore inlines into the scan (no
+ * `std::function` allocation or indirect calls on the hot path).
  */
 
 #ifndef RBSIM_CORE_SCHEDULER_HH
 #define RBSIM_CORE_SCHEDULER_HH
 
+#include <algorithm>
+#include <bit>
+#include <cassert>
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "common/types.hh"
@@ -27,6 +49,13 @@ namespace rbsim
 class SchedulerBank
 {
   public:
+    /** A (scheduler, slot) coordinate of an inserted entry. */
+    struct SlotRef
+    {
+        std::uint16_t sched = 0;
+        std::uint16_t slot = 0;
+    };
+
     /**
      * @param num_schedulers scheduler count
      * @param entries_per capacity of each scheduler
@@ -44,29 +73,285 @@ class SchedulerBank
     /** Can scheduler s accept another entry? */
     bool hasSpace(unsigned s) const;
 
-    /** Insert an instruction (by sequence number) into scheduler s. */
-    void insert(unsigned s, std::uint64_t seq);
-
     /**
-     * Run one select cycle: for each scheduler, scan oldest-first and
-     * pick up to select_width entries for which `ready(seq, scheduler)`
-     * is true; picked entries are removed and reported via `issue`.
+     * Insert an instruction (by sequence number) into scheduler s.
+     * @return the slot the wakeup masks address it by
      */
-    void selectCycle(
-        const std::function<bool(std::uint64_t, unsigned)> &ready,
-        const std::function<void(std::uint64_t, unsigned)> &issue);
+    SlotRef insert(unsigned s, std::uint64_t seq);
 
-    /** Remove every entry younger than seq (squash). */
+    /** Remove every entry younger than seq (squash). A squash that
+     * empties every scheduler also resets the steering state, so
+     * post-flush dispatch steering restarts pair-aligned at scheduler 0
+     * (section 5.1 determinism). */
     void squashAfter(std::uint64_t seq);
 
     /** Total occupied entries. */
     std::size_t occupancy() const;
 
     /** Occupancy of one scheduler. */
-    std::size_t occupancyOf(unsigned s) const { return queues[s].size(); }
+    std::size_t occupancyOf(unsigned s) const;
+
+    /** Number of schedulers. */
+    unsigned numSchedulers() const
+    { return static_cast<unsigned>(banks.size()); }
+
+    /** Entries each scheduler can hold. */
+    unsigned capacityPer() const { return entriesPer; }
+
+    /** True when the bitset wakeup array is usable (<= 64 slots per
+     * scheduler); otherwise only the polled path works. */
+    bool wakeupCapable() const { return entriesPer <= 64; }
+
+    // ------------------------------------------------- wakeup array
+
+    /** Latch/clear the RESOURCE AVAILABLE bit of a slot. */
+    void
+    setReady(SlotRef r, bool on)
+    {
+        setBit(banks[r.sched].ready, r.slot, on);
+    }
+
+    /** Latch/clear the blocked-only-by-holes bit of a slot. */
+    void
+    setHole(SlotRef r, bool on)
+    {
+        setBit(banks[r.sched].hole, r.slot, on);
+    }
+
+    /** Latch/clear the wants-early-store-AGEN bit of a slot. */
+    void
+    setStoreScan(SlotRef r, bool on)
+    {
+        setBit(banks[r.sched].storeScan, r.slot, on);
+    }
+
+    /** Is the slot's ready bit set? */
+    bool
+    isReady(SlotRef r) const
+    {
+        return banks[r.sched].ready >> r.slot & 1;
+    }
+
+    /** Does the slot currently hold this sequence number? (Validates
+     * queued wakeup events against issue/squash slot reuse.) */
+    bool
+    holds(SlotRef r, std::uint64_t seq) const
+    {
+        const Bank &b = banks[r.sched];
+        return (b.valid >> r.slot & 1) && b.seqs[r.slot] == seq;
+    }
+
+    /** Generation of a slot; bumped on every insert, so a (ref, gen)
+     * pair names one occupancy of the slot. */
+    std::uint32_t
+    genOf(SlotRef r) const
+    {
+        return banks[r.sched].gens[r.slot];
+    }
+
+    /** Is the occupancy named by (ref, gen) still live (not issued, not
+     * squashed, slot not reused)? */
+    bool
+    live(SlotRef r, std::uint32_t gen) const
+    {
+        const Bank &b = banks[r.sched];
+        return (b.valid >> r.slot & 1) && b.gens[r.slot] == gen;
+    }
+
+    /** Ready mask of one scheduler (tests, oracle). */
+    std::uint64_t readyMaskOf(unsigned s) const { return banks[s].ready; }
+
+    /** Hole mask of one scheduler (tests, oracle). */
+    std::uint64_t holeMaskOf(unsigned s) const { return banks[s].hole; }
+
+    /** Valid mask of one scheduler (tests, oracle). */
+    std::uint64_t validMaskOf(unsigned s) const { return banks[s].valid; }
+
+    /** Sequence number held by a slot (must be valid). */
+    std::uint64_t
+    seqAt(unsigned s, unsigned slot) const
+    {
+        assert(banks[s].valid >> slot & 1);
+        return banks[s].seqs[slot];
+    }
+
+    /** Any ready bit set across all schedulers? */
+    bool
+    anyReady() const
+    {
+        for (const Bank &b : banks)
+            if (b.ready)
+                return true;
+        return false;
+    }
+
+    /** Any per-cycle attention (hole accounting / store AGEN) pending? */
+    bool
+    anyAttention() const
+    {
+        for (const Bank &b : banks)
+            if (b.hole | b.storeScan)
+                return true;
+        return false;
+    }
+
+    /**
+     * Event-driven select cycle: for each scheduler, walk the union of
+     * the ready/hole/storeScan masks oldest-first. Ready entries are
+     * offered to `try_issue(seq, scheduler)`: a true return issues and
+     * removes the entry (counting against select_width); false (a load
+     * failing memory disambiguation) leaves it latched. Non-ready
+     * attention entries get `attend(seq, scheduler, slot)` for their
+     * per-cycle side effects. The walk stops once the select ports are
+     * exhausted, exactly like the polled scan.
+     */
+    template <class TryIssue, class Attend>
+    void
+    selectWakeup(TryIssue &&try_issue, Attend &&attend)
+    {
+        assert(wakeupCapable());
+        for (unsigned s = 0; s < banks.size(); ++s) {
+            Bank &b = banks[s];
+            const std::uint64_t work = b.ready | b.hole | b.storeScan;
+            if (!work)
+                continue;
+            // Age-order the work set; seqs grow monotonically with age.
+            struct Ent
+            {
+                std::uint64_t seq;
+                std::uint8_t slot;
+            };
+            Ent ents[64];
+            unsigned n = 0;
+            for (std::uint64_t m = work; m; m &= m - 1) {
+                const unsigned slot =
+                    static_cast<unsigned>(std::countr_zero(m));
+                ents[n++] = Ent{b.seqs[slot],
+                                static_cast<std::uint8_t>(slot)};
+            }
+            std::sort(ents, ents + n,
+                      [](const Ent &a, const Ent &e) {
+                          return a.seq < e.seq;
+                      });
+            unsigned picked = 0;
+            for (unsigned i = 0; i < n && picked < selectWidth; ++i) {
+                const unsigned slot = ents[i].slot;
+                if (b.ready >> slot & 1) {
+                    if (try_issue(ents[i].seq, s)) {
+                        removeSlot(b, slot);
+                        ++picked;
+                    }
+                } else {
+                    attend(ents[i].seq, s,
+                           SlotRef{static_cast<std::uint16_t>(s),
+                                   static_cast<std::uint16_t>(slot)});
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------- polled select
+
+    /**
+     * Legacy polled select cycle: for each scheduler, scan entries
+     * oldest-first and pick up to select_width for which
+     * `ready(seq, scheduler)` holds; picked entries are removed and
+     * reported via `issue`. Once the select ports are exhausted the rest
+     * are not evaluated. This is the Figure 8 *oracle*: readiness is
+     * recomputed from scratch per entry per cycle.
+     */
+    template <class Ready, class Issue>
+    void
+    selectCycle(Ready &&ready, Issue &&issue)
+    {
+        for (unsigned s = 0; s < banks.size(); ++s) {
+            Bank &b = banks[s];
+            if (!wakeupCapable()) {
+                selectQueue(b, s, ready, issue);
+                continue;
+            }
+            struct Ent
+            {
+                std::uint64_t seq;
+                std::uint8_t slot;
+            };
+            Ent ents[64];
+            unsigned n = 0;
+            for (std::uint64_t m = b.valid; m; m &= m - 1) {
+                const unsigned slot =
+                    static_cast<unsigned>(std::countr_zero(m));
+                ents[n++] = Ent{b.seqs[slot],
+                                static_cast<std::uint8_t>(slot)};
+            }
+            std::sort(ents, ents + n,
+                      [](const Ent &a, const Ent &e) {
+                          return a.seq < e.seq;
+                      });
+            unsigned picked = 0;
+            for (unsigned i = 0; i < n && picked < selectWidth; ++i) {
+                if (ready(ents[i].seq, s)) {
+                    issue(ents[i].seq, s);
+                    removeSlot(b, ents[i].slot);
+                    ++picked;
+                }
+            }
+        }
+    }
 
   private:
-    std::vector<std::vector<std::uint64_t>> queues; // age-ordered seqs
+    struct Bank
+    {
+        std::vector<std::uint64_t> seqs; //!< per-slot seq (wakeup mode)
+        std::vector<std::uint32_t> gens; //!< per-slot reuse generation
+        std::vector<std::uint64_t> queue; //!< age-ordered (fallback mode)
+        std::uint64_t valid = 0;
+        std::uint64_t ready = 0;
+        std::uint64_t hole = 0;
+        std::uint64_t storeScan = 0;
+    };
+
+    static void
+    setBit(std::uint64_t &mask, unsigned slot, bool on)
+    {
+        if (on)
+            mask |= std::uint64_t{1} << slot;
+        else
+            mask &= ~(std::uint64_t{1} << slot);
+    }
+
+    void
+    removeSlot(Bank &b, unsigned slot)
+    {
+        const std::uint64_t clear = ~(std::uint64_t{1} << slot);
+        b.valid &= clear;
+        b.ready &= clear;
+        b.hole &= clear;
+        b.storeScan &= clear;
+    }
+
+    /** Old contiguous-queue scan for > 64-entry schedulers. */
+    template <class Ready, class Issue>
+    void
+    selectQueue(Bank &b, unsigned s, Ready &&ready, Issue &&issue)
+    {
+        auto &q = b.queue;
+        unsigned picked = 0;
+        std::size_t out = 0;
+        std::size_t i = 0;
+        for (; i < q.size() && picked < selectWidth; ++i) {
+            if (ready(q[i], s)) {
+                issue(q[i], s);
+                ++picked;
+            } else {
+                q[out++] = q[i];
+            }
+        }
+        for (; i < q.size(); ++i)
+            q[out++] = q[i];
+        q.resize(out);
+    }
+
+    std::vector<Bank> banks;
     unsigned entriesPer;
     unsigned selectWidth;
     unsigned rrIndex = 0;

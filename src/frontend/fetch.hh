@@ -51,6 +51,11 @@ class FetchEngine
      * off the end of the code). */
     bool parked() const { return stopped; }
 
+    /** Cycle at which a stalled (icache miss / post-redirect) fetch can
+     * next deliver instructions; earlier fetchCycle calls are inert.
+     * Drives the core's idle-cycle skipping. */
+    Cycle resumeAt() const { return resumeCycle; }
+
     /** The direction predictor (resolution/retire updates, repair). */
     HybridPredictor predictor;
 

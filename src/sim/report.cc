@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/strutil.hh"
+
 namespace rbsim
 {
 
@@ -65,6 +67,14 @@ banner(const std::string &title)
 {
     std::string line(title.size() + 4, '=');
     return line + "\n= " + title + " =\n" + line + "\n";
+}
+
+std::string
+fmtSimSpeed(double sim_khz)
+{
+    if (sim_khz >= 1e3)
+        return fmtDouble(sim_khz / 1e3, 2) + " Mcyc/s";
+    return fmtDouble(sim_khz, 1) + " kcyc/s";
 }
 
 } // namespace rbsim

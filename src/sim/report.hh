@@ -37,6 +37,10 @@ std::string textBar(double value, double full, unsigned width = 40);
 /** Section banner. */
 std::string banner(const std::string &title);
 
+/** Human-readable host simulation speed from simulated kilocycles per
+ * host second: "873 kcyc/s", "12.4 Mcyc/s". */
+std::string fmtSimSpeed(double sim_khz);
+
 } // namespace rbsim
 
 #endif // RBSIM_SIM_REPORT_HH

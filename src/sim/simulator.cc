@@ -1,5 +1,7 @@
 #include "sim/simulator.hh"
 
+#include <chrono>
+
 #include "sim/cosim.hh"
 
 namespace rbsim
@@ -25,7 +27,11 @@ simulate(const MachineConfig &cfg, const Program &prog,
     SimResult res;
     res.machine = cfg.label;
     res.workload = prog.name;
+    const auto t0 = std::chrono::steady_clock::now();
     res.halted = core.run(opts.maxCycles);
+    const auto t1 = std::chrono::steady_clock::now();
+    res.hostSeconds =
+        std::chrono::duration<double>(t1 - t0).count();
     res.stats = reg.snapshot();
     return res;
 }

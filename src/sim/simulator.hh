@@ -28,7 +28,18 @@ struct SimResult
     std::string machine;
     std::string workload;
     bool halted = false;
+    double hostSeconds = 0.0; //!< wall-clock spent inside core.run()
     StatSnapshot stats;
+
+    /** Host simulation speed in simulated kilocycles per host second. */
+    double
+    simKhz() const
+    {
+        return hostSeconds > 0.0
+                   ? static_cast<double>(stats.counter("core.cycles")) /
+                         hostSeconds / 1e3
+                   : 0.0;
+    }
 
     /** Instructions per cycle. */
     double ipc() const { return stats.value("core.ipc"); }
