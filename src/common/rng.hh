@@ -77,6 +77,53 @@ class Rng
         return below(den) < num;
     }
 
+    /** Raw generator state, e.g. for serializing into a repro file. */
+    struct State
+    {
+        std::uint64_t s0 = 0;
+        std::uint64_t s1 = 0;
+
+        bool operator==(const State &) const = default;
+    };
+
+    /** Dump the current state (resume with fromState). */
+    State state() const { return State{state0, state1}; }
+
+    /** Rebuild a generator at an exact dumped state. */
+    static Rng
+    fromState(State s)
+    {
+        Rng r;
+        r.state0 = s.s0;
+        r.state1 = s.s1;
+        if (r.state0 == 0 && r.state1 == 0)
+            r.state1 = 1;
+        return r;
+    }
+
+    /**
+     * Split off an independent child stream. The child is seeded through
+     * the SplitMix64 expansion of one parent draw, so parent and child
+     * streams stay statistically independent, and the parent advances by
+     * exactly one draw — forking is itself reproducible.
+     */
+    Rng fork() { return Rng(next()); }
+
+    /**
+     * Derive a stream seed from a master seed and a stream index
+     * (SplitMix64-style mixing). Worker threads and per-case generators
+     * use this so case N sees the same stream no matter how many jobs
+     * run or which thread picks it up.
+     */
+    static std::uint64_t
+    mixSeed(std::uint64_t seed, std::uint64_t stream)
+    {
+        std::uint64_t z = seed + 0x9e3779b97f4a7c15ull * (stream + 1);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
   private:
     std::uint64_t state0 = 0;
     std::uint64_t state1 = 0;

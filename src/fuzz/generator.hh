@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Biasable structured random-program generator for differential fuzzing.
+ *
+ * Generation is split into two stages so failing cases can be shrunk:
+ *
+ *  1. `generateRecipe` draws a `ProgRecipe` — an explicit, mutable
+ *     description of the program (initial register values, sandbox
+ *     contents, loop trip count, a vector of abstract body ops, leaf
+ *     subroutines, jump-table/call placement).
+ *  2. `lowerRecipe` deterministically lowers a recipe to a `Program`
+ *     through CodeBuilder. Lowering is a pure function of the recipe, so
+ *     the delta-debugging shrinker can delete body ops, shrink loop
+ *     counts, and zero constants, then re-lower and re-check.
+ *
+ * The recipe family generalizes the generator that used to live in
+ * tests/test_random_programs.cc: counted loops over random bodies of
+ * arithmetic, logicals, shifts, compares, cmovs, byte ops, counts,
+ * multiplies, sandboxed loads/stores (with a controllable aliasing
+ * window), forward branches in both directions of every condition, leaf
+ * calls through a link register, and a data-dependent two-way jump
+ * table. Programs always terminate structurally.
+ *
+ * Machine configurations are fuzzed too: `randomConfig` spans the four
+ * machine kinds, both widths, limited bypass-level masks, hole-aware
+ * scheduling on/off, and all steering variants.
+ */
+
+#ifndef RBSIM_FUZZ_GENERATOR_HH
+#define RBSIM_FUZZ_GENERATOR_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "core/machine_config.hh"
+#include "isa/program.hh"
+
+namespace rbsim::fuzz
+{
+
+/** Body-op kinds the generator mixes (covers every Table 1 class). */
+enum class OpKind : unsigned char
+{
+    Arith,   //!< ADDQ/SUBQ/ADDL/SUBL/SxADDQ/SxSUBQ
+    Logical, //!< AND/BIS/XOR/BIC/ORNOT/EQV
+    Shift,   //!< SLL/SRL/SRA by literal
+    Compare, //!< CMPEQ/CMPLT/CMPLE/CMPULT/CMPULE
+    Cmov,    //!< all eight conditional moves
+    Byte,    //!< EXTxL/INSBL/MSKBL/ZAPNOT by literal
+    Count,   //!< CTLZ/CTTZ/CTPOP
+    Load,    //!< LDQ/LDL from the sandbox
+    Store,   //!< STQ/STL into the sandbox
+    Branch,  //!< forward conditional branch (all six conditions)
+    Mul,     //!< MULQ by literal
+    Lda,     //!< LDA with a signed displacement
+
+    NumKinds,
+};
+
+/** Number of body-op kinds. */
+constexpr unsigned numOpKinds = static_cast<unsigned>(OpKind::NumKinds);
+
+/** Printable kind name. */
+const char *opKindName(OpKind kind);
+
+/** Generator bias knobs. */
+struct GenOptions
+{
+    /** Relative weight per OpKind; 0 removes the kind entirely. */
+    std::array<unsigned, numOpKinds> weight;
+
+    unsigned minBody = 12;  //!< loop body length range (body ops)
+    unsigned maxBody = 41;
+    unsigned minTrips = 40; //!< loop trip count range
+    unsigned maxTrips = 79;
+    unsigned numSubs = 2;   //!< leaf subroutines (0 disables calls)
+    bool jumpTable = true;  //!< emit the data-dependent two-way jump table
+    unsigned sandboxWords = 64; //!< initialized sandbox size
+    /** Distinct 8-byte sandbox slots loads/stores address. Smaller values
+     * concentrate accesses and force store-to-load forwarding and memory
+     * aliasing; must be >= 1. */
+    unsigned aliasSlots = 64;
+
+    GenOptions();
+
+    /**
+     * Named presets:
+     *  - "default": the uniform mix (the historical random-program test)
+     *  - "memory":  load/store heavy with a 4-slot aliasing window
+     *  - "branchy": branch/compare/cmov heavy, short bodies
+     *  - "arith":   adds/multiplies/shifts only (RB datapath stress)
+     * Throws std::invalid_argument for unknown names.
+     */
+    static GenOptions preset(const std::string &name);
+
+    /** All preset names. */
+    static std::vector<std::string> presetNames();
+};
+
+/** One abstract body instruction. */
+struct BodyOp
+{
+    OpKind kind = OpKind::Arith;
+    Opcode op = Opcode::ADDQ;
+    std::uint8_t a = 31;    //!< first source (temp register number)
+    std::uint8_t b = 31;    //!< second source
+    std::uint8_t c = 31;    //!< destination
+    std::uint8_t lit = 0;   //!< shift amount / byte index / mul literal
+    std::int32_t disp = 0;  //!< memory or LDA displacement
+    /** Branch only: the target binds after this many following body ops
+     * (clamped at structural boundaries), so every branch is forward. */
+    std::uint8_t skip = 0;
+};
+
+/** A leaf subroutine: straight-line body ops, then `ret r26`. */
+struct SubRecipe
+{
+    std::vector<BodyOp> ops;
+};
+
+/**
+ * The full mutable program description. Every field the shrinker touches
+ * is explicit; `lowerRecipe` consumes no randomness.
+ */
+struct ProgRecipe
+{
+    std::string name = "fuzz";
+    std::vector<std::int64_t> initVals; //!< r1..r(initVals.size()) seeds
+    std::vector<Word> sandboxInit;      //!< initial sandbox words
+    std::uint64_t loopTrips = 1;        //!< >= 1; 1 lowers straight-line
+    std::vector<BodyOp> body;
+    std::vector<SubRecipe> subs;        //!< callable leaves (r26 linkage)
+    bool hasCall = false;               //!< one BSR per loop iteration
+    std::uint8_t callSub = 0;           //!< which subroutine it calls
+    unsigned callAt = 0;                //!< body position of the call
+    bool hasJumpTable = false;
+    unsigned jtabAt = 0;                //!< body position of the table
+    std::uint8_t jtabReg = 1;           //!< register steering the table
+    unsigned foldStores = 8;            //!< r1..rN stored to the sandbox
+                                        //!< at the end of each iteration
+};
+
+/** Registers the generator uses for temporaries: r1..r20.
+ * r21 = sandbox base, r22 = loop counter, r23..r26 structural. */
+constexpr unsigned fuzzFirstTemp = 1;
+constexpr unsigned fuzzLastTemp = 20;
+
+/** Sandbox and jump-table base addresses used by lowered recipes. */
+constexpr Addr fuzzSandboxBase = 0x40000;
+constexpr Addr fuzzJtabBase = 0x48000;
+
+/** Draw a recipe. */
+ProgRecipe generateRecipe(Rng &rng, const GenOptions &opts);
+
+/** Deterministically lower a recipe to a runnable program. */
+Program lowerRecipe(const ProgRecipe &recipe);
+
+/** Convenience: generateRecipe + lowerRecipe from a bare seed. */
+Program generateProgram(std::uint64_t seed,
+                        const GenOptions &opts = GenOptions());
+
+/**
+ * A random machine configuration: any of the four kinds, width 4 or 8,
+ * optionally a limited bypass-level mask (Figure 14 space), hole-aware
+ * scheduling toggled, and any steering variant.
+ */
+MachineConfig randomConfig(Rng &rng);
+
+/**
+ * A set of 2..5 distinct-labelled configurations for cross-machine
+ * differential runs. Always contains a Baseline machine (the golden
+ * two's-complement datapath) plus random RB/Ideal variants.
+ */
+std::vector<MachineConfig> randomConfigSet(Rng &rng);
+
+} // namespace rbsim::fuzz
+
+#endif // RBSIM_FUZZ_GENERATOR_HH

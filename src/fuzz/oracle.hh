@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Differential oracles for the fuzzer. Each oracle checks one exact
+ * equivalence the paper's claims rest on:
+ *
+ *  - "cosim":     lockstep co-simulation of OooCore against the
+ *                 functional interpreter on a set of fuzzed machine
+ *                 configs, plus cross-machine agreement of the final
+ *                 architectural memory (every machine must compute the
+ *                 same program state).
+ *  - "sched":     bit-identical StatSnapshot parity of the event-driven
+ *                 wakeup-array scheduler against the polled scheduler.
+ *  - "rbalu":     redundant binary add/sub/scaled-add/shift against a
+ *                 __int128 two's-complement reference, including the
+ *                 section 3.5 overflow flag and the section 3.6
+ *                 sign/zero/LSB/trailing-zero predicates — across
+ *                 randomized redundant encodings, not just canonical
+ *                 conversions.
+ *  - "slice":     the gate-level Figure 2 digit-slice adder against the
+ *                 bit-parallel arithmetic model, raw digits and carry.
+ *  - "roundtrip": TC -> RB -> TC identity across the redundant encoding
+ *                 space (fast subtractor and explicit ripple circuit).
+ *
+ * Oracles are either program-level (they consume a generated program and
+ * machine configs; failures can be shrunk) or value-level (they consume
+ * a seed and draw operand streams; failures replay from the seed).
+ *
+ * A `Plant` selects an intentionally injected bug so the
+ * detect-shrink-repro pipeline itself can be tested end to end.
+ */
+
+#ifndef RBSIM_FUZZ_ORACLE_HH
+#define RBSIM_FUZZ_ORACLE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "fuzz/generator.hh"
+
+namespace rbsim::fuzz
+{
+
+/** Intentionally injected bugs (pipeline self-tests). */
+enum class Plant : unsigned char
+{
+    None,
+    /** The "sched" oracle silently widens the bypass-level mask on the
+     * wakeup-side run only — the two runs simulate different machines
+     * and their snapshots must diverge. */
+    SchedBypassWiden,
+    /** The "cosim" oracle is replaced by a fake that fails exactly when
+     * the program contains both a MULQ and an STQ — a deterministic
+     * target for shrinker tests. */
+    CosimOpcodePair,
+};
+
+/** Parse a plant name ("", "sched-bypass-widen", "cosim-opcode-pair").
+ * Throws std::invalid_argument on unknown names. */
+Plant parsePlant(const std::string &name);
+
+/** Verdict of one oracle case. */
+struct OracleResult
+{
+    bool failed = false;
+    std::string detail; //!< human-readable failure description
+};
+
+/** One differential oracle. */
+class Oracle
+{
+  public:
+    explicit Oracle(Plant plant_ = Plant::None) : plant(plant_) {}
+    virtual ~Oracle() = default;
+
+    /** Stable oracle name (CLI flag, repro files, stats keys). */
+    virtual std::string name() const = 0;
+
+    /** True when the oracle consumes generated programs (and failures
+     * are shrinkable); false for seed-driven value oracles. */
+    virtual bool programLevel() const = 0;
+
+    /** Program-level: the machine configs one case runs against. */
+    virtual std::vector<MachineConfig> pickConfigs(Rng &rng) const;
+
+    /** Program-level: run the differential check. */
+    virtual OracleResult
+    runProgram(const Program &prog,
+               const std::vector<MachineConfig> &configs) const;
+
+    /** Value-level: draw `iters` operand sets from `seed` and check. */
+    virtual OracleResult runSeed(std::uint64_t seed,
+                                 std::uint64_t iters) const;
+
+  protected:
+    Plant plant;
+};
+
+/** Canonical oracle names, in default fuzzing order. */
+std::vector<std::string> oracleNames();
+
+/**
+ * Build oracles by name (all five when `names` is empty), wiring the
+ * requested plant into the affected oracle. Throws std::invalid_argument
+ * for unknown names.
+ */
+std::vector<std::unique_ptr<Oracle>>
+makeOracles(const std::vector<std::string> &names = {},
+            Plant plant = Plant::None);
+
+/**
+ * First difference between two snapshots as "name: a=<x> b=<y>", or ""
+ * when equal. Used by the scheduler-parity oracle and its tests.
+ */
+std::string snapshotDiff(const StatSnapshot &a, const StatSnapshot &b);
+
+} // namespace rbsim::fuzz
+
+#endif // RBSIM_FUZZ_ORACLE_HH

@@ -1,0 +1,226 @@
+#include "fuzz/shrink.hh"
+
+#include <algorithm>
+
+namespace rbsim::fuzz
+{
+
+namespace
+{
+
+/** Budgeted oracle evaluation of a candidate recipe. */
+class Checker
+{
+  public:
+    Checker(const Oracle &oracle_,
+            const std::vector<MachineConfig> &configs_,
+            unsigned max_evals)
+        : oracle(oracle_), configs(configs_), budget(max_evals)
+    {}
+
+    /** True when the candidate still fails; records the failure detail.
+     * Returns false without evaluating once the budget is spent. */
+    bool
+    fails(const ProgRecipe &candidate)
+    {
+        if (evals >= budget)
+            return false;
+        ++evals;
+        const OracleResult r =
+            oracle.runProgram(lowerRecipe(candidate), configs);
+        if (r.failed)
+            lastDetail = r.detail;
+        return r.failed;
+    }
+
+    bool exhausted() const { return evals >= budget; }
+    unsigned spent() const { return evals; }
+    const std::string &detail() const { return lastDetail; }
+
+  private:
+    const Oracle &oracle;
+    const std::vector<MachineConfig> &configs;
+    unsigned budget;
+    unsigned evals = 0;
+    std::string lastDetail;
+};
+
+/**
+ * Greedy ddmin-style chunk removal over an op vector: try dropping
+ * chunks of half the vector, then quarters, ... down to single ops,
+ * keeping every removal that still fails. `mutate` installs a candidate
+ * op vector into a candidate recipe.
+ */
+template <typename Install>
+bool
+shrinkOps(Checker &check, const ProgRecipe &best, ProgRecipe &out,
+          const std::vector<BodyOp> &ops, Install install)
+{
+    bool changed = false;
+    std::vector<BodyOp> cur = ops;
+    for (std::size_t chunk = std::max<std::size_t>(cur.size() / 2, 1);
+         chunk >= 1; chunk /= 2) {
+        std::size_t i = 0;
+        while (i < cur.size() && !check.exhausted()) {
+            std::vector<BodyOp> cand = cur;
+            const std::size_t n =
+                std::min(chunk, cand.size() - i);
+            cand.erase(cand.begin() +
+                           static_cast<std::ptrdiff_t>(i),
+                       cand.begin() +
+                           static_cast<std::ptrdiff_t>(i + n));
+            ProgRecipe r = best;
+            install(r, cand);
+            if (check.fails(r)) {
+                cur = std::move(cand);
+                changed = true;
+            } else {
+                i += chunk;
+            }
+        }
+        if (chunk == 1)
+            break;
+    }
+    if (changed)
+        install(out, cur);
+    return changed;
+}
+
+/** Try one whole-recipe mutation; keep it when the failure survives. */
+template <typename Mutate>
+bool
+tryMutation(Checker &check, ProgRecipe &best, Mutate mutate)
+{
+    ProgRecipe cand = best;
+    mutate(cand);
+    if (check.fails(cand)) {
+        best = std::move(cand);
+        return true;
+    }
+    return false;
+}
+
+/** Free normalization: drop pieces lowering would ignore anyway. */
+void
+normalize(ProgRecipe &r)
+{
+    if (!r.hasCall || r.subs.empty() || r.callSub >= r.subs.size()) {
+        r.hasCall = false;
+        r.subs.clear();
+        r.callSub = 0;
+    } else if (r.subs.size() > 1) {
+        // Only the called subroutine is ever emitted.
+        const SubRecipe keep = r.subs[r.callSub];
+        r.subs.assign(1, keep);
+        r.callSub = 0;
+    }
+    r.callAt = std::min<unsigned>(
+        r.callAt, static_cast<unsigned>(r.body.size()));
+    r.jtabAt = std::min<unsigned>(
+        r.jtabAt, static_cast<unsigned>(r.body.size()));
+}
+
+} // namespace
+
+ShrinkOutcome
+shrinkRecipe(const Oracle &oracle,
+             const std::vector<MachineConfig> &configs,
+             const ProgRecipe &seed, unsigned maxEvals)
+{
+    Checker check(oracle, configs, maxEvals);
+    ShrinkOutcome out;
+    out.recipe = seed;
+
+    if (!check.fails(seed)) {
+        out.evals = check.spent();
+        return out; // did not reproduce; nothing to shrink
+    }
+    out.reproduced = true;
+
+    ProgRecipe best = seed;
+    normalize(best);
+
+    bool changed = true;
+    while (changed && !check.exhausted()) {
+        changed = false;
+
+        // Structural simplifications first — each removes many
+        // instructions at once.
+        changed |= tryMutation(check, best, [](ProgRecipe &r) {
+            r.loopTrips = 1;
+        });
+        changed |= tryMutation(check, best, [](ProgRecipe &r) {
+            r.hasJumpTable = false;
+        });
+        changed |= tryMutation(check, best, [](ProgRecipe &r) {
+            r.hasCall = false;
+            r.subs.clear();
+        });
+        changed |= tryMutation(check, best, [](ProgRecipe &r) {
+            r.foldStores = 0;
+        });
+        changed |= tryMutation(check, best, [](ProgRecipe &r) {
+            r.sandboxInit.clear();
+        });
+
+        // Loop count: binary descent when 1 did not work outright.
+        while (best.loopTrips > 1 && !check.exhausted()) {
+            const std::uint64_t half = best.loopTrips / 2;
+            if (!tryMutation(check, best, [half](ProgRecipe &r) {
+                    r.loopTrips = half;
+                }))
+                break;
+            changed = true;
+        }
+
+        // Body and subroutine ddmin.
+        changed |= shrinkOps(
+            check, best, best, best.body,
+            [](ProgRecipe &r, const std::vector<BodyOp> &ops) {
+                r.body = ops;
+                r.callAt = std::min<unsigned>(
+                    r.callAt, static_cast<unsigned>(ops.size()));
+                r.jtabAt = std::min<unsigned>(
+                    r.jtabAt, static_cast<unsigned>(ops.size()));
+            });
+        if (best.hasCall && !best.subs.empty()) {
+            changed |= shrinkOps(
+                check, best, best, best.subs[0].ops,
+                [](ProgRecipe &r, const std::vector<BodyOp> &ops) {
+                    r.subs[0].ops = ops;
+                });
+        }
+
+        // Constant simplification: zero register seeds and
+        // displacements one at a time.
+        for (std::size_t i = 0;
+             i < best.initVals.size() && !check.exhausted(); ++i) {
+            if (best.initVals[i] == 0)
+                continue;
+            changed |= tryMutation(check, best, [i](ProgRecipe &r) {
+                r.initVals[i] = 0;
+            });
+        }
+        for (std::size_t i = 0;
+             i < best.body.size() && !check.exhausted(); ++i) {
+            if (best.body[i].disp == 0 && best.body[i].lit == 0)
+                continue;
+            changed |= tryMutation(check, best, [i](ProgRecipe &r) {
+                r.body[i].disp = 0;
+                r.body[i].lit = 0;
+            });
+        }
+
+        normalize(best);
+    }
+
+    // Drop register seeds past the last mentioned temp (no effect on
+    // the lowered program; keeps the serialized repro short).
+    best.name = seed.name + "-min";
+    out.recipe = best;
+    out.detail = check.detail();
+    out.evals = check.spent();
+    return out;
+}
+
+} // namespace rbsim::fuzz

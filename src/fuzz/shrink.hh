@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Delta-debugging shrinker for failing program-level fuzz cases.
+ *
+ * The shrinker never touches instructions directly: it mutates the
+ * `ProgRecipe` (drop body ops in ddmin-style chunks, strip the jump
+ * table / call / fold stores, collapse the loop trip count, zero
+ * constants), re-lowers, and re-checks against the oracle that failed.
+ * Anything that still fails is kept. Lowering clamps structural
+ * positions, so every mutation yields a well-formed program.
+ */
+
+#ifndef RBSIM_FUZZ_SHRINK_HH
+#define RBSIM_FUZZ_SHRINK_HH
+
+#include "fuzz/generator.hh"
+#include "fuzz/oracle.hh"
+
+namespace rbsim::fuzz
+{
+
+/** Result of one shrink run. */
+struct ShrinkOutcome
+{
+    ProgRecipe recipe;  //!< the smallest still-failing recipe found
+    std::string detail; //!< oracle failure detail at that recipe
+    unsigned evals = 0; //!< oracle evaluations spent
+    /** True when the input recipe reproduced the failure (shrinking only
+     * happens then; otherwise `recipe` is the unmodified input). */
+    bool reproduced = false;
+};
+
+/**
+ * Shrink a failing recipe against `oracle` on fixed `configs`.
+ * At most `maxEvals` oracle evaluations are spent; the best recipe found
+ * so far is returned when the budget runs out.
+ */
+ShrinkOutcome shrinkRecipe(const Oracle &oracle,
+                           const std::vector<MachineConfig> &configs,
+                           const ProgRecipe &seed,
+                           unsigned maxEvals = 400);
+
+} // namespace rbsim::fuzz
+
+#endif // RBSIM_FUZZ_SHRINK_HH

@@ -1,5 +1,6 @@
 #include "isa/disasm.hh"
 
+#include <set>
 #include <sstream>
 
 #include "isa/opclass.hh"
@@ -58,6 +59,80 @@ disassemble(const Inst &inst, std::uint64_t index)
         }
         break;
     }
+    return os.str();
+}
+
+namespace
+{
+
+/** True for opcodes whose disp is a label-resolved branch target. */
+bool
+usesLabelTarget(Opcode op)
+{
+    return isCondBranch(op) || op == Opcode::BR || op == Opcode::BSR;
+}
+
+} // namespace
+
+std::string
+disassembleProgram(const Program &prog)
+{
+    // Pass 1: collect every branch-target instruction index.
+    std::set<std::uint64_t> targets;
+    if (prog.entry != 0)
+        targets.insert(prog.entry);
+    for (std::size_t i = 0; i < prog.code.size(); ++i) {
+        const Inst &inst = prog.code[i];
+        if (usesLabelTarget(inst.op)) {
+            targets.insert(static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(i) + 1 + inst.disp));
+        }
+    }
+
+    auto label = [](std::uint64_t idx) {
+        return "L" + std::to_string(idx);
+    };
+
+    std::ostringstream os;
+    os << "; " << prog.code.size() << " instructions\n";
+    os << ".name " << prog.name << '\n';
+    if (prog.entry != 0)
+        os << ".entry " << label(prog.entry) << '\n';
+
+    for (const DataSegment &seg : prog.data) {
+        os << ".org 0x" << std::hex << seg.base << std::dec << '\n';
+        for (std::size_t off = 0; off < seg.bytes.size(); off += 8) {
+            Word w = 0;
+            for (unsigned b = 0; b < 8; ++b) {
+                if (off + b < seg.bytes.size())
+                    w |= static_cast<Word>(seg.bytes[off + b]) << (8 * b);
+            }
+            // .quad operands parse as signed 64-bit; print accordingly.
+            os << ".quad " << static_cast<SWord>(w) << '\n';
+        }
+    }
+
+    for (std::size_t i = 0; i < prog.code.size(); ++i) {
+        const Inst &inst = prog.code[i];
+        if (targets.count(i))
+            os << label(i) << ":\n";
+        os << "    ";
+        if (usesLabelTarget(inst.op)) {
+            const std::uint64_t tgt = static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(i) + 1 + inst.disp);
+            os << opcodeName(inst.op) << ' ';
+            if (inst.op != Opcode::BR)
+                os << 'r' << static_cast<unsigned>(inst.ra) << ", ";
+            os << label(tgt);
+        } else {
+            os << disassemble(inst);
+        }
+        os << '\n';
+    }
+    // A label bound past the last instruction (e.g. a branch over the
+    // final body op) still needs a definition to re-assemble.
+    if (targets.count(prog.code.size()))
+        os << label(prog.code.size()) << ":\n";
     return os.str();
 }
 

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "isa/inst.hh"
+#include "isa/program.hh"
 
 namespace rbsim
 {
@@ -21,6 +22,19 @@ namespace rbsim
  *        pass ~0ull to print raw displacements
  */
 std::string disassemble(const Inst &inst, std::uint64_t index = ~0ull);
+
+/**
+ * Render a whole program as an assembler-compatible listing: `.name` /
+ * `.entry` directives, `Lk:` labels at every branch target, `.org` +
+ * `.quad` data segments. The output re-assembles (via assemble()) into a
+ * program with identical code, data, and entry point — the round trip
+ * the fuzzer's repro corpus depends on, and it is tested.
+ *
+ * Data segments must be multiples of 8 bytes (they are padded with
+ * zeroes otherwise, which is value-preserving against a zero-initialized
+ * memory image).
+ */
+std::string disassembleProgram(const Program &prog);
 
 } // namespace rbsim
 

@@ -17,7 +17,7 @@ fail(const RobEntry &e, const std::string &what)
     os << "co-sim mismatch at retired inst #" << e.seq << " pc="
        << e.pcIndex << " [" << disassemble(e.inst, e.pcIndex) << "]: "
        << what;
-    throw CosimMismatch(os.str());
+    throw CosimMismatch(os.str(), e.seq, e.pcIndex);
 }
 
 } // namespace

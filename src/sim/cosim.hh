@@ -23,7 +23,24 @@ namespace rbsim
 class CosimMismatch : public std::runtime_error
 {
   public:
-    using std::runtime_error::runtime_error;
+    explicit CosimMismatch(const std::string &what_arg,
+                           std::uint64_t seq_ = 0,
+                           std::uint64_t pc_index = 0)
+        : std::runtime_error(what_arg), divergedSeq(seq_),
+          divergedPc(pc_index)
+    {}
+
+    /** Sequence number of the diverging retired instruction (0 when the
+     * divergence is not tied to one instruction). The fuzzer uses this to
+     * rank failures when shrinking. */
+    std::uint64_t seq() const { return divergedSeq; }
+
+    /** Instruction index of the divergence. */
+    std::uint64_t pcIndex() const { return divergedPc; }
+
+  private:
+    std::uint64_t divergedSeq;
+    std::uint64_t divergedPc;
 };
 
 /** The checker. */

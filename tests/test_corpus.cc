@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Regression replay of the committed repro corpus (tests/corpus/).
+ *
+ * Every file minted by a past fuzzing campaign — or hand-written for a
+ * bug class the generator once tripped — is replayed through its oracle
+ * and must be clean: these are fixed bugs, and a replay failure means a
+ * regression. Repros minted from *planted* bugs record the honest
+ * configuration, so they too replay clean (their notes document the
+ * plant that produced them; test_fuzz re-fails them under the plant).
+ */
+
+#include <gtest/gtest.h>
+
+#include "fuzz/corpus.hh"
+
+#ifndef RBSIM_CORPUS_DIR
+#error "RBSIM_CORPUS_DIR must point at tests/corpus"
+#endif
+
+namespace rbsim
+{
+namespace
+{
+
+using namespace rbsim::fuzz;
+
+std::vector<std::string>
+corpusFiles()
+{
+    return listCorpus(RBSIM_CORPUS_DIR);
+}
+
+TEST(Corpus, IsCommittedAndNonTrivial)
+{
+    // The committed corpus must exist: an empty directory would make the
+    // replay suite below pass vacuously.
+    EXPECT_GE(corpusFiles().size(), 10u) << "corpus dir: "
+                                         << RBSIM_CORPUS_DIR;
+}
+
+class CorpusReplay : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(CorpusReplay, ReplaysClean)
+{
+    const ReproFile repro = loadRepro(GetParam());
+    EXPECT_FALSE(repro.oracle.empty());
+    const OracleResult r = replayRepro(repro);
+    EXPECT_FALSE(r.failed)
+        << GetParam() << "\n  " << r.detail
+        << (repro.note.empty() ? "" : "\n  note: " + repro.note);
+}
+
+std::string
+reproTestName(const ::testing::TestParamInfo<std::string> &info)
+{
+    // File stem, sanitized to gtest's [A-Za-z0-9_] name alphabet.
+    std::string stem = info.param;
+    const std::size_t slash = stem.find_last_of('/');
+    if (slash != std::string::npos)
+        stem = stem.substr(slash + 1);
+    const std::size_t dot = stem.find_last_of('.');
+    if (dot != std::string::npos)
+        stem = stem.substr(0, dot);
+    for (char &c : stem) {
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    }
+    return stem.empty() ? "unnamed" : stem;
+}
+
+INSTANTIATE_TEST_SUITE_P(Files, CorpusReplay,
+                         ::testing::ValuesIn(corpusFiles()),
+                         reproTestName);
+
+} // namespace
+} // namespace rbsim

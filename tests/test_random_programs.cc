@@ -1,19 +1,24 @@
 /**
  * @file
- * Randomized whole-pipeline fuzzing: generate structured random programs
- * (counted loops over random bodies of arithmetic, logicals, shifts,
- * compares, cmovs, byte ops, loads/stores into a sandbox, and forward
- * branches), then run each on all four machines — and limited-bypass and
- * steering variants — under lockstep co-simulation. Any timing-model bug
- * that corrupts architectural state (wrong bypass, bad squash, stale
- * operand, LSQ ordering violation) trips the checker.
+ * Randomized whole-pipeline fuzzing: structured random programs from the
+ * fuzz generator library (counted loops over random bodies of
+ * arithmetic, logicals, shifts, compares, cmovs, byte ops, multiplies,
+ * loads/stores into a sandbox, forward branches, leaf calls, and a
+ * data-dependent jump table), each run on all four machines — and
+ * limited-bypass and steering variants — under lockstep co-simulation.
+ * Any timing-model bug that corrupts architectural state (wrong bypass,
+ * bad squash, stale operand, LSQ ordering violation) trips the checker.
+ *
+ * This is the fixed-matrix regression sibling of rbsim-fuzz: the same
+ * generator, a deterministic seed range, and a hand-picked config set
+ * covering every machine variant. Open-ended exploration (fuzzed
+ * configs, value-level oracles, shrinking) lives in the rbsim-fuzz tool.
  */
 
 #include <gtest/gtest.h>
 
-#include "common/rng.hh"
 #include "core/core.hh"
-#include "isa/builder.hh"
+#include "fuzz/generator.hh"
 #include "sim/cosim.hh"
 
 namespace rbsim
@@ -21,204 +26,18 @@ namespace rbsim
 namespace
 {
 
-/** Registers the generator uses freely. */
-constexpr unsigned firstTemp = 1;
-constexpr unsigned lastTemp = 20;
-// r21 = sandbox base, r22 = loop counter, r23..r25 reserved.
-
-Reg
-randReg(Rng &rng)
+TEST(FuzzGenerator, LoweringIsDeterministic)
 {
-    return R(firstTemp + static_cast<unsigned>(
-                 rng.below(lastTemp - firstTemp + 1)));
-}
-
-/** Emit one random body instruction. */
-void
-emitRandomInst(CodeBuilder &cb, Rng &rng,
-               std::vector<Label> &pending_targets)
-{
-    const Reg a = randReg(rng);
-    const Reg b = randReg(rng);
-    const Reg c = randReg(rng);
-    const Reg sandbox = R(21);
-
-    switch (rng.below(12)) {
-      case 0: {
-        static const Opcode arith[] = {
-            Opcode::ADDQ, Opcode::SUBQ, Opcode::ADDL, Opcode::SUBL,
-            Opcode::S4ADDQ, Opcode::S8ADDQ, Opcode::S4SUBQ,
-            Opcode::S8SUBQ};
-        cb.op3(arith[rng.below(std::size(arith))], a, b, c);
-        break;
-      }
-      case 1: {
-        static const Opcode logical[] = {
-            Opcode::AND, Opcode::BIS, Opcode::XOR, Opcode::BIC,
-            Opcode::ORNOT, Opcode::EQV};
-        cb.op3(logical[rng.below(std::size(logical))], a, b, c);
-        break;
-      }
-      case 2: {
-        static const Opcode shifts[] = {Opcode::SLL, Opcode::SRL,
-                                        Opcode::SRA};
-        cb.opi(shifts[rng.below(3)], a,
-               static_cast<std::uint8_t>(rng.below(64)), c);
-        break;
-      }
-      case 3: {
-        static const Opcode cmps[] = {Opcode::CMPEQ, Opcode::CMPLT,
-                                      Opcode::CMPLE, Opcode::CMPULT,
-                                      Opcode::CMPULE};
-        cb.op3(cmps[rng.below(5)], a, b, c);
-        break;
-      }
-      case 4: {
-        static const Opcode cmovs[] = {
-            Opcode::CMOVEQ, Opcode::CMOVNE, Opcode::CMOVLT,
-            Opcode::CMOVGE, Opcode::CMOVLE, Opcode::CMOVGT,
-            Opcode::CMOVLBS, Opcode::CMOVLBC};
-        cb.op3(cmovs[rng.below(std::size(cmovs))], a, b, c);
-        break;
-      }
-      case 5: {
-        static const Opcode bytes[] = {Opcode::EXTBL, Opcode::EXTWL,
-                                       Opcode::EXTLL, Opcode::INSBL,
-                                       Opcode::MSKBL, Opcode::ZAPNOT};
-        cb.opi(bytes[rng.below(std::size(bytes))], a,
-               static_cast<std::uint8_t>(rng.below(8)), c);
-        break;
-      }
-      case 6: {
-        static const Opcode counts[] = {Opcode::CTLZ, Opcode::CTTZ,
-                                        Opcode::CTPOP};
-        cb.op1(counts[rng.below(3)], a, c);
-        break;
-      }
-      case 7:
-        // Sandbox load: a small aligned displacement off the base.
-        cb.load(rng.chance(1, 2) ? Opcode::LDQ : Opcode::LDL, c,
-                static_cast<std::int32_t>(rng.below(64)) * 8, R(21));
-        break;
-      case 8:
-        // Sandbox store.
-        cb.store(rng.chance(1, 2) ? Opcode::STQ : Opcode::STL, a,
-                 static_cast<std::int32_t>(rng.below(64)) * 8, sandbox);
-        break;
-      case 9: {
-        // Forward conditional branch over the next few instructions;
-        // the target label is bound by the caller a bit later.
-        static const Opcode brs[] = {Opcode::BEQ, Opcode::BNE,
-                                     Opcode::BLT, Opcode::BGE,
-                                     Opcode::BLBS, Opcode::BLBC};
-        const Label skip = cb.newLabel();
-        cb.branch(brs[rng.below(std::size(brs))], a, skip);
-        pending_targets.push_back(skip);
-        break;
-      }
-      case 10:
-        cb.opi(Opcode::MULQ, a,
-               static_cast<std::uint8_t>(rng.below(256)), c);
-        break;
-      default:
-        cb.lda(c, static_cast<std::int32_t>(rng.range(-512, 511)), b);
-        break;
-    }
-}
-
-/** A structured random program: init, two leaf subroutines, a counted
- * loop over a random body with calls and a data-dependent jump table,
- * checksum stores, halt. Always terminates, and exercises RAS/BTB
- * prediction and repair under squashes. */
-Program
-randomProgram(std::uint64_t seed)
-{
-    Rng rng(seed);
-    CodeBuilder cb("fuzz-" + std::to_string(seed));
-    const Addr sandbox = 0x40000;
-    const Addr jtab = 0x48000;
-    cb.dataWords(sandbox, [&] {
-        std::vector<Word> init(64);
-        for (Word &w : init)
-            w = rng.next();
-        return init;
-    }());
-
-    // Two random leaf subroutines (r26 = link register).
-    std::array<Label, 2> subs{cb.newLabel(), cb.newLabel()};
-    const Label past_subs = cb.newLabel();
-    cb.br(past_subs);
-    std::vector<Label> sub_pending;
-    for (const Label &sub : subs) {
-        cb.bind(sub);
-        const unsigned len = 3 + static_cast<unsigned>(rng.below(4));
-        for (unsigned i = 0; i < len; ++i)
-            emitRandomInst(cb, rng, sub_pending);
-        while (!sub_pending.empty()) {
-            cb.bind(sub_pending.back());
-            sub_pending.pop_back();
-        }
-        cb.ret(R(26));
-    }
-    cb.bind(past_subs);
-
-    for (unsigned r = firstTemp; r <= lastTemp; ++r)
-        cb.ldiq(R(r), static_cast<std::int64_t>(rng.next()));
-    cb.ldiq(R(21), static_cast<std::int64_t>(sandbox));
-    cb.ldiq(R(22), 40 + rng.below(40)); // loop trips
-    cb.ldiq(R(23), static_cast<std::int64_t>(jtab));
-
-    const Label loop = cb.newLabel();
-    cb.bind(loop);
-    std::vector<Label> pending;
-    const unsigned body = 12 + static_cast<unsigned>(rng.below(30));
-    const unsigned call_at = static_cast<unsigned>(rng.below(body));
-    const unsigned jtab_at = static_cast<unsigned>(rng.below(body));
-    std::array<Label, 2> cases{cb.newLabel(), cb.newLabel()};
-    const Label merge = cb.newLabel();
-    for (unsigned i = 0; i < body; ++i) {
-        emitRandomInst(cb, rng, pending);
-        if (i == call_at)
-            cb.bsr(R(26), subs[rng.below(2)]);
-        if (i == jtab_at) {
-            // Data-dependent two-way jump table (BTB-predicted).
-            while (!pending.empty()) { // no branches into the cases
-                cb.bind(pending.back());
-                pending.pop_back();
-            }
-            cb.opi(Opcode::AND, randReg(rng), 1, R(24));
-            cb.op3(Opcode::S8ADDQ, R(24), R(23), R(24));
-            cb.load(Opcode::LDQ, R(24), 0, R(24));
-            cb.jmp(R(25), R(24));
-            cb.bind(cases[0]);
-            cb.opi(Opcode::ADDQ, R(1), 1, R(1));
-            cb.br(merge);
-            cb.bind(cases[1]);
-            cb.opi(Opcode::XOR, R(2), 255, R(2));
-            cb.bind(merge);
-        }
-        // Bind skip targets within a few instructions so every branch
-        // jumps forward (termination is structural).
-        while (!pending.empty() && rng.chance(1, 2)) {
-            cb.bind(pending.back());
-            pending.pop_back();
-        }
-    }
-    while (!pending.empty()) {
-        cb.bind(pending.back());
-        pending.pop_back();
-    }
-    // Fold live state into the sandbox so everything is observable.
-    for (unsigned r = firstTemp; r <= 8; ++r)
-        cb.store(Opcode::STQ, R(r),
-                 static_cast<std::int32_t>((r - firstTemp) * 8), R(21));
-    cb.opi(Opcode::SUBQ, R(22), 1, R(22));
-    cb.branch(Opcode::BNE, R(22), loop);
-    cb.halt();
-
-    cb.dataWords(jtab, {cb.labelByteAddr(cases[0]),
-                        cb.labelByteAddr(cases[1])});
-    return cb.finish();
+    // The shrinker depends on lowering being a pure function of the
+    // recipe: same recipe, same program.
+    Rng rng(7);
+    const fuzz::ProgRecipe recipe =
+        fuzz::generateRecipe(rng, fuzz::GenOptions());
+    const Program a = fuzz::lowerRecipe(recipe);
+    const Program b = fuzz::lowerRecipe(recipe);
+    ASSERT_EQ(a.code.size(), b.code.size());
+    for (std::size_t i = 0; i < a.code.size(); ++i)
+        EXPECT_TRUE(a.code[i] == b.code[i]) << "inst " << i;
 }
 
 class RandomPrograms : public ::testing::TestWithParam<std::uint64_t>
@@ -227,7 +46,7 @@ class RandomPrograms : public ::testing::TestWithParam<std::uint64_t>
 
 TEST_P(RandomPrograms, CosimCleanOnAllMachineVariants)
 {
-    const Program prog = randomProgram(GetParam());
+    const Program prog = fuzz::generateProgram(GetParam());
 
     std::vector<MachineConfig> configs;
     for (MachineKind kind : {MachineKind::Baseline, MachineKind::RbLimited,
@@ -264,7 +83,8 @@ TEST_P(RandomPrograms, CosimCleanOnAllMachineVariants)
         // All machines must agree on final architectural memory.
         Word checksum = 0;
         for (unsigned i = 0; i < 8; ++i)
-            checksum ^= core.committedMem().read64(0x40000 + i * 8) +
+            checksum ^= core.committedMem().read64(
+                            fuzz::fuzzSandboxBase + i * 8) +
                         i * 0x9e3779b9;
         if (!have_golden) {
             golden_checksum = checksum;
