@@ -1,15 +1,18 @@
 #include "bench_common.hh"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <thread>
 
 #include "common/stats.hh"
 #include "common/strutil.hh"
 #include "sim/report.hh"
+#include "trace/tracer.hh"
 
 namespace rbsim::bench
 {
@@ -26,15 +29,20 @@ usageDie(const char *prog, const char *why)
                  "%s: %s\n"
                  "usage: %s [--json <path>] [--scale <n>] "
                  "[--machines <label,label,...>] "
-                 "[--scheduler wakeup|polled|oracle]\n",
+                 "[--scheduler wakeup|polled|oracle] "
+                 "[--trace <prefix>] [--trace-last <n>]\n",
                  prog, why, prog);
     std::exit(2);
 }
 
 // The scheduler mode applies to every config a bench builds, including
 // ablation grids assembled after parseBenchArgs, so it lives here and is
-// applied to a copy of each config right before simulate().
+// applied to a copy of each config right before simulate(). The trace
+// options follow the same pattern: the sweep worker consults them for
+// every cell.
 std::string g_scheduler = "wakeup";
+std::string g_trace_prefix;
+std::size_t g_trace_last = 0;
 
 MachineConfig
 applyScheduler(MachineConfig cfg)
@@ -95,6 +103,16 @@ parseBenchArgs(int &argc, char **argv)
                 usageDie(argv[0],
                          "--scheduler must be wakeup, polled or oracle");
             g_scheduler = opts.scheduler;
+        } else if (std::strcmp(arg, "--trace") == 0) {
+            opts.tracePrefix = value("--trace");
+            g_trace_prefix = opts.tracePrefix;
+        } else if (std::strcmp(arg, "--trace-last") == 0) {
+            const long n =
+                std::strtol(value("--trace-last"), nullptr, 10);
+            if (n < 1)
+                usageDie(argv[0], "--trace-last must be >= 1");
+            opts.traceLast = static_cast<std::size_t>(n);
+            g_trace_last = opts.traceLast;
         } else {
             argv[out++] = argv[i]; // not ours; leave for the caller
         }
@@ -245,6 +263,19 @@ BenchReport::write() const
 namespace
 {
 
+/** Machine/workload label as a filename fragment. */
+std::string
+cellTag(std::string s)
+{
+    for (char &c : s) {
+        if (!std::isalnum(static_cast<unsigned char>(c)) && c != '-' &&
+            c != '_') {
+            c = '-';
+        }
+    }
+    return s;
+}
+
 std::vector<Cell>
 sweep(const std::vector<MachineConfig> &configs,
       const std::vector<WorkloadInfo> &workloads, unsigned scale)
@@ -277,7 +308,57 @@ sweep(const std::vector<MachineConfig> &configs,
             WorkloadParams wp;
             wp.scale = scale;
             const Program prog = tasks[i].wl->build(wp);
-            SimResult r = simulate(applyScheduler(*tasks[i].cfg), prog);
+            const MachineConfig cfg = applyScheduler(*tasks[i].cfg);
+
+            // Per-cell pipeline tracing (--trace / --trace-last). The
+            // tracer is only constructed when asked for, so ordinary
+            // benchmarking keeps the untraced hot path.
+            std::ofstream trace_out;
+            std::unique_ptr<trace::Tracer> tracer;
+            std::string cell_file;
+            if (!g_trace_prefix.empty() || g_trace_last) {
+                const std::string prefix = g_trace_prefix.empty()
+                    ? std::string("rbsim-bench-fail")
+                    : g_trace_prefix;
+                cell_file = prefix + "." + cellTag(cfg.label) + "." +
+                            cellTag(tasks[i].wl->name) + ".trace";
+                trace::Tracer::Options topts;
+                if (!g_trace_last) {
+                    trace_out.open(cell_file);
+                    if (trace_out)
+                        topts.stream = &trace_out;
+                }
+                topts.ringCap = g_trace_last;
+                topts.codeBase = prog.codeBase;
+                topts.decodeDepth = cfg.fetchDecodeDepth;
+                topts.renameDepth = cfg.renameDepth;
+                tracer = std::make_unique<trace::Tracer>(topts);
+            }
+            auto dump_ring = [&]() {
+                if (!tracer || !g_trace_last)
+                    return;
+                std::ofstream out(cell_file);
+                out << tracer->renderRing();
+                std::fprintf(stderr,
+                             "pipeline trace of last %zu instructions: "
+                             "%s\n",
+                             tracer->ring().size(), cell_file.c_str());
+            };
+
+            SimOptions sopts;
+            sopts.tracer = tracer.get();
+            SimResult r;
+            try {
+                r = simulate(cfg, prog, sopts);
+            } catch (const std::exception &e) {
+                std::fprintf(stderr, "bench cell %s/%s failed: %s\n",
+                             cfg.label.c_str(), tasks[i].wl->name.c_str(),
+                             e.what());
+                dump_ring();
+                std::exit(1);
+            }
+            if (!r.halted)
+                dump_ring();
             cells[i].machine = tasks[i].cfg->label;
             cells[i].workload = tasks[i].wl->name;
             cells[i].result = std::move(r);

@@ -40,6 +40,13 @@ struct Cell
  *                     per-cycle operand scan), or "oracle" (wakeup with
  *                     the polled model co-simulated every cycle as a
  *                     cross-check)
+ *   --trace <prefix>  write an O3PipeView pipeline trace per sweep cell
+ *                     to "<prefix>.<machine>.<workload>.trace" (load in
+ *                     Konata); slow — meant for single-cell grids
+ *   --trace-last <n>  ring-buffer the last n instructions per cell and
+ *                     dump the ring of a failing cell (cosim mismatch or
+ *                     non-halt) to "<prefix>.<machine>.<workload>.trace"
+ *                     ("rbsim-bench-fail" prefix when --trace not given)
  */
 struct BenchOptions
 {
@@ -47,6 +54,8 @@ struct BenchOptions
     unsigned scale = 1;
     std::vector<std::string> machines;
     std::string scheduler = "wakeup";
+    std::string tracePrefix;
+    std::size_t traceLast = 0;
 };
 
 /**

@@ -12,6 +12,11 @@
  *     --scale-cluster N                   cross-cluster delay (default 1)
  *     --max-cycles N                      safety cap (default 100M)
  *     --dump-mem ADDR,N                   print N quadwords at ADDR
+ *     --trace FILE                        O3PipeView pipeline trace
+ *                                         (load in Konata)
+ *     --trace-last N                      ring-buffer the last N insts,
+ *                                         dumped on failure (to FILE if
+ *                                         --trace given, else stderr)
  *
  * Example:
  *   ./build/examples/run_asm prog.s --machine rblim --width 4
@@ -20,11 +25,13 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "isa/assembler.hh"
 #include "sim/simulator.hh"
+#include "trace/tracer.hh"
 
 namespace
 {
@@ -40,7 +47,8 @@ usage(const char *argv0)
                  "          [--no-levels 1,2,3] [--no-hole-sched] "
                  "[--steer-dep]\n"
                  "          [--scale-cluster N] [--max-cycles N] "
-                 "[--dump-mem ADDR,N]\n",
+                 "[--dump-mem ADDR,N]\n"
+                 "          [--trace FILE] [--trace-last N]\n",
                  argv0);
     std::exit(2);
 }
@@ -63,6 +71,8 @@ main(int argc, char **argv)
     Cycle max_cycles = 100'000'000;
     Addr dump_addr = 0;
     unsigned dump_count = 0;
+    std::string trace_file;
+    std::size_t trace_last = 0;
 
     const char *path = argv[1];
     for (int i = 2; i < argc; ++i) {
@@ -91,6 +101,10 @@ main(int argc, char **argv)
             cluster_delay = static_cast<unsigned>(std::atoi(next()));
         } else if (arg == "--max-cycles") {
             max_cycles = static_cast<Cycle>(std::atoll(next()));
+        } else if (arg == "--trace") {
+            trace_file = next();
+        } else if (arg == "--trace-last") {
+            trace_last = static_cast<std::size_t>(std::atoll(next()));
         } else if (arg == "--dump-mem") {
             const char *spec = next();
             char *comma = nullptr;
@@ -139,6 +153,47 @@ main(int argc, char **argv)
 
     SimOptions opts;
     opts.maxCycles = max_cycles;
+
+    std::ofstream trace_out;
+    std::unique_ptr<trace::Tracer> tracer;
+    if (!trace_file.empty() || trace_last) {
+        trace::Tracer::Options topts;
+        if (!trace_file.empty() && !trace_last) {
+            trace_out.open(trace_file);
+            if (!trace_out) {
+                std::fprintf(stderr, "cannot open %s\n",
+                             trace_file.c_str());
+                return 1;
+            }
+            topts.stream = &trace_out;
+        }
+        topts.ringCap = trace_last;
+        topts.codeBase = prog.codeBase;
+        topts.decodeDepth = cfg.fetchDecodeDepth;
+        topts.renameDepth = cfg.renameDepth;
+        tracer = std::make_unique<trace::Tracer>(topts);
+        opts.tracer = tracer.get();
+    }
+
+    // On failure (cosim mismatch, deadlock, cycle budget): dump the
+    // ring buffer of the last N instructions to FILE or stderr.
+    auto dump_ring = [&]() {
+        if (!tracer || !trace_last)
+            return;
+        const std::string doc = tracer->renderRing();
+        if (!trace_file.empty()) {
+            std::ofstream out(trace_file);
+            out << doc;
+            std::fprintf(stderr,
+                         "pipeline trace of last %zu instructions: %s\n",
+                         tracer->ring().size(), trace_file.c_str());
+        } else {
+            std::fprintf(stderr,
+                         "pipeline trace of last %zu instructions:\n%s",
+                         tracer->ring().size(), doc.c_str());
+        }
+    };
+
     SimResult r;
     OooCore core(cfg, prog);
     try {
@@ -149,6 +204,7 @@ main(int argc, char **argv)
             core.run(max_cycles);
     } catch (const std::exception &e) {
         std::fprintf(stderr, "simulation failed: %s\n", e.what());
+        dump_ring();
         return 1;
     }
 
@@ -158,6 +214,7 @@ main(int argc, char **argv)
     if (!r.halted) {
         std::printf("DID NOT HALT within %llu cycles\n",
                     static_cast<unsigned long long>(max_cycles));
+        dump_ring();
         return 1;
     }
     std::printf("cycles %llu  retired %llu  IPC %.3f  (verified %llu)\n",

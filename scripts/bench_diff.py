@@ -10,6 +10,12 @@ Exits 1 when any machine's harmonic-mean IPC dropped by more than the
 threshold (default 1%), 0 otherwise (including when there is nothing
 comparable, which is reported).
 
+A cell with non-positive IPC (a deadlock-aborted or budget-capped run
+reports 0.0) cannot be averaged harmonically and means the dump itself
+is broken; it is reported with its (machine, workload) coordinates and
+the file it came from, and the script exits 2 — never a
+ZeroDivisionError traceback, and never a silent pass.
+
 When both dumps carry per-cell host speed (sim_khz, written since the
 wakeup-array scheduler landed), a second informational section reports
 per-machine harmonic-mean simulation-speed deltas. Host speed is noisy
@@ -41,7 +47,27 @@ def speed_map(doc):
 
 
 def hmean(xs):
+    """Harmonic mean. Refuses empty and non-positive inputs with a
+    message instead of raising ZeroDivisionError — callers are expected
+    to have reported the offending cells already (check_cells)."""
+    if not xs:
+        sys.exit("bench_diff: harmonic mean of an empty series "
+                 "(no cells for a machine?)")
+    if min(xs) <= 0:
+        sys.exit("bench_diff: harmonic mean of a non-positive series")
     return len(xs) / sum(1.0 / x for x in xs)
+
+
+def check_cells(path, cells, keys):
+    """Report every non-positive IPC cell in `cells` (restricted to
+    `keys`) with its coordinates, and exit 2 when any exist."""
+    bad = [(k, cells[k]) for k in keys if cells[k] <= 0]
+    for (machine, workload), ipc in bad:
+        print(f"bench_diff: {path}: non-positive IPC {ipc:g} in cell "
+              f"(machine={machine!r}, workload={workload!r}) — "
+              f"deadlock-aborted or budget-capped run?", file=sys.stderr)
+    if bad:
+        sys.exit(2)
 
 
 def main():
@@ -65,6 +91,14 @@ def main():
     for machine, _ in common:
         if machine not in machines:
             machines.append(machine)
+    if not machines:
+        sys.exit("bench_diff: common cells name no machines; "
+                 "malformed dumps?")
+
+    # Broken dumps fail loudly before any averaging: a deadlocked run's
+    # 0.0 IPC must never be skipped into a green exit.
+    check_cells(args.old, old_cells, common)
+    check_cells(args.new, new_cells, common)
 
     print(f"comparing {len(common)} common cells across "
           f"{len(machines)} machines "
@@ -74,9 +108,6 @@ def main():
     for machine in machines:
         old_ipcs = [old_cells[k] for k in common if k[0] == machine]
         new_ipcs = [new_cells[k] for k in common if k[0] == machine]
-        if min(old_ipcs) <= 0 or min(new_ipcs) <= 0:
-            print(f"  {machine:<{width}}  skipped (non-positive IPC)")
-            continue
         old_h, new_h = hmean(old_ipcs), hmean(new_ipcs)
         delta = 100.0 * (new_h / old_h - 1.0)
         flag = ""

@@ -54,6 +54,8 @@ OooCore::run(Cycle max_cycles)
             // here vanished in -DNDEBUG builds).
             ++coreStats.deadlockAborts;
             diagnoseDeadlock();
+            if (tracer)
+                traceInFlight("watchdog-deadlock");
             return false;
         }
         // A program that runs off the end of its code without HALT drains
@@ -66,6 +68,16 @@ OooCore::run(Cycle max_cycles)
         }
     }
     return haltRetired;
+}
+
+void
+OooCore::traceInFlight(const char *why)
+{
+    if (!tracer || rob.empty())
+        return;
+    const std::uint64_t head = rob.head().seq;
+    for (std::size_t i = 0, n = rob.size(); i < n; ++i)
+        tracer->onAbort(rob.get(head + i), now, why);
 }
 
 void
@@ -295,7 +307,9 @@ void
 OooCore::flushAfter(const RobEntry &branch)
 {
     // Squash younger instructions, youngest first (rename walk order).
-    rob.squashAfter(branch.seq, [this](RobEntry &e) {
+    rob.squashAfter(branch.seq, [this, &branch](RobEntry &e) {
+        if (tracer)
+            tracer->onSquash(e, now, branch.seq, branch.pcIndex);
         if (e.dest != invalidPhysReg) {
             rename.undo(e.archDest, e.dest, e.prevDest);
             scoreboard.clear(e.dest);
@@ -403,6 +417,11 @@ OooCore::doRetire()
         coreStats.issueWait.record(static_cast<std::size_t>(
             e.issueCycle - e.dispatchCycle - 1));
         coreStats.holeWait.record(e.holeWait);
+
+        // Trace before the cosim hook so a mismatching instruction is
+        // already in the ring buffer when the checker throws.
+        if (tracer)
+            tracer->onRetire(e, now);
 
         if (retireHook)
             retireHook(e);
@@ -560,6 +579,11 @@ OooCore::drainWakeupEvents()
     while (!wakeupEvents.empty() && wakeupEvents.top().at <= now) {
         const WakeupEvent ev = wakeupEvents.top();
         wakeupEvents.pop();
+        // Stale events are filtered on (SlotRef, gen), never on the
+        // slot's seq: squash recycles sequence numbers, so a slot
+        // refilled in the same cycle can hold an identical seq and a
+        // seq check (SchedulerBank::holds) would deliver the dead
+        // occupant's event to the new one.
         if (!sched.live(ev.ref, ev.gen))
             continue; // issued, squashed, or slot reused
         sched.setReady(ev.ref, ev.ready);
@@ -766,6 +790,30 @@ OooCore::recordBypassStats(RobEntry &e)
 }
 
 void
+OooCore::recordTraceBypass(RobEntry &e)
+{
+    // Per-source trace annotation: which delivery path feeds each
+    // operand at this issue cycle — the register file, or bypass level
+    // k (cycles past the operand's first availability in the consumed
+    // format, 1-based), and in which number format it arrives.
+    for (unsigned i = 0; i < e.numSrcs; ++i) {
+        const ProdAvail &p = scoreboard.of(e.src[i].reg);
+        std::uint8_t v = 0; // register file
+        if (servedByBypass(p, now)) {
+            const bool needs_tc = e.src[i].needsTc;
+            const Cycle fmt_first = needs_tc ? p.late : p.early;
+            const Cycle level =
+                now >= fmt_first ? now - fmt_first + 1 : 1;
+            v = static_cast<std::uint8_t>(
+                std::min<Cycle>(level, trace::srcLevelMask));
+            if (p.dual && !needs_tc)
+                v |= trace::srcRbForm;
+        }
+        e.srcBypass[i] = v;
+    }
+}
+
+void
 OooCore::issueInst(std::uint64_t seq)
 {
     RobEntry &e = rob.get(seq);
@@ -782,6 +830,8 @@ OooCore::issueInst(std::uint64_t seq)
     ++coreStats.issued;
 
     recordBypassStats(e);
+    if (tracer)
+        recordTraceBypass(e);
 
     const ExecOut x = executeInst(config, program, e, regs);
     e.usedRbPath = x.usedRbPath;
@@ -932,6 +982,7 @@ OooCore::doDispatch()
         e.pcIndex = fe.fi.pcIndex;
         e.inst = inst;
         e.dispatchCycle = now;
+        e.fetchCycle = fe.fetchedAt;
         e.sched = static_cast<std::uint8_t>(target);
         e.cluster = static_cast<std::uint8_t>(
             target * config.numClusters / config.numSchedulers);
@@ -979,6 +1030,8 @@ OooCore::doDispatch()
         sched.advanceSteering();
         if (useWakeup)
             armDispatch(e, ref);
+        if (tracer)
+            tracer->onDispatch(e);
 
         frontPipe.pop_front();
         ++coreStats.dispatched;

@@ -26,6 +26,7 @@
 #include "func/mem_image.hh"
 #include "mem/lsq.hh"
 #include "mem/sam.hh"
+#include "trace/tracer.hh"
 
 namespace rbsim
 {
@@ -101,6 +102,21 @@ class OooCore
     }
 
     /**
+     * Attach a pipeline tracer (may be nullptr to detach). Must be done
+     * before the first cycle; tracing mid-run leaves earlier
+     * instructions untraced. The tracer must outlive the run.
+     */
+    void attachTracer(trace::Tracer *t) { tracer = t; }
+
+    /**
+     * Report every instruction still in flight to the attached tracer
+     * (no-op without one). Call after a run that did not drain cleanly —
+     * watchdog deadlock, cosim mismatch, cycle budget — so the tail of
+     * the pipeline appears in the trace; then Tracer::finish().
+     */
+    void traceInFlight(const char *why);
+
+    /**
      * Run until HALT retires or `max_cycles` elapse.
      * @return true if the program halted cleanly
      */
@@ -169,6 +185,7 @@ class OooCore
     void issueInst(std::uint64_t seq);
     void flushAfter(const RobEntry &branch);
     void recordBypassStats(RobEntry &e);
+    void recordTraceBypass(RobEntry &e);
 
     // Wakeup-array machinery (Figure 8 as an event-driven bitset).
     void produceAndWake(PhysReg r, const ProdAvail &p);
@@ -206,6 +223,7 @@ class OooCore
 
     CoreStats coreStats;
     std::function<void(const RobEntry &)> retireHook;
+    trace::Tracer *tracer = nullptr; //!< optional; guarded at each hook
 
     // ---------------------------------------------- wakeup-array state
     //

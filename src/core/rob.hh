@@ -86,6 +86,16 @@ struct RobEntry
     bool usedRbPath = false;           //!< executed on the RB datapath
     bool bogusCorrected = false;       //!< section 3.5 correction fired
     bool loadForwarded = false;        //!< store-to-load forwarding hit
+
+    // Pipeline tracing (src/trace). `fetchCycle` is always stamped at
+    // dispatch; the rest are written only while a tracer is attached, so
+    // the disabled-tracing hot path stays untouched.
+    Cycle fetchCycle = 0;       //!< cycle this instruction left fetch
+    std::uint64_t traceId = 0;  //!< tracer dynamic id (0 = not traced)
+    //! Per-source bypass annotation (see trace::srcLevelMask): low
+    //! nibble = bypass level that fed the operand (0 = register file),
+    //! trace::srcRbForm set when it arrived in redundant binary.
+    std::array<std::uint8_t, 3> srcBypass{0xff, 0xff, 0xff};
 };
 
 /** The reorder buffer. */

@@ -132,8 +132,15 @@ class SchedulerBank
         return banks[r.sched].ready >> r.slot & 1;
     }
 
-    /** Does the slot currently hold this sequence number? (Validates
-     * queued wakeup events against issue/squash slot reuse.) */
+    /** Does the slot currently hold this sequence number?
+     *
+     * Debug assertions ONLY — never use this to validate a queued
+     * wakeup event. Sequence numbers are recycled on squash (flushAfter
+     * rewinds nextSeq to branch.seq + 1), so after squash → same-cycle
+     * re-dispatch a reused slot can hold the *same* seq as the squashed
+     * occupant and a stale event would be accepted. The (SlotRef, gen)
+     * pair checked by live() names one occupancy uniquely; all event
+     * validation goes through it. */
     bool
     holds(SlotRef r, std::uint64_t seq) const
     {

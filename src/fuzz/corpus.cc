@@ -207,9 +207,22 @@ listCorpus(const std::string &dir)
 }
 
 OracleResult
-replayRepro(const ReproFile &repro, Plant plant)
+replayRepro(const ReproFile &repro, Plant plant, const TraceSpec &spec)
 {
-    const auto oracles = makeOracles({repro.oracle}, plant);
+    // Validate the oracle name up front so a corpus file written by a
+    // newer build fails loudly with a diagnostic instead of throwing
+    // out of the replay loop (or, worse, passing vacuously).
+    const std::vector<std::string> known = oracleNames();
+    if (std::find(known.begin(), known.end(), repro.oracle) ==
+        known.end()) {
+        std::string names;
+        for (const std::string &n : known)
+            names += (names.empty() ? "" : ", ") + n;
+        return {true, "unknown oracle '" + repro.oracle +
+                    "' — is this repro from a newer build? known "
+                    "oracles: " + names};
+    }
+    const auto oracles = makeOracles({repro.oracle}, plant, spec);
     const Oracle &oracle = *oracles.front();
     if (repro.programLevel()) {
         if (!oracle.programLevel()) {

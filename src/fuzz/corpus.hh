@@ -73,9 +73,15 @@ std::vector<std::string> listCorpus(const std::string &dir);
  * Re-run a repro through its oracle (with an optional plant, for
  * pipeline self-tests). Program-level repros assemble `asmText` and run
  * it on the recorded configs; value-level repros replay the seed.
+ * `spec` arms pipeline tracing for the replayed runs (see TraceSpec).
+ *
+ * A repro naming an oracle this build does not know (a corpus file from
+ * a newer build) is reported as a *failed* result with a diagnostic —
+ * never silently skipped or passed.
  */
 OracleResult replayRepro(const ReproFile &repro,
-                         Plant plant = Plant::None);
+                         Plant plant = Plant::None,
+                         const TraceSpec &spec = {});
 
 } // namespace rbsim::fuzz
 

@@ -157,6 +157,15 @@ runFuzz(const FuzzOptions &opts)
             out.path = writeRepro(opts.corpusDir,
                                   out.oracle + "-" + hexSeed(f.seed),
                                   out.repro);
+            if (f.programLevel && opts.traceLast) {
+                // Re-run the shrunk repro with the ring armed so every
+                // written .repro ships with a pipeline visualization of
+                // its failure (<repro>.trace, O3PipeView format).
+                TraceSpec spec;
+                spec.ringLast = opts.traceLast;
+                spec.ringPath = out.path + ".trace";
+                replayRepro(out.repro, opts.plant, spec);
+            }
         }
         summary.failures.push_back(std::move(out));
     }

@@ -40,6 +40,9 @@ struct FuzzOptions
     bool shrink = true;               //!< delta-debug failing programs
     unsigned maxShrinkEvals = 400;    //!< shrinker oracle-eval budget
     unsigned maxFailures = 3;         //!< repros kept per oracle
+    //! Ring-buffer size for the pipeline trace written next to every
+    //! program-level repro ("<repro>.trace"); 0 disables.
+    std::size_t traceLast = 64;
 };
 
 /** Per-oracle case/failure accounting. */

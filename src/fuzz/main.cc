@@ -6,10 +6,12 @@
  *   rbsim-fuzz --oracle cosim --iterations 50
  *   rbsim-fuzz --jobs 8 --seed 7 --corpus-dir out/
  *   rbsim-fuzz --replay tests/corpus/foo.repro
+ *   rbsim-fuzz --replay foo.repro --trace foo.pipeview
  *   rbsim-fuzz --plant sched-bypass-widen --iterations 4
  *
  * Exit status: 0 when every case passed (or every replay passed),
- * 1 on failures, 2 on usage errors.
+ * 1 on failures (including unreadable/unknown-oracle repros),
+ * 2 on usage errors.
  */
 
 #include <cstring>
@@ -50,17 +52,47 @@ usage(std::ostream &os)
           "  --json             print a JSON summary instead of text\n"
           "  --replay <file>    replay repro files instead of fuzzing "
           "(repeatable)\n"
+          "  --trace <file>     replay: write an O3PipeView pipeline "
+          "trace per\n"
+          "                     simulated machine (<file>.<machine>; "
+          "load in Konata)\n"
+          "  --trace-last <n>   replay: ring-buffer the last n "
+          "instructions and\n"
+          "                     dump them to <repro>.trace on failure\n"
           "  --list-oracles     print oracle names and exit\n";
 }
 
 int
 replayFiles(const std::vector<std::string> &files, Plant plant,
-            bool json)
+            bool json, const std::string &traceFile,
+            std::size_t traceLast)
 {
     unsigned failed = 0;
     for (const std::string &path : files) {
-        const ReproFile repro = loadRepro(path);
-        const OracleResult r = replayRepro(repro, plant);
+        TraceSpec spec;
+        if (!traceFile.empty()) {
+            // With several repros, keep the per-machine trace files of
+            // each one apart by suffixing the repro's stem.
+            spec.streamPath = traceFile;
+            if (files.size() > 1) {
+                const std::size_t slash = path.find_last_of('/');
+                spec.streamPath +=
+                    "." + path.substr(slash == std::string::npos
+                                          ? 0 : slash + 1);
+            }
+        }
+        if (traceLast) {
+            spec.ringLast = traceLast;
+            spec.ringPath = path + ".trace";
+        }
+        OracleResult r;
+        try {
+            r = replayRepro(loadRepro(path), plant, spec);
+        } catch (const std::exception &e) {
+            // An unreadable or malformed repro fails that file only;
+            // the remaining replays still run.
+            r = {true, e.what()};
+        }
         if (!json) {
             std::cout << (r.failed ? "FAIL " : "ok   ") << path;
             if (r.failed)
@@ -84,6 +116,8 @@ main(int argc, char **argv)
     FuzzOptions opts;
     std::vector<std::string> replays;
     bool json = false;
+    std::string trace_file;
+    std::size_t trace_last = 0;
 
     try {
         for (int i = 1; i < argc; ++i) {
@@ -122,6 +156,10 @@ main(int argc, char **argv)
                 json = true;
             } else if (arg == "--replay") {
                 replays.push_back(value());
+            } else if (arg == "--trace") {
+                trace_file = value();
+            } else if (arg == "--trace-last") {
+                trace_last = std::stoull(value());
             } else if (arg == "--list-oracles") {
                 for (const std::string &n : oracleNames())
                     std::cout << n << "\n";
@@ -134,8 +172,10 @@ main(int argc, char **argv)
             }
         }
 
-        if (!replays.empty())
-            return replayFiles(replays, opts.plant, json);
+        if (!replays.empty()) {
+            return replayFiles(replays, opts.plant, json, trace_file,
+                               trace_last);
+        }
 
         const FuzzSummary summary = runFuzz(opts);
         std::cout << (json ? summary.toJson() + "\n" : summary.format());

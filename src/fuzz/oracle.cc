@@ -1,6 +1,9 @@
 #include "fuzz/oracle.hh"
 
 #include <bit>
+#include <cctype>
+#include <fstream>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 
@@ -10,6 +13,7 @@
 #include "rb/rbalu.hh"
 #include "sim/cosim.hh"
 #include "sim/simulator.hh"
+#include "trace/tracer.hh"
 
 namespace rbsim::fuzz
 {
@@ -67,6 +71,85 @@ encodingOf(Word w, Rng &rng)
                                static_cast<unsigned>(rng.below(96)));
 }
 
+/** Machine label as a filename fragment. */
+std::string
+fileTag(const std::string &label)
+{
+    std::string out = label;
+    for (char &c : out) {
+        if (!std::isalnum(static_cast<unsigned char>(c)) && c != '-' &&
+            c != '_' && c != '.') {
+            c = '-';
+        }
+    }
+    return out;
+}
+
+/**
+ * Arms one simulated machine run with the trace sinks a TraceSpec asks
+ * for, and renders the failure artifacts. Inert (all no-ops) when the
+ * spec is disabled, so untraced fuzzing pays nothing.
+ */
+class TraceRun
+{
+  public:
+    TraceRun(const TraceSpec &spec_, const MachineConfig &cfg,
+             const Program &prog)
+        : spec(spec_)
+    {
+        if (!spec.enabled())
+            return;
+        trace::Tracer::Options topts;
+        if (!spec.streamPath.empty()) {
+            streamFile = spec.streamPath + "." + fileTag(cfg.label);
+            out.open(streamFile);
+            if (out)
+                topts.stream = &out;
+        }
+        topts.ringCap = spec.ringLast;
+        topts.codeBase = prog.codeBase;
+        topts.decodeDepth = cfg.fetchDecodeDepth;
+        topts.renameDepth = cfg.renameDepth;
+        tracer = std::make_unique<trace::Tracer>(topts);
+    }
+
+    trace::Tracer *get() const { return tracer.get(); }
+
+    /** Flush after a direct OooCore run (simulate() settles its own). */
+    void
+    settle(OooCore &core, const char *why)
+    {
+        if (!tracer)
+            return;
+        core.traceInFlight(why);
+        tracer->finish();
+    }
+
+    /** Dump the ring buffer and name every artifact written; the return
+     * value is appended to the oracle's failure detail. */
+    std::string
+    noteFailure()
+    {
+        std::string note;
+        if (!tracer)
+            return note;
+        if (spec.ringLast && !spec.ringPath.empty()) {
+            std::ofstream ring(spec.ringPath);
+            ring << tracer->renderRing();
+            note += " [pipeline ring: " + spec.ringPath + "]";
+        }
+        if (!streamFile.empty())
+            note += " [pipeline trace: " + streamFile + "]";
+        return note;
+    }
+
+  private:
+    TraceSpec spec;
+    std::string streamFile;
+    std::ofstream out;
+    std::unique_ptr<trace::Tracer> tracer;
+};
+
 // ------------------------------------------------------------- cosim
 
 class CosimOracle : public Oracle
@@ -90,25 +173,32 @@ class CosimOracle : public Oracle
         std::vector<Word> golden;
         for (const MachineConfig &cfg : configs) {
             OooCore core(cfg, prog);
+            TraceRun tr(traceSpec, cfg, prog);
+            core.attachTracer(tr.get());
             CosimChecker checker(prog);
             core.onRetire([&checker](const RobEntry &e) {
                 checker.onRetire(e);
             });
             try {
                 if (!core.run(fuzzMaxCycles)) {
+                    tr.settle(core, "run-aborted");
                     return {true, cfg.label + ": no clean halt (" +
                                 (core.deadlocked()
                                      ? "retirement deadlock watchdog"
-                                     : "cycle budget exhausted") + ")"};
+                                     : "cycle budget exhausted") + ")" +
+                                tr.noteFailure()};
                 }
             } catch (const CosimMismatch &e) {
-                return {true, cfg.label + ": " + e.what()};
+                tr.settle(core, "cosim-mismatch");
+                return {true,
+                        cfg.label + ": " + e.what() + tr.noteFailure()};
             }
+            tr.settle(core, "post-halt");
             if (checker.checked() != core.stats().retired) {
                 return {true, cfg.label + ": checked " +
                             std::to_string(checker.checked()) + " of " +
                             std::to_string(core.stats().retired) +
-                            " retired"};
+                            " retired" + tr.noteFailure()};
             }
 
             std::vector<Word> mem(checksumWords);
@@ -125,7 +215,7 @@ class CosimOracle : public Oracle
                                     configs.front().label + " at word " +
                                     std::to_string(i) + ": " +
                                     hex(mem[i]) + " vs " +
-                                    hex(golden[i])};
+                                    hex(golden[i]) + tr.noteFailure()};
                     }
                 }
             }
@@ -201,24 +291,33 @@ class SchedOracle : public Oracle
         MachineConfig poll = configs.front();
         poll.polledScheduler = true;
 
+        // Trace the wakeup-side run: that is the side under test, and
+        // its ring is what a divergence needs to explain.
+        TraceRun tr(traceSpec, wake, prog);
         SimOptions opts;
         opts.maxCycles = fuzzMaxCycles;
+        opts.tracer = tr.get();
+        SimOptions popts = opts;
+        popts.tracer = nullptr;
         try {
             const SimResult w = simulate(wake, prog, opts);
-            const SimResult p = simulate(poll, prog, opts);
+            const SimResult p = simulate(poll, prog, popts);
             if (w.halted != p.halted) {
                 return {true, configs.front().label +
                             ": halt disagreement (wakeup=" +
                             std::to_string(w.halted) + " polled=" +
-                            std::to_string(p.halted) + ")"};
+                            std::to_string(p.halted) + ")" +
+                            tr.noteFailure()};
             }
             const std::string diff = snapshotDiff(w.stats, p.stats);
             if (!diff.empty()) {
                 return {true, configs.front().label +
-                            ": snapshot divergence — " + diff};
+                            ": snapshot divergence — " + diff +
+                            tr.noteFailure()};
             }
         } catch (const CosimMismatch &e) {
-            return {true, configs.front().label + ": " + e.what()};
+            return {true, configs.front().label + ": " + e.what() +
+                        tr.noteFailure()};
         }
         return {};
     }
@@ -448,7 +547,8 @@ oracleNames()
 }
 
 std::vector<std::unique_ptr<Oracle>>
-makeOracles(const std::vector<std::string> &names, Plant plant)
+makeOracles(const std::vector<std::string> &names, Plant plant,
+            const TraceSpec &spec)
 {
     std::vector<std::string> want = names;
     if (want.empty())
@@ -474,6 +574,8 @@ makeOracles(const std::vector<std::string> &names, Plant plant)
             throw std::invalid_argument("unknown oracle '" + n + "'");
         }
     }
+    for (auto &o : out)
+        o->setTrace(spec);
     return out;
 }
 

@@ -67,6 +67,28 @@ struct OracleResult
     std::string detail; //!< human-readable failure description
 };
 
+/**
+ * Pipeline-trace sink configuration for program-level oracle runs (see
+ * src/trace). Default-constructed = no tracing. When `streamPath` is
+ * set, each simulated machine writes a full O3PipeView trace to
+ * "<streamPath>.<label>"; when `ringLast` is set, the last N
+ * instructions of the failing run are dumped to `ringPath` and the
+ * failure detail names the file. Value-level oracles ignore it.
+ */
+struct TraceSpec
+{
+    std::string streamPath; //!< per-machine full-trace file prefix
+    std::size_t ringLast = 0; //!< ring-buffer the last N instructions
+    std::string ringPath;   //!< failure dump target for the ring
+
+    bool
+    enabled() const
+    {
+        return !streamPath.empty() ||
+               (ringLast != 0 && !ringPath.empty());
+    }
+};
+
 /** One differential oracle. */
 class Oracle
 {
@@ -93,8 +115,12 @@ class Oracle
     virtual OracleResult runSeed(std::uint64_t seed,
                                  std::uint64_t iters) const;
 
+    /** Arm pipeline tracing for subsequent runProgram calls. */
+    void setTrace(const TraceSpec &spec) { traceSpec = spec; }
+
   protected:
     Plant plant;
+    TraceSpec traceSpec;
 };
 
 /** Canonical oracle names, in default fuzzing order. */
@@ -102,12 +128,12 @@ std::vector<std::string> oracleNames();
 
 /**
  * Build oracles by name (all five when `names` is empty), wiring the
- * requested plant into the affected oracle. Throws std::invalid_argument
- * for unknown names.
+ * requested plant into the affected oracle and arming the trace sinks
+ * on every oracle. Throws std::invalid_argument for unknown names.
  */
 std::vector<std::unique_ptr<Oracle>>
 makeOracles(const std::vector<std::string> &names = {},
-            Plant plant = Plant::None);
+            Plant plant = Plant::None, const TraceSpec &spec = {});
 
 /**
  * First difference between two snapshots as "name: a=<x> b=<y>", or ""

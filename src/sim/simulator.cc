@@ -27,8 +27,24 @@ simulate(const MachineConfig &cfg, const Program &prog,
     SimResult res;
     res.machine = cfg.label;
     res.workload = prog.name;
+    if (opts.tracer)
+        core.attachTracer(opts.tracer);
     const auto t0 = std::chrono::steady_clock::now();
-    res.halted = core.run(opts.maxCycles);
+    try {
+        res.halted = core.run(opts.maxCycles);
+    } catch (...) {
+        // Cosim mismatch mid-retire: capture the pipeline tail before
+        // the exception reaches the caller.
+        if (opts.tracer) {
+            core.traceInFlight("cosim-mismatch");
+            opts.tracer->finish();
+        }
+        throw;
+    }
+    if (opts.tracer) {
+        core.traceInFlight(res.halted ? "post-halt" : "run-aborted");
+        opts.tracer->finish();
+    }
     const auto t1 = std::chrono::steady_clock::now();
     res.hostSeconds =
         std::chrono::duration<double>(t1 - t0).count();

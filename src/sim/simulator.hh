@@ -73,6 +73,11 @@ struct SimOptions
 {
     Cycle maxCycles = 100'000'000;
     bool cosim = true; //!< lockstep-verify against the reference model
+    //! Optional pipeline tracer (borrowed; must outlive the call).
+    //! simulate() attaches it, reports stranded in-flight instructions
+    //! when the run does not drain cleanly (cosim mismatch, watchdog
+    //! abort, cycle budget), and finishes it — even when it rethrows.
+    trace::Tracer *tracer = nullptr;
 };
 
 /**

@@ -1,0 +1,163 @@
+#include "trace/tracer.hh"
+
+#include <sstream>
+
+#include "isa/disasm.hh"
+
+namespace rbsim::trace
+{
+
+TraceEntry
+Tracer::build(const RobEntry &e, Cycle now) const
+{
+    TraceEntry t;
+    t.id = e.traceId;
+    t.seq = e.seq;
+    t.pc = opts.codeBase + 4 * e.pcIndex;
+    t.fetch = e.fetchCycle;
+    t.decode = e.fetchCycle + opts.decodeDepth;
+    t.rename = t.decode + opts.renameDepth;
+    t.dispatch = e.dispatchCycle;
+    // A squashed instruction may have issued but not yet reached its
+    // (future-dated) completion cycle: clamp to what really happened.
+    t.issued = e.issued && e.issueCycle <= now;
+    t.issue = t.issued ? e.issueCycle : 0;
+    t.completed = e.complete && e.completeCycle <= now;
+    t.complete = t.completed ? e.completeCycle : 0;
+    t.isStore = e.isMemStore;
+
+    std::ostringstream text;
+    text << disassemble(e.inst, e.pcIndex);
+    for (unsigned i = 0; i < e.numSrcs; ++i) {
+        const std::uint8_t v = e.srcBypass[i];
+        if (v == srcUnknown)
+            continue;
+        text << " s" << i << '=';
+        const unsigned level = v & srcLevelMask;
+        if (level == 0)
+            text << "RF";
+        else
+            text << "BYP" << level;
+        text << (v & srcRbForm ? "/RB" : "/TC");
+    }
+    if (e.holeWait)
+        text << " hole=" << e.holeWait;
+    if (e.loadForwarded)
+        text << " stlf";
+    if (e.usedRbPath)
+        text << " rb";
+    if (e.bogusCorrected)
+        text << " bogusfix";
+    if (e.mispredicted)
+        text << " mispred";
+    t.text = text.str();
+    return t;
+}
+
+void
+Tracer::onRetire(RobEntry &e, Cycle now)
+{
+    if (e.traceId == 0)
+        return; // dispatched before the tracer was attached
+    TraceEntry t = build(e, now);
+    t.retire = now;
+    e.traceId = 0;
+    finalize(std::move(t));
+}
+
+void
+Tracer::onSquash(RobEntry &e, Cycle now, std::uint64_t causeSeq,
+                 std::uint64_t causePc)
+{
+    if (e.traceId == 0)
+        return;
+    TraceEntry t = build(e, now);
+    t.squashed = true;
+    std::ostringstream cause;
+    cause << " SQUASHED@" << now << " by seq=" << causeSeq
+          << " pc=" << causePc;
+    t.text += cause.str();
+    e.traceId = 0;
+    finalize(std::move(t));
+}
+
+void
+Tracer::onAbort(RobEntry &e, Cycle now, const char *why)
+{
+    if (e.traceId == 0)
+        return; // already finalized (e.g. retired into a throwing hook)
+    TraceEntry t = build(e, now);
+    t.squashed = true;
+    t.text += std::string(" IN-FLIGHT(") + why + ")";
+    e.traceId = 0;
+    finalize(std::move(t));
+}
+
+void
+Tracer::finalize(TraceEntry &&t)
+{
+    ++numFinalized;
+    pendingEmit.emplace(t.id, std::move(t));
+    // Emit the contiguous dispatch-order prefix.
+    for (auto it = pendingEmit.begin();
+         it != pendingEmit.end() && it->first == nextEmit;
+         it = pendingEmit.erase(it), ++nextEmit) {
+        emit(it->second);
+    }
+}
+
+void
+Tracer::emit(const TraceEntry &t)
+{
+    if (opts.stream)
+        *opts.stream << render(t, opts.ticksPerCycle);
+    if (opts.ringCap) {
+        ringBuf.push_back(t);
+        while (ringBuf.size() > opts.ringCap)
+            ringBuf.pop_front();
+    }
+}
+
+void
+Tracer::finish()
+{
+    // Ids can have gaps here only if some in-flight entries were never
+    // reported (traceInFlight not called); emit what we have, in order.
+    for (auto &[id, entry] : pendingEmit)
+        emit(entry);
+    pendingEmit.clear();
+    nextEmit = nextId;
+    if (opts.stream)
+        opts.stream->flush();
+}
+
+std::string
+Tracer::render(const TraceEntry &e, Cycle ticksPerCycle)
+{
+    const auto tick = [ticksPerCycle](Cycle c, bool reached) -> Cycle {
+        return reached ? (c + 1) * ticksPerCycle : 0;
+    };
+    std::ostringstream os;
+    os << "O3PipeView:fetch:" << tick(e.fetch, true) << ":0x" << std::hex
+       << e.pc << std::dec << ":0:" << e.id << ':' << e.text << '\n';
+    os << "O3PipeView:decode:" << tick(e.decode, true) << '\n';
+    os << "O3PipeView:rename:" << tick(e.rename, true) << '\n';
+    os << "O3PipeView:dispatch:" << tick(e.dispatch, true) << '\n';
+    os << "O3PipeView:issue:" << tick(e.issue, e.issued) << '\n';
+    os << "O3PipeView:complete:" << tick(e.complete, e.completed) << '\n';
+    const Cycle retire_tick = tick(e.retire, !e.squashed);
+    os << "O3PipeView:retire:" << retire_tick << ":store:"
+       << (e.isStore && !e.squashed ? retire_tick : 0) << '\n';
+    return os.str();
+}
+
+std::string
+Tracer::renderRing() const
+{
+    std::string out;
+    for (const TraceEntry &t : ringBuf)
+        out += render(t, opts.ticksPerCycle);
+    return out;
+}
+
+} // namespace rbsim::trace

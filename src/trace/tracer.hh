@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Per-instruction pipeline lifecycle tracing.
+ *
+ * Each dynamic instruction that reaches dispatch is assigned a
+ * monotonically increasing trace id; when it retires, is squashed, or is
+ * stranded by an aborted run, its full lifecycle (fetch through retire,
+ * plus rbsim-specific annotations: per-source bypass level and format,
+ * hole-wait cycles, squash cause) is rendered as one gem5
+ * `O3PipeView`-format block, loadable in the Konata pipeline viewer.
+ *
+ * Two sinks hang behind the one class: an optional text stream (written
+ * in trace-id order, i.e. dispatch order, as O3PipeView requires) and an
+ * optional in-memory ring buffer of the last N instructions, dumped on
+ * cosim mismatch, watchdog abort, or fuzz-oracle failure.
+ *
+ * Tracing is zero-cost when disabled: the core holds a raw
+ * `trace::Tracer *` (nullptr by default) and every hook sits behind a
+ * single pointer test — no virtual calls, no allocation, no stats. A
+ * tracer must be attached before the core runs and adds no registered
+ * statistics, so traced and untraced runs produce bit-identical
+ * StatSnapshots.
+ */
+
+#ifndef RBSIM_TRACE_TRACER_HH
+#define RBSIM_TRACE_TRACER_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "common/types.hh"
+#include "core/rob.hh"
+
+namespace rbsim::trace
+{
+
+// Encoding of RobEntry::srcBypass (one byte per source operand).
+constexpr std::uint8_t srcUnknown = 0xff; //!< never issued / untraced
+constexpr std::uint8_t srcLevelMask = 0x0f; //!< bypass level; 0 = RF
+constexpr std::uint8_t srcRbForm = 0x40; //!< arrived in redundant binary
+
+/** One finalized dynamic instruction, ready to render. */
+struct TraceEntry
+{
+    std::uint64_t id = 0;  //!< dispatch-order trace id (unique)
+    std::uint64_t seq = 0; //!< ROB sequence number (recycled on squash)
+    Addr pc = 0;           //!< byte address of the instruction
+
+    Cycle fetch = 0;
+    Cycle decode = 0;
+    Cycle rename = 0;
+    Cycle dispatch = 0;
+    Cycle issue = 0;    //!< valid iff `issued`
+    Cycle complete = 0; //!< valid iff `completed`
+    Cycle retire = 0;   //!< valid iff neither squashed nor aborted
+
+    bool issued = false;
+    bool completed = false;
+    bool squashed = false; //!< squashed or stranded at abort
+    bool isStore = false;
+
+    //! Disassembly plus annotations (bypass levels, hole waits, squash
+    //! cause) — becomes the instruction text Konata displays.
+    std::string text;
+};
+
+/**
+ * The tracer. Constructed with a sink configuration, attached to an
+ * OooCore (OooCore::attachTracer) before the run; call finish() after
+ * the run (and OooCore::traceInFlight first, if the run did not drain
+ * cleanly) to flush instructions still buffered for in-order emission.
+ */
+class Tracer
+{
+  public:
+    struct Options
+    {
+        std::ostream *stream = nullptr; //!< O3PipeView text sink
+        std::size_t ringCap = 0;        //!< keep last N entries (0 = off)
+        //! O3PipeView ticks per simulated cycle. Stage ticks are
+        //! (cycle + 1) * ticksPerCycle so tick 0 can mean "stage never
+        //! happened" (gem5's convention for squashed instructions) even
+        //! for instructions fetched at cycle 0.
+        Cycle ticksPerCycle = 1000;
+        Addr codeBase = 0x10000;  //!< Program::codeBase of the run
+        unsigned decodeDepth = 6; //!< MachineConfig::fetchDecodeDepth
+        unsigned renameDepth = 2; //!< MachineConfig::renameDepth
+    };
+
+    explicit Tracer(const Options &opts_) : opts(opts_) {}
+
+    // ------------------------------------------------------ core hooks
+
+    /** Dispatch: assign the entry its trace id. */
+    void
+    onDispatch(RobEntry &e)
+    {
+        e.traceId = nextId++;
+    }
+
+    /** In-order retirement at cycle `now` (called before the cosim
+     * retire hook, so a mismatching instruction is already in the ring
+     * when the checker throws). */
+    void onRetire(RobEntry &e, Cycle now);
+
+    /** Squash at cycle `now`, caused by the branch with sequence number
+     * `causeSeq` at instruction index `causePc`. */
+    void onSquash(RobEntry &e, Cycle now, std::uint64_t causeSeq,
+                  std::uint64_t causePc);
+
+    /** An instruction stranded in flight when the run aborted (watchdog
+     * deadlock, cosim mismatch, cycle budget). Idempotent per entry. */
+    void onAbort(RobEntry &e, Cycle now, const char *why);
+
+    /** Flush entries still held for in-order emission and the stream.
+     * Idempotent; rendering after finish() is still allowed. */
+    void finish();
+
+    // ------------------------------------------------------------ sinks
+
+    /** The ring buffer (oldest first). */
+    const std::deque<TraceEntry> &ring() const { return ringBuf; }
+
+    /** Render the whole ring buffer as one O3PipeView document. */
+    std::string renderRing() const;
+
+    /** Instructions finalized (retired + squashed + aborted) so far. */
+    std::uint64_t finalized() const { return numFinalized; }
+
+    /** Render one entry as an O3PipeView block (7 lines). */
+    static std::string render(const TraceEntry &e, Cycle ticksPerCycle);
+
+  private:
+    TraceEntry build(const RobEntry &e, Cycle now) const;
+    void finalize(TraceEntry &&t);
+    void emit(const TraceEntry &t);
+
+    Options opts;
+    std::uint64_t nextId = 1;
+    std::uint64_t nextEmit = 1;
+    std::uint64_t numFinalized = 0;
+    //! Finalization is out of order (squash walks youngest-first while
+    //! older instructions are still in flight); O3PipeView wants fetch
+    //! order. Buffer by id and emit the contiguous prefix.
+    std::map<std::uint64_t, TraceEntry> pendingEmit;
+    std::deque<TraceEntry> ringBuf;
+};
+
+} // namespace rbsim::trace
+
+#endif // RBSIM_TRACE_TRACER_HH

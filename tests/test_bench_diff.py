@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Regression tests for scripts/bench_diff.py.
+
+Exercised through the CLI (subprocess), matching how CI calls it. The
+cases that matter historically: a zero-IPC cell (deadlock-aborted run)
+used to either raise ZeroDivisionError from hmean() or be silently
+"skipped" with exit 0; both must now be a reported exit-2 failure
+naming the offending cell.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      os.pardir, "scripts", "bench_diff.py")
+
+
+def dump(cells, bench="fig12", scheduler="wakeup"):
+    return {
+        "schema": "rbsim-bench-1",
+        "bench": bench,
+        "scale": 1,
+        "scheduler": scheduler,
+        "machines": sorted({m for m, _, _ in cells}),
+        "cells": [{"machine": m, "workload": w, "ipc": ipc,
+                   "host_ms": 1.0, "sim_khz": 100.0}
+                  for m, w, ipc in cells],
+        "summary": {},
+    }
+
+
+class BenchDiffTest(unittest.TestCase):
+    def run_diff(self, old, new, *extra):
+        with tempfile.TemporaryDirectory() as d:
+            paths = []
+            for name, doc in (("old.json", old), ("new.json", new)):
+                p = os.path.join(d, name)
+                with open(p, "w") as f:
+                    json.dump(doc, f)
+                paths.append(p)
+            return subprocess.run(
+                [sys.executable, SCRIPT, *extra, *paths],
+                capture_output=True, text=True)
+
+    def test_clean_pass(self):
+        doc = dump([("Baseline", "espresso", 1.5),
+                    ("RB-full", "espresso", 1.8)])
+        r = self.run_diff(doc, doc)
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("no machine regressed", r.stdout)
+
+    def test_regression_detected(self):
+        old = dump([("Baseline", "espresso", 1.5)])
+        new = dump([("Baseline", "espresso", 1.2)])
+        r = self.run_diff(old, new)
+        self.assertEqual(r.returncode, 1, r.stderr)
+        self.assertIn("REGRESSION", r.stdout)
+
+    def test_zero_ipc_cell_fails_with_diagnostic(self):
+        """A deadlocked cell (IPC 0.0) must exit 2 with the cell named —
+        not a ZeroDivisionError traceback, not a silent pass."""
+        old = dump([("Baseline", "espresso", 1.5),
+                    ("Baseline", "li", 1.4)])
+        new = dump([("Baseline", "espresso", 0.0),
+                    ("Baseline", "li", 1.4)])
+        r = self.run_diff(old, new)
+        self.assertEqual(r.returncode, 2, r.stdout + r.stderr)
+        self.assertIn("non-positive IPC", r.stderr)
+        self.assertIn("espresso", r.stderr)
+        self.assertIn("Baseline", r.stderr)
+        self.assertIn("new.json", r.stderr)
+        self.assertNotIn("Traceback", r.stderr)
+
+    def test_zero_ipc_in_old_dump_also_fails(self):
+        old = dump([("RB-full", "compress", 0.0)])
+        new = dump([("RB-full", "compress", 1.0)])
+        r = self.run_diff(old, new)
+        self.assertEqual(r.returncode, 2, r.stdout + r.stderr)
+        self.assertIn("old.json", r.stderr)
+        self.assertNotIn("Traceback", r.stderr)
+
+    def test_negative_ipc_cell_fails(self):
+        old = dump([("Ideal", "gcc", 2.0)])
+        new = dump([("Ideal", "gcc", -1.0)])
+        r = self.run_diff(old, new)
+        self.assertEqual(r.returncode, 2, r.stdout + r.stderr)
+        self.assertNotIn("Traceback", r.stderr)
+
+    def test_empty_machine_list_is_not_a_traceback(self):
+        """Dumps with no cells at all: nothing comparable, exit 0 with a
+        message (and in no case an unguarded max()/hmean() blowup)."""
+        r = self.run_diff(dump([]), dump([]))
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("nothing to compare", r.stdout)
+        self.assertNotIn("Traceback", r.stderr)
+
+    def test_disjoint_dumps_nothing_to_compare(self):
+        old = dump([("Baseline", "espresso", 1.5)])
+        new = dump([("RB-full", "li", 1.4)])
+        r = self.run_diff(old, new)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("nothing to compare", r.stdout)
+
+    def test_bad_schema_rejected(self):
+        old = dump([("Baseline", "espresso", 1.5)])
+        bad = dict(old, schema="rbsim-bench-0")
+        r = self.run_diff(old, bad)
+        self.assertNotEqual(r.returncode, 0)
+        self.assertIn("unsupported schema", r.stderr)
+        self.assertNotIn("Traceback", r.stderr)
+
+    def test_threshold_respected(self):
+        old = dump([("Baseline", "espresso", 1.00)])
+        new = dump([("Baseline", "espresso", 0.98)])
+        r = self.run_diff(old, new, "--threshold", "5")
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -31,6 +31,26 @@ corpusFiles()
     return listCorpus(RBSIM_CORPUS_DIR);
 }
 
+TEST(Corpus, UnknownOracleReplayFailsWithDiagnostic)
+{
+    // A .repro naming an oracle this build does not know (typically a
+    // repro minted by a newer build) must come back as a *failed*
+    // replay with a diagnostic — never a silent PASS, never an abort of
+    // the whole replay batch.
+    ReproFile repro = loadRepro(std::string(RBSIM_CORPUS_DIR) +
+                                "/sched-bypass-widen-min.repro");
+    repro.oracle = "oracle-from-the-future";
+    const OracleResult r = replayRepro(repro);
+    EXPECT_TRUE(r.failed);
+    EXPECT_NE(r.detail.find("unknown oracle"), std::string::npos)
+        << r.detail;
+    EXPECT_NE(r.detail.find("oracle-from-the-future"), std::string::npos)
+        << r.detail;
+    // The diagnostic lists what this build does support.
+    EXPECT_NE(r.detail.find("cosim"), std::string::npos) << r.detail;
+    EXPECT_NE(r.detail.find("sched"), std::string::npos) << r.detail;
+}
+
 TEST(Corpus, IsCommittedAndNonTrivial)
 {
     // The committed corpus must exist: an empty directory would make the

@@ -140,6 +140,30 @@ TEST(Scheduler, WakeupSlotRefsValidateAgainstReuse)
     EXPECT_TRUE(bank.live(r2, bank.genOf(r2)));
 }
 
+TEST(Scheduler, SeqCheckAcceptsRecycledSlotButGenCheckDoesNot)
+{
+    // Why wakeup-event validation is (SlotRef, gen) and holds() is
+    // debug-only: a squash rewinds the core's sequence counter
+    // (flushAfter sets nextSeq = branch.seq + 1), so the instruction
+    // dispatched right after a squash reuses both the freed slot AND
+    // the squashed occupant's seq. A seq-based check cannot tell the
+    // two occupancies apart; the generation counter can.
+    SchedulerBank bank(1, 8, 2);
+    const auto r1 = bank.insert(0, 7);
+    const auto g1 = bank.genOf(r1);
+    bank.squashAfter(6);               // seq 7 squashed, slot freed
+    const auto r2 = bank.insert(0, 7); // recycled seq, same slot
+    ASSERT_EQ(r2.slot, r1.slot);
+    ASSERT_EQ(r2.sched, r1.sched);
+    // holds() is fooled: the slot is valid and holds seq 7 again, so a
+    // stale queued event for the squashed instruction would pass.
+    EXPECT_TRUE(bank.holds(r1, 7));
+    // live() is not: the reuse bumped the slot generation.
+    EXPECT_FALSE(bank.live(r1, g1));
+    EXPECT_TRUE(bank.live(r2, bank.genOf(r2)));
+    EXPECT_NE(bank.genOf(r2), g1);
+}
+
 TEST(Scheduler, WakeupSelectMatchesPolledOnRandomizedSchedules)
 {
     // Drive two identical banks — one via latched ready bits, one via a

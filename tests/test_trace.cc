@@ -5,12 +5,18 @@
  * co-simulation.
  */
 
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
 #include <gtest/gtest.h>
 
 #include "core/core.hh"
 #include "isa/assembler.hh"
 #include "sim/cosim.hh"
+#include "sim/simulator.hh"
 #include "sim/trace.hh"
+#include "trace/tracer.hh"
 
 namespace rbsim
 {
@@ -111,6 +117,241 @@ TEST(Trace, ComposesWithCosim)
     });
     ASSERT_TRUE(core.run(100000));
     EXPECT_EQ(checker.checked(), trace.all().size());
+}
+
+// ----------------------------------------- O3PipeView tracer (src/trace)
+
+/** ~20 static instructions covering the annotation surface: a bypassed
+ * add chain, a multiply, store-to-load forwarding, and a data-dependent
+ * branch that mispredicts (squash records). Fixed — the golden trace
+ * below is committed. */
+Program
+goldenProgram()
+{
+    return assemble(R"(
+        .name pipeview-golden
+            ldiq r1, 5
+            ldiq r2, 7
+            ldiq r10, 0x40000
+            ldiq r20, 6
+        loop:
+            addq r1, r2, r3
+            mulq r3, r2, r4
+            addq r4, #1, r1
+            stq r3, 0(r10)
+            ldq r5, 0(r10)
+            addq r5, r1, r2
+            subq r2, r3, r6
+            blbs r6, skip
+            addq r6, #2, r2
+            cttz r2, r7
+            addq r7, r1, r1
+        skip:
+            subq r20, #1, r20
+            bne r20, loop
+            stq r2, 8(r10)
+            halt
+    )");
+}
+
+trace::Tracer::Options
+tracerOptions(const MachineConfig &cfg, const Program &p)
+{
+    trace::Tracer::Options topts;
+    topts.codeBase = p.codeBase;
+    topts.decodeDepth = cfg.fetchDecodeDepth;
+    topts.renameDepth = cfg.renameDepth;
+    return topts;
+}
+
+/** Stream-trace one simulate() run. */
+std::string
+traceRun(const MachineConfig &cfg, const Program &p)
+{
+    std::ostringstream os;
+    trace::Tracer::Options topts = tracerOptions(cfg, p);
+    topts.stream = &os;
+    trace::Tracer tracer(topts);
+    SimOptions opts;
+    opts.tracer = &tracer;
+    const SimResult r = simulate(cfg, p, opts);
+    EXPECT_TRUE(r.halted);
+    return os.str();
+}
+
+TEST(PipeView, GoldenTrace)
+{
+    // The committed golden trace pins the full observable output of the
+    // tracer — stage timestamps, emission order, bypass/hole/squash
+    // annotations — for one RB-full run. Regenerate deliberately with
+    //   RBSIM_REGEN_GOLDEN=1 ./build/tests/test_trace
+    //       --gtest_filter=PipeView.GoldenTrace
+    // and review the diff like any behavior change.
+    const std::string golden_path =
+        std::string(RBSIM_GOLDEN_DIR) + "/pipeview-golden.trace";
+    const Program p = goldenProgram();
+    const MachineConfig cfg =
+        MachineConfig::make(MachineKind::RbFull, 4);
+    const std::string got = traceRun(cfg, p);
+    ASSERT_FALSE(got.empty());
+
+    if (std::getenv("RBSIM_REGEN_GOLDEN")) {
+        std::ofstream out(golden_path, std::ios::binary);
+        ASSERT_TRUE(out) << golden_path;
+        out << got;
+        GTEST_SKIP() << "regenerated " << golden_path;
+    }
+    std::ifstream in(golden_path, std::ios::binary);
+    ASSERT_TRUE(in) << "missing golden file " << golden_path
+                    << " (bootstrap with RBSIM_REGEN_GOLDEN=1)";
+    std::ostringstream want;
+    want << in.rdbuf();
+    EXPECT_EQ(got, want.str());
+}
+
+TEST(PipeView, StatSnapshotsBitIdenticalWithTracerAttached)
+{
+    // Tracing must be observation-only: a traced run and an untraced
+    // run of the same program produce bit-identical statistics.
+    const Program p = goldenProgram();
+    for (const MachineKind kind :
+         {MachineKind::Baseline, MachineKind::RbLimited,
+          MachineKind::RbFull, MachineKind::Ideal}) {
+        const MachineConfig cfg = MachineConfig::make(kind, 4);
+        const SimResult plain = simulate(cfg, p);
+
+        std::ostringstream os;
+        trace::Tracer::Options topts = tracerOptions(cfg, p);
+        topts.stream = &os;
+        topts.ringCap = 32;
+        trace::Tracer tracer(topts);
+        SimOptions opts;
+        opts.tracer = &tracer;
+        const SimResult traced = simulate(cfg, p, opts);
+
+        EXPECT_TRUE(plain.stats == traced.stats) << cfg.label;
+        EXPECT_FALSE(os.str().empty());
+    }
+}
+
+TEST(PipeView, FormatIsO3PipeView)
+{
+    const Program p = goldenProgram();
+    const MachineConfig cfg =
+        MachineConfig::make(MachineKind::RbFull, 4);
+    const std::string text = traceRun(cfg, p);
+
+    // Every line is an O3PipeView record; blocks are 7 lines from
+    // fetch through retire, in fetch (trace-id) order.
+    std::istringstream is(text);
+    std::string line;
+    std::vector<std::string> stages;
+    unsigned blocks = 0;
+    while (std::getline(is, line)) {
+        ASSERT_EQ(line.rfind("O3PipeView:", 0), 0u) << line;
+        stages.push_back(line.substr(11, line.find(':', 11) - 11));
+        if (stages.back() == "retire") {
+            ASSERT_EQ(stages.size(), 7u);
+            EXPECT_EQ(stages[0], "fetch");
+            EXPECT_EQ(stages[1], "decode");
+            EXPECT_EQ(stages[2], "rename");
+            EXPECT_EQ(stages[3], "dispatch");
+            EXPECT_EQ(stages[4], "issue");
+            EXPECT_EQ(stages[5], "complete");
+            stages.clear();
+            ++blocks;
+        }
+    }
+    EXPECT_TRUE(stages.empty());
+    EXPECT_GE(blocks, 20u);
+
+    // Annotation surface: bypass levels, register-file reads, and the
+    // mispredicting blbs's squash records all show up.
+    EXPECT_NE(text.find("=BYP"), std::string::npos);
+    EXPECT_NE(text.find("=RF"), std::string::npos);
+    EXPECT_NE(text.find("SQUASHED@"), std::string::npos);
+}
+
+TEST(PipeView, SquashedInstructionsUseTickZero)
+{
+    // gem5 convention: a squashed instruction's unreached stages (and
+    // its retire) are tick 0, which Konata renders as flushed.
+    const Program p = goldenProgram();
+    const MachineConfig cfg =
+        MachineConfig::make(MachineKind::Baseline, 4);
+    const std::string text = traceRun(cfg, p);
+    std::istringstream is(text);
+    std::string line;
+    bool in_squashed = false;
+    bool saw_squashed_retire0 = false;
+    while (std::getline(is, line)) {
+        if (line.find("SQUASHED@") != std::string::npos)
+            in_squashed = true;
+        if (line.rfind("O3PipeView:retire:", 0) == 0) {
+            if (in_squashed) {
+                EXPECT_EQ(line.rfind("O3PipeView:retire:0:", 0), 0u)
+                    << line;
+                saw_squashed_retire0 = true;
+            }
+            in_squashed = false;
+        }
+    }
+    EXPECT_TRUE(saw_squashed_retire0);
+}
+
+TEST(PipeView, RingBufferKeepsLastN)
+{
+    const Program p = goldenProgram();
+    const MachineConfig cfg =
+        MachineConfig::make(MachineKind::RbFull, 4);
+    trace::Tracer::Options topts = tracerOptions(cfg, p);
+    topts.ringCap = 8;
+    trace::Tracer tracer(topts);
+    SimOptions opts;
+    opts.tracer = &tracer;
+    const SimResult r = simulate(cfg, p, opts);
+    ASSERT_TRUE(r.halted);
+
+    ASSERT_EQ(tracer.ring().size(), 8u);
+    EXPECT_GT(tracer.finalized(), 8u);
+    // Ring holds the *youngest* finalized instructions, oldest first.
+    std::uint64_t prev = 0;
+    for (const trace::TraceEntry &e : tracer.ring()) {
+        EXPECT_GT(e.id, prev);
+        prev = e.id;
+    }
+    EXPECT_EQ(prev, tracer.finalized());
+    // The last block of the rendered ring is the halt.
+    const std::string text = tracer.renderRing();
+    EXPECT_NE(text.find("halt"), std::string::npos);
+}
+
+TEST(PipeView, EmissionIsInDispatchOrderAcrossSquashes)
+{
+    // Squash finalizes youngest-first while older instructions are
+    // still in flight; the stream must still come out in trace-id
+    // (dispatch) order, which is what O3PipeView consumers require.
+    const Program p = goldenProgram();
+    const MachineConfig cfg =
+        MachineConfig::make(MachineKind::RbLimited, 4);
+    const std::string text = traceRun(cfg, p);
+    std::istringstream is(text);
+    std::string line;
+    std::uint64_t prev_id = 0;
+    while (std::getline(is, line)) {
+        if (line.rfind("O3PipeView:fetch:", 0) != 0)
+            continue;
+        // fetch line: O3PipeView:fetch:<tick>:0x<pc>:0:<id>:<text>
+        std::istringstream ls(line);
+        std::string tok;
+        for (int i = 0; i < 5; ++i)
+            std::getline(ls, tok, ':');
+        std::getline(ls, tok, ':');
+        const std::uint64_t id = std::stoull(tok);
+        EXPECT_EQ(id, prev_id + 1) << line;
+        prev_id = id;
+    }
+    EXPECT_GT(prev_id, 0u);
 }
 
 } // namespace
