@@ -9,6 +9,7 @@
 #include <memory>
 #include <thread>
 
+#include "common/alloccount.hh"
 #include "common/stats.hh"
 #include "common/strutil.hh"
 #include "sim/report.hh"
@@ -30,7 +31,7 @@ usageDie(const char *prog, const char *why)
                  "usage: %s [--json <path>] [--scale <n>] "
                  "[--machines <label,label,...>] "
                  "[--scheduler wakeup|polled|oracle] "
-                 "[--trace <prefix>] [--trace-last <n>]\n",
+                 "[--trace <prefix>] [--trace-last <n>] [--profile]\n",
                  prog, why, prog);
     std::exit(2);
 }
@@ -43,6 +44,7 @@ usageDie(const char *prog, const char *why)
 std::string g_scheduler = "wakeup";
 std::string g_trace_prefix;
 std::size_t g_trace_last = 0;
+bool g_profile = false;
 
 MachineConfig
 applyScheduler(MachineConfig cfg)
@@ -113,6 +115,12 @@ parseBenchArgs(int &argc, char **argv)
                 usageDie(argv[0], "--trace-last must be >= 1");
             opts.traceLast = static_cast<std::size_t>(n);
             g_trace_last = opts.traceLast;
+        } else if (std::strcmp(arg, "--profile") == 0) {
+            opts.profile = true;
+            g_profile = true;
+            // Per-thread counting; harmless no-op without the allochook
+            // library linked in (allocationsCounted stays false).
+            alloccount::enable(true);
         } else {
             argv[out++] = argv[i]; // not ours; leave for the caller
         }
@@ -219,6 +227,18 @@ BenchReport::write() const
         stats["formulas"] = std::move(formulas);
         stats["vectors"] = std::move(vectors);
         jc["stats"] = std::move(stats);
+        if (c.profiled) {
+            Json prof = Json::object();
+            Json stages = Json::object();
+            for (unsigned s = 0; s < HostProfiler::NumStages; ++s) {
+                stages[HostProfiler::stageName(s)] =
+                    c.profiler.seconds(s) * 1e3; // milliseconds
+            }
+            prof["stage_ms"] = std::move(stages);
+            prof["allocations"] = c.profiler.allocations;
+            prof["allocations_counted"] = c.profiler.allocationsCounted;
+            jc["profile"] = std::move(prof);
+        }
         cellArr.push(std::move(jc));
     }
     root["cells"] = std::move(cellArr);
@@ -347,6 +367,9 @@ sweep(const std::vector<MachineConfig> &configs,
 
             SimOptions sopts;
             sopts.tracer = tracer.get();
+            HostProfiler prof;
+            if (g_profile)
+                sopts.profiler = &prof;
             SimResult r;
             try {
                 r = simulate(cfg, prog, sopts);
@@ -362,6 +385,10 @@ sweep(const std::vector<MachineConfig> &configs,
             cells[i].machine = tasks[i].cfg->label;
             cells[i].workload = tasks[i].wl->name;
             cells[i].result = std::move(r);
+            if (g_profile) {
+                cells[i].profiler = prof;
+                cells[i].profiled = true;
+            }
         }
     };
     std::vector<std::thread> pool;
@@ -487,6 +514,42 @@ printIpcFigure(const std::string &title,
                    fmtSimSpeed(harmonicMean(khz))});
     }
     std::printf("Host simulation speed:\n%s\n", speed.render().c_str());
+
+    // Host-time per-stage profile (--profile): where the simulator's own
+    // wall time goes, summed over the suite. exec/lsq are subsets of
+    // select, cosim a subset of commit (common/hostprof.hh).
+    bool any_profiled = false;
+    for (const Cell &c : cells)
+        any_profiled = any_profiled || c.profiled;
+    if (!any_profiled)
+        return;
+    TextTable prof;
+    std::vector<std::string> phead{"machine"};
+    for (unsigned s = 0; s < HostProfiler::NumStages; ++s)
+        phead.push_back(HostProfiler::stageName(s));
+    phead.push_back("allocs");
+    prof.header(phead);
+    for (std::size_t m = 0; m < configs.size(); ++m) {
+        std::array<double, HostProfiler::NumStages> sec{};
+        std::uint64_t allocs = 0;
+        bool counted = false;
+        for (std::size_t c = m; c < cells.size(); c += configs.size()) {
+            if (!cells[c].profiled)
+                continue;
+            for (unsigned s = 0; s < HostProfiler::NumStages; ++s)
+                sec[s] += cells[c].profiler.seconds(s);
+            allocs += cells[c].profiler.allocations;
+            counted = counted || cells[c].profiler.allocationsCounted;
+        }
+        std::vector<std::string> row{configs[m].label};
+        for (unsigned s = 0; s < HostProfiler::NumStages; ++s)
+            row.push_back(fmtDouble(sec[s] * 1e3, 0) + " ms");
+        row.push_back(counted ? std::to_string(allocs) : "n/a");
+        prof.row(row);
+    }
+    std::printf("Host per-stage profile (--profile; exec/lsq within "
+                "select, cosim within commit):\n%s\n",
+                prof.render().c_str());
 }
 
 void

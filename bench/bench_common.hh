@@ -26,6 +26,9 @@ struct Cell
     std::string machine;
     std::string workload;
     SimResult result;
+    //! Host-time per-stage profile (filled only under --profile).
+    HostProfiler profiler;
+    bool profiled = false;
 };
 
 /**
@@ -47,6 +50,12 @@ struct Cell
  *                     dump the ring of a failing cell (cosim mismatch or
  *                     non-halt) to "<prefix>.<machine>.<workload>.trace"
  *                     ("rbsim-bench-fail" prefix when --trace not given)
+ *   --profile         host-time profiling: per-stage wall time (fetch /
+ *                     dispatch / select / exec / lsq / commit / cosim /
+ *                     flush) and heap-allocation counts per cell, printed
+ *                     as a table and embedded in the JSON dump (the
+ *                     allocation counter needs the rbsim-allochook
+ *                     library, which the bench binaries link)
  */
 struct BenchOptions
 {
@@ -56,6 +65,7 @@ struct BenchOptions
     std::string scheduler = "wakeup";
     std::string tracePrefix;
     std::size_t traceLast = 0;
+    bool profile = false;
 };
 
 /**

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Compare two rbsim bench JSON dumps and flag IPC regressions.
 
-Usage: bench_diff.py [--threshold PCT] old.json new.json
+Usage: bench_diff.py [--threshold PCT] [--speed-gate PCT] old.json new.json
 
 Cells are matched on (machine, workload); per-machine harmonic-mean IPC
 is recomputed over the *common* cells only, so dumps taken with
@@ -17,10 +17,13 @@ the file it came from, and the script exits 2 — never a
 ZeroDivisionError traceback, and never a silent pass.
 
 When both dumps carry per-cell host speed (sim_khz, written since the
-wakeup-array scheduler landed), a second informational section reports
-per-machine harmonic-mean simulation-speed deltas. Host speed is noisy
-and machine-dependent, so it never gates: only IPC affects the exit
-status.
+wakeup-array scheduler landed), a second section reports per-machine
+harmonic-mean simulation-speed deltas. By default it is informational
+only — host speed is noisy and machine-dependent. With --speed-gate PCT
+the section becomes gating: any machine whose harmonic-mean sim_khz
+dropped by more than PCT percent fails the run (exit 1), which CI uses
+as a coarse host-performance ratchet (docs/PERFORMANCE.md). Pick PCT
+well above run-to-run noise on shared runners.
 """
 
 import argparse
@@ -75,6 +78,11 @@ def main():
     ap.add_argument("--threshold", type=float, default=1.0,
                     help="max tolerated hmean-IPC drop, percent "
                          "(default 1.0)")
+    ap.add_argument("--speed-gate", type=float, default=None,
+                    metavar="PCT",
+                    help="also fail when a machine's hmean sim_khz "
+                         "dropped by more than PCT percent (default: "
+                         "speed is informational only)")
     ap.add_argument("old")
     ap.add_argument("new")
     args = ap.parse_args()
@@ -120,10 +128,14 @@ def main():
     old_speed, new_speed = speed_map(old_doc), speed_map(new_doc)
     speed_common = [k for k in common
                     if k in old_speed and k in new_speed]
+    speed_failures = []
+    gating = args.speed_gate is not None
     if speed_common:
         sched = (old_doc.get("scheduler", "?"),
                  new_doc.get("scheduler", "?"))
-        print(f"host speed (informational, non-gating; scheduler "
+        mode = (f"gating at {args.speed_gate:g}%" if gating
+                else "informational, non-gating")
+        print(f"host speed ({mode}; scheduler "
               f"{sched[0]} vs {sched[1]}):")
         for machine in machines:
             old_khz = [old_speed[k] for k in speed_common
@@ -134,15 +146,30 @@ def main():
                 continue
             old_h, new_h = hmean(old_khz), hmean(new_khz)
             delta = 100.0 * (new_h / old_h - 1.0)
+            flag = ""
+            if gating and delta < -args.speed_gate:
+                speed_failures.append(machine)
+                flag = f"  TOO SLOW (> {args.speed_gate:g}% drop)"
             print(f"  {machine:<{width}}  hmean sim speed "
-                  f"{old_h:.0f} -> {new_h:.0f} kcyc/s  ({delta:+.1f}%)")
+                  f"{old_h:.0f} -> {new_h:.0f} kcyc/s  "
+                  f"({delta:+.1f}%){flag}")
+    elif gating:
+        # A gate that silently skips is worse than no gate.
+        sys.exit("bench_diff: --speed-gate given but no common cells "
+                 "carry sim_khz in both dumps")
 
     if failures:
         print(f"bench_diff: FAIL — {len(failures)} machine(s) regressed: "
               + ", ".join(failures))
         return 1
+    if speed_failures:
+        print(f"bench_diff: FAIL — {len(speed_failures)} machine(s) "
+              "simulate too slowly: " + ", ".join(speed_failures))
+        return 1
     print("bench_diff: OK — no machine regressed beyond "
-          f"{args.threshold:g}%")
+          f"{args.threshold:g}%"
+          + (f" (speed gate {args.speed_gate:g}% passed)" if gating
+             else ""))
     return 0
 
 

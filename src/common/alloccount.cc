@@ -1,0 +1,47 @@
+#include "common/alloccount.hh"
+
+#include <cstdlib>
+
+namespace rbsim::alloccount
+{
+
+namespace detail
+{
+thread_local std::uint64_t t_allocs = 0;
+bool g_hooked = false;
+// Initialized from the environment before main() so a run can be
+// counted end to end without code changes.
+bool g_enabled = std::getenv("RBSIM_COUNT_ALLOCS") != nullptr;
+} // namespace detail
+
+bool
+hooked()
+{
+    return detail::g_hooked;
+}
+
+void
+enable(bool on)
+{
+    detail::g_enabled = on;
+}
+
+bool
+enabled()
+{
+    return detail::g_enabled;
+}
+
+std::uint64_t
+threadCount()
+{
+    return detail::t_allocs;
+}
+
+void
+markHooked()
+{
+    detail::g_hooked = true;
+}
+
+} // namespace rbsim::alloccount

@@ -20,11 +20,14 @@ OooCore::OooCore(const MachineConfig &cfg, const Program &prog)
       scoreboard(cfg.physRegs),
       rob(cfg.robEntries),
       sched(cfg.numSchedulers, cfg.schedEntries, cfg.selectWidth),
-      lsq(cfg.lsqEntries),
+      // The LSQ's seq window (oldest-to-youngest in-flight span) is
+      // bounded by the ROB capacity: the ROB is dense in seq, so no two
+      // live instructions are more than robEntries seqs apart.
+      lsq(cfg.lsqEntries, cfg.robEntries),
       samDl1(cfg.dl1.sizeBytes / (cfg.dl1.assoc * cfg.dl1.lineBytes),
              cfg.dl1.lineBytes),
       producerSched(cfg.physRegs, 0xff),
-      regWaiters(cfg.physRegs),
+      regWaiterHead(cfg.physRegs, -1),
       slotPendingOps(
           static_cast<std::size_t>(cfg.numSchedulers) * cfg.schedEntries,
           0),
@@ -34,6 +37,31 @@ OooCore::OooCore(const MachineConfig &cfg, const Program &prog)
     commitMem.loadProgram(prog);
     frontPipeCap =
         cfg.fetchWidth * (cfg.fetchDecodeDepth + cfg.renameDepth + 4);
+    frontPipe.init(frontPipeCap);
+    fetchBuf.reserve(cfg.fetchWidth);
+    pendingFlushes.reserve(cfg.robEntries);
+
+    // Waiter pool: at most one node per (scheduler slot, source operand)
+    // is ever live (dead nodes are reclaimed on broadcast and on flush).
+    const std::size_t slot_count =
+        static_cast<std::size_t>(cfg.numSchedulers) * cfg.schedEntries;
+    waiterPool.resize(slot_count * 3 /* max sources per instruction */);
+    for (std::size_t i = 0; i < waiterPool.size(); ++i) {
+        waiterPool[i].next = i + 1 < waiterPool.size()
+                                 ? static_cast<std::int32_t>(i + 1)
+                                 : -1;
+    }
+    waiterFree = waiterPool.empty() ? -1 : 0;
+
+    // Pre-size the wakeup heap's backing store so steady-state event
+    // churn stays off the heap (a slot arms at most a handful of
+    // transition events; stale events drain time-bounded).
+    {
+        std::vector<WakeupEvent> storage;
+        storage.reserve(slot_count * 8);
+        wakeupEvents = decltype(wakeupEvents)(EventLater{},
+                                              std::move(storage));
+    }
 }
 
 bool
@@ -180,6 +208,10 @@ OooCore::maybeSkipIdle(Cycle max_cycles, Cycle last_progress)
 void
 OooCore::cycle()
 {
+    if (profiler) {
+        cycleProfiled();
+        return;
+    }
     doFlushes();
     const std::uint64_t retired0 = coreStats.retired;
     doRetire();
@@ -188,6 +220,40 @@ OooCore::cycle()
     doDispatch();
     const std::uint64_t fetched0 = coreStats.fetched;
     doFetch();
+    coreStats.fetchSlots.record(coreStats.fetched - fetched0);
+    ++now;
+    ++coreStats.cycles;
+}
+
+void
+OooCore::cycleProfiled()
+{
+    // Same stage order as cycle(), with a wall-clock timer around each
+    // stage. Exec/Lsq/Cosim are timed at their call sites (subsets of
+    // Select and Commit respectively; see common/hostprof.hh).
+    {
+        StageTimer t(profiler, HostProfiler::Flush);
+        doFlushes();
+    }
+    const std::uint64_t retired0 = coreStats.retired;
+    {
+        StageTimer t(profiler, HostProfiler::Commit);
+        doRetire();
+    }
+    coreStats.retireSlots.record(coreStats.retired - retired0);
+    {
+        StageTimer t(profiler, HostProfiler::Select);
+        doSelect();
+    }
+    {
+        StageTimer t(profiler, HostProfiler::Dispatch);
+        doDispatch();
+    }
+    const std::uint64_t fetched0 = coreStats.fetched;
+    {
+        StageTimer t(profiler, HostProfiler::Fetch);
+        doFetch();
+    }
     coreStats.fetchSlots.record(coreStats.fetched - fetched0);
     ++now;
     ++coreStats.cycles;
@@ -320,15 +386,23 @@ OooCore::flushAfter(const RobEntry &branch)
     lsq.squashAfter(branch.seq);
     if (useWakeup) {
         // Squashed consumers' waiter records are now dead (their slot
-        // generation no longer matches); drop them so a hot mispredict
-        // loop cannot grow the per-register lists. Stale heap events
-        // are cheaper to drain lazily (generation-guarded, time-bounded).
-        for (std::vector<Waiter> &ws : regWaiters) {
-            ws.erase(std::remove_if(ws.begin(), ws.end(),
-                                    [this](const Waiter &w) {
-                                        return !sched.live(w.ref, w.gen);
-                                    }),
-                     ws.end());
+        // generation no longer matches); unlink them back onto the free
+        // list so a hot mispredict loop cannot exhaust the pool. Stale
+        // heap events are cheaper to drain lazily (generation-guarded,
+        // time-bounded).
+        for (std::int32_t &head : regWaiterHead) {
+            std::int32_t *link = &head;
+            while (*link != -1) {
+                WaiterNode &n = waiterPool[*link];
+                if (sched.live(n.ref, n.gen)) {
+                    link = &n.next;
+                } else {
+                    const std::int32_t dead = *link;
+                    *link = n.next;
+                    n.next = waiterFree;
+                    waiterFree = dead;
+                }
+            }
         }
     }
     coreStats.squashed += frontPipe.size();
@@ -423,8 +497,10 @@ OooCore::doRetire()
         if (tracer)
             tracer->onRetire(e, now);
 
-        if (retireHook)
+        if (retireHook) {
+            StageTimer timer(profiler, HostProfiler::Cosim);
             retireHook(e);
+        }
 
         if (e.dest != invalidPhysReg)
             rename.release(e.prevDest);
@@ -494,6 +570,7 @@ OooCore::operandScan(RobEntry &e)
 bool
 OooCore::loadMayIssue(std::uint64_t seq, const RobEntry &e)
 {
+    StageTimer timer(profiler, HostProfiler::Lsq);
     // Loads additionally pass memory disambiguation: all older store
     // addresses known and no partial overlap (DESIGN.md).
     if (!lsq.olderStoreAddrsKnown(seq))
@@ -592,6 +669,19 @@ OooCore::drainWakeupEvents()
 }
 
 void
+OooCore::addWaiter(PhysReg r, SchedulerBank::SlotRef ref)
+{
+    assert(waiterFree != -1 && "waiter pool exhausted");
+    const std::int32_t idx = waiterFree;
+    WaiterNode &n = waiterPool[idx];
+    waiterFree = n.next;
+    n.ref = ref;
+    n.gen = sched.genOf(ref);
+    n.next = regWaiterHead[r];
+    regWaiterHead[r] = idx;
+}
+
+void
 OooCore::armDispatch(const RobEntry &e, SchedulerBank::SlotRef ref)
 {
     const std::size_t idx =
@@ -601,8 +691,7 @@ OooCore::armDispatch(const RobEntry &e, SchedulerBank::SlotRef ref)
     for (unsigned i = 0; i < e.numSrcs; ++i) {
         if (scoreboard.of(e.src[i].reg).rfTc == neverCycle) {
             ++pending;
-            regWaiters[e.src[i].reg].push_back(
-                Waiter{ref, sched.genOf(ref)});
+            addWaiter(e.src[i].reg, ref);
         }
     }
     slotPendingOps[idx] = pending;
@@ -620,20 +709,31 @@ OooCore::produceAndWake(PhysReg r, const ProdAvail &p)
     scoreboard.produce(r, p);
     if (!useWakeup)
         return;
-    std::vector<Waiter> &ws = regWaiters[r];
-    for (const Waiter &w : ws) {
-        if (!sched.live(w.ref, w.gen))
-            continue;
-        const std::size_t idx =
-            static_cast<std::size_t>(w.ref.sched) * config.schedEntries +
-            w.ref.slot;
-        assert(slotPendingOps[idx] > 0);
-        if (--slotPendingOps[idx] == 0) {
-            armWakeup(rob.get(sched.seqAt(w.ref.sched, w.ref.slot)),
-                      w.ref);
+    // Walk the register's waiter list, arming consumers whose last
+    // unknown producer this is, and return every node to the free list.
+    // List order is insertion-reversed, which is behavior-neutral: armed
+    // wakeup events land on distinct slots (setReady/setHole commute)
+    // and each slot arms exactly once.
+    std::int32_t it = regWaiterHead[r];
+    regWaiterHead[r] = -1;
+    while (it != -1) {
+        WaiterNode &w = waiterPool[it];
+        const std::int32_t next = w.next;
+        if (sched.live(w.ref, w.gen)) {
+            const std::size_t idx =
+                static_cast<std::size_t>(w.ref.sched) *
+                    config.schedEntries +
+                w.ref.slot;
+            assert(slotPendingOps[idx] > 0);
+            if (--slotPendingOps[idx] == 0) {
+                armWakeup(rob.get(sched.seqAt(w.ref.sched, w.ref.slot)),
+                          w.ref);
+            }
         }
+        w.next = waiterFree;
+        waiterFree = it;
+        it = next;
     }
-    ws.clear();
 }
 
 void
@@ -833,7 +933,11 @@ OooCore::issueInst(std::uint64_t seq)
     if (tracer)
         recordTraceBypass(e);
 
-    const ExecOut x = executeInst(config, program, e, regs);
+    ExecOut x;
+    {
+        StageTimer timer(profiler, HostProfiler::Exec);
+        x = executeInst(config, program, e, regs);
+    }
     e.usedRbPath = x.usedRbPath;
     e.bogusCorrected = x.bogusCorrected;
 
@@ -844,9 +948,12 @@ OooCore::issueInst(std::uint64_t seq)
         const unsigned size = memAccessSize(e.inst.op);
         e.effAddr = x.effAddr;
         e.memSize = size;
-        lsq.setAddress(seq, x.effAddr, size);
-
-        const LoadSearch search = lsq.searchForLoad(seq, x.effAddr, size);
+        LoadSearch search;
+        {
+            StageTimer timer(profiler, HostProfiler::Lsq);
+            lsq.setAddress(seq, x.effAddr, size);
+            search = lsq.searchForLoad(seq, x.effAddr, size);
+        }
         assert(search.mayIssue);
         Cycle data_ready;
         Word value;
@@ -1095,8 +1202,10 @@ OooCore::doFetch()
 {
     if (frontPipe.size() + config.fetchWidth > frontPipeCap)
         return;
-    for (FetchedInst &fi : fetch.fetchCycle(now)) {
-        frontPipe.push_back(FrontEntry{std::move(fi), now});
+    fetchBuf.clear();
+    fetch.fetchCycle(now, fetchBuf);
+    for (const FetchedInst &fi : fetchBuf) {
+        frontPipe.push_back(FrontEntry{fi, now});
         ++coreStats.fetched;
     }
 }

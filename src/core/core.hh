@@ -9,11 +9,12 @@
 #ifndef RBSIM_CORE_CORE_HH
 #define RBSIM_CORE_CORE_HH
 
-#include <deque>
 #include <functional>
 #include <queue>
 #include <vector>
 
+#include "common/hostprof.hh"
+#include "common/ring.hh"
 #include "common/stats.hh"
 #include "core/exec.hh"
 #include "core/machine_config.hh"
@@ -109,6 +110,13 @@ class OooCore
     void attachTracer(trace::Tracer *t) { tracer = t; }
 
     /**
+     * Attach a host-time per-stage profiler (may be nullptr to detach;
+     * must outlive the run). When detached the per-cycle cost is one
+     * predicted branch.
+     */
+    void attachProfiler(HostProfiler *p) { profiler = p; }
+
+    /**
      * Report every instruction still in flight to the attached tracer
      * (no-op without one). Call after a run that did not drain cleanly —
      * watchdog deadlock, cosim mismatch, cycle budget — so the tail of
@@ -124,6 +132,9 @@ class OooCore
 
     /** Advance one cycle. */
     void cycle();
+
+    /** One cycle with per-stage host timers (profiler attached). */
+    void cycleProfiled();
 
     /** True once HALT has retired (or the program ran off its code). */
     bool halted() const { return haltRetired; }
@@ -218,12 +229,15 @@ class OooCore
      * (dependence-aware steering heuristic; 0xff = unknown/retired). */
     std::vector<std::uint8_t> producerSched;
 
-    std::deque<FrontEntry> frontPipe;
+    StaticRing<FrontEntry> frontPipe;
     std::vector<PendingFlush> pendingFlushes;
+    //! Reused fetch landing buffer (capacity retained across cycles).
+    std::vector<FetchedInst> fetchBuf;
 
     CoreStats coreStats;
     std::function<void(const RobEntry &)> retireHook;
     trace::Tracer *tracer = nullptr; //!< optional; guarded at each hook
+    HostProfiler *profiler = nullptr; //!< optional; see cycleProfiled()
 
     // ---------------------------------------------- wakeup-array state
     //
@@ -255,17 +269,30 @@ class OooCore
         }
     };
 
-    /** A consumer slot waiting for one producer register's broadcast. */
-    struct Waiter
+    /**
+     * A consumer slot waiting for one producer register's broadcast.
+     * Waiters are pool-allocated intrusive list nodes (`waiterPool`,
+     * chained per register through `regWaiterHead`) so steady-state
+     * dispatch/wakeup churn never touches the heap.
+     */
+    struct WaiterNode
     {
         SchedulerBank::SlotRef ref;
         std::uint32_t gen = 0;
+        std::int32_t next = -1; //!< pool index of next waiter, -1 = end
     };
+
+    /** Pop a node off the free list and link it onto register r. */
+    void addWaiter(PhysReg r, SchedulerBank::SlotRef ref);
 
     std::priority_queue<WakeupEvent, std::vector<WakeupEvent>, EventLater>
         wakeupEvents;
-    //! Per physical register: consumer slots awaiting its producer.
-    std::vector<std::vector<Waiter>> regWaiters;
+    //! Fixed pool of waiter nodes (one per scheduler-slot operand).
+    std::vector<WaiterNode> waiterPool;
+    //! Per physical register: head pool index of its waiter list (-1 =
+    //! empty).
+    std::vector<std::int32_t> regWaiterHead;
+    std::int32_t waiterFree = -1; //!< free-list head into waiterPool
     //! Per (scheduler, slot): producers still unknown (not yet issued).
     std::vector<std::uint8_t> slotPendingOps;
     bool useWakeup = false; //!< wakeup array active (vs polled debug path)

@@ -2,13 +2,20 @@
  * @file
  * Reorder buffer: in-order window of every in-flight instruction, from
  * dispatch to retirement, with walk-based squash.
+ *
+ * Storage is a fixed power-of-two ring allocated once at construction
+ * (no per-cycle heap traffic; see docs/PERFORMANCE.md). Sequence
+ * numbers are dense across the in-flight window — dispatch allocates
+ * them consecutively and squash recycles them — so the slot of `seq`
+ * is simply seq & mask, and get() is one masked index.
  */
 
 #ifndef RBSIM_CORE_ROB_HH
 #define RBSIM_CORE_ROB_HH
 
-#include <deque>
-#include <functional>
+#include <bit>
+#include <cassert>
+#include <vector>
 
 #include "common/types.hh"
 #include "frontend/branch_pred.hh"
@@ -103,69 +110,84 @@ class Rob
 {
   public:
     explicit Rob(unsigned max_entries)
-        : capacity(max_entries)
+        : slots(std::bit_ceil<std::size_t>(
+              max_entries ? max_entries : 1)),
+          mask(slots.size() - 1), capacity(max_entries)
     {}
 
-    bool hasSpace() const { return entries.size() < capacity; }
-    bool empty() const { return entries.empty(); }
-    std::size_t size() const { return entries.size(); }
+    bool hasSpace() const { return count < capacity; }
+    bool empty() const { return count == 0; }
+    std::size_t size() const { return count; }
 
     /** Allocate the next entry; returns a stable-until-retire reference. */
     RobEntry &
     alloc(std::uint64_t seq)
     {
-        entries.emplace_back();
-        entries.back().seq = seq;
-        return entries.back();
+        assert(hasSpace());
+        assert(count == 0 || seq == headSeq + count);
+        if (count == 0)
+            headSeq = seq;
+        ++count;
+        RobEntry &e = slots[seq & mask];
+        e = RobEntry{};
+        e.seq = seq;
+        return e;
     }
 
     /** Entry by sequence number (must be in flight). */
     RobEntry &
     get(std::uint64_t seq)
     {
-        assert(!entries.empty());
-        const std::uint64_t head = entries.front().seq;
-        assert(seq >= head && seq - head < entries.size());
-        return entries[seq - head];
+        assert(contains(seq));
+        return slots[seq & mask];
     }
 
     /** Entry at the head (oldest). */
-    RobEntry &head() { return entries.front(); }
+    RobEntry &
+    head()
+    {
+        assert(count != 0);
+        return slots[headSeq & mask];
+    }
 
     /** Is this sequence number still in flight? */
     bool
     contains(std::uint64_t seq) const
     {
-        if (entries.empty())
-            return false;
-        const std::uint64_t head_seq = entries.front().seq;
-        return seq >= head_seq && seq - head_seq < entries.size();
+        return count != 0 && seq >= headSeq && seq - headSeq < count;
     }
 
     /** Retire the head entry. */
     void
     retireHead()
     {
-        assert(!entries.empty());
-        entries.pop_front();
+        assert(count != 0);
+        ++headSeq;
+        --count;
     }
 
     /**
      * Squash every entry younger than `seq`, youngest first, invoking
-     * `undo` for each before it is removed.
+     * `undo` for each before it is removed. Templated so the core's
+     * squash lambda inlines into the walk (no std::function on the
+     * flush path).
      */
+    template <class Undo>
     void
-    squashAfter(std::uint64_t seq,
-                const std::function<void(RobEntry &)> &undo)
+    squashAfter(std::uint64_t seq, Undo &&undo)
     {
-        while (!entries.empty() && entries.back().seq > seq) {
-            undo(entries.back());
-            entries.pop_back();
+        while (count != 0 && slots[(headSeq + count - 1) & mask].seq >
+                                 seq) {
+            undo(slots[(headSeq + count - 1) & mask]);
+            --count;
         }
     }
 
   private:
-    std::deque<RobEntry> entries;
+    std::vector<RobEntry> slots;
+    std::uint64_t mask;
+    std::uint64_t headSeq = 0;
+    std::size_t count = 0;
     unsigned capacity;
 };
 

@@ -20,19 +20,19 @@ FetchEngine::redirect(std::uint64_t pc_index, Cycle now)
     lastLine = ~Addr{0};
 }
 
-std::vector<FetchedInst>
-FetchEngine::fetchCycle(Cycle now)
+unsigned
+FetchEngine::fetchCycle(Cycle now, std::vector<FetchedInst> &out)
 {
-    std::vector<FetchedInst> out;
+    unsigned fetched = 0;
     if (stopped || now < resumeCycle)
-        return out;
+        return fetched;
     if (fetchPc >= program.code.size()) {
         stopped = true; // off the code image: wait for a squash
-        return out;
+        return fetched;
     }
 
     unsigned blocks_started = 1;
-    while (out.size() < config.fetchWidth) {
+    while (fetched < config.fetchWidth) {
         if (fetchPc >= program.code.size())
             break;
 
@@ -47,7 +47,7 @@ FetchEngine::fetchCycle(Cycle now)
                 // Miss: deliver what we have, resume when the line fills.
                 resumeCycle = ready;
                 icacheStallCycles += ready - now;
-                return out;
+                return fetched;
             }
         }
 
@@ -58,12 +58,14 @@ FetchEngine::fetchCycle(Cycle now)
 
         if (f.inst.op == Opcode::HALT) {
             out.push_back(f);
+            ++fetched;
             stopped = true; // nothing sensible follows
             break;
         }
 
         if (!f.isCtrl) {
             out.push_back(f);
+            ++fetched;
             ++fetchPc;
             continue;
         }
@@ -112,6 +114,7 @@ FetchEngine::fetchCycle(Cycle now)
         }
 
         out.push_back(f);
+        ++fetched;
 
         if (f.stalledJmp) {
             stopped = true; // resume at resolution via redirect()
@@ -129,7 +132,7 @@ FetchEngine::fetchCycle(Cycle now)
                 break;
         }
     }
-    return out;
+    return fetched;
 }
 
 } // namespace rbsim

@@ -41,8 +41,13 @@ class FetchEngine
     FetchEngine(const MachineConfig &cfg, const Program &prog,
                 MemHierarchy &mem);
 
-    /** Fetch one cycle's worth of instructions (may be empty). */
-    std::vector<FetchedInst> fetchCycle(Cycle now);
+    /**
+     * Fetch one cycle's worth of instructions, appending to the
+     * caller-owned `out` (not cleared here; the core reuses one buffer
+     * across cycles so the hot path never allocates).
+     * @return the number of instructions appended (may be 0)
+     */
+    unsigned fetchCycle(Cycle now, std::vector<FetchedInst> &out);
 
     /** Redirect after a branch resolution or squash. */
     void redirect(std::uint64_t pc_index, Cycle now);

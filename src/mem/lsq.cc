@@ -1,60 +1,116 @@
 #include "mem/lsq.hh"
 
-#include <cassert>
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
 
 namespace rbsim
 {
 
+LoadStoreQueue::LoadStoreQueue(unsigned max_entries, unsigned seq_window)
+    : capacity(max_entries)
+{
+    const std::size_t cap = std::bit_ceil<std::size_t>(
+        std::max(1u, max_entries));
+    slots.resize(cap);
+    slotMask = cap - 1;
+    storeSeqs.resize(cap);
+    storeAddrLo.resize(cap);
+    storeAddrHi.resize(cap);
+    storeDataRdy.resize(cap);
+    storeEntryPos.resize(cap);
+    storeMask = cap - 1;
+    const std::size_t win = std::bit_ceil<std::size_t>(
+        std::max<std::size_t>(cap, std::max(1u, seq_window)));
+    seqToPos.resize(win);
+    seqMask = win - 1;
+}
+
+void
+LoadStoreQueue::fatal(const char *what, std::uint64_t seq) const
+{
+    std::fprintf(stderr,
+                 "rbsim: LSQ %s: seq %llu not in queue (head seq=%llu "
+                 "size=%zu) — model invariant violated\n",
+                 what, static_cast<unsigned long long>(seq),
+                 static_cast<unsigned long long>(
+                     size() ? at(headPos).seq : 0),
+                 size());
+    std::abort();
+}
+
+LsqEntry &
+LoadStoreQueue::find(const char *who, std::uint64_t seq)
+{
+    const std::uint64_t pos = seqToPos[seq & seqMask];
+    if (pos < headPos || pos >= tailPos || at(pos).seq != seq)
+        fatal(who, seq);
+    return at(pos);
+}
+
 void
 LoadStoreQueue::insert(std::uint64_t seq, bool is_store)
 {
-    assert(hasSpace());
-    assert(entries.empty() || entries.back().seq < seq);
-    LsqEntry e;
+    if (!hasSpace())
+        fatal("insert into a full queue", seq);
+    if (size() != 0 && at(tailPos - 1).seq >= seq)
+        fatal("out-of-order insert", seq);
+    if (size() != 0 && seq - at(headPos).seq > seqMask)
+        fatal("insert outside the seq window", seq);
+    LsqEntry &e = at(tailPos);
+    e = LsqEntry{};
     e.seq = seq;
     e.isStore = is_store;
-    entries.push_back(e);
+    seqToPos[seq & seqMask] = tailPos;
+    if (is_store) {
+        const std::uint64_t si = storeTailPos & storeMask;
+        storeSeqs[si] = seq;
+        storeAddrLo[si] = 0;
+        storeAddrHi[si] = 0;
+        storeDataRdy[si] = 0;
+        storeEntryPos[si] = tailPos;
+        e.storePos = storeTailPos;
+        ++storeTailPos;
+    }
+    ++tailPos;
     ++inserted;
 }
 
 void
 LoadStoreQueue::setAddress(std::uint64_t seq, Addr addr, unsigned size)
 {
-    for (LsqEntry &e : entries) {
-        if (e.seq == seq) {
-            e.addrKnown = true;
-            e.addr = addr;
-            e.size = size;
-            return;
-        }
+    LsqEntry &e = find("setAddress", seq);
+    e.addrKnown = true;
+    e.addr = addr;
+    e.size = size;
+    if (e.isStore) {
+        const std::uint64_t si = e.storePos & storeMask;
+        storeAddrLo[si] = addr;
+        storeAddrHi[si] = addr + size;
     }
-    assert(false && "setAddress: seq not in LSQ");
 }
 
 void
 LoadStoreQueue::setStoreData(std::uint64_t seq, Word data)
 {
-    for (LsqEntry &e : entries) {
-        if (e.seq == seq) {
-            assert(e.isStore);
-            e.dataReady = true;
-            e.data = data;
-            return;
-        }
-    }
-    assert(false && "setStoreData: seq not in LSQ");
+    LsqEntry &e = find("setStoreData", seq);
+    if (!e.isStore)
+        fatal("setStoreData on a load", seq);
+    e.dataReady = true;
+    e.data = data;
+    storeDataRdy[e.storePos & storeMask] = 1;
 }
 
 bool
 LoadStoreQueue::olderStoreAddrsKnown(std::uint64_t seq) const
 {
-    for (const LsqEntry &e : entries) {
-        if (e.seq >= seq)
-            break;
-        if (e.isStore && !e.addrKnown)
-            return false;
+    while (knownPrefix < storeTailPos &&
+           storeAddrHi[knownPrefix & storeMask] != 0) {
+        ++knownPrefix;
     }
-    return true;
+    return knownPrefix == storeTailPos ||
+           storeSeqs[knownPrefix & storeMask] >= seq;
 }
 
 LoadSearch
@@ -66,22 +122,27 @@ LoadStoreQueue::searchForLoad(std::uint64_t seq, Addr addr,
     const Addr lo = addr;
     const Addr hi = addr + size;
 
-    // Walk older stores youngest-first.
-    const LsqEntry *hit = nullptr;
-    for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
-        const LsqEntry &e = *it;
-        if (e.seq >= seq || !e.isStore)
-            continue;
-        if (!e.addrKnown)
-            return out; // must wait
-        const Addr slo = e.addr;
-        const Addr shi = e.addr + e.size;
+    // Stores younger than the load sit contiguously at the store-ring
+    // tail; skip them, then walk older stores youngest-first over the
+    // compact tag arrays.
+    std::uint64_t p = storeTailPos;
+    while (p > storeHeadPos && storeSeqs[(p - 1) & storeMask] >= seq)
+        --p;
+    std::uint64_t hit_pos = 0;
+    bool have_hit = false;
+    while (p-- > storeHeadPos) {
+        const std::uint64_t si = p & storeMask;
+        const Addr shi = storeAddrHi[si];
+        if (shi == 0)
+            return out; // address not known yet: must wait
+        const Addr slo = storeAddrLo[si];
         if (shi <= lo || slo >= hi)
             continue; // disjoint
         if (slo <= lo && shi >= hi) {
-            if (!e.dataReady)
+            if (!storeDataRdy[si])
                 return out; // forwardable, but the data is not here yet
-            hit = &e; // youngest containing store decides
+            hit_pos = storeEntryPos[si]; // youngest containing store
+            have_hit = true;             // decides
             break;
         }
         // Partial overlap: delay until the store drains.
@@ -89,12 +150,13 @@ LoadStoreQueue::searchForLoad(std::uint64_t seq, Addr addr,
     }
 
     out.mayIssue = true;
-    if (hit) {
+    if (have_hit) {
+        const LsqEntry &e = at(hit_pos);
         out.forwarded = true;
         ++forwards;
         const unsigned shift =
-            static_cast<unsigned>((lo - hit->addr) * 8);
-        Word v = hit->data >> shift;
+            static_cast<unsigned>((lo - e.addr) * 8);
+        Word v = e.data >> shift;
         if (size == 4)
             v &= 0xffffffffull;
         out.data = v;
@@ -105,18 +167,26 @@ LoadStoreQueue::searchForLoad(std::uint64_t seq, Addr addr,
 LsqEntry
 LoadStoreQueue::retire(std::uint64_t seq)
 {
-    assert(!entries.empty());
-    assert(entries.front().seq == seq && "LSQ retire out of order");
-    const LsqEntry e = entries.front();
-    entries.pop_front();
+    if (size() == 0 || at(headPos).seq != seq)
+        fatal("retire out of order", seq);
+    const LsqEntry e = at(headPos);
+    if (e.isStore) {
+        ++storeHeadPos;
+        knownPrefix = std::max(knownPrefix, storeHeadPos);
+    }
+    ++headPos;
     return e;
 }
 
 void
 LoadStoreQueue::squashAfter(std::uint64_t seq)
 {
-    while (!entries.empty() && entries.back().seq > seq)
-        entries.pop_back();
+    while (size() != 0 && at(tailPos - 1).seq > seq) {
+        if (at(tailPos - 1).isStore)
+            --storeTailPos;
+        --tailPos;
+    }
+    knownPrefix = std::min(knownPrefix, storeTailPos);
 }
 
 } // namespace rbsim

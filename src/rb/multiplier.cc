@@ -1,7 +1,7 @@
 #include "rb/multiplier.hh"
 
+#include <array>
 #include <cstdlib>
-#include <vector>
 
 #include "common/bitutil.hh"
 #include "rb/gatedelay.hh"
@@ -14,26 +14,27 @@ namespace
 
 /**
  * Reduce partial products pairwise with carry-free adders; each round is
- * one adder delay regardless of operand width.
+ * one adder delay regardless of operand width. Reduces in place — the
+ * multiply sits on the simulator's execute path, so it must not touch
+ * the heap (docs/PERFORMANCE.md).
  */
 RbMulResult
-reduceTree(std::vector<RbNum> pps)
+reduceTree(RbNum *pps, std::size_t n)
 {
     unsigned levels = 0;
-    while (pps.size() > 1) {
-        std::vector<RbNum> next;
-        next.reserve((pps.size() + 1) / 2);
-        for (std::size_t i = 0; i + 1 < pps.size(); i += 2)
-            next.push_back(rbAdd(pps[i], pps[i + 1]).sum);
-        if (pps.size() % 2)
-            next.push_back(pps.back());
-        pps = std::move(next);
+    while (n > 1) {
+        std::size_t out = 0;
+        for (std::size_t i = 0; i + 1 < n; i += 2)
+            pps[out++] = rbAdd(pps[i], pps[i + 1]).sum;
+        if (n % 2)
+            pps[out++] = pps[n - 1];
+        n = out;
         ++levels;
     }
-    RbMulResult out;
-    out.product = pps.empty() ? RbNum() : pps[0];
-    out.treeLevels = levels;
-    return out;
+    RbMulResult res;
+    res.product = n == 0 ? RbNum() : pps[0];
+    res.treeLevels = levels;
+    return res;
 }
 
 /** -x with the unwrapped value renormalized into 64-bit range. */
@@ -51,23 +52,23 @@ rbTreeMultiply(const RbNum &a, const RbNum &b)
     // Partial products straight from the multiplier's *digits*: no
     // conversion of b is needed, and negative digits cost only the free
     // plane swap.
-    std::vector<RbNum> pps;
-    pps.reserve(64);
+    std::array<RbNum, 64> pps;
+    std::size_t n = 0;
     for (unsigned i = 0; i < 64; ++i) {
         switch (b.digit(i)) {
           case Digit::Zero:
             break;
           case Digit::Plus:
-            pps.push_back(rbShiftLeftDigits(a, i));
+            pps[n++] = rbShiftLeftDigits(a, i);
             break;
           case Digit::Minus:
-            pps.push_back(negNormalized(rbShiftLeftDigits(a, i)));
+            pps[n++] = negNormalized(rbShiftLeftDigits(a, i));
             break;
         }
     }
-    if (pps.empty())
+    if (n == 0)
         return RbMulResult{RbNum(), 0};
-    return reduceTree(std::move(pps));
+    return reduceTree(pps.data(), n);
 }
 
 RbMulResult
@@ -77,8 +78,8 @@ rbTreeMultiplyBooth(const RbNum &a, const RbNum &b)
     // m_j in {-2,-1,0,1,2} from bit triples; +-a and +-2a are free in
     // the redundant representation.
     const Word w = b.toTc();
-    std::vector<RbNum> pps;
-    pps.reserve(32);
+    std::array<RbNum, 32> pps;
+    std::size_t n = 0;
     for (unsigned j = 0; j < 32; ++j) {
         const unsigned lo = 2 * j;
         const int b_m1 = lo == 0 ? 0 : static_cast<int>(bit(w, lo - 1));
@@ -90,11 +91,11 @@ rbTreeMultiplyBooth(const RbNum &a, const RbNum &b)
         RbNum pp = rbShiftLeftDigits(a, lo + (std::abs(m) == 2 ? 1 : 0));
         if (m < 0)
             pp = negNormalized(pp);
-        pps.push_back(pp);
+        pps[n++] = pp;
     }
-    if (pps.empty())
+    if (n == 0)
         return RbMulResult{RbNum(), 0};
-    return reduceTree(std::move(pps));
+    return reduceTree(pps.data(), n);
 }
 
 unsigned

@@ -1,7 +1,6 @@
 #include "rb/rbnum.hh"
 
 #include <bit>
-#include <sstream>
 
 namespace rbsim
 {
@@ -26,25 +25,28 @@ std::string
 RbNum::toString(unsigned ndigits) const
 {
     assert(ndigits >= 1 && ndigits <= 64);
-    std::ostringstream os;
-    os << '<';
+    std::string s;
+    // Worst case: "-1," per digit plus "<>" — one reservation, no
+    // ostringstream machinery (this shows up in trace/debug paths).
+    s.reserve(3 * ndigits + 2);
+    s += '<';
     for (unsigned i = ndigits; i-- > 0;) {
         switch (digit(i)) {
           case Digit::Plus:
-            os << '1';
+            s += '1';
             break;
           case Digit::Zero:
-            os << '0';
+            s += '0';
             break;
           case Digit::Minus:
-            os << "-1";
+            s += "-1";
             break;
         }
         if (i != 0)
-            os << ',';
+            s += ',';
     }
-    os << '>';
-    return os.str();
+    s += '>';
+    return s;
 }
 
 } // namespace rbsim

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "common/alloccount.hh"
 #include "sim/cosim.hh"
 
 namespace rbsim
@@ -29,6 +30,9 @@ simulate(const MachineConfig &cfg, const Program &prog,
     res.workload = prog.name;
     if (opts.tracer)
         core.attachTracer(opts.tracer);
+    if (opts.profiler)
+        core.attachProfiler(opts.profiler);
+    const std::uint64_t allocs0 = alloccount::threadCount();
     const auto t0 = std::chrono::steady_clock::now();
     try {
         res.halted = core.run(opts.maxCycles);
@@ -48,6 +52,12 @@ simulate(const MachineConfig &cfg, const Program &prog,
     const auto t1 = std::chrono::steady_clock::now();
     res.hostSeconds =
         std::chrono::duration<double>(t1 - t0).count();
+    if (opts.profiler) {
+        opts.profiler->allocationsCounted =
+            alloccount::hooked() && alloccount::enabled();
+        opts.profiler->allocations =
+            alloccount::threadCount() - allocs0;
+    }
     res.stats = reg.snapshot();
     return res;
 }

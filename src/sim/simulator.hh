@@ -78,6 +78,10 @@ struct SimOptions
     //! when the run does not drain cleanly (cosim mismatch, watchdog
     //! abort, cycle budget), and finishes it — even when it rethrows.
     trace::Tracer *tracer = nullptr;
+    //! Optional host-time per-stage profiler (borrowed; must outlive the
+    //! call). simulate() attaches it to the core and fills its
+    //! allocation counters when the counting allocator is linked in.
+    HostProfiler *profiler = nullptr;
 };
 
 /**

@@ -19,7 +19,7 @@ SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                       os.pardir, "scripts", "bench_diff.py")
 
 
-def dump(cells, bench="fig12", scheduler="wakeup"):
+def dump(cells, bench="fig12", scheduler="wakeup", sim_khz=100.0):
     return {
         "schema": "rbsim-bench-1",
         "bench": bench,
@@ -27,7 +27,7 @@ def dump(cells, bench="fig12", scheduler="wakeup"):
         "scheduler": scheduler,
         "machines": sorted({m for m, _, _ in cells}),
         "cells": [{"machine": m, "workload": w, "ipc": ipc,
-                   "host_ms": 1.0, "sim_khz": 100.0}
+                   "host_ms": 1.0, "sim_khz": sim_khz}
                   for m, w, ipc in cells],
         "summary": {},
     }
@@ -118,6 +118,52 @@ class BenchDiffTest(unittest.TestCase):
         new = dump([("Baseline", "espresso", 0.98)])
         r = self.run_diff(old, new, "--threshold", "5")
         self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+    def test_speed_not_gating_by_default(self):
+        """A big slowdown passes when --speed-gate is absent."""
+        old = dump([("Baseline", "espresso", 1.5)], sim_khz=1000.0)
+        new = dump([("Baseline", "espresso", 1.5)], sim_khz=10.0)
+        r = self.run_diff(old, new)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("non-gating", r.stdout)
+
+    def test_speed_gate_fails_on_slowdown(self):
+        old = dump([("Baseline", "espresso", 1.5)], sim_khz=1000.0)
+        new = dump([("Baseline", "espresso", 1.5)], sim_khz=400.0)
+        r = self.run_diff(old, new, "--speed-gate", "50")
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("TOO SLOW", r.stdout)
+        self.assertIn("simulate too slowly", r.stdout)
+
+    def test_speed_gate_passes_within_tolerance(self):
+        old = dump([("Baseline", "espresso", 1.5)], sim_khz=1000.0)
+        new = dump([("Baseline", "espresso", 1.5)], sim_khz=700.0)
+        r = self.run_diff(old, new, "--speed-gate", "50")
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("speed gate 50% passed", r.stdout)
+
+    def test_speed_gate_improvement_passes(self):
+        old = dump([("Baseline", "espresso", 1.5)], sim_khz=100.0)
+        new = dump([("Baseline", "espresso", 1.5)], sim_khz=400.0)
+        r = self.run_diff(old, new, "--speed-gate", "25")
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+    def test_speed_gate_without_speed_data_refuses(self):
+        """Gating against dumps without sim_khz must fail loudly, not
+        skip to a green exit."""
+        old = dump([("Baseline", "espresso", 1.5)], sim_khz=0.0)
+        new = dump([("Baseline", "espresso", 1.5)], sim_khz=0.0)
+        r = self.run_diff(old, new, "--speed-gate", "50")
+        self.assertNotEqual(r.returncode, 0)
+        self.assertIn("no common cells carry sim_khz", r.stderr)
+        self.assertNotIn("Traceback", r.stderr)
+
+    def test_ipc_regression_wins_over_speed_gate_pass(self):
+        old = dump([("Baseline", "espresso", 1.5)], sim_khz=100.0)
+        new = dump([("Baseline", "espresso", 1.0)], sim_khz=100.0)
+        r = self.run_diff(old, new, "--speed-gate", "50")
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("REGRESSION", r.stdout)
 
 
 if __name__ == "__main__":

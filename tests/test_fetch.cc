@@ -28,7 +28,8 @@ struct FetchRig
     fetchWarm(Cycle &now)
     {
         for (int tries = 0; tries < 300; ++tries) {
-            auto got = fetch.fetchCycle(now);
+            std::vector<FetchedInst> got;
+            fetch.fetchCycle(now, got);
             ++now;
             if (!got.empty())
                 return got;
@@ -111,7 +112,9 @@ TEST(Fetch, ParksOnHalt)
     ASSERT_EQ(got.size(), 2u);
     EXPECT_EQ(got[1].inst.op, Opcode::HALT);
     EXPECT_TRUE(rig.fetch.parked());
-    EXPECT_TRUE(rig.fetch.fetchCycle(now).empty());
+    std::vector<FetchedInst> more;
+    EXPECT_EQ(rig.fetch.fetchCycle(now, more), 0u);
+    EXPECT_TRUE(more.empty());
 }
 
 TEST(Fetch, RedirectReawakensParkedEngine)
@@ -156,9 +159,8 @@ TEST(Fetch, CondBranchSnapshotsPredictorState)
     Cycle now = 0;
     std::vector<FetchedInst> all;
     for (int i = 0; i < 400 && all.size() < 6; ++i) {
-        auto got = rig.fetch.fetchCycle(now);
+        rig.fetch.fetchCycle(now, all);
         ++now;
-        all.insert(all.end(), got.begin(), got.end());
     }
     bool saw_branch = false;
     for (const auto &f : all) {

@@ -130,6 +130,27 @@ TEST(RbNum, ToStringShowsDigits)
     EXPECT_EQ(x.toString(4), "<0,1,0,-1>");
 }
 
+TEST(RbNum, ToStringExactFormatPinned)
+{
+    // The format is part of trace/debug output: digits printed from
+    // position ndigits-1 down to 0, "-1" for a minus digit, commas
+    // between digits, the whole wrapped in angle brackets — no spaces,
+    // no sign prefix other than the embedded "-1".
+    EXPECT_EQ(RbNum(0, 0).toString(1), "<0>");
+    EXPECT_EQ(RbNum(1, 0).toString(1), "<1>");
+    EXPECT_EQ(RbNum(0, 1).toString(1), "<-1>");
+    EXPECT_EQ(RbNum(0b10, 0b01).toString(2), "<1,-1>");
+    EXPECT_EQ(RbNum(0, 0).toString(3), "<0,0,0>");
+    // Digits above ndigits-1 are simply not printed.
+    EXPECT_EQ(RbNum(0b1000, 0b0001).toString(2), "<0,-1>");
+    // Full-width render: 64 digits, 63 commas, the "-1" at the top.
+    const RbNum top(0, 1ull << 63);
+    const std::string s = top.toString(64);
+    EXPECT_EQ(s.size(), 2 + 64 + 1 + 63);
+    EXPECT_EQ(s.substr(0, 4), "<-1,");
+    EXPECT_EQ(s.back(), '>');
+}
+
 TEST(RbNum, ZeroTestIsAllDigitsZero)
 {
     // Disjoint planes mean value zero implies every digit zero, so the
