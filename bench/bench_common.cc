@@ -1,17 +1,20 @@
 #include "bench_common.hh"
 
-#include <atomic>
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
-#include <thread>
+
+#include <unistd.h>
 
 #include "common/alloccount.hh"
 #include "common/stats.hh"
 #include "common/strutil.hh"
+#include "serve/client.hh"
+#include "serve/protocol.hh"
+#include "serve/service.hh"
 #include "sim/report.hh"
 #include "trace/tracer.hh"
 
@@ -31,7 +34,8 @@ usageDie(const char *prog, const char *why)
                  "usage: %s [--json <path>] [--scale <n>] "
                  "[--machines <label,label,...>] "
                  "[--scheduler wakeup|polled|oracle] "
-                 "[--trace <prefix>] [--trace-last <n>] [--profile]\n",
+                 "[--trace <prefix>] [--trace-last <n>] [--profile] "
+                 "[--server <host:port>]\n",
                  prog, why, prog);
     std::exit(2);
 }
@@ -45,6 +49,7 @@ std::string g_scheduler = "wakeup";
 std::string g_trace_prefix;
 std::size_t g_trace_last = 0;
 bool g_profile = false;
+std::string g_server;
 
 MachineConfig
 applyScheduler(MachineConfig cfg)
@@ -121,12 +126,20 @@ parseBenchArgs(int &argc, char **argv)
             // Per-thread counting; harmless no-op without the allochook
             // library linked in (allocationsCounted stays false).
             alloccount::enable(true);
+        } else if (std::strcmp(arg, "--server") == 0) {
+            opts.server = value("--server");
+            g_server = opts.server;
         } else {
             argv[out++] = argv[i]; // not ours; leave for the caller
         }
     }
     argc = out;
     argv[argc] = nullptr;
+    if (!opts.server.empty() &&
+        (g_profile || !g_trace_prefix.empty() || g_trace_last)) {
+        usageDie(argv[0], "--server cannot produce host-side artifacts; "
+                          "drop --trace/--trace-last/--profile");
+    }
     return opts;
 }
 
@@ -296,107 +309,220 @@ cellTag(std::string s)
     return s;
 }
 
+struct Task
+{
+    const MachineConfig *cfg;
+    const WorkloadInfo *wl;
+};
+
+/** The --server path: ship the grid to an rbsim-serve instance. */
+std::vector<Cell>
+sweepRemote(const std::vector<Task> &tasks, unsigned scale)
+{
+    std::unique_ptr<serve::Client> client;
+    try {
+        client = std::make_unique<serve::Client>(g_server);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "--server: %s\n", e.what());
+        std::exit(1);
+    }
+
+    // Ids must be unique for the server's whole session, which may span
+    // many bench invocations — prefix them with this process's identity.
+    char prefix[64];
+    std::snprintf(prefix, sizeof(prefix), "bench-%ld-",
+                  static_cast<long>(::getpid()));
+
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        Json req = Json::object();
+        req["id"] = prefix + std::to_string(i);
+        req["workload"] = tasks[i].wl->name;
+        req["scale"] = scale;
+        // The full configuration object (not just a label) so ablation
+        // grids built after parseBenchArgs survive the wire.
+        req["config"] = serve::configToJson(*tasks[i].cfg);
+        req["scheduler"] = g_scheduler;
+        client->sendLine(req.dump());
+    }
+
+    std::vector<Cell> cells(tasks.size());
+    std::vector<bool> got(tasks.size(), false);
+    std::size_t remaining = tasks.size();
+    std::string line;
+    bool failed = false;
+    while (remaining && client->readLine(line)) {
+        Json resp;
+        try {
+            resp = Json::parse(line);
+        } catch (const JsonError &e) {
+            std::fprintf(stderr, "--server: bad response: %s\n", e.what());
+            std::exit(1);
+        }
+        const Json *idField = resp.find("id");
+        std::size_t i = tasks.size();
+        if (idField && idField->isString() &&
+            idField->asString().rfind(prefix, 0) == 0) {
+            i = static_cast<std::size_t>(std::strtoul(
+                idField->asString().c_str() + std::strlen(prefix), nullptr,
+                10));
+        }
+        if (i >= tasks.size() || got[i]) {
+            std::fprintf(stderr, "--server: unexpected response id\n");
+            std::exit(1);
+        }
+        got[i] = true;
+        --remaining;
+
+        const Json *ok = resp.find("ok");
+        if (!ok || !ok->isBool() || !ok->asBool()) {
+            const Json *err = resp.find("error");
+            std::fprintf(stderr, "bench cell %s/%s failed remotely: %s\n",
+                         tasks[i].cfg->label.c_str(),
+                         tasks[i].wl->name.c_str(),
+                         err && err->isString() ? err->asString().c_str()
+                                                : "unknown error");
+            failed = true;
+            continue;
+        }
+
+        Cell &cell = cells[i];
+        cell.machine = tasks[i].cfg->label;
+        cell.workload = tasks[i].wl->name;
+        SimResult &r = cell.result;
+        r.machine = cell.machine;
+        r.workload = cell.workload;
+        if (const Json *halted = resp.find("halted"))
+            r.halted = halted->isBool() && halted->asBool();
+        if (const Json *hostMs = resp.find("host_ms"))
+            r.hostSeconds = hostMs->asDouble() / 1e3;
+        if (const Json *stats = resp.find("stats")) {
+            if (const Json *c = stats->find("counters"))
+                for (const auto &[name, v] : c->items())
+                    r.stats.counters[name] = v.asU64();
+            if (const Json *f = stats->find("formulas"))
+                for (const auto &[name, v] : f->items())
+                    r.stats.formulas[name] = v.asDouble();
+            if (const Json *vecs = stats->find("vectors")) {
+                for (const auto &[name, v] : vecs->items()) {
+                    auto &dst = r.stats.vectors[name];
+                    for (const Json &e : v.elements())
+                        dst.push_back(e.asU64());
+                }
+            }
+        }
+    }
+    if (remaining) {
+        std::fprintf(stderr,
+                     "--server: connection closed with %zu cells pending\n",
+                     remaining);
+        std::exit(1);
+    }
+    if (failed)
+        std::exit(1);
+    return cells;
+}
+
 std::vector<Cell>
 sweep(const std::vector<MachineConfig> &configs,
       const std::vector<WorkloadInfo> &workloads, unsigned scale)
 {
-    struct Task
-    {
-        const MachineConfig *cfg;
-        const WorkloadInfo *wl;
-    };
     std::vector<Task> tasks;
     for (const WorkloadInfo &w : workloads) {
         for (const MachineConfig &c : configs)
             tasks.push_back(Task{&c, &w});
     }
 
-    std::vector<Cell> cells(tasks.size());
-    std::atomic<std::size_t> next{0};
-    // hardware_concurrency() may legitimately report 0 (unknown);
-    // always run at least the calling thread.
-    const unsigned hw = std::thread::hardware_concurrency();
-    const unsigned nthreads = std::max(
-        1u, std::min<unsigned>(hw ? hw : 1u,
-                               static_cast<unsigned>(tasks.size())));
+    if (!g_server.empty())
+        return sweepRemote(tasks, scale);
 
-    auto worker = [&]() {
-        for (;;) {
-            const std::size_t i = next.fetch_add(1);
-            if (i >= tasks.size())
-                return;
-            WorkloadParams wp;
-            wp.scale = scale;
-            const Program prog = tasks[i].wl->build(wp);
-            const MachineConfig cfg = applyScheduler(*tasks[i].cfg);
-
-            // Per-cell pipeline tracing (--trace / --trace-last). The
-            // tracer is only constructed when asked for, so ordinary
-            // benchmarking keeps the untraced hot path.
-            std::ofstream trace_out;
-            std::unique_ptr<trace::Tracer> tracer;
-            std::string cell_file;
-            if (!g_trace_prefix.empty() || g_trace_last) {
-                const std::string prefix = g_trace_prefix.empty()
-                    ? std::string("rbsim-bench-fail")
-                    : g_trace_prefix;
-                cell_file = prefix + "." + cellTag(cfg.label) + "." +
-                            cellTag(tasks[i].wl->name) + ".trace";
-                trace::Tracer::Options topts;
-                if (!g_trace_last) {
-                    trace_out.open(cell_file);
-                    if (trace_out)
-                        topts.stream = &trace_out;
-                }
-                topts.ringCap = g_trace_last;
-                topts.codeBase = prog.codeBase;
-                topts.decodeDepth = cfg.fetchDecodeDepth;
-                topts.renameDepth = cfg.renameDepth;
-                tracer = std::make_unique<trace::Tracer>(topts);
-            }
-            auto dump_ring = [&]() {
-                if (!tracer || !g_trace_last)
-                    return;
-                std::ofstream out(cell_file);
-                out << tracer->renderRing();
-                std::fprintf(stderr,
-                             "pipeline trace of last %zu instructions: "
-                             "%s\n",
-                             tracer->ring().size(), cell_file.c_str());
-            };
-
-            SimOptions sopts;
-            sopts.tracer = tracer.get();
-            HostProfiler prof;
-            if (g_profile)
-                sopts.profiler = &prof;
-            SimResult r;
-            try {
-                r = simulate(cfg, prog, sopts);
-            } catch (const std::exception &e) {
-                std::fprintf(stderr, "bench cell %s/%s failed: %s\n",
-                             cfg.label.c_str(), tasks[i].wl->name.c_str(),
-                             e.what());
-                dump_ring();
-                std::exit(1);
-            }
-            if (!r.halted)
-                dump_ring();
-            cells[i].machine = tasks[i].cfg->label;
-            cells[i].workload = tasks[i].wl->name;
-            cells[i].result = std::move(r);
-            if (g_profile) {
-                cells[i].profiler = prof;
-                cells[i].profiled = true;
-            }
-        }
+    // Per-cell host-side context: tracers write files, the profiler is
+    // filled on the worker thread. Pre-constructed here so the specs can
+    // borrow stable pointers for the batch's lifetime.
+    struct CellCtx
+    {
+        std::ofstream traceOut;
+        std::unique_ptr<trace::Tracer> tracer;
+        std::string cellFile;
+        HostProfiler prof;
     };
-    std::vector<std::thread> pool;
-    for (unsigned t = 0; t + 1 < nthreads; ++t)
-        pool.emplace_back(worker);
-    worker();
-    for (std::thread &t : pool)
-        t.join();
+    std::vector<CellCtx> ctx(tasks.size());
+    std::vector<serve::JobSpec> specs(tasks.size());
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        WorkloadParams wp;
+        wp.scale = scale;
+        Program prog = tasks[i].wl->build(wp);
+        const MachineConfig cfg = applyScheduler(*tasks[i].cfg);
+
+        // Per-cell pipeline tracing (--trace / --trace-last). The
+        // tracer is only constructed when asked for, so ordinary
+        // benchmarking keeps the untraced hot path.
+        if (!g_trace_prefix.empty() || g_trace_last) {
+            const std::string prefix = g_trace_prefix.empty()
+                ? std::string("rbsim-bench-fail")
+                : g_trace_prefix;
+            ctx[i].cellFile = prefix + "." + cellTag(cfg.label) + "." +
+                              cellTag(tasks[i].wl->name) + ".trace";
+            trace::Tracer::Options topts;
+            if (!g_trace_last) {
+                ctx[i].traceOut.open(ctx[i].cellFile);
+                if (ctx[i].traceOut)
+                    topts.stream = &ctx[i].traceOut;
+            }
+            topts.ringCap = g_trace_last;
+            topts.codeBase = prog.codeBase;
+            topts.decodeDepth = cfg.fetchDecodeDepth;
+            topts.renameDepth = cfg.renameDepth;
+            ctx[i].tracer = std::make_unique<trace::Tracer>(topts);
+        }
+
+        specs[i].cfg = cfg;
+        specs[i].prog = std::move(prog);
+        specs[i].opts.tracer = ctx[i].tracer.get();
+        if (g_profile)
+            specs[i].opts.profiler = &ctx[i].prof;
+        // Traced/profiled cells must actually execute to produce their
+        // host-side artifacts.
+        specs[i].bypassCache =
+            specs[i].opts.tracer || specs[i].opts.profiler;
+    }
+
+    const std::vector<serve::JobOutcome> outcomes =
+        serve::SimService::instance().runBatch(std::move(specs));
+
+    std::vector<Cell> cells(tasks.size());
+    bool failed = false;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        auto dump_ring = [&]() {
+            if (!ctx[i].tracer || !g_trace_last)
+                return;
+            std::ofstream out(ctx[i].cellFile);
+            out << ctx[i].tracer->renderRing();
+            std::fprintf(stderr,
+                         "pipeline trace of last %zu instructions: %s\n",
+                         ctx[i].tracer->ring().size(),
+                         ctx[i].cellFile.c_str());
+        };
+        if (!outcomes[i].ok) {
+            std::fprintf(stderr, "bench cell %s/%s failed: %s\n",
+                         tasks[i].cfg->label.c_str(),
+                         tasks[i].wl->name.c_str(),
+                         outcomes[i].error.c_str());
+            dump_ring();
+            failed = true;
+            continue;
+        }
+        if (!outcomes[i].result.halted)
+            dump_ring();
+        cells[i].machine = tasks[i].cfg->label;
+        cells[i].workload = tasks[i].wl->name;
+        cells[i].result = outcomes[i].result;
+        if (g_profile) {
+            cells[i].profiler = ctx[i].prof;
+            cells[i].profiled = true;
+        }
+    }
+    if (failed)
+        std::exit(1);
     return cells;
 }
 

@@ -56,6 +56,10 @@ struct Cell
  *                     as a table and embedded in the JSON dump (the
  *                     allocation counter needs the rbsim-allochook
  *                     library, which the bench binaries link)
+ *   --server <h:p>    submit the sweep to a running rbsim-serve instance
+ *                     instead of simulating in-process (docs/SERVING.md);
+ *                     incompatible with --trace/--trace-last/--profile,
+ *                     whose artifacts are host-side
  */
 struct BenchOptions
 {
@@ -66,6 +70,7 @@ struct BenchOptions
     std::string tracePrefix;
     std::size_t traceLast = 0;
     bool profile = false;
+    std::string server; //!< host:port of an rbsim-serve; empty = local
 };
 
 /**
@@ -119,6 +124,10 @@ class BenchReport
  * Simulate every workload of `suite` on every config, in parallel.
  * Results are ordered workload-major, matching the input orders.
  * Co-simulation stays enabled: every cell is architecturally verified.
+ *
+ * Every sweep goes through the process-wide serve::SimService (the
+ * shared WorkQueue worker pool with warm reset-in-place simulators), or
+ * over the wire to an rbsim-serve instance under --server.
  */
 std::vector<Cell> sweepSuite(const std::vector<MachineConfig> &configs,
                              const std::string &suite,

@@ -61,7 +61,9 @@ class Json
 
     Type type() const { return ty; }
     bool isNull() const { return ty == Type::Null; }
+    bool isBool() const { return ty == Type::Bool; }
     bool isNumber() const { return ty == Type::Number; }
+    bool isString() const { return ty == Type::String; }
     bool isObject() const { return ty == Type::Object; }
     bool isArray() const { return ty == Type::Array; }
 

@@ -185,15 +185,26 @@ StatSnapshot
 StatRegistry::snapshot() const
 {
     StatSnapshot s;
-    for (const auto &[name, ref] : counterRefs)
-        s.counters[name] = *ref.v;
-    for (const auto &[name, ref] : formulaRefs)
-        s.formulas[name] = ref.fn();
-    for (const auto &[name, ref] : vectorRefs)
-        s.vectors[name].assign(ref.v, ref.v + ref.n);
-    for (const auto &[name, ref] : histRefs)
-        s.vectors[name] = ref.h->raw();
+    snapshotInto(s);
     return s;
+}
+
+void
+StatRegistry::snapshotInto(StatSnapshot &snap) const
+{
+    // operator[] with an existing key and assign() within capacity do
+    // not allocate, so after the first (warming) call against a given
+    // registry this is heap-quiet — the serving hot path depends on it.
+    for (const auto &[name, ref] : counterRefs)
+        snap.counters[name] = *ref.v;
+    for (const auto &[name, ref] : formulaRefs)
+        snap.formulas[name] = ref.fn();
+    for (const auto &[name, ref] : vectorRefs)
+        snap.vectors[name].assign(ref.v, ref.v + ref.n);
+    for (const auto &[name, ref] : histRefs) {
+        const std::vector<std::uint64_t> &raw = ref.h->raw();
+        snap.vectors[name].assign(raw.begin(), raw.end());
+    }
 }
 
 std::string

@@ -15,6 +15,7 @@
 #ifndef RBSIM_COMMON_STATS_HH
 #define RBSIM_COMMON_STATS_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -106,6 +107,15 @@ class Histogram
         count += n;
     }
 
+    /** Zero every bucket in place (storage and address stay stable, so
+     * registered histogram views survive a simulator reset). */
+    void
+    reset()
+    {
+        std::fill(buckets.begin(), buckets.end(), 0);
+        count = 0;
+    }
+
     /** Samples recorded so far. */
     std::uint64_t samples() const { return count; }
 
@@ -188,6 +198,15 @@ class StatRegistry
 
     /** Copy every current value out. */
     StatSnapshot snapshot() const;
+
+    /**
+     * Copy every current value into an existing snapshot, updating nodes
+     * in place. After one warming call, repeat calls against the same
+     * registry perform no heap allocations (map keys already exist and
+     * vector assigns fit the established capacity) — the serving hot
+     * path takes its per-job snapshots through this.
+     */
+    void snapshotInto(StatSnapshot &snap) const;
 
     /** Deterministic "name = value" text dump of all scalars. */
     std::string format() const;

@@ -1,0 +1,78 @@
+#include "common/work_queue.hh"
+
+#include <algorithm>
+
+namespace rbsim
+{
+
+unsigned
+WorkQueue::defaultThreads()
+{
+    // hardware_concurrency() may legitimately report 0 (unknown);
+    // always run at least one worker.
+    const unsigned hw = std::thread::hardware_concurrency();
+    return std::max(1u, hw);
+}
+
+WorkQueue::WorkQueue(unsigned threads)
+{
+    const unsigned n = threads ? threads : defaultThreads();
+    pool.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        pool.emplace_back([this, i] { workerMain(i); });
+}
+
+WorkQueue::~WorkQueue()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        stopping = true;
+    }
+    cvWork.notify_all();
+    for (std::thread &t : pool)
+        t.join();
+}
+
+void
+WorkQueue::submit(Task task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        tasks.push_back(std::move(task));
+    }
+    cvWork.notify_one();
+}
+
+void
+WorkQueue::wait()
+{
+    std::unique_lock<std::mutex> lock(mu);
+    cvIdle.wait(lock, [this] { return tasks.empty() && active == 0; });
+}
+
+void
+WorkQueue::workerMain(unsigned index)
+{
+    for (;;) {
+        Task task;
+        {
+            std::unique_lock<std::mutex> lock(mu);
+            cvWork.wait(lock,
+                        [this] { return stopping || !tasks.empty(); });
+            if (tasks.empty())
+                return; // stopping, queue drained
+            task = std::move(tasks.front());
+            tasks.pop_front();
+            ++active;
+        }
+        task(index);
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            --active;
+            if (tasks.empty() && active == 0)
+                cvIdle.notify_all();
+        }
+    }
+}
+
+} // namespace rbsim

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The shared fixed-thread work queue behind every parallel sweep in the
+ * repo (bench binaries, the serve worker pool).
+ *
+ * Each bench binary used to spawn its own ad-hoc thread pool per
+ * invocation, each re-reading and re-clamping hardware_concurrency().
+ * This class is the single place that sizing/fallback logic lives now
+ * (defaultThreads()); callers submit tasks and wait.
+ *
+ * Tasks receive the index of the worker running them (0..workers()-1),
+ * which is how the serve layer keeps a per-worker cache of warm
+ * Simulator instances without any locking on the simulation path.
+ */
+
+#ifndef RBSIM_COMMON_WORK_QUEUE_HH
+#define RBSIM_COMMON_WORK_QUEUE_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rbsim
+{
+
+/** The queue. */
+class WorkQueue
+{
+  public:
+    /** A unit of work; `worker` identifies the executing thread. */
+    using Task = std::function<void(unsigned worker)>;
+
+    /** Start `threads` workers (0 = defaultThreads()). */
+    explicit WorkQueue(unsigned threads = 0);
+
+    /** Drains the queue, then joins every worker. */
+    ~WorkQueue();
+
+    WorkQueue(const WorkQueue &) = delete;
+    WorkQueue &operator=(const WorkQueue &) = delete;
+
+    /** Number of worker threads. */
+    unsigned workers() const
+    { return static_cast<unsigned>(pool.size()); }
+
+    /** Enqueue one task. */
+    void submit(Task task);
+
+    /** Block until every submitted task has finished. */
+    void wait();
+
+    /**
+     * The process-wide worker-count policy — the one place that reads
+     * hardware_concurrency() and handles its its-legitimately-0 case
+     * (always at least one worker).
+     */
+    static unsigned defaultThreads();
+
+  private:
+    void workerMain(unsigned index);
+
+    std::vector<std::thread> pool;
+    std::deque<Task> tasks;
+    std::mutex mu;
+    std::condition_variable cvWork; //!< workers: task available / stop
+    std::condition_variable cvIdle; //!< waiters: everything drained
+    std::size_t active = 0;         //!< tasks currently executing
+    bool stopping = false;
+};
+
+} // namespace rbsim
+
+#endif // RBSIM_COMMON_WORK_QUEUE_HH

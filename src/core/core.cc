@@ -12,7 +12,7 @@ namespace rbsim
 {
 
 OooCore::OooCore(const MachineConfig &cfg, const Program &prog)
-    : config(cfg), program(prog),
+    : config(cfg), program(&prog),
       hierarchy(cfg),
       fetch(cfg, prog, hierarchy),
       rename(cfg.physRegs),
@@ -62,6 +62,52 @@ OooCore::OooCore(const MachineConfig &cfg, const Program &prog)
         wakeupEvents = decltype(wakeupEvents)(EventLater{},
                                               std::move(storage));
     }
+}
+
+void
+OooCore::reset(const Program &prog)
+{
+    program = &prog;
+
+    commitMem.reset();
+    commitMem.loadProgram(prog);
+    hierarchy.reset();
+    fetch.reset(prog);
+    rename.reset();
+    regs.reset();
+    scoreboard.reset();
+    rob.reset();
+    sched.reset();
+    lsq.reset();
+    // samDl1 is stateless (pure address decode).
+
+    std::fill(producerSched.begin(), producerSched.end(), 0xff);
+    frontPipe.clear();
+    pendingFlushes.clear();
+    fetchBuf.clear();
+    coreStats.reset();
+
+    // Wakeup array: drain the event heap (its reserved backing store
+    // survives pops) and re-link the waiter pool free list exactly as
+    // the constructor does.
+    while (!wakeupEvents.empty())
+        wakeupEvents.pop();
+    for (std::size_t i = 0; i < waiterPool.size(); ++i) {
+        waiterPool[i].next = i + 1 < waiterPool.size()
+                                 ? static_cast<std::int32_t>(i + 1)
+                                 : -1;
+    }
+    waiterFree = waiterPool.empty() ? -1 : 0;
+    std::fill(regWaiterHead.begin(), regWaiterHead.end(), -1);
+    std::fill(slotPendingOps.begin(), slotPendingOps.end(), 0);
+
+    idleSkipped = 0;
+    oracleChecks = 0;
+    now = 0;
+    classRr = 0;
+    nextSeq = 1;
+    haltRetired = false;
+    samCheckCounter = 0;
 }
 
 bool
@@ -419,7 +465,7 @@ OooCore::flushAfter(const RobEntry &branch)
         if (inst.ra == zeroReg)
             fetch.ras.pop(); // the return consumed its RAS entry
         else
-            fetch.ras.push(program.byteAddrOf(branch.pcIndex + 1));
+            fetch.ras.push(program->byteAddrOf(branch.pcIndex + 1));
     }
 
     // Sequence numbers of squashed instructions are recycled so the ROB
@@ -936,7 +982,7 @@ OooCore::issueInst(std::uint64_t seq)
     ExecOut x;
     {
         StageTimer timer(profiler, HostProfiler::Exec);
-        x = executeInst(config, program, e, regs);
+        x = executeInst(config, *program, e, regs);
     }
     e.usedRbPath = x.usedRbPath;
     e.bogusCorrected = x.bogusCorrected;

@@ -83,6 +83,28 @@ struct CoreStats
 
     double ipc() const
     { return cycles ? double(retired) / double(cycles) : 0.0; }
+
+    /** Zero everything in place, allocation-free. Every counter and
+     * histogram keeps its address, so stat-registry views registered
+     * once at construction stay valid across a simulator reset. */
+    void
+    reset()
+    {
+        cycles = retired = fetched = dispatched = issued = squashed = 0;
+        condBranches = condMispredicts = flushes = jmpFetchStalls = 0;
+        loads = stores = loadForwards = 0;
+        rbPathExecs = rbBogusCorrections = 0;
+        table1.fill(0);
+        bypassCase.fill(0);
+        withBypassedSource = withAnySource = 0;
+        bypassSlotUsed.fill(0);
+        issueWaitSum = holeWaitCycles = 0;
+        deadlockAborts = 0;
+        issueWait.reset();
+        holeWait.reset();
+        retireSlots.reset();
+        fetchSlots.reset();
+    }
 };
 
 /** The core. */
@@ -94,6 +116,18 @@ class OooCore
      * @param prog program to run (must outlive the core)
      */
     OooCore(const MachineConfig &cfg, const Program &prog);
+
+    /**
+     * Back to construction state in place, rebound to `prog` (which
+     * must outlive the core; the machine configuration is fixed for the
+     * core's lifetime). Every ring, pool, table, predictor, cache, and
+     * stat is re-initialized without releasing its storage, so a reset
+     * core re-running a same-footprint program allocates nothing and
+     * produces a bit-identical StatSnapshot to a freshly constructed
+     * one (tests/test_serve.cc pins both properties). The retire hook,
+     * tracer, and profiler attachments are left as-is.
+     */
+    void reset(const Program &prog);
 
     /** Callback invoked for every retired instruction (co-simulation). */
     void
@@ -212,7 +246,8 @@ class OooCore
     void diagnoseDeadlock() const;
 
     const MachineConfig &config;
-    const Program &program;
+    //! Pointer, not reference: reset(prog) rebinds it. Never null.
+    const Program *program;
 
     MemImage commitMem;      //!< architecturally committed memory
     MemHierarchy hierarchy;

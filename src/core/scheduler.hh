@@ -79,6 +79,23 @@ class SchedulerBank
      */
     SlotRef insert(unsigned s, std::uint64_t seq);
 
+    /** Back to construction state in place: masks, slot seqs and reuse
+     * generations cleared (a reset core re-issues identical (ref, gen)
+     * pairs for determinism), fallback queues emptied with capacity
+     * kept, steering restarted at scheduler 0. */
+    void
+    reset()
+    {
+        for (Bank &b : banks) {
+            std::fill(b.seqs.begin(), b.seqs.end(), 0);
+            std::fill(b.gens.begin(), b.gens.end(), 0);
+            b.queue.clear();
+            b.valid = b.ready = b.hole = b.storeScan = 0;
+        }
+        rrIndex = 0;
+        steerCount = 0;
+    }
+
     /** Remove every entry younger than seq (squash). A squash that
      * empties every scheduler also resets the steering state, so
      * post-flush dispatch steering restarts pair-aligned at scheduler 0

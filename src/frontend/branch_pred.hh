@@ -18,6 +18,7 @@
 #ifndef RBSIM_FRONTEND_BRANCH_PRED_HH
 #define RBSIM_FRONTEND_BRANCH_PRED_HH
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <vector>
@@ -63,6 +64,19 @@ class HybridPredictor
 {
   public:
     HybridPredictor();
+
+    /** Back to construction state in place: counter tables refilled to
+     * their initial biases, histories and stat counters zeroed. */
+    void
+    reset()
+    {
+        ghist = 0;
+        std::fill(gshareTable.begin(), gshareTable.end(), 1);
+        std::fill(localHist.begin(), localHist.end(), 0);
+        std::fill(localPht.begin(), localPht.end(), 1);
+        std::fill(chooser.begin(), chooser.end(), 2);
+        lookups = gshareChosen = localChosen = 0;
+    }
 
     /**
      * Predict the direction of a conditional branch at pc (index),
@@ -137,6 +151,13 @@ class Btb
     /** Install / update a target. */
     void update(std::uint64_t pc, std::uint64_t target);
 
+    /** Invalidate every entry in place. */
+    void
+    reset()
+    {
+        std::fill(table.begin(), table.end(), Entry{});
+    }
+
   private:
     struct Entry
     {
@@ -154,6 +175,14 @@ class Btb
 class Ras
 {
   public:
+    /** Back to construction state. */
+    void
+    reset()
+    {
+        stack.fill(0);
+        top = 0;
+    }
+
     /** Push a return address (byte address). */
     void
     push(Addr a)

@@ -42,6 +42,26 @@ class FetchEngine
                 MemHierarchy &mem);
 
     /**
+     * Back to construction state, rebound to `prog` (which must outlive
+     * the engine): PC at the entry point, predictor/BTB/RAS cold, stat
+     * counters zeroed. No allocation — every table is refilled in
+     * place.
+     */
+    void
+    reset(const Program &prog)
+    {
+        program = &prog;
+        fetchPc = prog.entry;
+        resumeCycle = 0;
+        stopped = false;
+        lastLine = ~Addr{0};
+        icacheStallCycles = 0;
+        predictor.reset();
+        btb.reset();
+        ras.reset();
+    }
+
+    /**
      * Fetch one cycle's worth of instructions, appending to the
      * caller-owned `out` (not cleared here; the core reuses one buffer
      * across cycles so the hot path never allocates).
@@ -86,7 +106,9 @@ class FetchEngine
 
   private:
     const MachineConfig &config;
-    const Program &program;
+    //! Pointer, not reference: reset(prog) rebinds it for simulator
+    //! reuse. Never null.
+    const Program *program;
     MemHierarchy &memory;
 
     std::uint64_t fetchPc = 0;

@@ -7,7 +7,7 @@ namespace rbsim
 {
 
 Interp::Interp(const Program &prog)
-    : program(prog), pcIndex(prog.entry)
+    : program(&prog), pcIndex(prog.entry)
 {
     memory.loadProgram(prog);
 }
@@ -16,9 +16,9 @@ StepRecord
 Interp::step()
 {
     assert(!isHalted);
-    assert(pcIndex < program.code.size() && "PC ran off the code image");
+    assert(pcIndex < program->code.size() && "PC ran off the code image");
 
-    const Inst &inst = program.code[pcIndex];
+    const Inst &inst = program->code[pcIndex];
     StepRecord rec;
     rec.pcIndex = pcIndex;
     rec.inst = inst;
@@ -29,7 +29,7 @@ Interp::step()
     ops.b = inst.useLit ? inst.lit : reg(inst.rb);
     ops.c = reg(inst.rc);
 
-    const Addr return_addr = program.byteAddrOf(pcIndex + 1);
+    const Addr return_addr = program->byteAddrOf(pcIndex + 1);
     const EvalResult ev = evalOp(inst, ops, return_addr);
 
     auto writeReg = [&](unsigned r, Word v) {
@@ -63,9 +63,9 @@ Interp::step()
         if (inst.op == Opcode::JMP) {
             writeReg(inst.ra, ev.value);
             const Word target = ops.b;
-            assert(program.isCodeAddr(target) &&
+            assert(program->isCodeAddr(target) &&
                    "JMP to a non-code address");
-            rec.nextPc = program.indexOf(target);
+            rec.nextPc = program->indexOf(target);
         } else if (inst.op == Opcode::BR || inst.op == Opcode::BSR) {
             writeReg(inst.ra, ev.value);
             rec.nextPc = static_cast<std::uint64_t>(
@@ -84,7 +84,7 @@ Interp::step()
 
     pcIndex = rec.nextPc;
     ++steps;
-    if (!isHalted && pcIndex >= program.code.size())
+    if (!isHalted && pcIndex >= program->code.size())
         isHalted = true;
     return rec;
 }

@@ -44,6 +44,24 @@ class Interp
     /** Bind to a program; loads its data segments into a fresh memory. */
     explicit Interp(const Program &prog);
 
+    /**
+     * Back to construction state, rebound to `prog` (which must outlive
+     * the interpreter). Memory is zeroed in place (resident pages kept)
+     * and the program image reloaded, so repeated same-footprint runs
+     * allocate nothing.
+     */
+    void
+    reset(const Program &prog)
+    {
+        program = &prog;
+        memory.reset();
+        memory.loadProgram(prog);
+        regs.fill(0);
+        pcIndex = prog.entry;
+        steps = 0;
+        isHalted = false;
+    }
+
     /** True once HALT has executed or the PC ran off the code. */
     bool halted() const { return isHalted; }
 
@@ -81,7 +99,8 @@ class Interp
     std::uint64_t instsExecuted() const { return steps; }
 
   private:
-    const Program &program;
+    //! Pointer, not reference: reset(prog) rebinds it. Never null.
+    const Program *program;
     MemImage memory;
     std::array<Word, numArchRegs> regs{};
     std::uint64_t pcIndex = 0;

@@ -65,6 +65,19 @@ class MemImage
     /** Load a program's data segments. */
     void loadProgram(const Program &prog);
 
+    /**
+     * Zero the image in place: every resident page is cleared but kept
+     * allocated, so a reset-reused simulator re-running a program with
+     * the same footprint touches no new pages (the zero-allocation
+     * serving steady state). Reads behave exactly as on a fresh image.
+     */
+    void
+    reset()
+    {
+        for (auto &[addr, page] : pages)
+            page->fill(0);
+    }
+
     /** Number of resident pages (for tests). */
     std::size_t residentPages() const { return pages.size(); }
 

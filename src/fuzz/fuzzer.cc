@@ -5,9 +5,9 @@
 #include <chrono>
 #include <mutex>
 #include <sstream>
-#include <thread>
 
 #include "common/json.hh"
+#include "common/work_queue.hh"
 #include "fuzz/shrink.hh"
 #include "isa/disasm.hh"
 
@@ -107,13 +107,14 @@ runFuzz(const FuzzOptions &opts)
         }
     };
 
-    const unsigned jobs = std::max(1u, opts.jobs);
-    std::vector<std::thread> threads;
-    threads.reserve(jobs);
-    for (unsigned i = 0; i < jobs; ++i)
-        threads.emplace_back(worker);
-    for (std::thread &t : threads)
-        t.join();
+    // Thread management lives in the shared WorkQueue (one self-
+    // scheduling case loop per worker); --jobs only picks the count.
+    {
+        WorkQueue pool(std::max(1u, opts.jobs));
+        for (unsigned i = 0; i < pool.workers(); ++i)
+            pool.submit([&](unsigned) { worker(); });
+        pool.wait();
+    }
 
     // Deterministic failure order regardless of thread interleaving.
     std::sort(raw.begin(), raw.end(),

@@ -1,5 +1,7 @@
 #include "isa/program.hh"
 
+#include <map>
+
 namespace rbsim
 {
 
@@ -20,6 +22,73 @@ void
 Program::addDataBytes(Addr base, std::vector<std::uint8_t> bytes)
 {
     data.push_back(DataSegment{base, std::move(bytes)});
+}
+
+namespace
+{
+
+// FNV-1a, 64-bit. Field-by-field (never over struct bytes) so padding
+// and any future field reordering cannot silently change the hash.
+constexpr std::uint64_t fnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t fnvPrime = 0x100000001b3ull;
+
+void
+mix(std::uint64_t &h, std::uint64_t v)
+{
+    for (unsigned i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xff;
+        h *= fnvPrime;
+    }
+}
+
+void
+mixByte(std::uint64_t &h, std::uint8_t b)
+{
+    h ^= b;
+    h *= fnvPrime;
+}
+
+} // namespace
+
+std::uint64_t
+Program::hash() const
+{
+    std::uint64_t h = fnvOffset;
+    mix(h, codeBase);
+    mix(h, entry);
+    mix(h, code.size());
+    for (const Inst &inst : code) {
+        mixByte(h, static_cast<std::uint8_t>(inst.op));
+        mixByte(h, inst.ra);
+        mixByte(h, inst.rb);
+        mixByte(h, inst.rc);
+        mixByte(h, inst.useLit ? 1 : 0);
+        mixByte(h, inst.lit);
+        mix(h, static_cast<std::uint64_t>(
+                   static_cast<std::uint32_t>(inst.disp)));
+        mix(h, static_cast<std::uint64_t>(inst.imm64));
+    }
+    // Hash the effective memory image, not the segment list: memory
+    // starts zeroed, so how the image was sliced into segments (one
+    // builder call vs per-line `.quad` directives) and any zero
+    // padding must not affect program identity. Segments apply in
+    // order, so a later zero byte erases an earlier nonzero one.
+    std::map<Addr, std::uint8_t> image;
+    for (const DataSegment &seg : data) {
+        for (std::size_t i = 0; i < seg.bytes.size(); ++i) {
+            const Addr a = seg.base + i;
+            if (seg.bytes[i] != 0)
+                image[a] = seg.bytes[i];
+            else
+                image.erase(a);
+        }
+    }
+    mix(h, image.size());
+    for (const auto &[addr, byte] : image) {
+        mix(h, addr);
+        mixByte(h, byte);
+    }
+    return h;
 }
 
 } // namespace rbsim

@@ -66,6 +66,19 @@ struct Program
 
     /** Append a raw byte segment. */
     void addDataBytes(Addr base, std::vector<std::uint8_t> bytes);
+
+    /**
+     * Stable 64-bit content hash over everything that affects execution:
+     * every instruction field, the code base, the entry point, and the
+     * *effective* initial data image (memory starts zeroed, so segment
+     * boundaries and zero padding are construction artifacts, not
+     * content). The `name` is deliberately excluded — two routes to the
+     * same image (assembler vs CodeBuilder, or a disassemble/assemble
+     * round trip) hash equal, and any single-instruction or single-byte
+     * mutation hashes different with overwhelming probability. The
+     * serve result cache keys on this (docs/SERVING.md).
+     */
+    std::uint64_t hash() const;
 };
 
 } // namespace rbsim

@@ -1,0 +1,91 @@
+#include "serve/client.hh"
+
+#include <cstring>
+#include <stdexcept>
+
+#include <netdb.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace rbsim::serve
+{
+
+Client::Client(const std::string &host_port)
+{
+    const std::size_t colon = host_port.rfind(':');
+    if (colon == std::string::npos || colon + 1 == host_port.size())
+        throw std::runtime_error("--server wants host:port, got \"" +
+                                 host_port + "\"");
+    const std::string host = host_port.substr(0, colon);
+    const std::string port = host_port.substr(colon + 1);
+
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo *res = nullptr;
+    const int rc = ::getaddrinfo(host.c_str(), port.c_str(), &hints, &res);
+    if (rc != 0)
+        throw std::runtime_error("cannot resolve " + host_port + ": " +
+                                 gai_strerror(rc));
+    for (addrinfo *ai = res; ai; ai = ai->ai_next) {
+        const int s =
+            ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+        if (s < 0)
+            continue;
+        if (::connect(s, ai->ai_addr, ai->ai_addrlen) == 0) {
+            fd = s;
+            break;
+        }
+        ::close(s);
+    }
+    ::freeaddrinfo(res);
+    if (fd < 0)
+        throw std::runtime_error("cannot connect to " + host_port);
+}
+
+Client::~Client()
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+void
+Client::sendLine(const std::string &line)
+{
+    std::string out = line;
+    out.push_back('\n');
+    const char *data = out.data();
+    std::size_t len = out.size();
+    while (len) {
+        const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+        if (n <= 0)
+            throw std::runtime_error("server connection lost");
+        data += n;
+        len -= static_cast<std::size_t>(n);
+    }
+}
+
+bool
+Client::readLine(std::string &line)
+{
+    for (;;) {
+        const std::size_t nl = buffer.find('\n');
+        if (nl != std::string::npos) {
+            line.assign(buffer, 0, nl);
+            buffer.erase(0, nl + 1);
+            return true;
+        }
+        char chunk[4096];
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n <= 0) {
+            if (buffer.empty())
+                return false;
+            line = std::move(buffer);
+            buffer.clear();
+            return true;
+        }
+        buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+} // namespace rbsim::serve

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Minimal JSON-lines TCP client for rbsim-serve — what a bench binary
+ * speaks when given --server host:port (docs/SERVING.md).
+ */
+
+#ifndef RBSIM_SERVE_CLIENT_HH
+#define RBSIM_SERVE_CLIENT_HH
+
+#include <string>
+
+namespace rbsim::serve
+{
+
+/** A blocking line-oriented connection to a serve instance. */
+class Client
+{
+  public:
+    /** Connect to "host:port". Throws std::runtime_error on failure. */
+    explicit Client(const std::string &host_port);
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /** Send one request line (newline appended). Throws on a dead
+     *  connection. */
+    void sendLine(const std::string &line);
+
+    /** Read one response line. Returns false on EOF. */
+    bool readLine(std::string &line);
+
+  private:
+    int fd = -1;
+    std::string buffer; //!< bytes received past the last returned line
+};
+
+} // namespace rbsim::serve
+
+#endif // RBSIM_SERVE_CLIENT_HH

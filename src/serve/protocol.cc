@@ -1,0 +1,506 @@
+#include "serve/protocol.hh"
+
+#include <cstdio>
+
+namespace rbsim::serve
+{
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::Parse: return "parse";
+      case ErrorCode::BadRequest: return "bad-request";
+      case ErrorCode::UnknownMachine: return "unknown-machine";
+      case ErrorCode::UnknownWorkload: return "unknown-workload";
+      case ErrorCode::UnknownScheduler: return "unknown-scheduler";
+      case ErrorCode::BadProgram: return "bad-program";
+      case ErrorCode::OversizedProgram: return "oversized-program";
+      case ErrorCode::DuplicateId: return "duplicate-id";
+      case ErrorCode::DuplicateInFlight: return "duplicate-in-flight";
+      case ErrorCode::SimFailed: return "sim-failed";
+      default: return "<bad>";
+    }
+}
+
+namespace
+{
+
+[[noreturn]] void
+bad(const std::string &msg)
+{
+    throw RequestError(ErrorCode::BadRequest, msg);
+}
+
+std::string
+asStringField(const Json &v, const std::string &key)
+{
+    if (!v.isString())
+        bad("\"" + key + "\" must be a string");
+    return v.asString();
+}
+
+std::uint64_t
+asU64Field(const Json &v, const std::string &key)
+{
+    if (!v.isIntegral())
+        bad("\"" + key + "\" must be a non-negative integer");
+    return v.asU64();
+}
+
+bool
+asBoolField(const Json &v, const std::string &key)
+{
+    if (!v.isBool())
+        bad("\"" + key + "\" must be a boolean");
+    return v.asBool();
+}
+
+const char *
+steeringName(Steering s)
+{
+    // Same wire names as the fuzz corpus headers (src/fuzz/corpus.cc).
+    switch (s) {
+      case Steering::RoundRobinPairs: return "rr-pairs";
+      case Steering::DependenceAware: return "dep-aware";
+      case Steering::ClassPartition: return "class-partition";
+      default: return "<bad>";
+    }
+}
+
+Steering
+steeringFromName(const std::string &name)
+{
+    if (name == "rr-pairs")
+        return Steering::RoundRobinPairs;
+    if (name == "dep-aware")
+        return Steering::DependenceAware;
+    if (name == "class-partition")
+        return Steering::ClassPartition;
+    bad("unknown steering policy \"" + name + "\"");
+}
+
+const char *
+kindName(MachineKind kind)
+{
+    switch (kind) {
+      case MachineKind::Baseline: return "base";
+      case MachineKind::RbLimited: return "rblim";
+      case MachineKind::RbFull: return "rbfull";
+      case MachineKind::Ideal: return "ideal";
+      default: return "<bad>";
+    }
+}
+
+/** Accepts both the short aliases and the paper's figure labels. */
+bool
+kindFromName(const std::string &name, MachineKind &out)
+{
+    if (name == "base" || name == "Baseline")
+        out = MachineKind::Baseline;
+    else if (name == "rblim" || name == "RB-limited")
+        out = MachineKind::RbLimited;
+    else if (name == "rbfull" || name == "RB-full")
+        out = MachineKind::RbFull;
+    else if (name == "ideal" || name == "Ideal")
+        out = MachineKind::Ideal;
+    else
+        return false;
+    return true;
+}
+
+Json
+cacheToJson(const CacheParams &c)
+{
+    Json j = Json::object();
+    j["size_bytes"] = Json(std::uint64_t{c.sizeBytes});
+    j["assoc"] = Json(std::uint64_t{c.assoc});
+    j["line_bytes"] = Json(std::uint64_t{c.lineBytes});
+    j["latency"] = Json(std::uint64_t{c.latency});
+    j["banks"] = Json(std::uint64_t{c.banks});
+    j["bank_busy"] = Json(std::uint64_t{c.bankBusy});
+    return j;
+}
+
+CacheParams
+cacheFromJson(const Json &j, const std::string &key)
+{
+    if (!j.isObject())
+        bad("\"" + key + "\" must be an object");
+    CacheParams c;
+    for (const auto &[k, v] : j.items()) {
+        if (k == "size_bytes")
+            c.sizeBytes = static_cast<std::uint32_t>(asU64Field(v, k));
+        else if (k == "assoc")
+            c.assoc = static_cast<std::uint32_t>(asU64Field(v, k));
+        else if (k == "line_bytes")
+            c.lineBytes = static_cast<std::uint32_t>(asU64Field(v, k));
+        else if (k == "latency")
+            c.latency = static_cast<unsigned>(asU64Field(v, k));
+        else if (k == "banks")
+            c.banks = static_cast<unsigned>(asU64Field(v, k));
+        else if (k == "bank_busy")
+            c.bankBusy = static_cast<unsigned>(asU64Field(v, k));
+        else
+            bad("unknown key \"" + k + "\" in \"" + key + "\"");
+    }
+    return c;
+}
+
+} // namespace
+
+JobRequest
+parseRequest(const std::string &line)
+{
+    return parseRequest(Json::parse(line)); // throws JsonError on bad JSON
+}
+
+JobRequest
+parseRequest(const Json &j)
+{
+    if (!j.isObject())
+        bad("request must be a JSON object");
+
+    JobRequest req;
+    bool sawId = false, sawWorkload = false, sawProgram = false;
+    bool sawMachine = false, sawConfig = false;
+    for (const auto &[key, v] : j.items()) {
+        if (key == "id") {
+            sawId = true;
+            if (v.isString())
+                req.id = v.asString();
+            else if (v.isIntegral())
+                req.id = std::to_string(v.asU64());
+            else
+                bad("\"id\" must be a string or integer");
+        } else if (key == "workload") {
+            sawWorkload = true;
+            req.workload = asStringField(v, key);
+        } else if (key == "program") {
+            sawProgram = true;
+            req.programAsm = asStringField(v, key);
+        } else if (key == "scale") {
+            req.scale = static_cast<unsigned>(asU64Field(v, key));
+        } else if (key == "machine") {
+            sawMachine = true;
+            req.machine = asStringField(v, key);
+        } else if (key == "width") {
+            req.width = static_cast<unsigned>(asU64Field(v, key));
+        } else if (key == "config") {
+            sawConfig = true;
+            if (!v.isObject())
+                bad("\"config\" must be an object");
+            req.config = v;
+        } else if (key == "scheduler") {
+            req.scheduler = asStringField(v, key);
+        } else if (key == "max_cycles") {
+            req.maxCycles = asU64Field(v, key);
+        } else if (key == "cosim") {
+            req.cosim = asBoolField(v, key);
+        } else if (key == "stats") {
+            if (!v.isArray())
+                bad("\"stats\" must be an array of stat names");
+            for (const Json &e : v.elements())
+                req.statSelect.push_back(asStringField(e, key));
+        } else {
+            bad("unknown key \"" + key + "\"");
+        }
+    }
+
+    if (!sawId || req.id.empty())
+        bad("missing \"id\"");
+    if (sawWorkload == sawProgram)
+        bad("exactly one of \"workload\" / \"program\" is required");
+    if (sawMachine && sawConfig)
+        bad("\"machine\" and \"config\" are mutually exclusive");
+    if (!sawMachine && !sawConfig)
+        bad("one of \"machine\" / \"config\" is required");
+    if (sawWorkload && req.scale == 0)
+        bad("\"scale\" must be at least 1");
+    return req;
+}
+
+MachineConfig
+requestConfig(const JobRequest &req)
+{
+    MachineConfig cfg;
+    if (!req.config.isNull()) {
+        cfg = configFromJson(req.config);
+    } else {
+        MachineKind kind;
+        if (!kindFromName(req.machine, kind))
+            throw RequestError(ErrorCode::UnknownMachine,
+                               "unknown machine \"" + req.machine +
+                                   "\" (want base/rblim/rbfull/ideal or a "
+                                   "figure label)");
+        if (req.width != 4 && req.width != 8 && req.width != 16)
+            bad("\"width\" must be 4, 8, or 16");
+        cfg = MachineConfig::make(kind, req.width);
+    }
+
+    // The scheduler knobs ride on top of whichever machine was named;
+    // both produce bit-identical statistics (CI pins it), so the result
+    // cache treats them as distinct keys only because the host-speed
+    // numbers differ.
+    if (req.scheduler == "wakeup") {
+        cfg.polledScheduler = false;
+        cfg.wakeupOracle = false;
+    } else if (req.scheduler == "polled") {
+        cfg.polledScheduler = true;
+        cfg.wakeupOracle = false;
+    } else if (req.scheduler == "oracle") {
+        cfg.polledScheduler = false;
+        cfg.wakeupOracle = true;
+    } else {
+        throw RequestError(ErrorCode::UnknownScheduler,
+                           "unknown scheduler \"" + req.scheduler +
+                               "\" (want wakeup, polled, or oracle)");
+    }
+    return cfg;
+}
+
+Json
+configToJson(const MachineConfig &cfg)
+{
+    Json j = Json::object();
+    j["kind"] = Json(kindName(cfg.kind));
+    j["label"] = Json(cfg.label);
+    j["width"] = Json(std::uint64_t{cfg.width});
+    j["num_schedulers"] = Json(std::uint64_t{cfg.numSchedulers});
+    j["sched_entries"] = Json(std::uint64_t{cfg.schedEntries});
+    j["select_width"] = Json(std::uint64_t{cfg.selectWidth});
+    j["num_clusters"] = Json(std::uint64_t{cfg.numClusters});
+    j["cross_cluster_delay"] = Json(std::uint64_t{cfg.crossClusterDelay});
+    j["fetch_width"] = Json(std::uint64_t{cfg.fetchWidth});
+    j["fetch_blocks"] = Json(std::uint64_t{cfg.fetchBlocks});
+    j["rename_width"] = Json(std::uint64_t{cfg.renameWidth});
+    j["retire_width"] = Json(std::uint64_t{cfg.retireWidth});
+    j["rob_entries"] = Json(std::uint64_t{cfg.robEntries});
+    j["lsq_entries"] = Json(std::uint64_t{cfg.lsqEntries});
+    j["phys_regs"] = Json(std::uint64_t{cfg.physRegs});
+    j["fetch_decode_depth"] = Json(std::uint64_t{cfg.fetchDecodeDepth});
+    j["rename_depth"] = Json(std::uint64_t{cfg.renameDepth});
+    j["rf_read_depth"] = Json(std::uint64_t{cfg.rfReadDepth});
+    j["num_bypass_levels"] = Json(std::uint64_t{cfg.numBypassLevels});
+    j["bypass_level_mask"] = Json(std::uint64_t{cfg.bypassLevelMask});
+    j["rb_limited_bypass"] = Json(cfg.rbLimitedBypass);
+    j["has_rb_regfile"] = Json(cfg.hasRbRegfile);
+    j["hole_aware_scheduling"] = Json(cfg.holeAwareScheduling);
+    j["steering"] = Json(steeringName(cfg.steering));
+    j["polled_scheduler"] = Json(cfg.polledScheduler);
+    j["wakeup_oracle"] = Json(cfg.wakeupOracle);
+    j["idle_skip"] = Json(cfg.idleSkip);
+    j["deadlock_cycles"] = Json(std::uint64_t{cfg.deadlockCycles});
+    j["il1"] = cacheToJson(cfg.il1);
+    j["dl1"] = cacheToJson(cfg.dl1);
+    j["l2"] = cacheToJson(cfg.l2);
+    j["mem_latency"] = Json(std::uint64_t{cfg.memLatency});
+    j["mem_banks"] = Json(std::uint64_t{cfg.memBanks});
+    j["mem_bank_busy"] = Json(std::uint64_t{cfg.memBankBusy});
+    Json lat = Json::array();
+    for (const LatencyPair &p : cfg.latency) {
+        Json pair = Json::array();
+        pair.push(Json(std::uint64_t{p.early}));
+        pair.push(Json(std::uint64_t{p.late}));
+        lat.push(std::move(pair));
+    }
+    j["latency"] = std::move(lat);
+    j["store_complete_lat"] = Json(std::uint64_t{cfg.storeCompleteLat});
+    return j;
+}
+
+MachineConfig
+configFromJson(const Json &j)
+{
+    if (!j.isObject())
+        bad("\"config\" must be an object");
+
+    // Start from the named base machine so a partial dump (kind + the
+    // knobs an ablation actually turns) round-trips; then overlay every
+    // present key. Unknown keys fail loudly — a dump from a newer field
+    // set must not silently drop an ablation knob.
+    const Json *kindField = j.find("kind");
+    if (!kindField || !kindField->isString())
+        bad("\"config\" requires a string \"kind\"");
+    MachineKind kind;
+    if (!kindFromName(kindField->asString(), kind))
+        throw RequestError(ErrorCode::UnknownMachine,
+                           "unknown config kind \"" +
+                               kindField->asString() + "\"");
+    const Json *widthField = j.find("width");
+    const unsigned width =
+        widthField ? static_cast<unsigned>(asU64Field(*widthField, "width"))
+                   : 4u;
+    if (width != 4 && width != 8 && width != 16)
+        bad("\"width\" must be 4, 8, or 16");
+    MachineConfig cfg = MachineConfig::make(kind, width);
+
+    for (const auto &[key, v] : j.items()) {
+        if (key == "kind" || key == "width") {
+            // consumed above
+        } else if (key == "label") {
+            cfg.label = asStringField(v, key);
+        } else if (key == "num_schedulers") {
+            cfg.numSchedulers = static_cast<unsigned>(asU64Field(v, key));
+        } else if (key == "sched_entries") {
+            cfg.schedEntries = static_cast<unsigned>(asU64Field(v, key));
+        } else if (key == "select_width") {
+            cfg.selectWidth = static_cast<unsigned>(asU64Field(v, key));
+        } else if (key == "num_clusters") {
+            cfg.numClusters = static_cast<unsigned>(asU64Field(v, key));
+        } else if (key == "cross_cluster_delay") {
+            cfg.crossClusterDelay =
+                static_cast<unsigned>(asU64Field(v, key));
+        } else if (key == "fetch_width") {
+            cfg.fetchWidth = static_cast<unsigned>(asU64Field(v, key));
+        } else if (key == "fetch_blocks") {
+            cfg.fetchBlocks = static_cast<unsigned>(asU64Field(v, key));
+        } else if (key == "rename_width") {
+            cfg.renameWidth = static_cast<unsigned>(asU64Field(v, key));
+        } else if (key == "retire_width") {
+            cfg.retireWidth = static_cast<unsigned>(asU64Field(v, key));
+        } else if (key == "rob_entries") {
+            cfg.robEntries = static_cast<unsigned>(asU64Field(v, key));
+        } else if (key == "lsq_entries") {
+            cfg.lsqEntries = static_cast<unsigned>(asU64Field(v, key));
+        } else if (key == "phys_regs") {
+            cfg.physRegs = static_cast<unsigned>(asU64Field(v, key));
+        } else if (key == "fetch_decode_depth") {
+            cfg.fetchDecodeDepth =
+                static_cast<unsigned>(asU64Field(v, key));
+        } else if (key == "rename_depth") {
+            cfg.renameDepth = static_cast<unsigned>(asU64Field(v, key));
+        } else if (key == "rf_read_depth") {
+            cfg.rfReadDepth = static_cast<unsigned>(asU64Field(v, key));
+        } else if (key == "num_bypass_levels") {
+            cfg.numBypassLevels =
+                static_cast<unsigned>(asU64Field(v, key));
+        } else if (key == "bypass_level_mask") {
+            cfg.bypassLevelMask =
+                static_cast<std::uint8_t>(asU64Field(v, key));
+        } else if (key == "rb_limited_bypass") {
+            cfg.rbLimitedBypass = asBoolField(v, key);
+        } else if (key == "has_rb_regfile") {
+            cfg.hasRbRegfile = asBoolField(v, key);
+        } else if (key == "hole_aware_scheduling") {
+            cfg.holeAwareScheduling = asBoolField(v, key);
+        } else if (key == "steering") {
+            cfg.steering = steeringFromName(asStringField(v, key));
+        } else if (key == "polled_scheduler") {
+            cfg.polledScheduler = asBoolField(v, key);
+        } else if (key == "wakeup_oracle") {
+            cfg.wakeupOracle = asBoolField(v, key);
+        } else if (key == "idle_skip") {
+            cfg.idleSkip = asBoolField(v, key);
+        } else if (key == "deadlock_cycles") {
+            cfg.deadlockCycles = asU64Field(v, key);
+        } else if (key == "il1") {
+            cfg.il1 = cacheFromJson(v, key);
+        } else if (key == "dl1") {
+            cfg.dl1 = cacheFromJson(v, key);
+        } else if (key == "l2") {
+            cfg.l2 = cacheFromJson(v, key);
+        } else if (key == "mem_latency") {
+            cfg.memLatency = static_cast<unsigned>(asU64Field(v, key));
+        } else if (key == "mem_banks") {
+            cfg.memBanks = static_cast<unsigned>(asU64Field(v, key));
+        } else if (key == "mem_bank_busy") {
+            cfg.memBankBusy = static_cast<unsigned>(asU64Field(v, key));
+        } else if (key == "latency") {
+            if (!v.isArray() || v.size() != cfg.latency.size())
+                bad("\"latency\" must be an array of " +
+                    std::to_string(cfg.latency.size()) +
+                    " [early, late] pairs");
+            for (std::size_t i = 0; i < cfg.latency.size(); ++i) {
+                const Json &pair = v.elements()[i];
+                if (!pair.isArray() || pair.size() != 2)
+                    bad("\"latency\" entries must be [early, late] pairs");
+                cfg.latency[i].early = static_cast<unsigned>(
+                    asU64Field(pair.elements()[0], key));
+                cfg.latency[i].late = static_cast<unsigned>(
+                    asU64Field(pair.elements()[1], key));
+            }
+        } else if (key == "store_complete_lat") {
+            cfg.storeCompleteLat =
+                static_cast<unsigned>(asU64Field(v, key));
+        } else {
+            bad("unknown config key \"" + key + "\"");
+        }
+    }
+    return cfg;
+}
+
+std::string
+configKey(const MachineConfig &cfg)
+{
+    return configToJson(cfg).dump();
+}
+
+std::string
+formatResult(const std::string &id, const SimResult &result,
+             bool cache_hit, const std::vector<std::string> &stat_select)
+{
+    Json j = Json::object();
+    j["schema"] = Json(schemaName);
+    j["id"] = Json(id);
+    j["ok"] = Json(true);
+    j["cache_hit"] = Json(cache_hit);
+    // The rbsim-bench-1 cell fields, so a response line can be dropped
+    // straight into a bench JSON's "cells" array.
+    j["machine"] = Json(result.machine);
+    j["workload"] = Json(result.workload);
+    j["ipc"] = Json(result.ipc());
+    j["host_ms"] = Json(result.hostSeconds * 1e3);
+    j["sim_khz"] = Json(result.simKhz());
+    j["halted"] = Json(result.halted);
+
+    const auto want = [&](const std::string &name) {
+        if (stat_select.empty())
+            return true;
+        for (const std::string &sel : stat_select)
+            if (sel == name)
+                return true;
+        return false;
+    };
+    // Same nested shape as a bench JSON cell's "stats", so responses
+    // drop into rbsim-bench-1 files (and bench_diff) unchanged.
+    Json stats = Json::object();
+    Json counters = Json::object();
+    for (const auto &[name, value] : result.stats.counters)
+        if (want(name))
+            counters[name] = Json(value);
+    Json formulas = Json::object();
+    for (const auto &[name, value] : result.stats.formulas)
+        if (want(name))
+            formulas[name] = Json(value);
+    Json vectors = Json::object();
+    for (const auto &[name, values] : result.stats.vectors) {
+        if (!want(name))
+            continue;
+        Json arr = Json::array();
+        for (std::uint64_t v : values)
+            arr.push(Json(v));
+        vectors[name] = std::move(arr);
+    }
+    stats["counters"] = std::move(counters);
+    stats["formulas"] = std::move(formulas);
+    stats["vectors"] = std::move(vectors);
+    j["stats"] = std::move(stats);
+    return j.dump();
+}
+
+std::string
+formatError(const std::string &id, ErrorCode code,
+            const std::string &message)
+{
+    Json j = Json::object();
+    j["schema"] = Json(schemaName);
+    if (!id.empty())
+        j["id"] = Json(id);
+    j["ok"] = Json(false);
+    j["code"] = Json(errorCodeName(code));
+    j["error"] = Json(message);
+    return j.dump();
+}
+
+} // namespace rbsim::serve

@@ -1,0 +1,289 @@
+#include "serve/server.hh"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "isa/assembler.hh"
+#include "workloads/workload.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace rbsim::serve
+{
+
+Server::Server(const Options &opts_,
+               std::function<void(const std::string &)> sink_)
+    : opts(opts_), service(opts_.service), sink(std::move(sink_))
+{}
+
+void
+Server::emit(const std::string &line)
+{
+    std::lock_guard<std::mutex> lock(sinkMu);
+    sink(line);
+}
+
+void
+Server::finishJob(const std::string &id, const std::string &key,
+                  const std::vector<std::string> &stat_select,
+                  const JobOutcome &outcome)
+{
+    {
+        std::lock_guard<std::mutex> lock(stateMu);
+        inFlight.erase(key);
+        if (outcome.ok)
+            ++okCount;
+        else
+            ++failCount;
+    }
+    emit(outcome.ok
+             ? formatResult(id, outcome.result, outcome.cacheHit,
+                            stat_select)
+             : formatError(id, ErrorCode::SimFailed, outcome.error));
+}
+
+void
+Server::handleLine(const std::string &line)
+{
+    if (line.find_first_not_of(" \t\r\n") == std::string::npos)
+        return;
+
+    auto fail = [&](const std::string &id, ErrorCode code,
+                    const std::string &msg) {
+        {
+            std::lock_guard<std::mutex> lock(stateMu);
+            ++failCount;
+        }
+        emit(formatError(id, code, msg));
+    };
+
+    Json doc;
+    try {
+        doc = Json::parse(line);
+    } catch (const JsonError &e) {
+        fail("", ErrorCode::Parse, e.what());
+        return;
+    }
+
+    // Best-effort id for error records on requests that fail validation.
+    std::string id;
+    if (doc.isObject()) {
+        if (const Json *v = doc.find("id")) {
+            if (v->isString())
+                id = v->asString();
+            else if (v->isIntegral())
+                id = std::to_string(v->asU64());
+        }
+    }
+
+    JobRequest req;
+    MachineConfig cfg;
+    try {
+        req = parseRequest(doc);
+        cfg = requestConfig(req);
+    } catch (const RequestError &e) {
+        fail(id, e.code, e.what());
+        return;
+    }
+
+    Program prog;
+    try {
+        if (!req.workload.empty()) {
+            if (req.scale > opts.maxScale) {
+                fail(id, ErrorCode::OversizedProgram,
+                     "scale " + std::to_string(req.scale) +
+                         " exceeds the server cap of " +
+                         std::to_string(opts.maxScale));
+                return;
+            }
+            const WorkloadInfo &wl = findWorkload(req.workload);
+            WorkloadParams wp;
+            wp.scale = req.scale;
+            prog = wl.build(wp);
+        } else {
+            prog = assemble(req.programAsm);
+            // The program's name is part of the cache identity, so it
+            // must depend on content, not on the request id — identical
+            // submissions from different clients share a cache entry.
+            if (prog.name.empty())
+                prog.name = "program";
+        }
+    } catch (const std::out_of_range &) {
+        fail(id, ErrorCode::UnknownWorkload,
+             "unknown workload \"" + req.workload + "\"");
+        return;
+    } catch (const AsmError &e) {
+        fail(id, ErrorCode::BadProgram, e.what());
+        return;
+    }
+    if (prog.code.size() > opts.maxProgramInsts) {
+        fail(id, ErrorCode::OversizedProgram,
+             std::to_string(prog.code.size()) +
+                 " instructions exceed the server cap of " +
+                 std::to_string(opts.maxProgramInsts));
+        return;
+    }
+
+    JobSpec spec;
+    spec.cfg = std::move(cfg);
+    spec.prog = std::move(prog);
+    spec.opts.maxCycles = req.maxCycles;
+    spec.opts.cosim = req.cosim;
+    const std::string key = SimService::cacheKeyFor(spec);
+
+    {
+        std::lock_guard<std::mutex> lock(stateMu);
+        if (usedIds.count(req.id)) {
+            ++failCount;
+            emit(formatError(req.id, ErrorCode::DuplicateId,
+                             "id \"" + req.id +
+                                 "\" was already used this session"));
+            return;
+        }
+        auto fit = inFlight.find(key);
+        if (fit != inFlight.end()) {
+            ++failCount;
+            emit(formatError(
+                req.id, ErrorCode::DuplicateInFlight,
+                "identical job already executing as id \"" + fit->second +
+                    "\" — resubmit after it completes for a cache hit"));
+            return;
+        }
+        usedIds.insert(req.id);
+        inFlight.emplace(key, req.id);
+    }
+
+    service.submit(std::move(spec),
+                   [this, id = req.id, key,
+                    sel = std::move(req.statSelect)](JobOutcome outcome) {
+                       finishJob(id, key, sel, outcome);
+                   });
+}
+
+// ---------------------------------------------------------------- stdio
+
+int
+serveStdio(const Server::Options &opts)
+{
+    Server server(opts, [](const std::string &line) {
+        std::fwrite(line.data(), 1, line.size(), stdout);
+        std::fputc('\n', stdout);
+        std::fflush(stdout);
+    });
+    std::fprintf(stderr, "rbsim-serve: reading JSON-lines on stdin (%u "
+                         "workers)\n",
+                 server.simService().workers());
+
+    std::string line;
+    line.reserve(4096);
+    int c;
+    while ((c = std::fgetc(stdin)) != EOF) {
+        if (c == '\n') {
+            server.handleLine(line);
+            line.clear();
+        } else {
+            line.push_back(static_cast<char>(c));
+        }
+    }
+    if (!line.empty())
+        server.handleLine(line);
+    server.drain();
+
+    const SimService::Counters ctr = server.simService().counters();
+    std::fprintf(stderr,
+                 "rbsim-serve: %llu ok, %llu failed; %llu executed, "
+                 "%llu cache hits, %llu warm simulators\n",
+                 static_cast<unsigned long long>(server.jobsOk()),
+                 static_cast<unsigned long long>(server.jobsFailed()),
+                 static_cast<unsigned long long>(ctr.jobsExecuted),
+                 static_cast<unsigned long long>(ctr.cacheHits),
+                 static_cast<unsigned long long>(ctr.warmSimulators));
+    return 0;
+}
+
+// ------------------------------------------------------------------ tcp
+
+namespace
+{
+
+void
+sendAll(int fd, const char *data, std::size_t len)
+{
+    while (len) {
+        const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+        if (n <= 0)
+            return; // peer went away; responses are best-effort
+        data += n;
+        len -= static_cast<std::size_t>(n);
+    }
+}
+
+} // namespace
+
+int
+serveTcp(const Server::Options &opts, std::uint16_t port)
+{
+    const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listener < 0) {
+        std::perror("rbsim-serve: socket");
+        return 1;
+    }
+    const int one = 1;
+    ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(listener, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) < 0 ||
+        ::listen(listener, 8) < 0) {
+        std::perror("rbsim-serve: bind/listen");
+        ::close(listener);
+        return 1;
+    }
+
+    // One connection at a time; the Server (and so the result cache and
+    // warm simulators) persists across connections. drain() runs before
+    // close(), so no worker response can race a dead descriptor.
+    int conn = -1;
+    Server server(opts, [&conn](const std::string &line) {
+        if (conn >= 0) {
+            sendAll(conn, line.data(), line.size());
+            sendAll(conn, "\n", 1);
+        }
+    });
+    std::fprintf(stderr,
+                 "rbsim-serve: listening on 127.0.0.1:%u (%u workers)\n",
+                 unsigned{port}, server.simService().workers());
+
+    for (;;) {
+        conn = ::accept(listener, nullptr, nullptr);
+        if (conn < 0)
+            continue;
+        std::string line;
+        char buf[4096];
+        for (;;) {
+            const ssize_t n = ::recv(conn, buf, sizeof(buf), 0);
+            if (n <= 0)
+                break;
+            for (ssize_t i = 0; i < n; ++i) {
+                if (buf[i] == '\n') {
+                    server.handleLine(line);
+                    line.clear();
+                } else {
+                    line.push_back(buf[i]);
+                }
+            }
+        }
+        if (!line.empty())
+            server.handleLine(line);
+        server.drain();
+        ::close(conn);
+        conn = -1;
+    }
+}
+
+} // namespace rbsim::serve

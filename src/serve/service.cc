@@ -1,0 +1,176 @@
+#include "serve/service.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/alloccount.hh"
+#include "serve/protocol.hh"
+
+namespace rbsim::serve
+{
+
+SimService::SimService() : SimService(Options{}) {}
+
+SimService::SimService(const Options &opts)
+    : queue(opts.workers), warm(queue.workers()),
+      cacheCapacity(opts.cacheCapacity)
+{}
+
+std::string
+SimService::cacheKeyFor(const JobSpec &spec)
+{
+    char suffix[80];
+    std::snprintf(suffix, sizeof(suffix), "|%016" PRIx64 "|%" PRIu64 "|%c",
+                  spec.prog.hash(),
+                  static_cast<std::uint64_t>(spec.opts.maxCycles),
+                  spec.opts.cosim ? '1' : '0');
+    return configKey(spec.cfg) + "|" + spec.prog.name + suffix;
+}
+
+SimService::WarmSim &
+SimService::warmFor(unsigned worker, const MachineConfig &cfg,
+                    const std::string &config_key)
+{
+    auto &mine = warm[worker];
+    auto it = mine.find(config_key);
+    if (it == mine.end()) {
+        WarmSim ws;
+        ws.sim = std::make_unique<Simulator>(cfg);
+        it = mine.emplace(config_key, std::move(ws)).first;
+        warmCount.fetch_add(1, std::memory_order_relaxed);
+    }
+    return it->second;
+}
+
+bool
+SimService::cacheLookup(const std::string &key, SimResult &out)
+{
+    std::lock_guard<std::mutex> lock(cacheMu);
+    auto it = cacheIndex.find(key);
+    if (it == cacheIndex.end())
+        return false;
+    lru.splice(lru.begin(), lru, it->second); // freshen
+    out = it->second->second;
+    return true;
+}
+
+void
+SimService::cacheInsert(const std::string &key, const SimResult &result)
+{
+    if (!cacheCapacity)
+        return;
+    std::lock_guard<std::mutex> lock(cacheMu);
+    auto it = cacheIndex.find(key);
+    if (it != cacheIndex.end()) {
+        // A concurrent worker raced us to the same key; keep the newer
+        // copy fresh (the results are identical by determinism).
+        lru.splice(lru.begin(), lru, it->second);
+        return;
+    }
+    lru.emplace_front(key, result);
+    cacheIndex[key] = lru.begin();
+    while (lru.size() > cacheCapacity) {
+        cacheIndex.erase(lru.back().first);
+        lru.pop_back();
+    }
+}
+
+void
+SimService::submit(JobSpec spec, std::function<void(JobOutcome)> done)
+{
+    // configKey identifies the warm simulator; the full cache key adds
+    // the program + options. Both are computed once, on the caller's
+    // thread, so the worker's window stays allocation-free.
+    std::string config_key = configKey(spec.cfg);
+    std::string cache_key;
+    if (!spec.bypassCache) {
+        cache_key = cacheKeyFor(spec);
+        JobOutcome hit;
+        if (cacheLookup(cache_key, hit.result)) {
+            cacheHits.fetch_add(1, std::memory_order_relaxed);
+            hit.ok = true;
+            hit.cacheHit = true;
+            done(std::move(hit));
+            return;
+        }
+        cacheMisses.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    queue.submit([this, spec = std::move(spec),
+                  config_key = std::move(config_key),
+                  cache_key = std::move(cache_key),
+                  done = std::move(done)](unsigned worker) mutable {
+        WarmSim &ws = warmFor(worker, spec.cfg, config_key);
+        JobOutcome out;
+        // The measured window covers exactly the reset + run; the
+        // result copy and cache insert below are host bookkeeping
+        // outside the zero-alloc invariant.
+        out.allocsCounted =
+            alloccount::hooked() && alloccount::enabled();
+        const std::uint64_t allocs0 = alloccount::threadCount();
+        try {
+            ws.sim->runInto(spec.prog, spec.opts, ws.scratch);
+            out.ok = true;
+        } catch (const std::exception &e) {
+            out.error = e.what();
+        }
+        out.workerAllocs = alloccount::threadCount() - allocs0;
+        jobsExecuted.fetch_add(1, std::memory_order_relaxed);
+        if (out.ok) {
+            out.result = ws.scratch;
+            if (!spec.bypassCache)
+                cacheInsert(cache_key, out.result);
+        }
+        done(std::move(out));
+    });
+}
+
+std::vector<JobOutcome>
+SimService::runBatch(std::vector<JobSpec> specs)
+{
+    std::vector<JobOutcome> out(specs.size());
+
+    // Coalesce duplicates inside the batch: only the first occurrence of
+    // a cacheable key executes; the rest copy its outcome below.
+    std::unordered_map<std::string, std::size_t> firstOf;
+    std::vector<std::pair<std::size_t, std::size_t>> dups;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (!specs[i].bypassCache) {
+            const auto [it, fresh] =
+                firstOf.try_emplace(cacheKeyFor(specs[i]), i);
+            if (!fresh) {
+                dups.emplace_back(i, it->second);
+                continue;
+            }
+        }
+        // Distinct slots: no lock needed, wait() orders the writes.
+        submit(std::move(specs[i]),
+               [&out, i](JobOutcome o) { out[i] = std::move(o); });
+    }
+    wait();
+    for (const auto &[dup, first] : dups) {
+        out[dup] = out[first];
+        out[dup].cacheHit = true;
+    }
+    return out;
+}
+
+SimService::Counters
+SimService::counters() const
+{
+    Counters c;
+    c.cacheHits = cacheHits.load(std::memory_order_relaxed);
+    c.cacheMisses = cacheMisses.load(std::memory_order_relaxed);
+    c.jobsExecuted = jobsExecuted.load(std::memory_order_relaxed);
+    c.warmSimulators = warmCount.load(std::memory_order_relaxed);
+    return c;
+}
+
+SimService &
+SimService::instance()
+{
+    static SimService service;
+    return service;
+}
+
+} // namespace rbsim::serve

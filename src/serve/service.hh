@@ -1,0 +1,158 @@
+/**
+ * @file
+ * The simulation service: a fixed pool of worker threads, each owning a
+ * cache of warm (pre-constructed, reset-in-place) Simulator instances,
+ * fed through the shared WorkQueue, with a bounded LRU result cache in
+ * front (docs/SERVING.md).
+ *
+ * This is the one execution path behind every parallel sweep: the bench
+ * binaries submit their grids here (in-process), and rbsim-serve's
+ * network front end submits parsed requests here. Construction cost
+ * (rings, pools, rename tables, stat registration) is paid once per
+ * (worker, configuration) pair; every later job on that pair is a
+ * Simulator::reset() plus the run itself — zero steady-state heap
+ * allocations on the worker thread (tests/test_serve.cc pins this).
+ */
+
+#ifndef RBSIM_SERVE_SERVICE_HH
+#define RBSIM_SERVE_SERVICE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/work_queue.hh"
+#include "sim/simulator.hh"
+
+namespace rbsim::serve
+{
+
+/** One unit of work: a fully resolved (config, program, options) job. */
+struct JobSpec
+{
+    MachineConfig cfg; //!< scheduler knobs already applied
+    Program prog;
+    SimOptions opts;
+    //! Skip the result cache entirely (lookup and insert). Set for
+    //! traced/profiled cells, which must actually execute to produce
+    //! their side artifacts.
+    bool bypassCache = false;
+};
+
+/** What a job produced. */
+struct JobOutcome
+{
+    bool ok = false;
+    std::string error; //!< exception text when !ok (cosim mismatch, ...)
+    bool cacheHit = false;
+    SimResult result;
+    //! Heap allocations on the worker thread inside the runInto() window
+    //! (meaningful only when allocsCounted).
+    std::uint64_t workerAllocs = 0;
+    bool allocsCounted = false;
+};
+
+/** The service. */
+class SimService
+{
+  public:
+    struct Options
+    {
+        unsigned workers = 0;          //!< 0 = WorkQueue::defaultThreads()
+        std::size_t cacheCapacity = 256; //!< result-cache entries (LRU)
+    };
+
+    SimService();
+    explicit SimService(const Options &opts);
+
+    unsigned workers() const { return queue.workers(); }
+
+    /**
+     * The result-cache identity of a job: configKey (every MachineConfig
+     * field, scheduler knobs included) + program name + Program::hash()
+     * + the SimOptions that change results (maxCycles, cosim).
+     */
+    static std::string cacheKeyFor(const JobSpec &spec);
+
+    /**
+     * Submit one job. `done` runs exactly once — synchronously on the
+     * calling thread for a cache hit, on a worker thread otherwise.
+     * Borrowed pointers inside spec.opts (tracer, profiler) must outlive
+     * the callback.
+     */
+    void submit(JobSpec spec, std::function<void(JobOutcome)> done);
+
+    /**
+     * Run a whole grid, preserving order. Identical cacheable specs are
+     * coalesced: only the first occurrence executes, the rest are marked
+     * cacheHit and copy its outcome.
+     */
+    std::vector<JobOutcome> runBatch(std::vector<JobSpec> specs);
+
+    /** Block until every submitted job has completed. */
+    void wait() { queue.wait(); }
+
+    /** Service-wide telemetry (the serve summary line). */
+    struct Counters
+    {
+        std::uint64_t cacheHits = 0;
+        std::uint64_t cacheMisses = 0;
+        std::uint64_t jobsExecuted = 0;
+        std::uint64_t warmSimulators = 0;
+    };
+
+    Counters counters() const;
+
+    /**
+     * The process-wide instance every bench binary submits through
+     * (default worker count, default cache). Constructed on first use.
+     */
+    static SimService &instance();
+
+  private:
+    /** A warm simulator plus its reusable result buffer. */
+    struct WarmSim
+    {
+        std::unique_ptr<Simulator> sim;
+        SimResult scratch;
+    };
+
+    /** Get or build worker-local warm state for a configuration. */
+    WarmSim &warmFor(unsigned worker, const MachineConfig &cfg,
+                     const std::string &config_key);
+
+    /** Cache lookup; fills `out` and returns true on a hit. */
+    bool cacheLookup(const std::string &key, SimResult &out);
+    void cacheInsert(const std::string &key, const SimResult &result);
+
+    WorkQueue queue;
+
+    //! Per-worker warm simulators, keyed by configKey. Each map is only
+    //! ever touched by its own worker thread — no locking on the
+    //! simulation path.
+    std::vector<std::map<std::string, WarmSim>> warm;
+
+    // Result cache: LRU list of (key, result) with an index into it.
+    mutable std::mutex cacheMu;
+    std::size_t cacheCapacity;
+    std::list<std::pair<std::string, SimResult>> lru;
+    std::unordered_map<std::string,
+                       std::list<std::pair<std::string, SimResult>>::iterator>
+        cacheIndex;
+
+    std::atomic<std::uint64_t> cacheHits{0};
+    std::atomic<std::uint64_t> cacheMisses{0};
+    std::atomic<std::uint64_t> jobsExecuted{0};
+    std::atomic<std::uint64_t> warmCount{0};
+};
+
+} // namespace rbsim::serve
+
+#endif // RBSIM_SERVE_SERVICE_HH

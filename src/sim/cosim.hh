@@ -51,6 +51,15 @@ class CosimChecker
         : interp(prog)
     {}
 
+    /** Back to construction state, rebound to `prog`. The `checked`
+     * counter keeps its address (stat registrations stay valid). */
+    void
+    reset(const Program &prog)
+    {
+        interp.reset(prog);
+        count = 0;
+    }
+
     /**
      * Verify one retired instruction against one architectural step.
      * Throws CosimMismatch on any divergence.

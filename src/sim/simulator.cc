@@ -3,62 +3,93 @@
 #include <chrono>
 
 #include "common/alloccount.hh"
-#include "sim/cosim.hh"
 
 namespace rbsim
 {
+
+Simulator::Simulator(const MachineConfig &cfg_)
+    : cfg(cfg_), core(cfg, prog), checker(prog)
+{
+    // The retire hook is installed once; per-run cosim enablement is a
+    // flag check so switching SimOptions::cosim never reallocates the
+    // std::function.
+    core.onRetire([this](const RobEntry &e) {
+        if (cosimOn)
+            checker.onRetire(e);
+    });
+
+    // Every component self-registers its statistics exactly once; the
+    // registry stores pointers into the core/checker, whose counters
+    // keep their addresses across reset().
+    core.registerStats(reg);
+    checker.registerStats(statGroup(reg, "cosim"));
+}
+
+SimResult
+Simulator::run(const Program &program, const SimOptions &opts)
+{
+    SimResult res;
+    runInto(program, opts, res);
+    return res;
+}
+
+void
+Simulator::runInto(const Program &program, const SimOptions &opts,
+                   SimResult &out)
+{
+    // Copy the program into the member the core/checker are bound to.
+    // Copy-assignment reuses the existing buffers when the shapes
+    // match, which is what keeps warm repeat jobs allocation-free.
+    prog = program;
+    core.reset(prog);
+    checker.reset(prog);
+    cosimOn = opts.cosim;
+
+    out.machine = cfg.label;
+    out.workload = prog.name;
+    out.halted = false;
+    core.attachTracer(opts.tracer);
+    core.attachProfiler(opts.profiler);
+    const std::uint64_t allocs0 = alloccount::threadCount();
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+        out.halted = core.run(opts.maxCycles);
+    } catch (...) {
+        // Cosim mismatch mid-retire: capture the pipeline tail before
+        // the exception reaches the caller, and detach the borrowed
+        // tracer/profiler so a reused instance cannot dangle into them.
+        if (opts.tracer) {
+            core.traceInFlight("cosim-mismatch");
+            opts.tracer->finish();
+        }
+        core.attachTracer(nullptr);
+        core.attachProfiler(nullptr);
+        throw;
+    }
+    if (opts.tracer) {
+        core.traceInFlight(out.halted ? "post-halt" : "run-aborted");
+        opts.tracer->finish();
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    out.hostSeconds = std::chrono::duration<double>(t1 - t0).count();
+    if (opts.profiler) {
+        opts.profiler->allocationsCounted =
+            alloccount::hooked() && alloccount::enabled();
+        opts.profiler->allocations = alloccount::threadCount() - allocs0;
+    }
+    core.attachTracer(nullptr);
+    core.attachProfiler(nullptr);
+    reg.snapshotInto(out.stats);
+    ++runs;
+}
 
 SimResult
 simulate(const MachineConfig &cfg, const Program &prog,
          const SimOptions &opts)
 {
-    OooCore core(cfg, prog);
-    CosimChecker checker(prog);
-    if (opts.cosim) {
-        core.onRetire(
-            [&checker](const RobEntry &e) { checker.onRetire(e); });
-    }
-
-    // Every component self-registers its statistics; the snapshot taken
-    // after the run is the complete machine-readable result.
-    StatRegistry reg;
-    core.registerStats(reg);
-    checker.registerStats(statGroup(reg, "cosim"));
-
+    Simulator sim(cfg);
     SimResult res;
-    res.machine = cfg.label;
-    res.workload = prog.name;
-    if (opts.tracer)
-        core.attachTracer(opts.tracer);
-    if (opts.profiler)
-        core.attachProfiler(opts.profiler);
-    const std::uint64_t allocs0 = alloccount::threadCount();
-    const auto t0 = std::chrono::steady_clock::now();
-    try {
-        res.halted = core.run(opts.maxCycles);
-    } catch (...) {
-        // Cosim mismatch mid-retire: capture the pipeline tail before
-        // the exception reaches the caller.
-        if (opts.tracer) {
-            core.traceInFlight("cosim-mismatch");
-            opts.tracer->finish();
-        }
-        throw;
-    }
-    if (opts.tracer) {
-        core.traceInFlight(res.halted ? "post-halt" : "run-aborted");
-        opts.tracer->finish();
-    }
-    const auto t1 = std::chrono::steady_clock::now();
-    res.hostSeconds =
-        std::chrono::duration<double>(t1 - t0).count();
-    if (opts.profiler) {
-        opts.profiler->allocationsCounted =
-            alloccount::hooked() && alloccount::enabled();
-        opts.profiler->allocations =
-            alloccount::threadCount() - allocs0;
-    }
-    res.stats = reg.snapshot();
+    sim.runInto(prog, opts, res);
     return res;
 }
 

@@ -12,6 +12,7 @@
 
 #include "common/stats.hh"
 #include "core/core.hh"
+#include "sim/cosim.hh"
 
 namespace rbsim
 {
@@ -85,7 +86,64 @@ struct SimOptions
 };
 
 /**
- * Run `prog` to completion on `cfg`.
+ * A reusable simulator instance: one machine configuration, one
+ * pre-constructed core + co-simulation checker + stat registry, reset in
+ * place between runs (docs/SERVING.md).
+ *
+ * Construction is the expensive part (ring/pool/table sizing, stat
+ * registration); run() rewinds everything via OooCore::reset() and the
+ * per-component reset hooks, so a warm Simulator re-running a
+ * same-footprint program performs zero heap allocations when paired
+ * with runInto() — the serve worker pool keeps one Simulator per
+ * distinct configuration and feeds jobs through exactly this path.
+ *
+ * Determinism contract (pinned by tests/test_serve.cc): a reset-reused
+ * Simulator produces a StatSnapshot bit-identical to a freshly
+ * constructed one for the same (config, program, options).
+ */
+class Simulator
+{
+  public:
+    explicit Simulator(const MachineConfig &cfg);
+
+    /** The (owned) configuration this instance simulates. */
+    const MachineConfig &config() const { return cfg; }
+
+    /** Completed runs since construction (serve telemetry). */
+    std::uint64_t runsCompleted() const { return runs; }
+
+    /**
+     * Reset in place and run `prog` to completion.
+     * Throws CosimMismatch if verification fails (cosim enabled).
+     */
+    SimResult run(const Program &prog,
+                  const SimOptions &opts = SimOptions{});
+
+    /**
+     * Like run(), but reusing `out` (its maps/vectors keep their
+     * storage). On a warm repeat of a same-shaped job this performs no
+     * heap allocations.
+     */
+    void runInto(const Program &prog, const SimOptions &opts,
+                 SimResult &out);
+
+  private:
+    // Owned by value at stable addresses: the core/checker hold
+    // pointers into `prog`, and the registry holds pointers into the
+    // core's counters; both stay valid across resets because only the
+    // *contents* change.
+    MachineConfig cfg;
+    Program prog;
+    OooCore core;
+    CosimChecker checker;
+    StatRegistry reg;
+    bool cosimOn = true;
+    std::uint64_t runs = 0;
+};
+
+/**
+ * Run `prog` to completion on `cfg` (one-shot convenience: constructs a
+ * Simulator and runs once, so both paths share one implementation).
  * Throws CosimMismatch if verification fails (cosim enabled).
  */
 SimResult simulate(const MachineConfig &cfg, const Program &prog,

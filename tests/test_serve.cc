@@ -1,0 +1,417 @@
+/**
+ * @file
+ * The serving layer (docs/SERVING.md):
+ *  - Program::hash() content identity (assemble/disassemble round-trip,
+ *    single-instruction sensitivity);
+ *  - the reset-in-place determinism contract — a warm, reused Simulator
+ *    produces StatSnapshots bit-identical to a fresh one across the
+ *    Figure 12 grid under both the wakeup and the polled scheduler;
+ *  - SimService result caching, in-batch coalescing, and the
+ *    zero-steady-state-allocation serving window (this binary links
+ *    rbsim-allochook);
+ *  - protocol edge cases: malformed JSON, unknown machine / workload /
+ *    scheduler, malformed shapes, oversized programs, duplicate ids,
+ *    duplicate in-flight jobs — all structured per-job error records,
+ *    with the server still serving afterwards.
+ */
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/alloccount.hh"
+#include "isa/assembler.hh"
+#include "isa/builder.hh"
+#include "isa/disasm.hh"
+#include "serve/protocol.hh"
+#include "serve/server.hh"
+#include "serve/service.hh"
+#include "workloads/workload.hh"
+
+namespace rbsim
+{
+namespace
+{
+
+Program
+hashSubject(std::int64_t tweak)
+{
+    CodeBuilder cb("hash-subject");
+    cb.ldiq(R(1), 0x1000 + tweak);
+    cb.ldiq(R(2), 3);
+    cb.op3(Opcode::ADDQ, R(1), R(2), R(3));
+    cb.opi(Opcode::SUBQ, R(3), 1, R(4));
+    cb.halt();
+    return cb.finish();
+}
+
+// ------------------------------------------------------- Program::hash
+
+TEST(ProgramHash, DeterministicAndNameBlind)
+{
+    const Program a = hashSubject(0);
+    Program b = hashSubject(0);
+    EXPECT_EQ(a.hash(), b.hash());
+    b.name = "different-name";
+    EXPECT_EQ(a.hash(), b.hash()) << "name must not affect content hash";
+}
+
+TEST(ProgramHash, AssembleRoundTripPreservesHash)
+{
+    // The same identity the fuzz corpus relies on: disassembling and
+    // re-assembling a program preserves its content.
+    const Program orig = hashSubject(7);
+    const Program round = assemble(disassembleProgram(orig));
+    EXPECT_EQ(orig.hash(), round.hash());
+
+    // Also through a registered workload generator (data segments too).
+    WorkloadParams wp;
+    const Program wl = findWorkload("compress").build(wp);
+    const Program wlRound = assemble(disassembleProgram(wl));
+    EXPECT_EQ(wl.hash(), wlRound.hash());
+}
+
+TEST(ProgramHash, SingleInstructionMutationChangesHash)
+{
+    const Program a = hashSubject(0);
+    const Program b = hashSubject(1); // one literal differs
+    EXPECT_NE(a.hash(), b.hash());
+
+    CodeBuilder cb("hash-subject");
+    cb.ldiq(R(1), 0x1000);
+    cb.ldiq(R(2), 3);
+    cb.op3(Opcode::SUBQ, R(1), R(2), R(3)); // opcode differs
+    cb.opi(Opcode::SUBQ, R(3), 1, R(4));
+    cb.halt();
+    EXPECT_NE(a.hash(), cb.finish().hash());
+}
+
+// ----------------------------------------------- reset-in-place parity
+
+/** The Figure 12 machines (4-wide), with the scheduler knob applied. */
+std::vector<MachineConfig>
+bench_grid(bool polled)
+{
+    std::vector<MachineConfig> grid;
+    for (MachineKind kind :
+         {MachineKind::Baseline, MachineKind::RbLimited,
+          MachineKind::RbFull, MachineKind::Ideal}) {
+        MachineConfig cfg = MachineConfig::make(kind, 4);
+        cfg.polledScheduler = polled;
+        grid.push_back(cfg);
+    }
+    return grid;
+}
+
+/**
+ * One warm Simulator per configuration runs the whole suite in
+ * sequence (so every run after the first exercises reset-in-place with
+ * a *different* program than the last), and every result must be
+ * bit-identical to a freshly constructed Simulator's.
+ */
+void
+expectResetParity(bool polled)
+{
+    const std::vector<WorkloadInfo> suite = suiteWorkloads("spec95");
+    for (MachineConfig cfg : bench_grid(polled)) {
+        Simulator reused(cfg);
+        for (const WorkloadInfo &wl : suite) {
+            WorkloadParams wp;
+            const Program prog = wl.build(wp);
+            const SimResult warm = reused.run(prog);
+            const SimResult fresh = simulate(cfg, prog);
+            EXPECT_EQ(warm.stats, fresh.stats)
+                << cfg.label << "/" << wl.name
+                << (polled ? " (polled)" : " (wakeup)");
+            EXPECT_EQ(warm.halted, fresh.halted);
+        }
+        EXPECT_EQ(reused.runsCompleted(), suite.size());
+    }
+}
+
+TEST(SimulatorReset, Fig12GridWakeupParity) { expectResetParity(false); }
+
+TEST(SimulatorReset, Fig12GridPolledParity) { expectResetParity(true); }
+
+// ------------------------------------------------------------ service
+
+serve::JobSpec
+compressSpec(const char *machine_alias = "rbfull")
+{
+    serve::JobRequest req;
+    req.id = "x";
+    req.workload = "compress";
+    req.machine = machine_alias;
+    req.width = 4;
+    serve::JobSpec spec;
+    spec.cfg = serve::requestConfig(req);
+    WorkloadParams wp;
+    spec.prog = findWorkload("compress").build(wp);
+    return spec;
+}
+
+TEST(SimService, CachesAndCoalesces)
+{
+    serve::SimService service(
+        serve::SimService::Options{/*workers=*/2, /*cacheCapacity=*/16});
+
+    // An in-batch duplicate coalesces onto one execution.
+    std::vector<serve::JobSpec> batch;
+    batch.push_back(compressSpec());
+    batch.push_back(compressSpec("base"));
+    batch.push_back(compressSpec());
+    const auto first = service.runBatch(std::move(batch));
+    ASSERT_EQ(first.size(), 3u);
+    for (const auto &o : first)
+        ASSERT_TRUE(o.ok) << o.error;
+    EXPECT_FALSE(first[0].cacheHit);
+    EXPECT_FALSE(first[1].cacheHit);
+    EXPECT_TRUE(first[2].cacheHit);
+    EXPECT_EQ(first[0].result.stats, first[2].result.stats);
+    EXPECT_EQ(service.counters().jobsExecuted, 2u);
+
+    // A later identical batch is served from the LRU cache entirely.
+    std::vector<serve::JobSpec> again;
+    again.push_back(compressSpec());
+    again.push_back(compressSpec("base"));
+    const auto second = service.runBatch(std::move(again));
+    ASSERT_TRUE(second[0].ok && second[1].ok);
+    EXPECT_TRUE(second[0].cacheHit);
+    EXPECT_TRUE(second[1].cacheHit);
+    EXPECT_EQ(second[0].result.stats, first[0].result.stats);
+    EXPECT_EQ(service.counters().jobsExecuted, 2u);
+    EXPECT_GE(service.counters().cacheHits, 2u);
+}
+
+TEST(SimService, ServingWindowIsAllocationFree)
+{
+    ASSERT_TRUE(alloccount::hooked())
+        << "test_serve must link rbsim-allochook";
+    alloccount::enable(true);
+
+    serve::SimService service(
+        serve::SimService::Options{/*workers=*/1, /*cacheCapacity=*/0});
+
+    auto runOnce = [&] {
+        serve::JobSpec spec = compressSpec();
+        spec.bypassCache = true; // must execute, not hit a cache
+        std::vector<serve::JobSpec> batch;
+        batch.push_back(std::move(spec));
+        auto out = service.runBatch(std::move(batch));
+        EXPECT_TRUE(out[0].ok) << out[0].error;
+        return out[0];
+    };
+
+    // Warm-up: simulator construction plus first-run buffer growth.
+    runOnce();
+    runOnce();
+    // Steady state: reset + run + snapshot reuse every buffer.
+    for (int i = 0; i < 3; ++i) {
+        const serve::JobOutcome o = runOnce();
+        ASSERT_TRUE(o.allocsCounted);
+        EXPECT_EQ(o.workerAllocs, 0u)
+            << "warm serving window allocated on iteration " << i;
+    }
+    alloccount::enable(false);
+}
+
+// ----------------------------------------------------- protocol basics
+
+TEST(ServeProtocol, ConfigJsonRoundTrips)
+{
+    for (unsigned width : {4u, 8u}) {
+        for (MachineKind kind :
+             {MachineKind::Baseline, MachineKind::RbLimited,
+              MachineKind::RbFull, MachineKind::Ideal}) {
+            const MachineConfig cfg = MachineConfig::make(kind, width);
+            const MachineConfig round =
+                serve::configFromJson(serve::configToJson(cfg));
+            EXPECT_EQ(serve::configKey(cfg), serve::configKey(round));
+        }
+    }
+    // An ablation knob survives the wire.
+    MachineConfig ab = MachineConfig::makeIdealLimited(4, 0b001);
+    ab.label = "Ideal-L1";
+    const MachineConfig round =
+        serve::configFromJson(serve::configToJson(ab));
+    EXPECT_EQ(serve::configKey(ab), serve::configKey(round));
+    EXPECT_EQ(round.bypassLevelMask, 0b001);
+}
+
+TEST(ServeProtocol, RequestParsing)
+{
+    const serve::JobRequest req = serve::parseRequest(std::string(
+        R"({"id":"j1","workload":"gcc","scale":2,"machine":"rblim",)"
+        R"("width":8,"scheduler":"polled","max_cycles":1000,)"
+        R"("cosim":false,"stats":["core.ipc"]})"));
+    EXPECT_EQ(req.id, "j1");
+    EXPECT_EQ(req.workload, "gcc");
+    EXPECT_EQ(req.scale, 2u);
+    EXPECT_EQ(req.maxCycles, 1000u);
+    EXPECT_FALSE(req.cosim);
+    ASSERT_EQ(req.statSelect.size(), 1u);
+
+    const MachineConfig cfg = serve::requestConfig(req);
+    EXPECT_EQ(cfg.kind, MachineKind::RbLimited);
+    EXPECT_EQ(cfg.width, 8u);
+    EXPECT_TRUE(cfg.polledScheduler);
+    EXPECT_FALSE(cfg.wakeupOracle);
+}
+
+// ------------------------------------------------- server edge cases
+
+/** A Server wired to an in-memory response sink. */
+struct TestServer
+{
+    explicit TestServer(serve::Server::Options opts = makeOpts())
+        : server(opts, [this](const std::string &line) {
+              std::lock_guard<std::mutex> lock(mu);
+              lines.push_back(line);
+          })
+    {}
+
+    static serve::Server::Options
+    makeOpts()
+    {
+        serve::Server::Options o;
+        o.service.workers = 1;
+        return o;
+    }
+
+    /** Feed a line and wait for every accepted job to respond. */
+    std::vector<Json>
+    roundTrip(const std::string &line)
+    {
+        server.handleLine(line);
+        server.drain();
+        std::lock_guard<std::mutex> lock(mu);
+        std::vector<Json> parsed;
+        for (const std::string &l : lines)
+            parsed.push_back(Json::parse(l));
+        lines.clear();
+        return parsed;
+    }
+
+    std::mutex mu;
+    std::vector<std::string> lines;
+    serve::Server server;
+};
+
+void
+expectError(const std::vector<Json> &resp, const char *code)
+{
+    ASSERT_EQ(resp.size(), 1u);
+    const Json *ok = resp[0].find("ok");
+    ASSERT_NE(ok, nullptr);
+    EXPECT_FALSE(ok->asBool());
+    const Json *c = resp[0].find("code");
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->asString(), code);
+}
+
+TEST(ServeServer, StructuredErrorsAndSurvival)
+{
+    TestServer ts;
+
+    expectError(ts.roundTrip("this is not json"), "parse");
+    expectError(ts.roundTrip(R"({"id":"e1","workload":"compress",)"
+                             R"("machine":"pentium"})"),
+                "unknown-machine");
+    expectError(ts.roundTrip(R"({"id":"e2","workload":"doom",)"
+                             R"("machine":"base"})"),
+                "unknown-workload");
+    expectError(ts.roundTrip(R"({"id":"e3","workload":"compress",)"
+                             R"("machine":"base","scheduler":"psychic"})"),
+                "unknown-scheduler");
+    // Shape errors: missing id, program+workload both, neither machine
+    // nor config, unknown key.
+    expectError(ts.roundTrip(R"({"workload":"compress","machine":"base"})"),
+                "bad-request");
+    expectError(ts.roundTrip(R"({"id":"e4","workload":"compress",)"
+                             R"("program":"halt","machine":"base"})"),
+                "bad-request");
+    expectError(ts.roundTrip(R"({"id":"e5","workload":"compress"})"),
+                "bad-request");
+    expectError(ts.roundTrip(R"({"id":"e6","workload":"compress",)"
+                             R"("machine":"base","frobnicate":1})"),
+                "bad-request");
+    expectError(ts.roundTrip(R"({"id":"e7","program":"not assembly",)"
+                             R"("machine":"base"})"),
+                "bad-program");
+
+    // After all of that, the server still serves.
+    const auto okResp = ts.roundTrip(
+        R"({"id":"ok1","workload":"compress","machine":"base","width":4})");
+    ASSERT_EQ(okResp.size(), 1u);
+    EXPECT_TRUE(okResp[0].find("ok")->asBool());
+    EXPECT_EQ(okResp[0].find("machine")->asString(), "Baseline");
+    EXPECT_GT(okResp[0].find("ipc")->asDouble(), 0.0);
+    EXPECT_EQ(ts.server.jobsOk(), 1u);
+}
+
+TEST(ServeServer, OversizedProgramsRejected)
+{
+    serve::Server::Options opts = TestServer::makeOpts();
+    opts.maxProgramInsts = 3;
+    opts.maxScale = 4;
+    TestServer ts(opts);
+
+    // The compress workload is far larger than 3 static instructions.
+    expectError(ts.roundTrip(R"({"id":"o1","workload":"compress",)"
+                             R"("machine":"base"})"),
+                "oversized-program");
+    expectError(ts.roundTrip(R"({"id":"o2","workload":"compress",)"
+                             R"("machine":"base","scale":5})"),
+                "oversized-program");
+}
+
+TEST(ServeServer, DuplicateIdAndDuplicateInFlight)
+{
+    TestServer ts;
+    const std::string job =
+        R"({"id":"d1","workload":"compress","machine":"ideal","width":4})";
+
+    // Two identical jobs before the first completes: the second is
+    // rejected as duplicate-in-flight (same payload), and its distinct
+    // id is NOT burned by the rejection.
+    ts.server.handleLine(job);
+    const std::string job2 =
+        R"({"id":"d2","workload":"compress","machine":"ideal","width":4})";
+    ts.server.handleLine(job2);
+    ts.server.drain();
+    std::vector<Json> resp;
+    {
+        std::lock_guard<std::mutex> lock(ts.mu);
+        for (const std::string &l : ts.lines)
+            resp.push_back(Json::parse(l));
+        ts.lines.clear();
+    }
+    ASSERT_EQ(resp.size(), 2u);
+    // Response order is not guaranteed; find by id.
+    const Json *first = nullptr, *second = nullptr;
+    for (const Json &r : resp) {
+        if (r.find("id")->asString() == "d1")
+            first = &r;
+        else if (r.find("id")->asString() == "d2")
+            second = &r;
+    }
+    ASSERT_NE(first, nullptr);
+    ASSERT_NE(second, nullptr);
+    EXPECT_TRUE(first->find("ok")->asBool());
+    EXPECT_FALSE(second->find("ok")->asBool());
+    EXPECT_EQ(second->find("code")->asString(), "duplicate-in-flight");
+
+    // Re-using a completed job's id is duplicate-id.
+    expectError(ts.roundTrip(job), "duplicate-id");
+
+    // The rejected d2 can resubmit now and gets a cache hit.
+    const auto retry = ts.roundTrip(job2);
+    ASSERT_EQ(retry.size(), 1u);
+    EXPECT_TRUE(retry[0].find("ok")->asBool());
+    EXPECT_TRUE(retry[0].find("cache_hit")->asBool());
+}
+
+} // namespace
+} // namespace rbsim
