@@ -10,6 +10,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 
 #include "common/rng.hh"
@@ -140,6 +141,72 @@ BM_SignTestMsdScan(benchmark::State &state)
 }
 BENCHMARK(BM_SignTestMsdScan);
 
+/**
+ * Host-throughput cells for the JSON dump: the CI --speed-gate lane
+ * ratchets these against the committed baseline (the google-benchmark
+ * run below stays human-facing). One cell per software model, machine
+ * "hostmodel", sim_khz = kilo-operations per second.
+ */
+void
+addThroughputCells(bench::BenchReport &report)
+{
+    using Clock = std::chrono::steady_clock;
+    auto time = [](auto &&body) -> std::pair<std::uint64_t, double> {
+        body();
+        std::uint64_t iters = 0;
+        const auto t0 = Clock::now();
+        double sec = 0.0;
+        do {
+            for (int rep = 0; rep < 4096; ++rep)
+                body();
+            iters += 4096;
+            sec = std::chrono::duration<double>(Clock::now() - t0)
+                      .count();
+        } while (sec < 0.02);
+        return {iters, sec};
+    };
+
+    Rng rng(21);
+    RbNum a = RbNum::fromTc(rng.next());
+    const RbNum b = RbNum::fromTc(rng.next());
+    Word w = rng.next();
+
+    {
+        const auto [ops, sec] = time([&] {
+            a = rbAdd(a, b).sum;
+            benchmark::DoNotOptimize(a);
+        });
+        report.addCell(
+            bench::throughputCell("hostmodel", "rbadd", ops, sec));
+    }
+    {
+        const auto [ops, sec] = time([&] {
+            const RbRawSum raw = addBySlices(a, b);
+            a = normalizeQuad(raw.digits, raw.carryOut).value;
+            benchmark::DoNotOptimize(a);
+        });
+        report.addCell(
+            bench::throughputCell("hostmodel", "slicechain", ops, sec));
+    }
+    {
+        const auto [ops, sec] = time([&] {
+            RbNum x = tcToRb(w);
+            benchmark::DoNotOptimize(x);
+            w += 0x9e3779b9;
+        });
+        report.addCell(
+            bench::throughputCell("hostmodel", "tctorb", ops, sec));
+    }
+    {
+        const auto [ops, sec] = time([&] {
+            Word v = rbToTc(a);
+            benchmark::DoNotOptimize(v);
+        });
+        report.addCell(
+            bench::throughputCell("hostmodel", "rbtotc", ops, sec));
+    }
+}
+
 } // namespace
 
 int
@@ -152,6 +219,7 @@ main(int argc, char **argv)
     printGateModel();
 
     BenchReport report("adder_delay", opts);
+    addThroughputCells(report);
     for (unsigned w : {8u, 16u, 32u, 64u, 128u}) {
         const std::string suffix = "." + std::to_string(w);
         report.addMetric("depth.ripple" + suffix, rippleAdderDepth(w));

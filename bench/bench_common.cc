@@ -291,6 +291,22 @@ BenchReport::write() const
     out << root.dump(2) << '\n';
 }
 
+Cell
+throughputCell(const std::string &machine, const std::string &workload,
+               std::uint64_t ops, double seconds)
+{
+    Cell cell;
+    cell.machine = machine;
+    cell.workload = workload;
+    cell.result.machine = machine;
+    cell.result.workload = workload;
+    cell.result.halted = true;
+    cell.result.hostSeconds = seconds;
+    cell.result.stats.counters["core.cycles"] = ops;
+    cell.result.stats.formulas["core.ipc"] = 1.0;
+    return cell;
+}
+
 // --------------------------------------------------------------- sweep
 
 namespace

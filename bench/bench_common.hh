@@ -121,6 +121,19 @@ class BenchReport
 };
 
 /**
+ * A synthetic cell carrying a host-throughput measurement through the
+ * "rbsim-bench-1" schema: `sim_khz` becomes kilo-operations per second
+ * (ops / seconds / 1e3 via the core.cycles counter) and `ipc` is pinned
+ * to 1.0, so scripts/bench_diff.py gates the throughput with
+ * --speed-gate unmodified while its IPC gate stays inert. Used by the
+ * arithmetic micro-benches (rb_kernels, adder_delay), whose cells have
+ * no simulation behind them.
+ */
+Cell throughputCell(const std::string &machine,
+                    const std::string &workload, std::uint64_t ops,
+                    double seconds);
+
+/**
  * Simulate every workload of `suite` on every config, in parallel.
  * Results are ordered workload-major, matching the input orders.
  * Co-simulation stays enabled: every cell is architecturally verified.

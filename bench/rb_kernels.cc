@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Batched RB kernel micro-benchmark (docs/PERFORMANCE.md §6): host
+ * throughput of the SIMD kernel layer (rb/simd/kernels.hh) — batched
+ * add, scaled add, the TC conversions, and the multiplier's
+ * partial-product reduction — measured for the portable scalar backend
+ * and, when dispatch picked one, the SIMD backend, at batch sizes 1
+ * through 64.
+ *
+ * Results go into the shared "rbsim-bench-1" JSON (--json) as synthetic
+ * cells: machine = backend name, workload = "<op>@<batch>", sim_khz =
+ * kilo lane-operations per second (see bench::throughputCell), which is
+ * what the CI --speed-gate lane ratchets against the committed
+ * BENCH_rb_kernels.json baseline.
+ *
+ * RBSIM_FORCE_SCALAR=1 pins dispatch to the portable backend, in which
+ * case only the scalar rows are emitted.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/strutil.hh"
+#include "rb/simd/kernels.hh"
+#include "sim/report.hh"
+
+#include "bench_common.hh"
+
+namespace
+{
+
+using namespace rbsim;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t maxBatch = 64;
+const std::size_t batchSizes[] = {1, 2, 4, 8, 16, 32, 64};
+
+/** Keeps results observable so the kernel loops cannot be elided. */
+std::uint64_t g_sink = 0;
+
+struct Operands
+{
+    std::uint64_t ap[maxBatch], am[maxBatch];
+    std::uint64_t bp[maxBatch], bm[maxBatch];
+    std::uint64_t sp[maxBatch], sm[maxBatch];
+    std::uint64_t w[maxBatch];
+    std::uint8_t shift[maxBatch];
+    std::uint8_t bogus[maxBatch], ovf[maxBatch];
+
+    explicit Operands(std::uint64_t seed)
+    {
+        Rng rng(seed);
+        for (std::size_t i = 0; i < maxBatch; ++i) {
+            ap[i] = rng.next();
+            am[i] = rng.next() & ~ap[i];
+            bp[i] = rng.next();
+            bm[i] = rng.next() & ~bp[i];
+            w[i] = rng.next();
+            shift[i] = static_cast<std::uint8_t>(rng.below(4));
+        }
+    }
+};
+
+/**
+ * Time `body` (one kernel call over `lanes` lanes) until enough wall
+ * time has accumulated for a stable rate; returns {lane-ops, seconds}.
+ */
+template <typename F>
+std::pair<std::uint64_t, double>
+measure(F &&body, std::size_t lanes)
+{
+    body(); // warm up: first-touch, dispatch resolution
+    constexpr double minSeconds = 0.02;
+    std::uint64_t iters = 0;
+    const auto t0 = Clock::now();
+    double sec = 0.0;
+    do {
+        for (int rep = 0; rep < 256; ++rep)
+            body();
+        iters += 256;
+        sec = std::chrono::duration<double>(Clock::now() - t0).count();
+    } while (sec < minSeconds);
+    return {iters * lanes, sec};
+}
+
+struct Row
+{
+    std::string op;
+    std::size_t batch;
+    double scalarMops = 0.0;
+    double simdMops = 0.0;
+};
+
+void
+runBackend(const simd::KernelOps &k, const std::string &label,
+           bench::BenchReport &report, std::vector<Row> &rows,
+           bool simdColumn)
+{
+    Operands data(42);
+    std::size_t rowIdx = 0;
+    auto record = [&](const char *op, std::size_t n, std::uint64_t ops,
+                      double sec) {
+        report.addCell(bench::throughputCell(
+            label, std::string(op) + "@" + std::to_string(n), ops, sec));
+        if (rows.size() <= rowIdx)
+            rows.push_back(Row{op, n, 0.0, 0.0});
+        (simdColumn ? rows[rowIdx].simdMops : rows[rowIdx].scalarMops) =
+            double(ops) / sec / 1e6;
+        ++rowIdx;
+    };
+
+    for (std::size_t n : batchSizes) {
+        const auto [ops, sec] = measure(
+            [&] {
+                k.addBatch(data.ap, data.am, data.bp, data.bm, data.sp,
+                           data.sm, data.bogus, data.ovf, n);
+                g_sink ^= data.sp[n - 1];
+            },
+            n);
+        record("add", n, ops, sec);
+    }
+    for (std::size_t n : batchSizes) {
+        const auto [ops, sec] = measure(
+            [&] {
+                k.scaledAddBatch(data.ap, data.am, data.shift, data.bp,
+                                 data.bm, data.sp, data.sm, data.bogus,
+                                 data.ovf, n);
+                g_sink ^= data.sp[n - 1];
+            },
+            n);
+        record("scaledadd", n, ops, sec);
+    }
+    for (std::size_t n : batchSizes) {
+        const auto [ops, sec] = measure(
+            [&] {
+                k.fromTcBatch(data.w, data.sp, data.sm, n);
+                g_sink ^= data.sp[n - 1];
+            },
+            n);
+        record("fromtc", n, ops, sec);
+    }
+    for (std::size_t n : batchSizes) {
+        const auto [ops, sec] = measure(
+            [&] {
+                k.toTcBatch(data.ap, data.am, data.w, n);
+                g_sink ^= data.w[n - 1];
+            },
+            n);
+        record("totc", n, ops, sec);
+    }
+    for (std::size_t n : batchSizes) {
+        // mulReduce folds its input in place, so each iteration pays a
+        // refill memcpy — the same pattern the multiplier runs (fresh
+        // partial products each multiply).
+        const auto [ops, sec] = measure(
+            [&] {
+                std::memcpy(data.sp, data.ap, n * sizeof(std::uint64_t));
+                std::memcpy(data.sm, data.am, n * sizeof(std::uint64_t));
+                g_sink += k.mulReduce(data.sp, data.sm, n);
+                g_sink ^= data.sp[0];
+            },
+            n);
+        record("mulreduce", n, ops, sec);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace rbsim;
+    using namespace rbsim::bench;
+    const BenchOptions opts = parseBenchArgs(argc, argv);
+    (void)argc;
+    (void)argv;
+
+    BenchReport report("rb_kernels", opts);
+    std::vector<Row> rows;
+
+    std::printf("%s", banner("Batched RB kernel throughput "
+                             "(million lane-ops per second)").c_str());
+    runBackend(simd::scalarKernels(), "scalar", report, rows, false);
+    const bool have_simd =
+        simd::activeBackend() != simd::Backend::Scalar;
+    if (have_simd)
+        runBackend(simd::kernels(), simd::backendName(), report, rows,
+                   true);
+
+    TextTable t;
+    t.header(have_simd
+                 ? std::vector<std::string>{"kernel", "batch", "scalar",
+                                            simd::backendName(),
+                                            "speedup"}
+                 : std::vector<std::string>{"kernel", "batch", "scalar"});
+    for (const Row &r : rows) {
+        std::vector<std::string> row{r.op, std::to_string(r.batch),
+                                     fmtDouble(r.scalarMops, 1)};
+        if (have_simd) {
+            row.push_back(fmtDouble(r.simdMops, 1));
+            row.push_back(
+                fmtDouble(r.scalarMops > 0 ? r.simdMops / r.scalarMops
+                                           : 0.0,
+                          2) +
+                "x");
+        }
+        t.row(row);
+    }
+    std::printf("%s", t.render().c_str());
+    std::printf("dispatched backend: %s%s\n", simd::backendName(),
+                have_simd ? "" : " (no SIMD rows emitted)");
+    if (g_sink == 0xdeadbeefcafebabeull)
+        std::printf("\n"); // keep g_sink and the kernel loops alive
+
+    report.write();
+    return 0;
+}

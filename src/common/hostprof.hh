@@ -30,6 +30,7 @@ class HostProfiler
         Select,    //!< wakeup drain + select scan (includes exec/lsq)
         Exec,      //!< executeInst inside issue (subset of Select)
         Lsq,       //!< load disambiguation/search (subset of Select)
+        Kernel,    //!< batched RB kernel flush (subset of Select)
         Commit,    //!< retirement (includes Cosim)
         Cosim,     //!< retire hook / lockstep checker (subset of Commit)
         Flush,     //!< pending-flush scan + squash walks
@@ -42,8 +43,8 @@ class HostProfiler
     stageName(unsigned s)
     {
         static constexpr const char *names[NumStages] = {
-            "fetch", "dispatch", "select", "exec",
-            "lsq",   "commit",   "cosim",  "flush",
+            "fetch", "dispatch", "select", "exec",  "lsq",
+            "kernel", "commit",  "cosim",  "flush",
         };
         return s < NumStages ? names[s] : "?";
     }

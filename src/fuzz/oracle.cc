@@ -428,23 +428,46 @@ class SliceOracle : public Oracle
     {
         Rng rng(seed);
         for (std::uint64_t i = 0; i < iters; ++i) {
-            // Arbitrary legal digit planes — the whole encoding space,
-            // not just reachable ALU outputs.
-            const std::uint64_t xp = rng.next();
-            const RbNum x(xp, rng.next() & ~xp);
-            const std::uint64_t yp = rng.next();
-            const RbNum y(yp, rng.next() & ~yp);
+            // A random-length batch (including the n=0 and n=64 edges)
+            // of arbitrary legal digit planes — the whole encoding
+            // space, not just reachable ALU outputs. Each lane is
+            // checked three ways: scalar gate chain vs bit-parallel
+            // arithmetic, and the bit-sliced batch vs both.
+            const std::size_t n = static_cast<std::size_t>(rng.below(65));
+            std::uint64_t xp[64], xm[64], yp[64], ym[64];
+            std::uint64_t sp[64], sm[64];
+            std::int8_t co[64];
+            for (std::size_t j = 0; j < n; ++j) {
+                xp[j] = rng.next();
+                xm[j] = rng.next() & ~xp[j];
+                yp[j] = rng.next();
+                ym[j] = rng.next() & ~yp[j];
+            }
+            addBySlicesBatch(xp, xm, yp, ym, sp, sm, co, n);
 
-            const RbRawSum gate = addBySlices(x, y);
-            const RbRawSum arith = rbAddRaw(x, y);
-            if (!(gate.digits == arith.digits) ||
-                gate.carryOut != arith.carryOut) {
-                return {true, "seed " + std::to_string(seed) + " iter " +
-                            std::to_string(i) +
-                            ": digit-slice adder diverges for x=(" +
-                            hex(x.plus()) + "," + hex(x.minus()) +
-                            ") y=(" + hex(y.plus()) + "," +
-                            hex(y.minus()) + ")"};
+            for (std::size_t j = 0; j < n; ++j) {
+                const RbNum x(xp[j], xm[j]);
+                const RbNum y(yp[j], ym[j]);
+                auto fail = [&](const char *what) -> OracleResult {
+                    return {true, "seed " + std::to_string(seed) +
+                                " iter " + std::to_string(i) + " lane " +
+                                std::to_string(j) + ": " + what +
+                                " for x=(" + hex(x.plus()) + "," +
+                                hex(x.minus()) + ") y=(" + hex(y.plus()) +
+                                "," + hex(y.minus()) + ")"};
+                };
+
+                const RbRawSum gate = addBySlices(x, y);
+                const RbRawSum arith = rbAddRaw(x, y);
+                if (!(gate.digits == arith.digits) ||
+                    gate.carryOut != arith.carryOut)
+                    return fail("digit-slice adder diverges");
+                if ((sp[j] & sm[j]) != 0)
+                    return fail("batched slice illegal digit planes");
+                if (sp[j] != gate.digits.plus() ||
+                    sm[j] != gate.digits.minus() ||
+                    co[j] != gate.carryOut)
+                    return fail("batched slice diverges from gate chain");
             }
         }
         return {};

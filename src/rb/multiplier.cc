@@ -5,6 +5,7 @@
 
 #include "common/bitutil.hh"
 #include "rb/gatedelay.hh"
+#include "rb/simd/kernels.hh"
 
 namespace rbsim
 {
@@ -13,29 +14,38 @@ namespace
 {
 
 /**
- * Reduce partial products pairwise with carry-free adders; each round is
- * one adder delay regardless of operand width. Reduces in place — the
- * multiply sits on the simulator's execute path, so it must not touch
- * the heap (docs/PERFORMANCE.md).
+ * Partial products in structure-of-arrays form: one contiguous array
+ * per plane, on the stack. The pairwise carry-free reduction runs
+ * through the dispatched batch kernel (src/rb/simd/) — each round is
+ * one adder delay regardless of operand width, and the kernel folds
+ * four (AVX2) or two (NEON) adders per host instruction. The multiply
+ * sits on the simulator's execute path, so nothing here touches the
+ * heap (docs/PERFORMANCE.md).
  */
-RbMulResult
-reduceTree(RbNum *pps, std::size_t n)
+struct PartialProducts
 {
-    unsigned levels = 0;
-    while (n > 1) {
-        std::size_t out = 0;
-        for (std::size_t i = 0; i + 1 < n; i += 2)
-            pps[out++] = rbAdd(pps[i], pps[i + 1]).sum;
-        if (n % 2)
-            pps[out++] = pps[n - 1];
-        n = out;
-        ++levels;
+    std::array<std::uint64_t, 64> plus;
+    std::array<std::uint64_t, 64> minus;
+    std::size_t n = 0;
+
+    void
+    push(const RbNum &x)
+    {
+        plus[n] = x.plus();
+        minus[n] = x.minus();
+        ++n;
     }
-    RbMulResult res;
-    res.product = n == 0 ? RbNum() : pps[0];
-    res.treeLevels = levels;
-    return res;
-}
+
+    RbMulResult
+    reduce()
+    {
+        if (n == 0)
+            return RbMulResult{RbNum(), 0};
+        const unsigned levels =
+            simd::kernels().mulReduce(plus.data(), minus.data(), n);
+        return RbMulResult{RbNum(plus[0], minus[0]), levels};
+    }
+};
 
 /** -x with the unwrapped value renormalized into 64-bit range. */
 RbNum
@@ -52,23 +62,20 @@ rbTreeMultiply(const RbNum &a, const RbNum &b)
     // Partial products straight from the multiplier's *digits*: no
     // conversion of b is needed, and negative digits cost only the free
     // plane swap.
-    std::array<RbNum, 64> pps;
-    std::size_t n = 0;
+    PartialProducts pps;
     for (unsigned i = 0; i < 64; ++i) {
         switch (b.digit(i)) {
           case Digit::Zero:
             break;
           case Digit::Plus:
-            pps[n++] = rbShiftLeftDigits(a, i);
+            pps.push(rbShiftLeftDigits(a, i));
             break;
           case Digit::Minus:
-            pps[n++] = negNormalized(rbShiftLeftDigits(a, i));
+            pps.push(negNormalized(rbShiftLeftDigits(a, i)));
             break;
         }
     }
-    if (n == 0)
-        return RbMulResult{RbNum(), 0};
-    return reduceTree(pps.data(), n);
+    return pps.reduce();
 }
 
 RbMulResult
@@ -78,8 +85,7 @@ rbTreeMultiplyBooth(const RbNum &a, const RbNum &b)
     // m_j in {-2,-1,0,1,2} from bit triples; +-a and +-2a are free in
     // the redundant representation.
     const Word w = b.toTc();
-    std::array<RbNum, 32> pps;
-    std::size_t n = 0;
+    PartialProducts pps;
     for (unsigned j = 0; j < 32; ++j) {
         const unsigned lo = 2 * j;
         const int b_m1 = lo == 0 ? 0 : static_cast<int>(bit(w, lo - 1));
@@ -91,11 +97,9 @@ rbTreeMultiplyBooth(const RbNum &a, const RbNum &b)
         RbNum pp = rbShiftLeftDigits(a, lo + (std::abs(m) == 2 ? 1 : 0));
         if (m < 0)
             pp = negNormalized(pp);
-        pps[n++] = pp;
+        pps.push(pp);
     }
-    if (n == 0)
-        return RbMulResult{RbNum(), 0};
-    return reduceTree(pps.data(), n);
+    return pps.reduce();
 }
 
 unsigned

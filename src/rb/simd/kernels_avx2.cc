@@ -1,0 +1,391 @@
+/**
+ * @file
+ * AVX2 backend for the batched RB kernels: four 64-digit numbers per
+ * vector, each lane evaluating exactly the lane_math.hh formulas.
+ *
+ * This TU is compiled with -mavx2 on every x86-64 build (see
+ * src/CMakeLists.txt); nothing in it runs unless the dispatcher in
+ * kernels.cc observed __builtin_cpu_supports("avx2").
+ *
+ * Two idioms carry the whole file:
+ *   - unsigned 64-bit compare (the disjoint-planes "rest is negative"
+ *     test) via signed compare of sign-bit-flipped operands;
+ *   - flags live as bit-63 (or bit-31) masks inside the vector until
+ *     the very end, where movemask_pd peels the four sign bits off in
+ *     one instruction.
+ * Tail lanes (n % 4) always run the scalar lane functions — identical
+ * math, so tails are not a correctness special case.
+ */
+
+#include "rb/simd/kernels.hh"
+
+#if defined(__x86_64__)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+#include "rb/simd/lane_math.hh"
+
+namespace rbsim::simd::detail_avx2
+{
+
+namespace
+{
+
+inline __m256i
+bcast(std::uint64_t v)
+{
+    return _mm256_set1_epi64x(static_cast<long long>(v));
+}
+
+/** Unsigned a > b per 64-bit lane (all-ones mask where true). */
+inline __m256i
+cmpgtU64(__m256i a, __m256i b)
+{
+    const __m256i flip = bcast(std::uint64_t{1} << 63);
+    return _mm256_cmpgt_epi64(_mm256_xor_si256(a, flip),
+                              _mm256_xor_si256(b, flip));
+}
+
+/** a & ~b (note: andnot's first operand is the complemented one). */
+inline __m256i
+andnot(__m256i a, __m256i b)
+{
+    return _mm256_andnot_si256(b, a);
+}
+
+/** The four lane sign bits (bit 63) as a 4-bit integer mask. */
+inline int
+signMask(__m256i v)
+{
+    return _mm256_movemask_pd(_mm256_castsi256_pd(v));
+}
+
+struct VecAdd
+{
+    __m256i plus;
+    __m256i minus;
+    __m256i bogus; //!< bit-63 mask per lane
+    __m256i ovf;   //!< bit-63 mask per lane
+};
+
+/** laneAddRaw + laneNormalizeQuad on four lanes. */
+inline VecAdd
+vecAdd(__m256i xp, __m256i xm, __m256i yp, __m256i ym)
+{
+    const __m256i msd = bcast(std::uint64_t{1} << 63);
+    const __m256i ones = _mm256_set1_epi64x(-1);
+
+    // --- raw carry-free add (laneAddRaw) ---
+    const __m256i z_p2 = _mm256_and_si256(xp, yp);
+    const __m256i z_m2 = _mm256_and_si256(xm, ym);
+    const __m256i notxm_ym =
+        _mm256_andnot_si256(_mm256_or_si256(xm, ym), ones);
+    const __m256i notxp_yp =
+        _mm256_andnot_si256(_mm256_or_si256(xp, yp), ones);
+    const __m256i z_p1 =
+        _mm256_and_si256(_mm256_xor_si256(xp, yp), notxm_ym);
+    const __m256i z_m1 =
+        _mm256_and_si256(_mm256_xor_si256(xm, ym), notxp_yp);
+
+    const __m256i bn = notxm_ym;
+    const __m256i bn1 = _mm256_or_si256(_mm256_slli_epi64(bn, 1),
+                                        _mm256_set1_epi64x(1));
+
+    const __m256i t_plus =
+        _mm256_or_si256(z_p2, _mm256_and_si256(z_p1, bn1));
+    const __m256i t_minus =
+        _mm256_or_si256(z_m2, andnot(z_m1, bn1));
+    const __m256i z1 = _mm256_or_si256(z_p1, z_m1);
+    const __m256i d_plus = andnot(z1, bn1);
+    const __m256i d_minus = _mm256_and_si256(z1, bn1);
+
+    const __m256i c_plus = _mm256_slli_epi64(t_plus, 1);
+    const __m256i c_minus = _mm256_slli_epi64(t_minus, 1);
+
+    const __m256i raw_p = _mm256_or_si256(andnot(d_plus, c_minus),
+                                          andnot(c_plus, d_minus));
+    const __m256i raw_m = _mm256_or_si256(andnot(d_minus, c_plus),
+                                          andnot(c_minus, d_plus));
+    // Carry-out kept as a bit-63 mask.
+    const __m256i tp63 = _mm256_and_si256(t_plus, msd);
+    const __m256i tm63 = _mm256_and_si256(t_minus, msd);
+
+    // --- normalizeQuad, flags as bit-63 masks ---
+    const __m256i bogus_p =
+        _mm256_and_si256(tp63, _mm256_and_si256(raw_m, msd));
+    const __m256i bogus_m =
+        _mm256_and_si256(tm63, _mm256_and_si256(raw_p, msd));
+    __m256i sp = _mm256_or_si256(andnot(raw_p, bogus_m), bogus_p);
+    __m256i sm = _mm256_or_si256(andnot(raw_m, bogus_p), bogus_m);
+    const __m256i cp = andnot(tp63, bogus_p);
+    const __m256i cm = andnot(tm63, bogus_m);
+    __m256i ovf = _mm256_or_si256(cp, cm);
+
+    const __m256i rest = bcast((std::uint64_t{1} << 63) - 1);
+    const __m256i rest_neg = cmpgtU64(_mm256_and_si256(sm, rest),
+                                      _mm256_and_si256(sp, rest));
+    const __m256i flip_up =
+        andnot(_mm256_and_si256(sp, msd), rest_neg);
+    const __m256i flip_down =
+        _mm256_and_si256(_mm256_and_si256(sm, msd), rest_neg);
+    sp = _mm256_or_si256(andnot(sp, flip_up), flip_down);
+    sm = _mm256_or_si256(andnot(sm, flip_down), flip_up);
+    ovf = _mm256_or_si256(ovf, _mm256_or_si256(flip_up, flip_down));
+
+    return VecAdd{sp, sm, _mm256_or_si256(bogus_p, bogus_m), ovf};
+}
+
+/** laneShiftLeftDigits on four lanes with per-lane counts (k < 64,
+ *  lanes with k == 0 pass through unresigned). */
+inline void
+vecShiftLeftDigits(__m256i &xp, __m256i &xm, __m256i k)
+{
+    const __m256i msd = bcast(std::uint64_t{1} << 63);
+    const __m256i zero = _mm256_setzero_si256();
+    const __m256i k_is0 = _mm256_cmpeq_epi64(k, zero);
+
+    __m256i sp = _mm256_sllv_epi64(xp, k);
+    __m256i sm = _mm256_sllv_epi64(xm, k);
+
+    const __m256i rest = bcast((std::uint64_t{1} << 63) - 1);
+    const __m256i rest_neg = cmpgtU64(_mm256_and_si256(sm, rest),
+                                      _mm256_and_si256(sp, rest));
+    const __m256i flip_up = andnot(
+        andnot(_mm256_and_si256(sp, msd), rest_neg), k_is0);
+    const __m256i flip_down = andnot(
+        _mm256_and_si256(_mm256_and_si256(sm, msd), rest_neg), k_is0);
+    xp = _mm256_or_si256(andnot(sp, flip_up), flip_down);
+    xm = _mm256_or_si256(andnot(sm, flip_down), flip_up);
+}
+
+inline __m256i
+loadu(const std::uint64_t *p)
+{
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i *>(p));
+}
+
+inline void
+storeu(std::uint64_t *p, __m256i v)
+{
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(p), v);
+}
+
+inline void
+storeFlags(std::uint8_t *bogus, std::uint8_t *ovf, __m256i bogus_v,
+           __m256i ovf_v, std::size_t i)
+{
+    const int bm = signMask(bogus_v);
+    const int om = signMask(ovf_v);
+    for (int j = 0; j < 4; ++j) {
+        bogus[i + static_cast<std::size_t>(j)] =
+            static_cast<std::uint8_t>((bm >> j) & 1);
+        ovf[i + static_cast<std::size_t>(j)] =
+            static_cast<std::uint8_t>((om >> j) & 1);
+    }
+}
+
+void
+avx2AddBatch(const std::uint64_t *ap, const std::uint64_t *am,
+             const std::uint64_t *bp, const std::uint64_t *bm,
+             std::uint64_t *sp, std::uint64_t *sm, std::uint8_t *bogus,
+             std::uint8_t *ovf, std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const VecAdd r =
+            vecAdd(loadu(ap + i), loadu(am + i), loadu(bp + i),
+                   loadu(bm + i));
+        storeu(sp + i, r.plus);
+        storeu(sm + i, r.minus);
+        storeFlags(bogus, ovf, r.bogus, r.ovf, i);
+    }
+    for (; i < n; ++i) {
+        const LaneAdd r = laneAdd(ap[i], am[i], bp[i], bm[i]);
+        sp[i] = r.plus;
+        sm[i] = r.minus;
+        bogus[i] = static_cast<std::uint8_t>(r.bogus);
+        ovf[i] = static_cast<std::uint8_t>(r.ovf);
+    }
+}
+
+void
+avx2ScaledAddBatch(const std::uint64_t *ap, const std::uint64_t *am,
+                   const std::uint8_t *shift, const std::uint64_t *bp,
+                   const std::uint64_t *bm, std::uint64_t *sp,
+                   std::uint64_t *sm, std::uint8_t *bogus,
+                   std::uint8_t *ovf, std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        std::uint32_t k4;
+        std::memcpy(&k4, shift + i, sizeof(k4));
+        const __m256i k = _mm256_cvtepu8_epi64(
+            _mm_cvtsi32_si128(static_cast<int>(k4)));
+        __m256i xp = loadu(ap + i);
+        __m256i xm = loadu(am + i);
+        vecShiftLeftDigits(xp, xm, k);
+        const VecAdd r = vecAdd(xp, xm, loadu(bp + i), loadu(bm + i));
+        storeu(sp + i, r.plus);
+        storeu(sm + i, r.minus);
+        storeFlags(bogus, ovf, r.bogus, r.ovf, i);
+    }
+    for (; i < n; ++i) {
+        const LanePair a = laneShiftLeftDigits(ap[i], am[i], shift[i]);
+        const LaneAdd r = laneAdd(a.plus, a.minus, bp[i], bm[i]);
+        sp[i] = r.plus;
+        sm[i] = r.minus;
+        bogus[i] = static_cast<std::uint8_t>(r.bogus);
+        ovf[i] = static_cast<std::uint8_t>(r.ovf);
+    }
+}
+
+void
+avx2FromTcBatch(const std::uint64_t *w, std::uint64_t *p,
+                std::uint64_t *m, std::size_t n)
+{
+    const __m256i msd = bcast(std::uint64_t{1} << 63);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i v = loadu(w + i);
+        const __m256i msb = _mm256_and_si256(v, msd);
+        storeu(p + i, andnot(v, msd));
+        storeu(m + i, msb);
+    }
+    for (; i < n; ++i) {
+        const LanePair r = laneFromTc(w[i]);
+        p[i] = r.plus;
+        m[i] = r.minus;
+    }
+}
+
+void
+avx2ToTcBatch(const std::uint64_t *p, const std::uint64_t *m,
+              std::uint64_t *w, std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4)
+        storeu(w + i, _mm256_sub_epi64(loadu(p + i), loadu(m + i)));
+    for (; i < n; ++i)
+        w[i] = p[i] - m[i];
+}
+
+/** Shared four-lane re-sign at an arbitrary digit position. */
+inline void
+vecResign(__m256i &sp, __m256i &sm, __m256i msd, __m256i rest)
+{
+    const __m256i rest_neg = cmpgtU64(_mm256_and_si256(sm, rest),
+                                      _mm256_and_si256(sp, rest));
+    const __m256i flip_up =
+        andnot(_mm256_and_si256(sp, msd), rest_neg);
+    const __m256i flip_down =
+        _mm256_and_si256(_mm256_and_si256(sm, msd), rest_neg);
+    sp = _mm256_or_si256(andnot(sp, flip_up), flip_down);
+    sm = _mm256_or_si256(andnot(sm, flip_down), flip_up);
+}
+
+void
+avx2NormalizeMsdBatch(std::uint64_t *p, std::uint64_t *m, std::size_t n)
+{
+    const __m256i msd = bcast(std::uint64_t{1} << 63);
+    const __m256i rest = bcast((std::uint64_t{1} << 63) - 1);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        __m256i sp = loadu(p + i);
+        __m256i sm = loadu(m + i);
+        vecResign(sp, sm, msd, rest);
+        storeu(p + i, sp);
+        storeu(m + i, sm);
+    }
+    for (; i < n; ++i) {
+        const std::uint64_t restw = (std::uint64_t{1} << 63) - 1;
+        const std::uint64_t rest_neg =
+            (m[i] & restw) > (p[i] & restw) ? 1u : 0u;
+        const std::uint64_t flip_up = (p[i] >> 63) & (rest_neg ^ 1);
+        const std::uint64_t flip_down = (m[i] >> 63) & rest_neg;
+        p[i] = (p[i] & ~(flip_up << 63)) | (flip_down << 63);
+        m[i] = (m[i] & ~(flip_down << 63)) | (flip_up << 63);
+    }
+}
+
+void
+avx2ExtractLongwordBatch(std::uint64_t *p, std::uint64_t *m,
+                         std::size_t n)
+{
+    const __m256i lmask = bcast(0xffffffffull);
+    const __m256i msd = bcast(std::uint64_t{1} << 31);
+    const __m256i rest = bcast((std::uint64_t{1} << 31) - 1);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        __m256i sp = _mm256_and_si256(loadu(p + i), lmask);
+        __m256i sm = _mm256_and_si256(loadu(m + i), lmask);
+        vecResign(sp, sm, msd, rest);
+        storeu(p + i, sp);
+        storeu(m + i, sm);
+    }
+    for (; i < n; ++i) {
+        const LanePair r = laneExtractLongword(p[i], m[i]);
+        p[i] = r.plus;
+        m[i] = r.minus;
+    }
+}
+
+unsigned
+avx2MulReduce(std::uint64_t *p, std::uint64_t *m, std::size_t n)
+{
+    unsigned levels = 0;
+    while (n > 1) {
+        std::size_t out = 0;
+        std::size_t i = 0;
+        // Eight consecutive lanes -> four pairwise sums per iteration:
+        // unpacklo/hi of the two vector halves give the pair-even and
+        // pair-odd lanes in the interleaved order {0,2,1,3}, which one
+        // permute after the add restores.
+        for (; i + 8 <= n; i += 8) {
+            const __m256i p0 = loadu(p + i), p1 = loadu(p + i + 4);
+            const __m256i m0 = loadu(m + i), m1 = loadu(m + i + 4);
+            const __m256i pe = _mm256_unpacklo_epi64(p0, p1);
+            const __m256i po = _mm256_unpackhi_epi64(p0, p1);
+            const __m256i me = _mm256_unpacklo_epi64(m0, m1);
+            const __m256i mo = _mm256_unpackhi_epi64(m0, m1);
+            const VecAdd r = vecAdd(pe, me, po, mo);
+            storeu(p + out, _mm256_permute4x64_epi64(r.plus, 0xD8));
+            storeu(m + out, _mm256_permute4x64_epi64(r.minus, 0xD8));
+            out += 4;
+        }
+        for (; i + 1 < n; i += 2) {
+            const LaneAdd r = laneAdd(p[i], m[i], p[i + 1], m[i + 1]);
+            p[out] = r.plus;
+            m[out] = r.minus;
+            ++out;
+        }
+        if (n % 2) {
+            p[out] = p[n - 1];
+            m[out] = m[n - 1];
+            ++out;
+        }
+        n = out;
+        ++levels;
+    }
+    return levels;
+}
+
+constexpr KernelOps kAvx2Kernels = {
+    avx2AddBatch,        avx2ScaledAddBatch,
+    avx2FromTcBatch,     avx2ToTcBatch,
+    avx2NormalizeMsdBatch, avx2ExtractLongwordBatch,
+    avx2MulReduce,
+};
+
+} // namespace
+
+const KernelOps &
+table()
+{
+    return kAvx2Kernels;
+}
+
+} // namespace rbsim::simd::detail_avx2
+
+#endif // defined(__x86_64__)

@@ -1,0 +1,337 @@
+/**
+ * @file
+ * NEON (aarch64 Advanced SIMD) backend for the batched RB kernels: two
+ * 64-digit numbers per vector, the same lane_math.hh formulas as the
+ * scalar and AVX2 backends. Advanced SIMD is architecturally mandatory
+ * on aarch64, so there is no runtime feature probe — the dispatcher
+ * selects this table unconditionally on that architecture (unless
+ * RBSIM_FORCE_SCALAR pins the portable path).
+ *
+ * Structure mirrors kernels_avx2.cc one-to-one; with only two lanes
+ * per vector the mulReduce pair trick uses vzip1q/vzip2q instead of
+ * unpack+permute. Tail lanes (n % 2) run the scalar lane functions.
+ */
+
+#include "rb/simd/kernels.hh"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include "rb/simd/lane_math.hh"
+
+namespace rbsim::simd::detail_neon
+{
+
+namespace
+{
+
+inline uint64x2_t
+bcast(std::uint64_t v)
+{
+    return vdupq_n_u64(v);
+}
+
+/** NEON has no 64-bit vmvnq; complement via XOR with all-ones. */
+inline uint64x2_t
+vmvnq_u64_custom(uint64x2_t v)
+{
+    return veorq_u64(v, vdupq_n_u64(~std::uint64_t{0}));
+}
+
+struct VecAdd
+{
+    uint64x2_t plus;
+    uint64x2_t minus;
+    uint64x2_t bogus; //!< bit-63 mask per lane
+    uint64x2_t ovf;   //!< bit-63 mask per lane
+};
+
+/** laneAddRaw + laneNormalizeQuad on two lanes. */
+inline VecAdd
+vecAdd(uint64x2_t xp, uint64x2_t xm, uint64x2_t yp, uint64x2_t ym)
+{
+    const uint64x2_t msd = bcast(std::uint64_t{1} << 63);
+
+    const uint64x2_t z_p2 = vandq_u64(xp, yp);
+    const uint64x2_t z_m2 = vandq_u64(xm, ym);
+    const uint64x2_t notxm_ym = vmvnq_u64_custom(vorrq_u64(xm, ym));
+    const uint64x2_t notxp_yp = vmvnq_u64_custom(vorrq_u64(xp, yp));
+    const uint64x2_t z_p1 = vandq_u64(veorq_u64(xp, yp), notxm_ym);
+    const uint64x2_t z_m1 = vandq_u64(veorq_u64(xm, ym), notxp_yp);
+
+    const uint64x2_t bn = notxm_ym;
+    const uint64x2_t bn1 =
+        vorrq_u64(vshlq_n_u64(bn, 1), vdupq_n_u64(1));
+    const uint64x2_t not_bn1 = vmvnq_u64_custom(bn1);
+
+    const uint64x2_t t_plus = vorrq_u64(z_p2, vandq_u64(z_p1, bn1));
+    const uint64x2_t t_minus =
+        vorrq_u64(z_m2, vandq_u64(z_m1, not_bn1));
+    const uint64x2_t z1 = vorrq_u64(z_p1, z_m1);
+    const uint64x2_t d_plus = vandq_u64(z1, not_bn1);
+    const uint64x2_t d_minus = vandq_u64(z1, bn1);
+
+    const uint64x2_t c_plus = vshlq_n_u64(t_plus, 1);
+    const uint64x2_t c_minus = vshlq_n_u64(t_minus, 1);
+
+    const uint64x2_t raw_p =
+        vorrq_u64(vbicq_u64(d_plus, c_minus), vbicq_u64(c_plus, d_minus));
+    const uint64x2_t raw_m =
+        vorrq_u64(vbicq_u64(d_minus, c_plus), vbicq_u64(c_minus, d_plus));
+    const uint64x2_t tp63 = vandq_u64(t_plus, msd);
+    const uint64x2_t tm63 = vandq_u64(t_minus, msd);
+
+    const uint64x2_t bogus_p = vandq_u64(tp63, vandq_u64(raw_m, msd));
+    const uint64x2_t bogus_m = vandq_u64(tm63, vandq_u64(raw_p, msd));
+    uint64x2_t sp = vorrq_u64(vbicq_u64(raw_p, bogus_m), bogus_p);
+    uint64x2_t sm = vorrq_u64(vbicq_u64(raw_m, bogus_p), bogus_m);
+    const uint64x2_t cp = vbicq_u64(tp63, bogus_p);
+    const uint64x2_t cm = vbicq_u64(tm63, bogus_m);
+    uint64x2_t ovf = vorrq_u64(cp, cm);
+
+    const uint64x2_t rest = bcast((std::uint64_t{1} << 63) - 1);
+    const uint64x2_t rest_neg =
+        vcgtq_u64(vandq_u64(sm, rest), vandq_u64(sp, rest));
+    const uint64x2_t flip_up =
+        vbicq_u64(vandq_u64(sp, msd), rest_neg);
+    const uint64x2_t flip_down =
+        vandq_u64(vandq_u64(sm, msd), rest_neg);
+    sp = vorrq_u64(vbicq_u64(sp, flip_up), flip_down);
+    sm = vorrq_u64(vbicq_u64(sm, flip_down), flip_up);
+    ovf = vorrq_u64(ovf, vorrq_u64(flip_up, flip_down));
+
+    return VecAdd{sp, sm, vorrq_u64(bogus_p, bogus_m), ovf};
+}
+
+/** laneShiftLeftDigits on two lanes with per-lane counts. */
+inline void
+vecShiftLeftDigits(uint64x2_t &xp, uint64x2_t &xm, uint64x2_t k)
+{
+    const uint64x2_t msd = bcast(std::uint64_t{1} << 63);
+    const uint64x2_t k_is0 = vceqzq_u64(k);
+
+    uint64x2_t sp = vshlq_u64(xp, vreinterpretq_s64_u64(k));
+    uint64x2_t sm = vshlq_u64(xm, vreinterpretq_s64_u64(k));
+
+    const uint64x2_t rest = bcast((std::uint64_t{1} << 63) - 1);
+    const uint64x2_t rest_neg =
+        vcgtq_u64(vandq_u64(sm, rest), vandq_u64(sp, rest));
+    const uint64x2_t flip_up =
+        vbicq_u64(vbicq_u64(vandq_u64(sp, msd), rest_neg), k_is0);
+    const uint64x2_t flip_down =
+        vbicq_u64(vandq_u64(vandq_u64(sm, msd), rest_neg), k_is0);
+    xp = vorrq_u64(vbicq_u64(sp, flip_up), flip_down);
+    xm = vorrq_u64(vbicq_u64(sm, flip_down), flip_up);
+}
+
+inline void
+storeFlags(std::uint8_t *bogus, std::uint8_t *ovf, uint64x2_t bogus_v,
+           uint64x2_t ovf_v, std::size_t i)
+{
+    bogus[i] = static_cast<std::uint8_t>(vgetq_lane_u64(bogus_v, 0) >> 63);
+    bogus[i + 1] =
+        static_cast<std::uint8_t>(vgetq_lane_u64(bogus_v, 1) >> 63);
+    ovf[i] = static_cast<std::uint8_t>(vgetq_lane_u64(ovf_v, 0) >> 63);
+    ovf[i + 1] = static_cast<std::uint8_t>(vgetq_lane_u64(ovf_v, 1) >> 63);
+}
+
+void
+neonAddBatch(const std::uint64_t *ap, const std::uint64_t *am,
+             const std::uint64_t *bp, const std::uint64_t *bm,
+             std::uint64_t *sp, std::uint64_t *sm, std::uint8_t *bogus,
+             std::uint8_t *ovf, std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const VecAdd r = vecAdd(vld1q_u64(ap + i), vld1q_u64(am + i),
+                                vld1q_u64(bp + i), vld1q_u64(bm + i));
+        vst1q_u64(sp + i, r.plus);
+        vst1q_u64(sm + i, r.minus);
+        storeFlags(bogus, ovf, r.bogus, r.ovf, i);
+    }
+    for (; i < n; ++i) {
+        const LaneAdd r = laneAdd(ap[i], am[i], bp[i], bm[i]);
+        sp[i] = r.plus;
+        sm[i] = r.minus;
+        bogus[i] = static_cast<std::uint8_t>(r.bogus);
+        ovf[i] = static_cast<std::uint8_t>(r.ovf);
+    }
+}
+
+void
+neonScaledAddBatch(const std::uint64_t *ap, const std::uint64_t *am,
+                   const std::uint8_t *shift, const std::uint64_t *bp,
+                   const std::uint64_t *bm, std::uint64_t *sp,
+                   std::uint64_t *sm, std::uint8_t *bogus,
+                   std::uint8_t *ovf, std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        uint64x2_t k = vdupq_n_u64(0);
+        k = vsetq_lane_u64(shift[i], k, 0);
+        k = vsetq_lane_u64(shift[i + 1], k, 1);
+        uint64x2_t xp = vld1q_u64(ap + i);
+        uint64x2_t xm = vld1q_u64(am + i);
+        vecShiftLeftDigits(xp, xm, k);
+        const VecAdd r =
+            vecAdd(xp, xm, vld1q_u64(bp + i), vld1q_u64(bm + i));
+        vst1q_u64(sp + i, r.plus);
+        vst1q_u64(sm + i, r.minus);
+        storeFlags(bogus, ovf, r.bogus, r.ovf, i);
+    }
+    for (; i < n; ++i) {
+        const LanePair a = laneShiftLeftDigits(ap[i], am[i], shift[i]);
+        const LaneAdd r = laneAdd(a.plus, a.minus, bp[i], bm[i]);
+        sp[i] = r.plus;
+        sm[i] = r.minus;
+        bogus[i] = static_cast<std::uint8_t>(r.bogus);
+        ovf[i] = static_cast<std::uint8_t>(r.ovf);
+    }
+}
+
+void
+neonFromTcBatch(const std::uint64_t *w, std::uint64_t *p,
+                std::uint64_t *m, std::size_t n)
+{
+    const uint64x2_t msd = bcast(std::uint64_t{1} << 63);
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const uint64x2_t v = vld1q_u64(w + i);
+        vst1q_u64(p + i, vbicq_u64(v, msd));
+        vst1q_u64(m + i, vandq_u64(v, msd));
+    }
+    for (; i < n; ++i) {
+        const LanePair r = laneFromTc(w[i]);
+        p[i] = r.plus;
+        m[i] = r.minus;
+    }
+}
+
+void
+neonToTcBatch(const std::uint64_t *p, const std::uint64_t *m,
+              std::uint64_t *w, std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2)
+        vst1q_u64(w + i, vsubq_u64(vld1q_u64(p + i), vld1q_u64(m + i)));
+    for (; i < n; ++i)
+        w[i] = p[i] - m[i];
+}
+
+/** Shared two-lane re-sign at an arbitrary digit position. */
+inline void
+vecResign(uint64x2_t &sp, uint64x2_t &sm, uint64x2_t msd, uint64x2_t rest)
+{
+    const uint64x2_t rest_neg =
+        vcgtq_u64(vandq_u64(sm, rest), vandq_u64(sp, rest));
+    const uint64x2_t flip_up =
+        vbicq_u64(vandq_u64(sp, msd), rest_neg);
+    const uint64x2_t flip_down =
+        vandq_u64(vandq_u64(sm, msd), rest_neg);
+    sp = vorrq_u64(vbicq_u64(sp, flip_up), flip_down);
+    sm = vorrq_u64(vbicq_u64(sm, flip_down), flip_up);
+}
+
+void
+neonNormalizeMsdBatch(std::uint64_t *p, std::uint64_t *m, std::size_t n)
+{
+    const uint64x2_t msd = bcast(std::uint64_t{1} << 63);
+    const uint64x2_t rest = bcast((std::uint64_t{1} << 63) - 1);
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        uint64x2_t sp = vld1q_u64(p + i);
+        uint64x2_t sm = vld1q_u64(m + i);
+        vecResign(sp, sm, msd, rest);
+        vst1q_u64(p + i, sp);
+        vst1q_u64(m + i, sm);
+    }
+    for (; i < n; ++i) {
+        const std::uint64_t restw = (std::uint64_t{1} << 63) - 1;
+        const std::uint64_t rest_neg =
+            (m[i] & restw) > (p[i] & restw) ? 1u : 0u;
+        const std::uint64_t flip_up = (p[i] >> 63) & (rest_neg ^ 1);
+        const std::uint64_t flip_down = (m[i] >> 63) & rest_neg;
+        p[i] = (p[i] & ~(flip_up << 63)) | (flip_down << 63);
+        m[i] = (m[i] & ~(flip_down << 63)) | (flip_up << 63);
+    }
+}
+
+void
+neonExtractLongwordBatch(std::uint64_t *p, std::uint64_t *m,
+                         std::size_t n)
+{
+    const uint64x2_t lmask = bcast(0xffffffffull);
+    const uint64x2_t msd = bcast(std::uint64_t{1} << 31);
+    const uint64x2_t rest = bcast((std::uint64_t{1} << 31) - 1);
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        uint64x2_t sp = vandq_u64(vld1q_u64(p + i), lmask);
+        uint64x2_t sm = vandq_u64(vld1q_u64(m + i), lmask);
+        vecResign(sp, sm, msd, rest);
+        vst1q_u64(p + i, sp);
+        vst1q_u64(m + i, sm);
+    }
+    for (; i < n; ++i) {
+        const LanePair r = laneExtractLongword(p[i], m[i]);
+        p[i] = r.plus;
+        m[i] = r.minus;
+    }
+}
+
+unsigned
+neonMulReduce(std::uint64_t *p, std::uint64_t *m, std::size_t n)
+{
+    unsigned levels = 0;
+    while (n > 1) {
+        std::size_t out = 0;
+        std::size_t i = 0;
+        // Four consecutive lanes -> two pairwise sums: uzp1/uzp2 of the
+        // two vector halves give pair-evens {0,2} and pair-odds {1,3}
+        // already in output order.
+        for (; i + 4 <= n; i += 4) {
+            const uint64x2_t p0 = vld1q_u64(p + i);
+            const uint64x2_t p1 = vld1q_u64(p + i + 2);
+            const uint64x2_t m0 = vld1q_u64(m + i);
+            const uint64x2_t m1 = vld1q_u64(m + i + 2);
+            const VecAdd r = vecAdd(vuzp1q_u64(p0, p1), vuzp1q_u64(m0, m1),
+                                    vuzp2q_u64(p0, p1), vuzp2q_u64(m0, m1));
+            vst1q_u64(p + out, r.plus);
+            vst1q_u64(m + out, r.minus);
+            out += 2;
+        }
+        for (; i + 1 < n; i += 2) {
+            const LaneAdd r = laneAdd(p[i], m[i], p[i + 1], m[i + 1]);
+            p[out] = r.plus;
+            m[out] = r.minus;
+            ++out;
+        }
+        if (n % 2) {
+            p[out] = p[n - 1];
+            m[out] = m[n - 1];
+            ++out;
+        }
+        n = out;
+        ++levels;
+    }
+    return levels;
+}
+
+constexpr KernelOps kNeonKernels = {
+    neonAddBatch,        neonScaledAddBatch,
+    neonFromTcBatch,     neonToTcBatch,
+    neonNormalizeMsdBatch, neonExtractLongwordBatch,
+    neonMulReduce,
+};
+
+} // namespace
+
+const KernelOps &
+table()
+{
+    return kNeonKernels;
+}
+
+} // namespace rbsim::simd::detail_neon
+
+#endif // defined(__aarch64__)
