@@ -557,6 +557,13 @@ sweepAll(const std::vector<MachineConfig> &configs, unsigned scale)
     return sweep(configs, allWorkloads(), scale);
 }
 
+std::vector<Cell>
+sweepWorkloads(const std::vector<MachineConfig> &configs,
+               const std::vector<WorkloadInfo> &workloads, unsigned scale)
+{
+    return sweep(configs, workloads, scale);
+}
+
 // ------------------------------------------------------------- figures
 
 void

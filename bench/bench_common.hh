@@ -150,6 +150,13 @@ std::vector<Cell> sweepSuite(const std::vector<MachineConfig> &configs,
 std::vector<Cell> sweepAll(const std::vector<MachineConfig> &configs,
                            unsigned scale = 1);
 
+/** Sweep an explicit workload list (e.g. generator-backed entries from
+ * gen::genWorkloadInfo) through the same service/remote machinery. */
+std::vector<Cell>
+sweepWorkloads(const std::vector<MachineConfig> &configs,
+               const std::vector<WorkloadInfo> &workloads,
+               unsigned scale = 1);
+
 /**
  * Print a per-benchmark IPC table (benchmarks as rows, machines as
  * columns) followed by harmonic and arithmetic means, the layout of the

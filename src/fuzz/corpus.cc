@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "common/json.hh"
+#include "fuzz/generator.hh"
 #include "isa/assembler.hh"
 
 namespace rbsim::fuzz
@@ -110,6 +111,8 @@ formatRepro(const ReproFile &repro)
         os << metaPrefix << "iters: " << repro.valueIters << "\n";
     if (!repro.note.empty())
         os << metaPrefix << "note: " << flatten(repro.note) << "\n";
+    if (!repro.genJson.empty())
+        os << metaPrefix << "gen: " << flatten(repro.genJson) << "\n";
     for (const MachineConfig &cfg : repro.configs)
         os << metaPrefix << "config: " << configToJson(cfg) << "\n";
     if (!repro.asmText.empty()) {
@@ -152,6 +155,11 @@ parseRepro(const std::string &text)
             out.valueIters = std::stoull(val, nullptr, 0);
         } else if (key == "note") {
             out.note = val;
+        } else if (key == "gen") {
+            // Validate eagerly: a malformed gen line should fail the
+            // parse, not the eventual re-generation.
+            genOptionsFromJson(Json::parse(val));
+            out.genJson = val;
         } else if (key == "config") {
             out.configs.push_back(configFromJson(val));
         } else {

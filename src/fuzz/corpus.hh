@@ -33,6 +33,11 @@ struct ReproFile
     std::uint64_t seed = 0;         //!< case seed
     std::uint64_t valueIters = 0;   //!< value-level: iterations to replay
     std::string note;               //!< free-form failure description
+    /** Generator bias knobs (genOptionsToJson one-liner) the case was
+     * drawn with, "" when the defaults were in force — with the seed,
+     * enough to re-derive the recipe, so presets round-trip through
+     * repro files. */
+    std::string genJson;
     std::vector<MachineConfig> configs; //!< program-level machines
     std::string asmText;            //!< program assembly ("" = value-level)
 

@@ -133,6 +133,10 @@ runFuzz(const FuzzOptions &opts)
         out.repro.oracle = oracle.name();
         out.repro.seed = f.seed;
         out.repro.note = f.detail;
+        // Record non-default bias knobs so the preset that drew the
+        // case round-trips through the file.
+        if (!(opts.gen == GenOptions()))
+            out.repro.genJson = genOptionsToJson(opts.gen).dump();
 
         if (f.programLevel) {
             ProgRecipe minimal = f.recipe;

@@ -66,13 +66,115 @@ GenOptions::preset(const std::string &name)
         w(OpKind::Store) = 1; // keep results observable in memory
         return o;
     }
+    // Stream-bridged presets: loop bodies follow a workload-generator op
+    // stream. Key spaces are clamped small — sandbox displacements are
+    // 16-bit, and a tight window also forces aliasing/forwarding.
+    if (name == "ycsb") {
+        o.useStream = true;
+        o.stream = gen::genPreset("ycsb-a");
+        o.stream.numKeys = 256;
+        return o;
+    }
+    if (name == "pointer-chase") {
+        o.useStream = true;
+        o.stream = gen::genPreset("chase-dl1");
+        o.stream.numKeys = 256;
+        return o;
+    }
+    if (name == "branch-entropy") {
+        o.useStream = true;
+        o.stream = gen::genPreset("branch-0.9");
+        return o;
+    }
+    if (name == "rb-adversarial") {
+        o.useStream = true;
+        o.stream = gen::genPreset("rb-adversarial");
+        o.stream.numKeys = 256;
+        return o;
+    }
     throw std::invalid_argument("unknown generator preset '" + name + "'");
 }
 
 std::vector<std::string>
 GenOptions::presetNames()
 {
-    return {"default", "memory", "branchy", "arith"};
+    return {"default",       "memory",         "branchy",
+            "arith",         "ycsb",           "pointer-chase",
+            "branch-entropy", "rb-adversarial"};
+}
+
+Json
+genOptionsToJson(const GenOptions &opts)
+{
+    Json j = Json::object();
+    Json weights = Json::object();
+    for (unsigned k = 0; k < numOpKinds; ++k)
+        weights[opKindName(static_cast<OpKind>(k))] = opts.weight[k];
+    j["weights"] = std::move(weights);
+    j["minBody"] = opts.minBody;
+    j["maxBody"] = opts.maxBody;
+    j["minTrips"] = opts.minTrips;
+    j["maxTrips"] = opts.maxTrips;
+    j["numSubs"] = opts.numSubs;
+    j["jumpTable"] = opts.jumpTable;
+    j["sandboxWords"] = opts.sandboxWords;
+    j["aliasSlots"] = opts.aliasSlots;
+    if (opts.useStream) {
+        j["useStream"] = true;
+        j["stream"] = opts.stream.toJsonValue();
+    }
+    return j;
+}
+
+GenOptions
+genOptionsFromJson(const Json &j)
+{
+    if (!j.isObject())
+        throw std::invalid_argument("gen options must be a JSON object");
+    GenOptions o;
+    auto u = [](const Json &v) {
+        return static_cast<unsigned>(v.asU64());
+    };
+    for (const auto &[key, v] : j.items()) {
+        if (key == "weights") {
+            for (const auto &[kname, w] : v.items()) {
+                bool known = false;
+                for (unsigned k = 0; k < numOpKinds; ++k) {
+                    if (kname == opKindName(static_cast<OpKind>(k))) {
+                        o.weight[k] = u(w);
+                        known = true;
+                    }
+                }
+                if (!known)
+                    throw std::invalid_argument(
+                        "unknown op kind \"" + kname + "\"");
+            }
+        } else if (key == "minBody") {
+            o.minBody = u(v);
+        } else if (key == "maxBody") {
+            o.maxBody = u(v);
+        } else if (key == "minTrips") {
+            o.minTrips = u(v);
+        } else if (key == "maxTrips") {
+            o.maxTrips = u(v);
+        } else if (key == "numSubs") {
+            o.numSubs = u(v);
+        } else if (key == "jumpTable") {
+            o.jumpTable = v.asBool();
+        } else if (key == "sandboxWords") {
+            o.sandboxWords = u(v);
+        } else if (key == "aliasSlots") {
+            o.aliasSlots = u(v);
+        } else if (key == "useStream") {
+            o.useStream = v.asBool();
+        } else if (key == "stream") {
+            o.stream = gen::GenConfig::fromJsonValue(v);
+        } else {
+            throw std::invalid_argument("unknown gen-options key \"" +
+                                        key + "\"");
+        }
+    }
+    return o;
 }
 
 namespace
@@ -205,6 +307,143 @@ drawRange(Rng &rng, unsigned lo, unsigned hi)
     return lo + static_cast<unsigned>(rng.below(hi - lo + 1));
 }
 
+/**
+ * Bridge a workload-generator op stream into recipe body ops. Key
+ * accesses hit the fuzz sandbox at the drawn key's slot (so the
+ * configured key-popularity skew shapes the aliasing pattern), compute
+ * bursts become the matching serial chains on one temp, chases become
+ * dependent load->use pairs, branches keep their drawn spacing. The
+ * bridge stops at `target` body ops; a too-short stream is padded with
+ * the weighted mix.
+ */
+void
+bridgeStream(std::vector<BodyOp> &body, Rng &rng, const GenOptions &opts,
+             unsigned target)
+{
+    gen::GenConfig cfg = opts.stream;
+    cfg.streamOps = target; // at least one body op per abstract op
+    auto workload = gen::makeWorkloadGen(cfg.family);
+    workload->load(cfg, rng.next());
+
+    // 16-bit load/store displacements bound the addressable key window.
+    const std::uint64_t slots =
+        std::max<std::uint64_t>(1, std::min<std::uint64_t>(cfg.numKeys,
+                                                           4096));
+    auto slotDisp = [&](std::uint64_t key) {
+        return static_cast<std::int32_t>((key % slots) * 8);
+    };
+    auto memOp = [&](OpKind kind, Opcode opc, std::int32_t disp) {
+        BodyOp op;
+        op.kind = kind;
+        op.op = opc;
+        op.a = randTemp(rng);
+        op.c = randTemp(rng);
+        op.disp = disp;
+        return op;
+    };
+    auto aluOp = [&](OpKind kind, Opcode opc, std::uint8_t a,
+                     std::uint8_t b, std::uint8_t c, std::uint8_t lit) {
+        BodyOp op;
+        op.kind = kind;
+        op.op = opc;
+        op.a = a;
+        op.b = b;
+        op.c = c;
+        op.lit = lit;
+        return op;
+    };
+
+    gen::WorkloadOp wop;
+    while (body.size() < target && workload->next(wop)) {
+        switch (wop.kind) {
+          case gen::WorkloadOp::Kind::KeyRead:
+            body.push_back(
+                memOp(OpKind::Load, Opcode::LDQ, slotDisp(wop.key)));
+            break;
+          case gen::WorkloadOp::Kind::KeyUpdate:
+            body.push_back(
+                memOp(OpKind::Store, Opcode::STQ, slotDisp(wop.key)));
+            break;
+          case gen::WorkloadOp::Kind::KeyRmw: {
+            const std::int32_t disp = slotDisp(wop.key);
+            const std::uint8_t t = randTemp(rng);
+            BodyOp ld = memOp(OpKind::Load, Opcode::LDQ, disp);
+            ld.c = t;
+            body.push_back(ld);
+            body.push_back(
+                aluOp(OpKind::Arith, Opcode::ADDQ, t, t, t, 0));
+            BodyOp st = memOp(OpKind::Store, Opcode::STQ, disp);
+            st.a = t;
+            body.push_back(st);
+            break;
+          }
+          case gen::WorkloadOp::Kind::KeyScan:
+            for (unsigned s = 0; s < std::max(1u, wop.len) &&
+                                 body.size() < target + 8;
+                 ++s) {
+                body.push_back(memOp(
+                    OpKind::Load, Opcode::LDQ,
+                    slotDisp(wop.key + s)));
+            }
+            break;
+          case gen::WorkloadOp::Kind::PointerChase:
+            // No dependent addressing in the sandbox; approximate the
+            // serial dependence with load -> use chains on one temp.
+            for (unsigned s = 0; s < std::max(1u, wop.len) &&
+                                 body.size() < target + 8;
+                 ++s) {
+                const std::uint8_t t = randTemp(rng);
+                BodyOp ld = memOp(
+                    OpKind::Load, Opcode::LDQ,
+                    static_cast<std::int32_t>(rng.below(slots) * 8));
+                ld.c = t;
+                body.push_back(ld);
+                body.push_back(
+                    aluOp(OpKind::Arith, Opcode::ADDQ, t, t, t, 0));
+            }
+            break;
+          case gen::WorkloadOp::Kind::Compute: {
+            const std::uint8_t t = randTemp(rng);
+            const std::uint8_t u = randTemp(rng);
+            for (unsigned s = 0; s < std::max(1u, wop.len) &&
+                                 body.size() < target + 8;
+                 ++s) {
+                if (wop.rb) {
+                    // The Table 3 worst case: SLL (5-cycle TC
+                    // conversion) feeding a logical, serially.
+                    body.push_back(aluOp(
+                        OpKind::Shift, Opcode::SLL, t, t, u,
+                        static_cast<std::uint8_t>(1 + rng.below(23))));
+                    body.push_back(aluOp(OpKind::Logical,
+                                         s % 4 == 3 ? Opcode::BIS
+                                                    : Opcode::XOR,
+                                         t, u, t, 0));
+                } else {
+                    body.push_back(aluOp(OpKind::Arith, Opcode::ADDQ, t,
+                                         u, t, 0));
+                }
+            }
+            break;
+          }
+          case gen::WorkloadOp::Kind::Branch:
+          default: {
+            BodyOp op;
+            op.kind = OpKind::Branch;
+            static const Opcode brs[] = {Opcode::BEQ, Opcode::BNE,
+                                         Opcode::BLT, Opcode::BGE,
+                                         Opcode::BLBS, Opcode::BLBC};
+            op.op = brs[rng.below(std::size(brs))];
+            op.a = randTemp(rng);
+            op.skip = static_cast<std::uint8_t>(1 + rng.below(4));
+            body.push_back(op);
+            break;
+          }
+        }
+    }
+    while (body.size() < target)
+        body.push_back(drawOp(rng, opts));
+}
+
 } // namespace
 
 ProgRecipe
@@ -221,8 +460,11 @@ generateRecipe(Rng &rng, const GenOptions &opts)
 
     const unsigned body_len = drawRange(rng, opts.minBody, opts.maxBody);
     r.body.reserve(body_len);
-    for (unsigned i = 0; i < body_len; ++i)
-        r.body.push_back(drawOp(rng, opts));
+    if (opts.useStream)
+        bridgeStream(r.body, rng, opts, body_len);
+    else
+        for (unsigned i = 0; i < body_len; ++i)
+            r.body.push_back(drawOp(rng, opts));
 
     r.subs.resize(opts.numSubs);
     for (SubRecipe &sub : r.subs) {

@@ -34,9 +34,11 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hh"
 #include "common/rng.hh"
 #include "core/machine_config.hh"
 #include "isa/program.hh"
+#include "workloads/gen/opstream.hh"
 
 namespace rbsim::fuzz
 {
@@ -84,6 +86,16 @@ struct GenOptions
      * aliasing; must be >= 1. */
     unsigned aliasSlots = 64;
 
+    /** When set, loop bodies are bridged from a workload-generator op
+     * stream (`stream`) instead of the weighted random mix: key accesses
+     * become sandbox loads/stores at the drawn key's slot, compute
+     * bursts become the matching arith or shift->logical chains, and so
+     * on — so the oracles inherit the generated-workload op-mix shapes.
+     * Subroutine bodies and structural features still use the weights. */
+    bool useStream = false;
+    /** The stream description used when `useStream` is set. */
+    gen::GenConfig stream;
+
     GenOptions();
 
     /**
@@ -92,13 +104,29 @@ struct GenOptions
      *  - "memory":  load/store heavy with a 4-slot aliasing window
      *  - "branchy": branch/compare/cmov heavy, short bodies
      *  - "arith":   adds/multiplies/shifts only (RB datapath stress)
+     * Stream-bridged presets (one per generator family):
+     *  - "ycsb":           zipfian key-access mix (gen "ycsb-a" mold)
+     *  - "pointer-chase":  dependent-load chains + key traffic
+     *  - "branch-entropy": data-shaped branches at a 0.9 taken-rate
+     *  - "rb-adversarial": serial shift->logical chains (Table 3 worst
+     *                      case for the RB machines)
      * Throws std::invalid_argument for unknown names.
      */
     static GenOptions preset(const std::string &name);
 
     /** All preset names. */
     static std::vector<std::string> presetNames();
+
+    bool operator==(const GenOptions &) const = default;
 };
+
+/** Serialize the full bias-knob state (weights, shape bounds, stream
+ * bridge) so presets round-trip through .repro files. */
+Json genOptionsToJson(const GenOptions &opts);
+
+/** Rebuild from genOptionsToJson output; unknown keys are rejected,
+ * missing keys keep their defaults. Throws on malformed input. */
+GenOptions genOptionsFromJson(const Json &j);
 
 /** One abstract body instruction. */
 struct BodyOp

@@ -41,7 +41,10 @@ usage(std::ostream &os)
           "  --oracle <name>    restrict to one oracle (repeatable; "
           "default all)\n"
           "  --preset <name>    generator bias preset (default/memory/"
-          "branchy/arith)\n"
+          "branchy/arith,\n"
+          "                     or a workload-stream family: ycsb/"
+          "pointer-chase/\n"
+          "                     branch-entropy/rb-adversarial)\n"
           "  --value-iters <n>  draws per value-level case (default "
           "4096)\n"
           "  --corpus-dir <d>   write shrunk repro files into <d>\n"

@@ -1,0 +1,126 @@
+#include "workloads/gen/keydist.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "workloads/gen/opstream.hh"
+
+namespace rbsim::gen
+{
+
+namespace
+{
+
+/** Uniform double in [0, 1) with 53 random bits. */
+double
+unitDraw(Rng &rng)
+{
+    return static_cast<double>(rng.next() >> 11) *
+           (1.0 / 9007199254740992.0);
+}
+
+/** FNV-1a over the 8 bytes of a rank (the YCSB scramble hash). */
+std::uint64_t
+fnv1a64(std::uint64_t v)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned i = 0; i < 8; ++i) {
+        h ^= (v >> (i * 8)) & 0xff;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+} // namespace
+
+KeyPicker::KeyPicker(KeyDist dist_, std::uint64_t n_, double skew_,
+                     bool scramble_)
+    : dist(dist_), n(n_), skew(skew_), scramble(scramble_)
+{
+    assert(n >= 1);
+    // Both curves degenerate at the interval ends; clamp rather than
+    // special-case (0.995 zipfian is already extremely concentrated).
+    skew = std::clamp(skew, 0.01, 0.995);
+
+    if (dist == KeyDist::Zipfian) {
+        theta = skew;
+        zetan = 0.0;
+        for (std::uint64_t i = 1; i <= n; ++i)
+            zetan += 1.0 / std::pow(static_cast<double>(i), theta);
+        alpha = 1.0 / (1.0 - theta);
+        const double zeta2 = 1.0 + std::pow(0.5, theta);
+        eta = (1.0 - std::pow(2.0 / static_cast<double>(n),
+                              1.0 - theta)) /
+              (1.0 - zeta2 / zetan);
+    } else if (dist == KeyDist::SelfSimilar) {
+        ssExp = std::log(skew) / std::log(1.0 - skew);
+    }
+}
+
+std::uint64_t
+KeyPicker::pickRank(Rng &rng)
+{
+    switch (dist) {
+      case KeyDist::Zipfian: {
+        const double u = unitDraw(rng);
+        const double uz = u * zetan;
+        if (uz < 1.0)
+            return 0;
+        if (uz < 1.0 + std::pow(0.5, theta))
+            return 1;
+        const double r = static_cast<double>(n) *
+                         std::pow(eta * u - eta + 1.0, alpha);
+        return std::min<std::uint64_t>(
+            n - 1, static_cast<std::uint64_t>(r));
+      }
+      case KeyDist::SelfSimilar: {
+        const double u = unitDraw(rng);
+        const double r =
+            static_cast<double>(n) * std::pow(u, ssExp);
+        return std::min<std::uint64_t>(
+            n - 1, static_cast<std::uint64_t>(r));
+      }
+      case KeyDist::Uniform:
+      default:
+        return rng.below(n);
+    }
+}
+
+std::uint64_t
+KeyPicker::slotOfRank(std::uint64_t rank) const
+{
+    if (!scramble || dist == KeyDist::Uniform)
+        return rank;
+    return fnv1a64(rank) % n;
+}
+
+std::uint64_t
+KeyPicker::pick(Rng &rng)
+{
+    return slotOfRank(pickRank(rng));
+}
+
+double
+KeyPicker::rankProbability(std::uint64_t rank) const
+{
+    assert(rank < n);
+    switch (dist) {
+      case KeyDist::Zipfian:
+        return 1.0 /
+               std::pow(static_cast<double>(rank + 1), theta) / zetan;
+      case KeyDist::SelfSimilar: {
+        auto cdf = [this](std::uint64_t k) {
+            return std::pow(static_cast<double>(k) /
+                                static_cast<double>(n),
+                            1.0 / ssExp);
+        };
+        return cdf(rank + 1) - cdf(rank);
+      }
+      case KeyDist::Uniform:
+      default:
+        return 1.0 / static_cast<double>(n);
+    }
+}
+
+} // namespace rbsim::gen

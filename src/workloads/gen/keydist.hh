@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Key-popularity distributions for the workload generators: uniform,
+ * YCSB-style Zipfian (Gray et al.'s rejection-free inverse-CDF
+ * construction with precomputed zeta), and Gray's self-similar(h)
+ * (the recursive 80/20 rule: a 1-h share of accesses falls on the
+ * hottest h fraction of the key space).
+ *
+ * pickRank() draws a popularity *rank* (0 = hottest); pick() maps the
+ * rank onto a table slot, optionally scrambled through an FNV-1a hash
+ * (YCSB's ScrambledZipfian) so hot keys do not end up on adjacent cache
+ * lines by construction — without scrambling, low skews would get a
+ * spurious line-locality bonus.
+ */
+
+#ifndef RBSIM_WORKLOADS_GEN_KEYDIST_HH
+#define RBSIM_WORKLOADS_GEN_KEYDIST_HH
+
+#include <cstdint>
+
+#include "common/rng.hh"
+
+namespace rbsim::gen
+{
+
+enum class KeyDist : unsigned char;
+
+/** Draws keys in [0, n) under a configured popularity curve. */
+class KeyPicker
+{
+  public:
+    /**
+     * @param dist distribution kind
+     * @param n key-space size (>= 1)
+     * @param skew zipfian theta in (0, 1) or self-similar h in (0, 1);
+     *             ignored for Uniform
+     * @param scramble hash ranks over the slot space
+     */
+    KeyPicker(KeyDist dist, std::uint64_t n, double skew,
+              bool scramble = true);
+
+    /** Popularity rank of one draw (0 = most popular). */
+    std::uint64_t pickRank(Rng &rng);
+
+    /** Table slot of one draw (rank, scrambled when configured). */
+    std::uint64_t pick(Rng &rng);
+
+    /** The slot a given rank maps to (exposed for tests). */
+    std::uint64_t slotOfRank(std::uint64_t rank) const;
+
+    /** Theoretical probability of a given rank under the curve
+     * (exposed for the statistical property tests). */
+    double rankProbability(std::uint64_t rank) const;
+
+  private:
+    KeyDist dist;
+    std::uint64_t n;
+    double skew;
+    bool scramble;
+
+    // Zipfian precomputation (Gray et al., "Quickly generating
+    // billion-record synthetic databases").
+    double zetan = 0.0;
+    double theta = 0.0;
+    double alpha = 0.0;
+    double eta = 0.0;
+
+    // Self-similar exponent: log(h) / log(1 - h).
+    double ssExp = 0.0;
+};
+
+} // namespace rbsim::gen
+
+#endif // RBSIM_WORKLOADS_GEN_KEYDIST_HH

@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Stream lowering: encode an abstract op stream into data memory and
+ * emit a compact dispatch loop that consumes it.
+ *
+ * Each op becomes one tagged word: (payload << 3) | tag. The dispatch
+ * loop loads a word, splits tag/payload, and branches into a per-kind
+ * handler; present-kind handlers are emitted once (their shape comes
+ * from the config), so static code stays small while the op *sequence*
+ * — and with it key locality, chase pressure, and branch directions —
+ * lives entirely in the data image. The whole stream is replayed
+ * `trips * scale` times.
+ *
+ * Memory map (all comfortably separated; the key table is left to the
+ * page-sparse MemImage's implicit zero fill):
+ *   fold area   0x0180000   (final accumulator store)
+ *   key table   0x0200000   (numKeys * 8 bytes, <= 4 MiB)
+ *   chase ring  0x0800000   (workingSetBytes, <= 8 MiB)
+ *   op stream   0x1800000   (one word per op, <= 8 MiB)
+ *
+ * Register map: r1 stream cursor, r2 stream end, r3 table base, r4
+ * accumulator, r5 fetched word, r6 tag, r7 payload, r8 trip counter,
+ * r9 chase node, r10/r11 scratch.
+ */
+
+#include "workloads/gen/opstream.hh"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+
+#include "common/rng.hh"
+#include "isa/builder.hh"
+
+namespace rbsim::gen
+{
+
+namespace
+{
+
+// Stream word tags (low 3 bits).
+constexpr unsigned kTagRead = 0;
+constexpr unsigned kTagUpdate = 1;
+constexpr unsigned kTagRmw = 2;
+constexpr unsigned kTagScan = 3;
+constexpr unsigned kTagChase = 4;
+constexpr unsigned kTagCompute = 5;
+constexpr unsigned kTagBranch = 6;
+constexpr unsigned kNumTags = 7;
+
+constexpr Addr foldBase = 0x180000;
+constexpr Addr tableBase = 0x200000;
+constexpr Addr ringBase = 0x800000;
+constexpr Addr streamBase = 0x1800000;
+
+constexpr std::uint64_t maxKeys = 1u << 19;   // 4 MiB table
+constexpr std::uint32_t maxRingBytes = 8u << 20;
+constexpr std::size_t maxStreamOps = 1u << 20;
+constexpr unsigned maxUnroll = 64; // scan/chase/burst emission cap
+
+unsigned
+tagOf(WorkloadOp::Kind kind)
+{
+    switch (kind) {
+      case WorkloadOp::Kind::KeyRead: return kTagRead;
+      case WorkloadOp::Kind::KeyUpdate: return kTagUpdate;
+      case WorkloadOp::Kind::KeyRmw: return kTagRmw;
+      case WorkloadOp::Kind::KeyScan: return kTagScan;
+      case WorkloadOp::Kind::PointerChase: return kTagChase;
+      case WorkloadOp::Kind::Compute: return kTagCompute;
+      case WorkloadOp::Kind::Branch:
+      default:
+        return kTagBranch;
+    }
+}
+
+/** Build the circular shuffled pointer ring; returns the head node. */
+Addr
+buildRing(CodeBuilder &cb, Rng &rng, std::size_t count,
+          std::size_t nodeBytes)
+{
+    std::vector<std::size_t> order(count);
+    for (std::size_t i = 0; i < count; ++i)
+        order[i] = i;
+    for (std::size_t i = count; i > 1; --i)
+        std::swap(order[i - 1], order[rng.below(i)]);
+
+    const std::size_t nodeWords = nodeBytes / 8;
+    std::vector<Word> image(count * nodeWords, 0);
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t slot = order[i];
+        const std::size_t nextSlot = order[(i + 1) % count];
+        image[slot * nodeWords] = ringBase + nextSlot * nodeBytes;
+        image[slot * nodeWords + 1] = rng.next() & 0xffff;
+    }
+    cb.dataWords(ringBase, image);
+    return ringBase + order[0] * nodeBytes;
+}
+
+} // namespace
+
+Program
+lowerStream(const GenConfig &cfg, const std::vector<WorkloadOp> &ops,
+            const WorkloadParams &wp)
+{
+    assert(ops.size() <= maxStreamOps);
+
+    CodeBuilder cb(cfg.name());
+    Rng dataRng(Rng::mixSeed(wp.seed, 2));
+
+    // --- survey the stream: present tags and per-kind shapes ---
+    std::array<bool, kNumTags> present{};
+    unsigned scanLen = 1, chaseLen = 1, burstLen = 1;
+    bool burstRb = false;
+    std::vector<Word> words;
+    words.reserve(ops.size());
+    for (const WorkloadOp &op : ops) {
+        const unsigned tag = tagOf(op.kind);
+        present[tag] = true;
+        std::uint64_t payload = 0;
+        switch (op.kind) {
+          case WorkloadOp::Kind::KeyRead:
+          case WorkloadOp::Kind::KeyUpdate:
+          case WorkloadOp::Kind::KeyRmw:
+          case WorkloadOp::Kind::KeyScan:
+            assert(op.key < maxKeys);
+            payload = op.key * 8;
+            if (op.kind == WorkloadOp::Kind::KeyScan)
+                scanLen = std::max(scanLen, std::min(op.len, maxUnroll));
+            break;
+          case WorkloadOp::Kind::PointerChase:
+            chaseLen = std::max(chaseLen, std::min(op.len, maxUnroll));
+            break;
+          case WorkloadOp::Kind::Compute:
+            burstLen = std::max(burstLen, std::min(op.len, maxUnroll));
+            burstRb = burstRb || op.rb;
+            break;
+          case WorkloadOp::Kind::Branch:
+            payload = op.taken ? 1 : 0;
+            break;
+          default:
+            break;
+        }
+        words.push_back((payload << 3) | tag);
+    }
+    cb.dataWords(streamBase, words);
+
+    std::vector<unsigned> tags;
+    for (unsigned t = 0; t < kNumTags; ++t)
+        if (present[t])
+            tags.push_back(t);
+
+    const bool keyed = present[kTagRead] || present[kTagUpdate] ||
+                       present[kTagRmw] || present[kTagScan];
+    const std::uint64_t totalTrips = std::max<std::uint64_t>(
+        1, std::uint64_t{cfg.trips} * std::max(1u, wp.scale));
+
+    // --- static setup ---
+    const Reg cursor = R(1), streamEnd = R(2), table = R(3), acc = R(4),
+              word = R(5), tag = R(6), payload = R(7), trip = R(8),
+              node = R(9), t1 = R(10), t2 = R(11);
+
+    if (keyed)
+        cb.ldiq(table, tableBase);
+    cb.ldiq(acc, static_cast<std::int64_t>(dataRng.next() | 1));
+    cb.ldiq(trip, static_cast<std::int64_t>(totalTrips));
+    if (present[kTagChase]) {
+        const std::size_t nodeBytes =
+            std::max<std::size_t>(16, cfg.nodeBytes & ~7u);
+        const std::size_t count = std::max<std::size_t>(
+            2, std::min(cfg.workingSetBytes, maxRingBytes) / nodeBytes);
+        cb.ldiq(node, buildRing(cb, dataRng, count, nodeBytes));
+    }
+
+    const Label outer = cb.newLabel();
+    const Label inner = cb.newLabel();
+    const Label opNext = cb.newLabel();
+
+    // --- outer loop: rewind the stream cursor ---
+    cb.bind(outer);
+    cb.ldiq(cursor, streamBase);
+    cb.ldiq(streamEnd, streamBase + words.size() * 8);
+
+    if (!words.empty()) {
+        // --- fetch + decode ---
+        cb.bind(inner);
+        cb.load(Opcode::LDQ, word, 0, cursor);
+        cb.lda(cursor, 8, cursor);
+        cb.opi(Opcode::AND, word, 7, tag);
+        cb.opi(Opcode::SRL, word, 3, payload);
+
+        // Dispatch: compare-and-branch for every present tag but the
+        // last, which becomes the fall-through handler.
+        std::array<Label, kNumTags> handler{};
+        for (unsigned t : tags)
+            handler[t] = cb.newLabel();
+        for (std::size_t i = 0; i + 1 < tags.size(); ++i) {
+            cb.opi(Opcode::CMPEQ, tag,
+                   static_cast<std::uint8_t>(tags[i]), t1);
+            cb.branch(Opcode::BNE, t1, handler[tags[i]]);
+        }
+
+        // --- handlers (fall-through one first) ---
+        std::vector<unsigned> order;
+        order.push_back(tags.back());
+        for (std::size_t i = 0; i + 1 < tags.size(); ++i)
+            order.push_back(tags[i]);
+
+        for (std::size_t i = 0; i < order.size(); ++i) {
+            const unsigned t = order[i];
+            cb.bind(handler[t]);
+            switch (t) {
+              case kTagRead:
+                cb.op3(Opcode::ADDQ, table, payload, t1);
+                cb.load(Opcode::LDQ, t2, 0, t1);
+                cb.op3(Opcode::XOR, acc, t2, acc);
+                break;
+              case kTagUpdate:
+                cb.op3(Opcode::ADDQ, table, payload, t1);
+                cb.store(Opcode::STQ, acc, 0, t1);
+                cb.opi(Opcode::ADDQ, acc, 3, acc);
+                break;
+              case kTagRmw:
+                cb.op3(Opcode::ADDQ, table, payload, t1);
+                cb.load(Opcode::LDQ, t2, 0, t1);
+                cb.opi(Opcode::ADDQ, t2, 1, t2);
+                cb.store(Opcode::STQ, t2, 0, t1);
+                cb.op3(Opcode::XOR, acc, t2, acc);
+                break;
+              case kTagScan:
+                cb.op3(Opcode::ADDQ, table, payload, t1);
+                for (unsigned s = 0; s < scanLen; ++s) {
+                    cb.load(Opcode::LDQ, t2,
+                            static_cast<std::int32_t>(s * 8), t1);
+                    cb.op3(Opcode::ADDQ, acc, t2, acc);
+                }
+                break;
+              case kTagChase:
+                for (unsigned s = 0; s < chaseLen; ++s) {
+                    cb.load(Opcode::LDQ, t1, 8, node);
+                    cb.op3(Opcode::ADDQ, acc, t1, acc);
+                    cb.load(Opcode::LDQ, node, 0, node);
+                }
+                break;
+              case kTagCompute:
+                if (burstRb) {
+                    // Serial shift->logical pairs: each result feeds
+                    // the next shift, so every step pays the RB->TC
+                    // conversion latency on the RB machines (Table 3's
+                    // worst case). XOR keeps the value live; the
+                    // periodic BIS varies the logical unit mix.
+                    static const std::uint8_t amt[8] = {13, 7,  17, 5,
+                                                        11, 3, 19, 9};
+                    for (unsigned s = 0; s < burstLen; ++s) {
+                        cb.opi(Opcode::SLL, acc, amt[s % 8], t1);
+                        cb.op3(s % 4 == 3 ? Opcode::BIS : Opcode::XOR,
+                               acc, t1, acc);
+                    }
+                } else {
+                    for (unsigned s = 0; s < burstLen; ++s)
+                        cb.opi(Opcode::ADDQ, acc,
+                               static_cast<std::uint8_t>(1 + (s & 7)),
+                               acc);
+                }
+                break;
+              case kTagBranch:
+              default: {
+                // Direction comes from the payload bit — fully
+                // data-dependent, so the predictor sees exactly the
+                // drawn taken-rate.
+                const Label bTaken = cb.newLabel();
+                cb.branch(Opcode::BLBS, payload, bTaken);
+                cb.opi(Opcode::ADDQ, acc, 2, acc);
+                cb.br(opNext);
+                cb.bind(bTaken);
+                cb.opi(Opcode::SUBQ, acc, 1, acc);
+                break;
+              }
+            }
+            if (i + 1 < order.size())
+                cb.br(opNext);
+        }
+    }
+
+    // --- loop control ---
+    cb.bind(opNext);
+    if (!words.empty()) {
+        cb.op3(Opcode::CMPULT, cursor, streamEnd, t1);
+        cb.branch(Opcode::BNE, t1, inner);
+    }
+    cb.opi(Opcode::SUBQ, trip, 1, trip);
+    cb.branch(Opcode::BNE, trip, outer);
+
+    // --- fold: make the run's state observable in memory ---
+    cb.ldiq(t1, foldBase);
+    cb.store(Opcode::STQ, acc, 0, t1);
+    if (present[kTagChase])
+        cb.store(Opcode::STQ, node, 8, t1);
+    cb.halt();
+
+    return cb.finish();
+}
+
+} // namespace rbsim::gen

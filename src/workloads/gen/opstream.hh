@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Workload-description API: abstract op streams and their generators.
+ *
+ * Modeled on the codes-workload interface (load() binds a generator
+ * instance to a configuration, get_next() drains one abstract operation
+ * at a time until an End marker), this layer separates *what a workload
+ * does* — skewed key accesses, pointer derefs, compute bursts, branches
+ * — from *how it is expressed* as a TinyAlpha program. A `WorkloadGen`
+ * emits a stream of `WorkloadOp`s; `lowerStream` turns the stream into a
+ * runnable program through the existing CodeBuilder, encoding the stream
+ * into data memory and emitting a compact dispatch loop over it (the
+ * suite's "data-driven, not RNG-driven" rule: programs consume
+ * pre-generated inputs instead of computing a serial shift-xor
+ * recurrence that would unfairly punish the RB machines).
+ *
+ * Concrete generators (gen.cc) cover what the hand-written SPEC-like
+ * suite cannot express directly:
+ *  - key-access kernels in the YCSB A-F mold with Zipfian, self-similar
+ *    or uniform key popularity (skew sweepable 0.5 -> 0.99),
+ *  - pointer chasing with a controlled working-set size aimed at a
+ *    specific level of the DL1/L2/memory hierarchy,
+ *  - branch-entropy sweeps with a configured taken-rate,
+ *  - an RB-adversarial mode biased toward serial shift->logical chains
+ *    (the Table 3 worst case for the redundant-binary machines).
+ *
+ * Every generator is a pure function of (GenConfig, seed): the same pair
+ * produces a byte-identical program (Program::hash() equality), which
+ * the fuzz oracles and the determinism tests rely on.
+ */
+
+#ifndef RBSIM_WORKLOADS_GEN_OPSTREAM_HH
+#define RBSIM_WORKLOADS_GEN_OPSTREAM_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "workloads/workload.hh"
+
+namespace rbsim::gen
+{
+
+/** Generator families. */
+enum class GenFamily : unsigned char
+{
+    KeyAccess,     //!< skewed reads/updates/RMWs/scans over a key table
+    PointerChase,  //!< serial derefs through a sized pointer ring
+    BranchEntropy, //!< data-dependent branches at a target taken-rate
+    RbAdversarial, //!< serial shift->logical chains (RB worst case)
+};
+
+/** Printable family name ("key-access", "pointer-chase", ...). */
+const char *genFamilyName(GenFamily family);
+
+/** Inverse of genFamilyName; throws std::invalid_argument. */
+GenFamily genFamilyFromName(const std::string &name);
+
+/** Key-popularity distributions for the KeyAccess family. */
+enum class KeyDist : unsigned char
+{
+    Uniform,     //!< every key equally likely
+    Zipfian,     //!< YCSB-style zipfian(theta), scrambled over the table
+    SelfSimilar, //!< Gray's self-similar(h): 1-h of accesses hit h keys
+};
+
+/** Printable distribution name ("uniform", "zipfian", "selfsimilar"). */
+const char *keyDistName(KeyDist dist);
+
+/** Inverse of keyDistName; throws std::invalid_argument. */
+KeyDist keyDistFromName(const std::string &name);
+
+/**
+ * Full description of one generator instance. Serializable (JSON) so
+ * fuzz presets round-trip through .repro files and bench sweeps are
+ * self-describing. Every field has a usable default; families ignore
+ * the knobs that do not apply to them.
+ */
+struct GenConfig
+{
+    GenFamily family = GenFamily::KeyAccess;
+
+    // --- KeyAccess knobs (YCSB mold) ---
+    KeyDist dist = KeyDist::Zipfian;
+    /** Zipfian theta or self-similar h. Ignored for Uniform. */
+    double skew = 0.99;
+    /** Key-space size; the lowered key table is numKeys * 8 bytes. */
+    std::uint32_t numKeys = 64 * 1024;
+    /** Hash key ranks over the table (YCSB ScrambledZipfian) so hot
+     * keys do not share cache lines by construction. */
+    bool scramble = true;
+    /** Operation mix, normalized internally (YCSB A = 50/50 read/
+     * update, B = 95/5, C = read-only, E = scan-heavy, F = RMW). */
+    double readFrac = 0.5;
+    double updateFrac = 0.5;
+    double rmwFrac = 0.0;
+    double scanFrac = 0.0;
+    /** Keys touched per scan op. */
+    unsigned scanLen = 4;
+
+    // --- PointerChase knobs ---
+    /** Ring footprint in bytes: aim below 8 KiB for DL1 residency,
+     * below 1 MiB for L2, above for memory. */
+    std::uint32_t workingSetBytes = 256 * 1024;
+    /** Bytes per ring node (>= 16, multiple of 8; 64 = one line). */
+    unsigned nodeBytes = 64;
+    /** Serial derefs per chase op. */
+    unsigned chaseSteps = 4;
+
+    // --- BranchEntropy knobs ---
+    /** Target taken-rate of the data-dependent branch. */
+    double takenRate = 0.5;
+
+    // --- RbAdversarial knobs ---
+    /** shift->logical pairs per compute burst. */
+    unsigned chainLen = 8;
+
+    // --- shared stream shape ---
+    /** Abstract ops per stream pass. */
+    std::uint32_t streamOps = 4096;
+    /** Stream passes at scale 1 (WorkloadParams::scale multiplies). */
+    unsigned trips = 2;
+
+    /** Optional display name; name() derives one when empty. */
+    std::string label;
+
+    /** Derived or explicit display name, e.g. "zipf-0.99". */
+    std::string name() const;
+
+    /** Serialize to a compact one-line JSON object. */
+    Json toJsonValue() const;
+    std::string toJson() const { return toJsonValue().dump(); }
+
+    /** Rebuild from toJson output. Throws JsonError/invalid_argument. */
+    static GenConfig fromJsonValue(const Json &j);
+    static GenConfig fromJson(const std::string &text);
+
+    bool operator==(const GenConfig &) const = default;
+};
+
+/**
+ * Named configurations:
+ *  - "ycsb-a" .. "ycsb-f": the YCSB core-workload molds over a zipfian
+ *    key table (D approximates read-latest with zipfian popularity; E's
+ *    inserts become updates — the simulated table is fixed-size).
+ *  - "zipf-<skew>", "selfsim-<h>", "uniform": 50/50 read/update mixes
+ *    with the given popularity curve.
+ *  - "chase-dl1" / "chase-l2" / "chase-mem": pointer rings sized to the
+ *    three levels of the hierarchy.
+ *  - "branch-<rate>": branch-entropy at the given taken-rate.
+ *  - "rb-adversarial": the shift->logical worst case.
+ * Throws std::invalid_argument for unknown names.
+ */
+GenConfig genPreset(const std::string &name);
+
+/** All fixed genPreset names (the parameterized forms excluded). */
+std::vector<std::string> genPresetNames();
+
+/** One abstract operation of a workload stream. */
+struct WorkloadOp
+{
+    enum class Kind : unsigned char
+    {
+        KeyRead,      //!< load key
+        KeyUpdate,    //!< store key
+        KeyRmw,       //!< load-modify-store key
+        KeyScan,      //!< len sequential loads starting at key
+        PointerChase, //!< len serial derefs through the ring
+        Compute,      //!< compute burst of len ops (rb = shift->logical)
+        Branch,       //!< data-dependent branch, direction = taken
+        End,          //!< end of stream
+    };
+
+    Kind kind = Kind::End;
+    std::uint64_t key = 0; //!< key index (key-access kinds)
+    unsigned len = 0;      //!< scan/chase/burst length
+    bool rb = false;       //!< Compute: shift->logical flavor
+    bool taken = false;    //!< Branch: drawn direction
+};
+
+/**
+ * A workload generator in the codes-workload mold: load() binds it to a
+ * configuration and seed (and rewinds it), next() drains one operation
+ * and returns false once the stream is exhausted (op.kind == End).
+ */
+class WorkloadGen
+{
+  public:
+    virtual ~WorkloadGen() = default;
+
+    /** Bind to a configuration + seed and rewind to the stream start. */
+    virtual void load(const GenConfig &cfg, std::uint64_t seed) = 0;
+
+    /** Produce the next op; false (and op.kind == End) at stream end. */
+    virtual bool next(WorkloadOp &op) = 0;
+
+    /** The family this generator implements. */
+    virtual GenFamily family() const = 0;
+};
+
+/** Instantiate the generator for a family (unloaded). */
+std::unique_ptr<WorkloadGen> makeWorkloadGen(GenFamily family);
+
+/** Convenience: load the family's generator and drain the full stream
+ * (cfg.streamOps ops; the End marker is not included). */
+std::vector<WorkloadOp> drawStream(const GenConfig &cfg,
+                                   std::uint64_t seed);
+
+/**
+ * Lower an op stream to a runnable TinyAlpha program: the stream is
+ * encoded into data memory (one tagged word per op) and consumed by a
+ * compact dispatch loop, re-run `cfg.trips * wp.scale` times. Lowering
+ * is deterministic: it consumes no randomness beyond `wp.seed` (used
+ * only for data-image contents), so equal inputs produce byte-identical
+ * programs.
+ */
+Program lowerStream(const GenConfig &cfg,
+                    const std::vector<WorkloadOp> &ops,
+                    const WorkloadParams &wp);
+
+/** drawStream + lowerStream from the config alone (the generator seed
+ * and the data seed both derive from wp.seed). */
+Program buildGenProgram(const GenConfig &cfg, const WorkloadParams &wp);
+
+/** Wrap a config as a registry entry (suite "gen") whose build closure
+ * captures the config. */
+WorkloadInfo genWorkloadInfo(const GenConfig &cfg);
+
+/** The default bench sweep set: zipfian skews 0.5 -> 0.99 plus
+ * self-similar/uniform key access, the three pointer-chase levels, the
+ * branch-entropy sweep, and the RB-adversarial mode. `skews` overrides
+ * the zipfian skew points when non-empty. */
+std::vector<GenConfig> genSweepConfigs(const std::vector<double> &skews = {});
+
+} // namespace rbsim::gen
+
+#endif // RBSIM_WORKLOADS_GEN_OPSTREAM_HH

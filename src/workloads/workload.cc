@@ -1,6 +1,10 @@
 #include "workloads/workload.hh"
 
+#include <deque>
+#include <mutex>
 #include <stdexcept>
+
+#include "workloads/gen/opstream.hh"
 
 namespace rbsim
 {
@@ -71,7 +75,25 @@ findWorkload(const std::string &name)
         if (w.name == name)
             return w;
     }
-    throw std::out_of_range("unknown workload: " + name);
+    // Generator presets ("ycsb-a", "zipf-0.75", "chase-l2", ...) resolve
+    // like registered workloads, so the serve protocol and every bench
+    // CLI reach them by name. Resolved entries are interned for
+    // reference stability (a deque never moves its elements).
+    try {
+        const gen::GenConfig cfg = gen::genPreset(name);
+        static std::mutex mu;
+        static std::deque<WorkloadInfo> interned;
+        std::lock_guard<std::mutex> lock(mu);
+        for (const WorkloadInfo &w : interned) {
+            if (w.name == name)
+                return w;
+        }
+        WorkloadInfo info = gen::genWorkloadInfo(cfg);
+        info.name = name; // keep the queried spelling addressable
+        return interned.emplace_back(std::move(info));
+    } catch (const std::invalid_argument &) {
+        throw std::out_of_range("unknown workload: " + name);
+    }
 }
 
 } // namespace rbsim

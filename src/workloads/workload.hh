@@ -14,6 +14,7 @@
 #ifndef RBSIM_WORKLOADS_WORKLOAD_HH
 #define RBSIM_WORKLOADS_WORKLOAD_HH
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -37,9 +38,11 @@ struct WorkloadParams
 struct WorkloadInfo
 {
     std::string name;        //!< e.g. "mcf"
-    std::string suite;       //!< "spec95" or "spec2000"
+    std::string suite;       //!< "spec95", "spec2000", "gen", ...
     std::string description; //!< what the kernel mimics
-    Program (*build)(const WorkloadParams &);
+    /** Program factory; a std::function so generator-backed entries can
+     * capture their GenConfig (plain function pointers still convert). */
+    std::function<Program(const WorkloadParams &)> build;
 };
 
 /** All 20 workloads, SPECint95 first. */

@@ -115,6 +115,53 @@ TEST(FuzzGenerator, PresetsShapeTheMix)
     EXPECT_THROW(GenOptions::preset("nope"), std::invalid_argument);
 }
 
+TEST(FuzzGenerator, StreamPresetsBridgeTheWorkloadGenerators)
+{
+    // The workload-stream presets route recipe bodies through the
+    // gen:: op streams. Every one must still lower to a structurally
+    // terminating program, and the rb-adversarial preset must be
+    // shift-chain heavy (its whole point).
+    for (const char *name :
+         {"ycsb", "pointer-chase", "branch-entropy", "rb-adversarial"}) {
+        const GenOptions opts = GenOptions::preset(name);
+        EXPECT_TRUE(opts.useStream) << name;
+        Rng rng(17);
+        const ProgRecipe recipe = generateRecipe(rng, opts);
+        EXPECT_FALSE(recipe.body.empty()) << name;
+        const Program prog = lowerRecipe(recipe);
+        const MachineConfig cfg =
+            MachineConfig::make(MachineKind::Baseline, 8);
+        SimOptions sopts;
+        sopts.maxCycles = 3'000'000;
+        EXPECT_TRUE(simulate(cfg, prog, sopts).halted) << name;
+    }
+
+    Rng rng(23);
+    const ProgRecipe adv =
+        generateRecipe(rng, GenOptions::preset("rb-adversarial"));
+    unsigned shifts = 0;
+    for (const BodyOp &op : adv.body)
+        shifts += op.kind == OpKind::Shift;
+    EXPECT_GT(shifts, adv.body.size() / 4);
+}
+
+TEST(FuzzGenerator, GenOptionsJsonRoundTrip)
+{
+    // Default options round-trip...
+    const GenOptions dflt;
+    EXPECT_TRUE(genOptionsFromJson(genOptionsToJson(dflt)) == dflt);
+    // ...and so does every preset, including the stream-backed ones
+    // (whose embedded GenConfig must survive the trip).
+    for (const std::string &name : GenOptions::presetNames()) {
+        const GenOptions opts = GenOptions::preset(name);
+        const GenOptions back =
+            genOptionsFromJson(genOptionsToJson(opts));
+        EXPECT_TRUE(back == opts) << name;
+    }
+    EXPECT_THROW(genOptionsFromJson(Json::parse("{\"bogus\": 1}")),
+                 std::invalid_argument);
+}
+
 TEST(FuzzGenerator, ProgramsTerminateStructurally)
 {
     // Every generated program must reach HALT on every machine; run a
@@ -375,6 +422,36 @@ TEST(FuzzCorpus, ReproRoundTripAndReplay)
     EXPECT_FALSE(replayRepro(vback).failed);
 
     EXPECT_THROW(parseRepro("halt\n"), std::invalid_argument);
+}
+
+TEST(FuzzCorpus, GenLineRoundTripsThePresetThroughReproFiles)
+{
+    // A repro minted under a bias preset records the preset's knobs in
+    // a "gen:" metadata line; parsing must hand the exact options back
+    // so the recorded (seed, preset) pair re-derives the recipe.
+    ReproFile repro;
+    repro.oracle = "cosim";
+    repro.seed = 99;
+    repro.genJson =
+        genOptionsToJson(GenOptions::preset("rb-adversarial")).dump();
+    repro.configs = {MachineConfig::make(MachineKind::RbLimited, 8)};
+    Rng rng(Rng::mixSeed(repro.seed, 0));
+    repro.asmText = disassembleProgram(lowerRecipe(
+        generateRecipe(rng, GenOptions::preset("rb-adversarial"))));
+
+    const std::string text = formatRepro(repro);
+    EXPECT_NE(text.find("; rbsim-repro-gen: "), std::string::npos);
+    const ReproFile back = parseRepro(text);
+    EXPECT_EQ(back.genJson, repro.genJson);
+    EXPECT_TRUE(genOptionsFromJson(Json::parse(back.genJson)) ==
+                GenOptions::preset("rb-adversarial"));
+    EXPECT_FALSE(replayRepro(back).failed);
+
+    // A corrupt gen line fails the parse, not a later re-generation.
+    EXPECT_THROW(
+        parseRepro("; rbsim-repro-oracle: cosim\n"
+                   "; rbsim-repro-gen: {\"bogus\": 1}\n"),
+        std::invalid_argument);
 }
 
 // ---------------------------------------------------------------- driver
