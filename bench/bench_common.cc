@@ -167,6 +167,30 @@ filterMachines(std::vector<MachineConfig> configs,
 
 // -------------------------------------------------------------- report
 
+Cell
+sampledCell(const SampledResult &sampled)
+{
+    Cell cell;
+    cell.machine = sampled.machine;
+    cell.workload = sampled.workload;
+    cell.result.machine = sampled.machine;
+    cell.result.workload = sampled.workload;
+    cell.result.halted = sampled.completed;
+    cell.result.hostSeconds = sampled.hostSeconds;
+    cell.result.stats = sampled.merged;
+    cell.sampled = true;
+    cell.sampledIpc = sampled.ipcMean;
+    cell.ci95 = sampled.ipcCi95;
+    cell.windows = sampled.windows;
+    return cell;
+}
+
+double
+cellIpc(const Cell &cell)
+{
+    return cell.sampled ? cell.sampledIpc : cell.result.ipc();
+}
+
 BenchReport::BenchReport(std::string bench_, BenchOptions opts_)
     : bench(std::move(bench_)), opts(std::move(opts_))
 {}
@@ -219,9 +243,14 @@ BenchReport::write() const
         Json jc = Json::object();
         jc["machine"] = c.machine;
         jc["workload"] = c.workload;
-        jc["ipc"] = c.result.ipc();
+        jc["ipc"] = cellIpc(c);
         jc["host_ms"] = c.result.hostSeconds * 1e3;
         jc["sim_khz"] = c.result.simKhz();
+        if (c.sampled) {
+            jc["sampled"] = true;
+            jc["ci95"] = c.ci95;
+            jc["windows"] = c.windows;
+        }
         Json stats = Json::object();
         Json counters = Json::object();
         for (const auto &[name, v] : c.result.stats.counters)
@@ -262,7 +291,7 @@ BenchReport::write() const
         std::vector<double> ipcs;
         for (const Cell &c : cells) {
             if (c.machine == m)
-                ipcs.push_back(c.result.ipc());
+                ipcs.push_back(cellIpc(c));
         }
         hmeans[m] = harmonicMean(ipcs);
     }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/json.hh"
+#include "sim/sampling.hh"
 #include "sim/simulator.hh"
 #include "workloads/workload.hh"
 
@@ -29,7 +30,22 @@ struct Cell
     //! Host-time per-stage profile (filled only under --profile).
     HostProfiler profiler;
     bool profiled = false;
+    //! Sampled cells (bench/sampled_sweep): IPC is the mean over the
+    //! measured windows with a 95% CI half-width; the JSON cell gains
+    //! "sampled"/"ci95"/"windows" and scripts/bench_diff.py switches
+    //! that cell from the exact gate to the CI-overlap gate.
+    bool sampled = false;
+    double sampledIpc = 0.0;
+    double ci95 = 0.0;
+    std::uint64_t windows = 0;
 };
+
+/** A sampled-campaign cell (result.stats carries the merged windows). */
+Cell sampledCell(const SampledResult &sampled);
+
+/** The cell's headline IPC: mean-of-windows for sampled cells, the
+ * core.ipc formula otherwise. */
+double cellIpc(const Cell &cell);
 
 /**
  * Options every bench binary accepts:

@@ -16,6 +16,16 @@ is broken; it is reported with its (machine, workload) coordinates and
 the file it came from, and the script exits 2 — never a
 ZeroDivisionError traceback, and never a silent pass.
 
+Cells carrying a "ci95" field (sampled runs: IPC is a mean over
+measured windows with a 95% confidence half-width) are gated
+statistically instead of exactly: the cell fails only when the new IPC
+falls below the old by more than the combined half-widths
+(|new - old| beyond ci_old + ci_new, in the regression direction).
+A sampled dump compared against a full-detail dump (ci95 on one side
+only) therefore gates on the sampled run's own CI — exactly the
+sampled-vs-full acceptance check. Cells without ci95 on either side
+keep the exact harmonic-mean threshold gate.
+
 When both dumps carry per-cell host speed (sim_khz, written since the
 wakeup-array scheduler landed), a second section reports per-machine
 harmonic-mean simulation-speed deltas. By default it is informational
@@ -47,6 +57,12 @@ def cell_map(doc):
 def speed_map(doc):
     return {(c["machine"], c["workload"]): c["sim_khz"]
             for c in doc["cells"] if c.get("sim_khz", 0) > 0}
+
+
+def ci_map(doc):
+    """Cells that carry a 95% CI half-width (sampled runs)."""
+    return {(c["machine"], c["workload"]): c["ci95"]
+            for c in doc["cells"] if "ci95" in c}
 
 
 def hmean(xs):
@@ -108,14 +124,22 @@ def main():
     check_cells(args.old, old_cells, common)
     check_cells(args.new, new_cells, common)
 
+    # Cells with a CI on either side are gated statistically per cell;
+    # the rest go through the exact harmonic-mean threshold gate.
+    old_ci, new_ci = ci_map(old_doc), ci_map(new_doc)
+    ci_keys = [k for k in common if k in old_ci or k in new_ci]
+    exact = [k for k in common if k not in set(ci_keys)]
+
     print(f"comparing {len(common)} common cells across "
           f"{len(machines)} machines "
           f"({old_doc['bench']} vs {new_doc['bench']})")
     width = max(len(m) for m in machines)
     failures = []
     for machine in machines:
-        old_ipcs = [old_cells[k] for k in common if k[0] == machine]
-        new_ipcs = [new_cells[k] for k in common if k[0] == machine]
+        old_ipcs = [old_cells[k] for k in exact if k[0] == machine]
+        new_ipcs = [new_cells[k] for k in exact if k[0] == machine]
+        if not old_ipcs:
+            continue  # only CI-gated cells for this machine
         old_h, new_h = hmean(old_ipcs), hmean(new_ipcs)
         delta = 100.0 * (new_h / old_h - 1.0)
         flag = ""
@@ -124,6 +148,21 @@ def main():
             flag = f"  REGRESSION (> {args.threshold:g}% drop)"
         print(f"  {machine:<{width}}  hmean IPC {old_h:.4f} -> "
               f"{new_h:.4f}  ({delta:+.2f}%){flag}")
+
+    if ci_keys:
+        print(f"CI-gated cells ({len(ci_keys)}; fail when the drop "
+              "exceeds the combined 95% CI half-widths):")
+        for k in ci_keys:
+            machine, workload = k
+            allowed = old_ci.get(k, 0.0) + new_ci.get(k, 0.0)
+            drop = old_cells[k] - new_cells[k]
+            flag = ""
+            if drop > allowed:
+                failures.append(f"{machine}/{workload}")
+                flag = "  REGRESSION (beyond combined CI)"
+            print(f"  {machine:<{width}}  {workload:<10}  IPC "
+                  f"{old_cells[k]:.4f} -> {new_cells[k]:.4f}  "
+                  f"(CI +/- {allowed:.4f}){flag}")
 
     old_speed, new_speed = speed_map(old_doc), speed_map(new_doc)
     speed_common = [k for k in common

@@ -4,11 +4,13 @@
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 
 #include "common/bitutil.hh"
 #include "isa/opclass.hh"
 #include "rb/overflow.hh"
 #include "rb/rbalu.hh"
+#include "sim/checkpoint.hh"
 
 namespace rbsim
 {
@@ -117,15 +119,50 @@ OooCore::reset(const Program &prog)
     classRr = 0;
     nextSeq = 1;
     haltRetired = false;
+    instLimit = 0;
+    limitHit = false;
     samCheckCounter = 0;
 }
 
-bool
-OooCore::run(Cycle max_cycles)
+void
+OooCore::restoreArchState(const ArchCheckpoint &ck)
 {
+    if (ck.pc >= program->code.size())
+        throw std::logic_error("cannot resume a halted checkpoint");
+
+    commitMem.restorePages(ck.pages);
+    // Right after reset() the rename map is the identity, so the
+    // architectural registers land in their home physical registers.
+    for (unsigned r = 0; r < numArchRegs; ++r) {
+        if (r != zeroReg)
+            regs.writeTc(rename.lookup(r), ck.regs[r]);
+    }
+    fetch.startAt(ck.pc);
+    fetch.predictor.restoreState(ck.bpred);
+    fetch.btb.restoreEntries(ck.btb);
+    fetch.ras.restore(ck.ras);
+    hierarchy.il1().restoreTags(ck.il1);
+    hierarchy.dl1().restoreTags(ck.dl1);
+    hierarchy.l2().restoreTags(ck.l2);
+}
+
+void
+OooCore::clearStats()
+{
+    coreStats.reset();
+    hierarchy.clearStats();
+    fetch.clearStats();
+    lsq.clearStats();
+}
+
+bool
+OooCore::run(Cycle max_cycles, std::uint64_t max_insts)
+{
+    instLimit = max_insts;
+    limitHit = false;
     Cycle last_progress = now;
     std::uint64_t last_retired = 0;
-    while (!haltRetired && coreStats.cycles < max_cycles) {
+    while (!haltRetired && !limitHit && coreStats.cycles < max_cycles) {
         cycle();
         if (coreStats.retired != last_retired) {
             last_retired = coreStats.retired;
@@ -489,6 +526,10 @@ void
 OooCore::doRetire()
 {
     for (unsigned n = 0; n < config.retireWidth; ++n) {
+        if (instLimit && coreStats.retired >= instLimit) {
+            limitHit = true; // measurement-window boundary
+            return;
+        }
         if (rob.empty())
             return;
         RobEntry &e = rob.head();

@@ -33,6 +33,8 @@
 namespace rbsim
 {
 
+struct ArchCheckpoint;
+
 /** Everything the core counts. */
 struct CoreStats
 {
@@ -160,10 +162,36 @@ class OooCore
     void traceInFlight(const char *why);
 
     /**
-     * Run until HALT retires or `max_cycles` elapse.
+     * Install a checkpoint's architectural + warm state on a freshly
+     * reset core (call right after reset(prog) with the same program):
+     * committed memory pages, architectural registers through the
+     * identity rename map, fetch PC, predictor/BTB/RAS tables, and the
+     * three cache tag arrays. Throws std::logic_error for a checkpoint
+     * of a halted program (nothing to resume).
+     */
+    void restoreArchState(const ArchCheckpoint &ck);
+
+    /**
+     * Zero every registered statistic of the core and its subcomponents
+     * without touching any model state (tags, predictor tables, queue
+     * contents, `now`). Ends a warmup leg: the following measurement
+     * window's counters — including cycles, so core.ipc — cover only
+     * post-clear work.
+     */
+    void clearStats();
+
+    /**
+     * Run until HALT retires, `max_cycles` elapse, or — when `max_insts`
+     * is nonzero — coreStats.retired reaches `max_insts` (counted from
+     * the last reset()/clearStats(); see instLimitHit()).
      * @return true if the program halted cleanly
      */
-    bool run(Cycle max_cycles);
+    bool run(Cycle max_cycles, std::uint64_t max_insts = 0);
+
+    /** True when the last run() stopped on its instruction budget
+     * (distinguishes a budget stop from a cycle-budget or watchdog
+     * abort). */
+    bool instLimitHit() const { return limitHit; }
 
     /** Advance one cycle. */
     void cycle();
@@ -370,6 +398,10 @@ class OooCore
     unsigned classRr = 0; //!< round-robin cursor for ClassPartition
     std::uint64_t nextSeq = 1;
     bool haltRetired = false;
+    //! Retired-instruction budget of the current run() (0 = none),
+    //! against coreStats.retired; doRetire stops at the boundary.
+    std::uint64_t instLimit = 0;
+    bool limitHit = false;
     unsigned frontPipeCap;
     std::uint64_t samCheckCounter = 0;
 };

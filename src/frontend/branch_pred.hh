@@ -20,6 +20,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -58,6 +59,16 @@ struct BpSnapshot
 
 /** Direction predictor component choice (for stats). */
 enum class BpComponent : unsigned char { Gshare, Local };
+
+/** Complete table/history state of the hybrid predictor (checkpoints). */
+struct PredictorState
+{
+    std::uint32_t ghist = 0;
+    std::vector<std::uint8_t> gshare;
+    std::vector<std::uint16_t> localHist;
+    std::vector<std::uint8_t> localPht;
+    std::vector<std::uint8_t> chooser;
+};
 
 /** The hybrid direction predictor. */
 class HybridPredictor
@@ -99,6 +110,48 @@ class HybridPredictor
 
     /** Retirement update: train the exact entries read at fetch. */
     void update(const BpIndices &idx, bool taken);
+
+    /**
+     * Functional-touch warming (fast-forward): one architectural branch
+     * outcome folded through the same predict-time index latch,
+     * speculative history shift, and retirement training the pipeline
+     * performs — minus the in-flight window between them, which is the
+     * standard warming approximation.
+     */
+    void
+    touch(std::uint64_t pc, bool taken)
+    {
+        const BpIndices idx = indicesFor(pc);
+        speculate(pc, taken);
+        update(idx, taken);
+    }
+
+    /** Copy out the complete table/history state (checkpoints). */
+    PredictorState
+    saveState() const
+    {
+        return PredictorState{ghist, gshareTable, localHist, localPht,
+                              chooser};
+    }
+
+    /** Install a saved state; stat counters are left untouched. */
+    void
+    restoreState(const PredictorState &s)
+    {
+        assert(s.gshare.size() == gshareTable.size() &&
+               s.localHist.size() == localHist.size() &&
+               s.localPht.size() == localPht.size() &&
+               s.chooser.size() == chooser.size() &&
+               "predictor state geometry mismatch");
+        ghist = s.ghist & ghistMask;
+        gshareTable = s.gshare;
+        localHist = s.localHist;
+        localPht = s.localPht;
+        chooser = s.chooser;
+    }
+
+    /** Zero the lookup tallies only (measurement windows). */
+    void clearStats() { lookups = gshareChosen = localChosen = 0; }
 
     /** Bind predictor stats into `g` (the "bpred" group). */
     void
@@ -143,6 +196,13 @@ class HybridPredictor
 class Btb
 {
   public:
+    struct Entry
+    {
+        bool valid = false;
+        std::uint32_t tag = 0;
+        std::uint64_t target = 0;
+    };
+
     explicit Btb(unsigned entries = 4096);
 
     /** Look up a predicted target; nullopt on miss. */
@@ -158,13 +218,16 @@ class Btb
         std::fill(table.begin(), table.end(), Entry{});
     }
 
-  private:
-    struct Entry
+    /** Copy out / install the whole table (checkpoints). */
+    const std::vector<Entry> &entries() const { return table; }
+    void
+    restoreEntries(const std::vector<Entry> &e)
     {
-        bool valid = false;
-        std::uint32_t tag = 0;
-        std::uint64_t target = 0;
-    };
+        assert(e.size() == table.size() && "BTB size mismatch");
+        table = e;
+    }
+
+  private:
     unsigned indexOf(std::uint64_t pc) const;
     std::uint32_t tagOf(std::uint64_t pc) const;
     std::vector<Entry> table;

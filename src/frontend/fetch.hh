@@ -72,6 +72,29 @@ class FetchEngine
     /** Redirect after a branch resolution or squash. */
     void redirect(std::uint64_t pc_index, Cycle now);
 
+    /**
+     * Start fetching at `pc_index` instead of the program entry point
+     * (checkpoint restore; call right after reset()). A PC off the end
+     * of the code image parks fetch, matching the functional model's
+     * run-off-the-end halt.
+     */
+    void
+    startAt(std::uint64_t pc_index)
+    {
+        fetchPc = pc_index;
+        stopped = pc_index >= program->code.size();
+        lastLine = ~Addr{0};
+    }
+
+    /** Zero the stall/lookup counters only, leaving predictor and icache
+     * state warm (measurement windows after a warmup leg). */
+    void
+    clearStats()
+    {
+        icacheStallCycles = 0;
+        predictor.clearStats();
+    }
+
     /** True when fetch is parked (HALT fetched, unpredicted JMP, or PC
      * off the end of the code). */
     bool parked() const { return stopped; }

@@ -48,6 +48,8 @@ Interp::step()
         if (inst.op == Opcode::LDL)
             v = static_cast<Word>(sext(v, 32));
         writeReg(inst.ra, v);
+        rec.readMem = true;
+        rec.memAddr = ea;
     } else if (isStore(inst.op)) {
         const unsigned size = memAccessSize(inst.op);
         const Addr ea = ev.value & ~Addr{size - 1};

@@ -30,7 +30,8 @@ struct StepRecord
     unsigned archReg = zeroReg; //!< which register
     Word regValue = 0;          //!< value written
     bool wroteMem = false;      //!< was a store
-    Addr memAddr = 0;           //!< store address (aligned)
+    bool readMem = false;       //!< was a load
+    Addr memAddr = 0;           //!< load/store address (aligned)
     Word memValue = 0;          //!< store value (after size truncation)
     bool taken = false;         //!< control transfer taken
     std::uint64_t nextPc = 0;   //!< next instruction index
@@ -90,6 +91,15 @@ class Interp
 
     /** Current PC (instruction index). */
     std::uint64_t pc() const { return pcIndex; }
+
+    /** Move the PC (checkpoint restore). A PC off the end of the code
+     * image is the run-off-the-end halt state, same as after step(). */
+    void
+    setPc(std::uint64_t pc_index)
+    {
+        pcIndex = pc_index;
+        isHalted = pc_index >= program->code.size();
+    }
 
     /** The memory image. */
     MemImage &mem() { return memory; }

@@ -5,6 +5,12 @@
  * Backed by 4 KiB pages allocated on first touch. Reads of untouched
  * memory return zero, which also makes wrong-path loads after a branch
  * misprediction safe.
+ *
+ * Pages are shared_ptr-held so an architectural checkpoint can snapshot
+ * the whole image by sharing the page map (copy-on-write): the first
+ * write to a page shared with a live snapshot clones it. Images with no
+ * outstanding snapshots behave exactly as before, including the
+ * zero-allocation reset-in-place serving path.
  */
 
 #ifndef RBSIM_FUNC_MEM_IMAGE_HH
@@ -25,6 +31,13 @@ namespace rbsim
 class MemImage
 {
   public:
+    static constexpr unsigned pageShift = 12;
+    static constexpr Addr pageSize = Addr{1} << pageShift;
+    using Page = std::array<std::uint8_t, pageSize>;
+    //! Page number -> page. Checkpoints hold one of these with the
+    //! shared_ptrs aliasing the image's pages (copy-on-write).
+    using PageMap = std::unordered_map<Addr, std::shared_ptr<Page>>;
+
     /** Read one byte. */
     std::uint8_t
     read8(Addr addr) const
@@ -74,18 +87,37 @@ class MemImage
     void
     reset()
     {
-        for (auto &[addr, page] : pages)
-            page->fill(0);
+        for (auto &[addr, page] : pages) {
+            // A page shared with a live checkpoint must not be zeroed
+            // through; replace it instead (the snapshot keeps the old
+            // bytes). With no snapshots alive this never triggers, so
+            // the warm path stays allocation-free.
+            if (page.use_count() > 1)
+                page = std::make_shared<Page>();
+            else
+                page->fill(0);
+        }
     }
+
+    /**
+     * Share every resident page with the caller (a checkpoint). O(pages)
+     * in map size, O(0) in bytes: later writes on either side clone the
+     * affected page first (see touchPage).
+     */
+    PageMap snapshotPages() const { return pages; }
+
+    /**
+     * Replace the whole image with a snapshot's pages, re-sharing them
+     * (the inverse of snapshotPages). The first write per page after a
+     * restore clones it, leaving the checkpoint intact for the next
+     * restore.
+     */
+    void restorePages(const PageMap &snapshot) { pages = snapshot; }
 
     /** Number of resident pages (for tests). */
     std::size_t residentPages() const { return pages.size(); }
 
   private:
-    static constexpr unsigned pageShift = 12;
-    static constexpr Addr pageSize = Addr{1} << pageShift;
-    using Page = std::array<std::uint8_t, pageSize>;
-
     static Addr pageOf(Addr addr) { return addr >> pageShift; }
     static std::size_t
     offsetOf(Addr addr)
@@ -105,11 +137,13 @@ class MemImage
     {
         auto &slot = pages[pageOf(addr)];
         if (!slot)
-            slot = std::make_unique<Page>();
+            slot = std::make_shared<Page>();
+        else if (slot.use_count() > 1)
+            slot = std::make_shared<Page>(*slot); // break CoW sharing
         return *slot;
     }
 
-    std::unordered_map<Addr, std::unique_ptr<Page>> pages;
+    PageMap pages;
 };
 
 } // namespace rbsim

@@ -10,6 +10,7 @@
 #ifndef RBSIM_MEM_CACHE_HH
 #define RBSIM_MEM_CACHE_HH
 
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -24,6 +25,21 @@ namespace rbsim
 class CacheModel
 {
   public:
+    /** One way of one set (public for checkpoint serialization). */
+    struct Way
+    {
+        bool valid = false;
+        Addr tag = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    /** The complete replacement-relevant state of the tag array. */
+    struct TagState
+    {
+        std::vector<Way> array; //!< sets x ways
+        std::uint64_t useClock = 0;
+    };
+
     /** Build from geometry parameters. */
     explicit CacheModel(const CacheParams &params);
 
@@ -41,6 +57,31 @@ class CacheModel
 
     /** Invalidate everything (between benchmark runs). */
     void reset();
+
+    /** Copy out the tag/recency state (checkpoint capture). */
+    TagState
+    saveTags() const
+    {
+        return TagState{array, useClock};
+    }
+
+    /**
+     * Install a previously saved tag state (checkpoint restore). The
+     * geometry must match; stats counters are left untouched so a
+     * restored measurement window starts clean.
+     */
+    void
+    restoreTags(const TagState &state)
+    {
+        assert(state.array.size() == array.size() &&
+               "cache tag state geometry mismatch");
+        array = state.array;
+        useClock = state.useClock;
+    }
+
+    /** Zero the hit/miss counters without touching tags (measurement
+     * windows after a warmup leg). */
+    void clearStats() { accesses = misses = 0; }
 
     /** Geometry introspection. */
     unsigned numSets() const { return sets; }
@@ -62,13 +103,6 @@ class CacheModel
     void registerStats(StatGroup g) const;
 
   private:
-    struct Way
-    {
-        bool valid = false;
-        Addr tag = 0;
-        std::uint64_t lastUse = 0;
-    };
-
     unsigned setOf(Addr addr) const;
     Addr tagOf(Addr addr) const;
 

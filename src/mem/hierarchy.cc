@@ -80,6 +80,43 @@ MemHierarchy::dataWriteTouch(Addr addr, Cycle now)
     }
 }
 
+// Warming mirrors instFetch/dataRead/dataWriteTouch tag-for-tag: access
+// the L1, walk to L2 and fill both on a miss, count a DRAM access on an
+// L2 miss. Timing (bank busy windows, latencies) is the one thing left
+// out — a restored core starts its window with zeroed bank timestamps
+// anyway, exactly like a reset one.
+
+void
+MemHierarchy::warmInstTouch(Addr addr)
+{
+    if (il1Cache.access(addr))
+        return;
+    if (!l2Cache.access(addr)) {
+        ++memAccesses;
+        l2Cache.fill(addr);
+    }
+    il1Cache.fill(addr);
+}
+
+void
+MemHierarchy::warmLoadTouch(Addr addr)
+{
+    if (dl1Cache.access(addr))
+        return;
+    if (!l2Cache.access(addr)) {
+        ++memAccesses;
+        l2Cache.fill(addr);
+    }
+    dl1Cache.fill(addr);
+}
+
+void
+MemHierarchy::warmStoreTouch(Addr addr)
+{
+    // Write-allocate, same as dataWriteTouch.
+    warmLoadTouch(addr);
+}
+
 void
 MemHierarchy::reset()
 {

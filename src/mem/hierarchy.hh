@@ -46,10 +46,37 @@ class MemHierarchy
     /** Reset tags, banks, and stats. */
     void reset();
 
+    /**
+     * Functional-touch API (fast-forward warming): walk the same tag
+     * hit/miss/fill paths as the timed accessors, but with no bank
+     * timestamps, so a functional-only pass keeps the tag arrays exactly
+     * as warm as a detailed run would. The owning FastForward engine's
+     * own hit/miss counters absorb the accounting.
+     */
+    void warmInstTouch(Addr addr);
+    void warmLoadTouch(Addr addr);
+    void warmStoreTouch(Addr addr);
+
     /** Tag arrays (stats inspection). */
     const CacheModel &il1() const { return il1Cache; }
     const CacheModel &dl1() const { return dl1Cache; }
     const CacheModel &l2() const { return l2Cache; }
+
+    /** Mutable tag arrays (checkpoint restore). */
+    CacheModel &il1() { return il1Cache; }
+    CacheModel &dl1() { return dl1Cache; }
+    CacheModel &l2() { return l2Cache; }
+
+    /** Zero every cache/DRAM counter without touching tags or bank
+     * timestamps (measurement windows after a warmup leg). */
+    void
+    clearStats()
+    {
+        il1Cache.clearStats();
+        dl1Cache.clearStats();
+        l2Cache.clearStats();
+        memAccesses = 0;
+    }
 
     /** Accumulated memory (DRAM) accesses. */
     std::uint64_t memAccesses = 0;

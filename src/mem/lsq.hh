@@ -83,6 +83,10 @@ class LoadStoreQueue
         inserted = searches = forwards = 0;
     }
 
+    /** Zero the stat counters without touching queue contents
+     * (measurement windows after a warmup leg). */
+    void clearStats() { inserted = searches = forwards = 0; }
+
     /** True if another entry can be inserted. */
     bool hasSpace() const { return size() < capacity; }
 

@@ -10,6 +10,9 @@
  *   --cache <n>      result-cache entries (default 256; 0 disables)
  *   --max-insts <n>  static-instruction cap per program (default 1Mi)
  *   --max-scale <n>  workload scale cap (default 10000)
+ *   --trace-ring <n> last-n instruction ring attached to aborted jobs'
+ *                    error responses (default 64; 0 disables the ring
+ *                    and restores the zero-allocation serving path)
  */
 
 #include <cstdio>
@@ -28,7 +31,7 @@ usageDie(const char *prog, const char *why)
     std::fprintf(stderr,
                  "%s: %s\n"
                  "usage: %s [--port <n>] [--workers <n>] [--cache <n>] "
-                 "[--max-insts <n>] [--max-scale <n>]\n",
+                 "[--max-insts <n>] [--max-scale <n>] [--trace-ring <n>]\n",
                  prog, why, prog);
     std::exit(2);
 }
@@ -69,6 +72,8 @@ main(int argc, char **argv)
                 static_cast<std::size_t>(value("--max-insts"));
         } else if (std::strcmp(arg, "--max-scale") == 0) {
             opts.maxScale = static_cast<unsigned>(value("--max-scale"));
+        } else if (std::strcmp(arg, "--trace-ring") == 0) {
+            opts.traceLast = static_cast<unsigned>(value("--trace-ring"));
         } else {
             usageDie(argv[0],
                      (std::string("unknown flag ") + arg).c_str());

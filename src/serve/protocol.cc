@@ -19,6 +19,7 @@ errorCodeName(ErrorCode code)
       case ErrorCode::DuplicateId: return "duplicate-id";
       case ErrorCode::DuplicateInFlight: return "duplicate-in-flight";
       case ErrorCode::SimFailed: return "sim-failed";
+      case ErrorCode::SimAborted: return "sim-aborted";
       default: return "<bad>";
     }
 }
@@ -197,6 +198,32 @@ parseRequest(const Json &j)
             req.maxCycles = asU64Field(v, key);
         } else if (key == "cosim") {
             req.cosim = asBoolField(v, key);
+        } else if (key == "max_insts") {
+            req.maxInsts = asU64Field(v, key);
+        } else if (key == "sample") {
+            if (!v.isObject())
+                bad("\"sample\" must be an object");
+            req.sampled = true;
+            for (const auto &[sk, sv] : v.items()) {
+                if (sk == "skip_insts")
+                    req.sample.skipInsts = asU64Field(sv, sk);
+                else if (sk == "period_insts")
+                    req.sample.periodInsts = asU64Field(sv, sk);
+                else if (sk == "warmup_insts")
+                    req.sample.warmupInsts = asU64Field(sv, sk);
+                else if (sk == "measure_insts")
+                    req.sample.measureInsts = asU64Field(sv, sk);
+                else if (sk == "max_windows")
+                    req.sample.maxWindows = asU64Field(sv, sk);
+                else if (sk == "max_cycles_per_window")
+                    req.sample.maxCyclesPerWindow = asU64Field(sv, sk);
+                else
+                    bad("unknown key \"" + sk + "\" in \"sample\"");
+            }
+            if (req.sample.periodInsts == 0 ||
+                req.sample.measureInsts == 0)
+                bad("\"sample\" needs nonzero period_insts and "
+                    "measure_insts");
         } else if (key == "stats") {
             if (!v.isArray())
                 bad("\"stats\" must be an array of stat names");
@@ -217,6 +244,9 @@ parseRequest(const Json &j)
         bad("one of \"machine\" / \"config\" is required");
     if (sawWorkload && req.scale == 0)
         bad("\"scale\" must be at least 1");
+    if (req.sampled && req.maxInsts)
+        bad("\"max_insts\" and \"sample\" are mutually exclusive");
+    req.sample.cosim = req.cosim;
     return req;
 }
 
@@ -436,6 +466,50 @@ configKey(const MachineConfig &cfg)
     return configToJson(cfg).dump();
 }
 
+namespace
+{
+
+/** The nested "stats" object shared by full and sampled responses —
+ * same shape as a bench JSON cell's "stats", so responses drop into
+ * rbsim-bench-1 files (and bench_diff) unchanged. */
+Json
+statsToJson(const StatSnapshot &snap,
+            const std::vector<std::string> &stat_select)
+{
+    const auto want = [&](const std::string &name) {
+        if (stat_select.empty())
+            return true;
+        for (const std::string &sel : stat_select)
+            if (sel == name)
+                return true;
+        return false;
+    };
+    Json stats = Json::object();
+    Json counters = Json::object();
+    for (const auto &[name, value] : snap.counters)
+        if (want(name))
+            counters[name] = Json(value);
+    Json formulas = Json::object();
+    for (const auto &[name, value] : snap.formulas)
+        if (want(name))
+            formulas[name] = Json(value);
+    Json vectors = Json::object();
+    for (const auto &[name, values] : snap.vectors) {
+        if (!want(name))
+            continue;
+        Json arr = Json::array();
+        for (std::uint64_t v : values)
+            arr.push(Json(v));
+        vectors[name] = std::move(arr);
+    }
+    stats["counters"] = std::move(counters);
+    stats["formulas"] = std::move(formulas);
+    stats["vectors"] = std::move(vectors);
+    return stats;
+}
+
+} // namespace
+
 std::string
 formatResult(const std::string &id, const SimResult &result,
              bool cache_hit, const std::vector<std::string> &stat_select)
@@ -453,39 +527,50 @@ formatResult(const std::string &id, const SimResult &result,
     j["host_ms"] = Json(result.hostSeconds * 1e3);
     j["sim_khz"] = Json(result.simKhz());
     j["halted"] = Json(result.halted);
+    if (result.instLimited)
+        j["inst_limited"] = Json(true);
+    j["stats"] = statsToJson(result.stats, stat_select);
+    return j.dump();
+}
 
-    const auto want = [&](const std::string &name) {
-        if (stat_select.empty())
-            return true;
-        for (const std::string &sel : stat_select)
-            if (sel == name)
-                return true;
-        return false;
-    };
-    // Same nested shape as a bench JSON cell's "stats", so responses
-    // drop into rbsim-bench-1 files (and bench_diff) unchanged.
-    Json stats = Json::object();
-    Json counters = Json::object();
-    for (const auto &[name, value] : result.stats.counters)
-        if (want(name))
-            counters[name] = Json(value);
-    Json formulas = Json::object();
-    for (const auto &[name, value] : result.stats.formulas)
-        if (want(name))
-            formulas[name] = Json(value);
-    Json vectors = Json::object();
-    for (const auto &[name, values] : result.stats.vectors) {
-        if (!want(name))
-            continue;
-        Json arr = Json::array();
-        for (std::uint64_t v : values)
-            arr.push(Json(v));
-        vectors[name] = std::move(arr);
-    }
-    stats["counters"] = std::move(counters);
-    stats["formulas"] = std::move(formulas);
-    stats["vectors"] = std::move(vectors);
-    j["stats"] = std::move(stats);
+std::string
+formatSampledResult(const std::string &id, const SampledResult &result,
+                    const std::vector<std::string> &stat_select)
+{
+    Json j = Json::object();
+    j["schema"] = Json(schemaName);
+    j["id"] = Json(id);
+    j["ok"] = Json(true);
+    j["cache_hit"] = Json(false);
+    j["sampled"] = Json(true);
+    j["machine"] = Json(result.machine);
+    j["workload"] = Json(result.workload);
+    j["ipc"] = Json(result.ipcMean);
+    j["ipc_ci95"] = Json(result.ipcCi95);
+    j["windows"] = Json(result.windows);
+    j["ff_insts"] = Json(result.ffInsts);
+    j["completed"] = Json(result.completed);
+    j["host_ms"] = Json(result.hostSeconds * 1e3);
+    j["halted"] = Json(result.completed);
+    j["stats"] = statsToJson(result.merged, stat_select);
+    return j.dump();
+}
+
+std::string
+formatAbort(const std::string &id, const std::string &abort_kind,
+            std::uint64_t deadlock_aborts, const std::string &trace_dump)
+{
+    Json j = Json::object();
+    j["schema"] = Json(schemaName);
+    j["id"] = Json(id);
+    j["ok"] = Json(false);
+    j["code"] = Json(errorCodeName(ErrorCode::SimAborted));
+    j["error"] =
+        Json("simulation stopped before HALT (" + abort_kind + ")");
+    j["abort_kind"] = Json(abort_kind);
+    j["deadlock_aborts"] = Json(deadlock_aborts);
+    if (!trace_dump.empty())
+        j["trace"] = Json(trace_dump);
     return j.dump();
 }
 

@@ -26,6 +26,7 @@
 
 #include "common/json.hh"
 #include "core/machine_config.hh"
+#include "sim/sampling.hh"
 #include "sim/simulator.hh"
 
 namespace rbsim::serve
@@ -46,7 +47,9 @@ enum class ErrorCode
     OversizedProgram, //!< program exceeds the server's instruction cap
     DuplicateId,      //!< request id already used this session
     DuplicateInFlight, //!< identical job already executing
-    SimFailed,        //!< run threw (cosim mismatch, watchdog)
+    SimFailed,        //!< run threw (cosim mismatch)
+    SimAborted,       //!< run stopped without HALT (watchdog deadlock or
+                      //!< cycle budget); record carries the diagnostics
 };
 
 /** Wire name of an error code ("unknown-machine", ...). */
@@ -70,6 +73,15 @@ struct JobRequest
     std::string scheduler = "wakeup"; //!< wakeup | polled | oracle
     Cycle maxCycles = 100'000'000;
     bool cosim = true;
+    //! "max_insts": retired-instruction budget (0 = run to HALT). A
+    //! budget-limited stop is a success, not an abort.
+    std::uint64_t maxInsts = 0;
+    //! "sample" object present: run a SMARTS sampling campaign instead
+    //! of one full-detail run. The response is a sampled cell
+    //! (ipc/ipc_ci95/windows) whose windows are sharded across the
+    //! service's worker pool.
+    bool sampled = false;
+    SamplingOptions sample; //!< regimen (sample.cosim mirrors `cosim`)
     //! Stat-name filter for the response ("core.ipc", ...); empty keeps
     //! every registered stat.
     std::vector<std::string> statSelect;
@@ -127,6 +139,26 @@ std::string formatResult(const std::string &id, const SimResult &result,
 /** Render a structured per-job error record (no trailing newline). */
 std::string formatError(const std::string &id, ErrorCode code,
                         const std::string &message);
+
+/**
+ * Render the structured record of an aborted run (code "sim-aborted"):
+ * the same diagnostics a local run prints — abort classification, the
+ * core.deadlockAborts counter, and the last-N pipeline trace ring dump
+ * (omitted when empty).
+ */
+std::string formatAbort(const std::string &id,
+                        const std::string &abort_kind,
+                        std::uint64_t deadlock_aborts,
+                        const std::string &trace_dump);
+
+/**
+ * Render a sampled-campaign response: the serve envelope plus
+ * "sampled": true, mean IPC with its 95% CI half-width, window count,
+ * and the merged window stats in the same nested shape as formatResult.
+ */
+std::string formatSampledResult(
+    const std::string &id, const SampledResult &result,
+    const std::vector<std::string> &stat_select);
 
 } // namespace rbsim::serve
 

@@ -1,0 +1,137 @@
+#include "serve/sampled.hh"
+
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+namespace rbsim::serve
+{
+
+namespace
+{
+
+/** Shared accumulator for one campaign's in-flight windows. */
+struct Campaign
+{
+    std::mutex mu;
+    SampledOutcome out;
+    //! Per-window results in STREAM order (not completion order), so
+    //! the merge is deterministic.
+    std::vector<double> ipcByWindow;
+    std::vector<StatSnapshot> statsByWindow;
+    std::size_t remaining = 0;
+    std::chrono::steady_clock::time_point t0;
+    std::function<void(SampledOutcome)> done;
+
+    /** Call with mu held by the finisher of the last window. */
+    void
+    finalize()
+    {
+        if (out.ok) {
+            for (std::size_t i = 0; i < ipcByWindow.size(); ++i) {
+                out.result.windowIpc.push_back(ipcByWindow[i]);
+                accumulateWindowStats(out.result.merged,
+                                      statsByWindow[i]);
+                ++out.result.windows;
+            }
+            finalizeMergedStats(out.result.merged);
+            out.result.ipcMean = arithmeticMean(out.result.windowIpc);
+            out.result.ipcCi95 = ci95HalfWidth(out.result.windowIpc);
+        }
+        out.result.hostSeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        done(std::move(out));
+    }
+};
+
+} // namespace
+
+void
+submitSampled(SimService &service, const MachineConfig &cfg,
+              const Program &prog, const SamplingOptions &opts,
+              std::function<void(SampledOutcome)> done)
+{
+    auto camp = std::make_shared<Campaign>();
+    camp->t0 = std::chrono::steady_clock::now();
+    camp->done = std::move(done);
+    camp->out.ok = true;
+    camp->out.result.machine = cfg.label;
+    camp->out.result.workload = prog.name;
+
+    const auto points =
+        collectCheckpoints(cfg, prog, opts, &camp->out.result.ffInsts,
+                           &camp->out.result.completed);
+    if (points.empty()) {
+        std::lock_guard<std::mutex> lock(camp->mu);
+        camp->finalize();
+        return;
+    }
+
+    camp->ipcByWindow.resize(points.size(), 0.0);
+    camp->statsByWindow.resize(points.size());
+    camp->remaining = points.size();
+
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        JobSpec spec;
+        spec.cfg = cfg;
+        spec.prog = prog;
+        spec.opts.maxCycles = opts.maxCyclesPerWindow;
+        spec.opts.cosim = opts.cosim;
+        spec.opts.warmupInsts = opts.warmupInsts;
+        spec.opts.maxInsts = opts.measureInsts;
+        spec.opts.startFrom = points[i];
+        service.submit(
+            std::move(spec), [camp, i](JobOutcome window) {
+                bool last = false;
+                {
+                    std::lock_guard<std::mutex> lock(camp->mu);
+                    if (!window.ok) {
+                        if (camp->out.ok) {
+                            camp->out.ok = false;
+                            camp->out.error = window.error;
+                        }
+                    } else if (window.aborted) {
+                        if (camp->out.ok) {
+                            camp->out.ok = false;
+                            camp->out.aborted = true;
+                            camp->out.error = "sampling window " +
+                                              std::to_string(i) +
+                                              " aborted (" +
+                                              window.abortKind + ")";
+                        }
+                    } else {
+                        camp->ipcByWindow[i] = window.result.ipc();
+                        camp->statsByWindow[i] = window.result.stats;
+                    }
+                    last = --camp->remaining == 0;
+                    if (last)
+                        camp->finalize();
+                }
+                (void)last;
+            });
+    }
+}
+
+SampledOutcome
+runSampled(SimService &service, const MachineConfig &cfg,
+           const Program &prog, const SamplingOptions &opts)
+{
+    std::mutex mu;
+    std::condition_variable cv;
+    bool ready = false;
+    SampledOutcome out;
+    submitSampled(service, cfg, prog, opts, [&](SampledOutcome o) {
+        std::lock_guard<std::mutex> lock(mu);
+        out = std::move(o);
+        ready = true;
+        cv.notify_one();
+    });
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return ready; });
+    return out;
+}
+
+} // namespace rbsim::serve

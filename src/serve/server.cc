@@ -34,15 +34,40 @@ Server::finishJob(const std::string &id, const std::string &key,
     {
         std::lock_guard<std::mutex> lock(stateMu);
         inFlight.erase(key);
+        if (outcome.ok && !outcome.aborted)
+            ++okCount;
+        else
+            ++failCount;
+    }
+    if (!outcome.ok)
+        emit(formatError(id, ErrorCode::SimFailed, outcome.error));
+    else if (outcome.aborted)
+        emit(formatAbort(id, outcome.abortKind, outcome.deadlockAborts,
+                         outcome.traceDump));
+    else
+        emit(formatResult(id, outcome.result, outcome.cacheHit,
+                          stat_select));
+}
+
+void
+Server::finishSampled(const std::string &id, const std::string &key,
+                      const std::vector<std::string> &stat_select,
+                      const SampledOutcome &outcome)
+{
+    {
+        std::lock_guard<std::mutex> lock(stateMu);
+        inFlight.erase(key);
         if (outcome.ok)
             ++okCount;
         else
             ++failCount;
     }
     emit(outcome.ok
-             ? formatResult(id, outcome.result, outcome.cacheHit,
-                            stat_select)
-             : formatError(id, ErrorCode::SimFailed, outcome.error));
+             ? formatSampledResult(id, outcome.result, stat_select)
+             : formatError(id,
+                           outcome.aborted ? ErrorCode::SimAborted
+                                           : ErrorCode::SimFailed,
+                           outcome.error));
 }
 
 void
@@ -132,7 +157,33 @@ Server::handleLine(const std::string &line)
     spec.prog = std::move(prog);
     spec.opts.maxCycles = req.maxCycles;
     spec.opts.cosim = req.cosim;
-    const std::string key = SimService::cacheKeyFor(spec);
+    spec.opts.maxInsts = req.maxInsts;
+    spec.traceLast = opts.traceLast;
+
+    // Campaigns are tracked under their own key (the window jobs carry
+    // the per-checkpoint cache identities): config + program + regimen.
+    std::string key;
+    if (req.sampled) {
+        char regimen[192];
+        std::snprintf(regimen, sizeof(regimen),
+                      "|sample;sk=%llu;pd=%llu;wu=%llu;me=%llu;mw=%llu;"
+                      "mc=%llu;co=%d",
+                      static_cast<unsigned long long>(req.sample.skipInsts),
+                      static_cast<unsigned long long>(req.sample.periodInsts),
+                      static_cast<unsigned long long>(req.sample.warmupInsts),
+                      static_cast<unsigned long long>(req.sample.measureInsts),
+                      static_cast<unsigned long long>(req.sample.maxWindows),
+                      static_cast<unsigned long long>(
+                          req.sample.maxCyclesPerWindow),
+                      int(req.sample.cosim));
+        char hash[32];
+        std::snprintf(hash, sizeof(hash), "%016llx",
+                      static_cast<unsigned long long>(spec.prog.hash()));
+        key = configKey(spec.cfg) + "|" + spec.prog.name + "|" + hash +
+              regimen;
+    } else {
+        key = SimService::cacheKeyFor(spec);
+    }
 
     {
         std::lock_guard<std::mutex> lock(stateMu);
@@ -154,6 +205,28 @@ Server::handleLine(const std::string &line)
         }
         usedIds.insert(req.id);
         inFlight.emplace(key, req.id);
+    }
+
+    if (req.sampled) {
+        // The fast-forward pass runs here on the request thread (it is
+        // the cheap part); the detailed windows land on the worker pool
+        // and the response is emitted by whichever worker finishes last.
+        try {
+            submitSampled(service, spec.cfg, spec.prog, req.sample,
+                          [this, id = req.id, key,
+                           sel = std::move(req.statSelect)](
+                              SampledOutcome outcome) {
+                              finishSampled(id, key, sel, outcome);
+                          });
+        } catch (const std::exception &e) {
+            {
+                std::lock_guard<std::mutex> lock(stateMu);
+                inFlight.erase(key);
+                ++failCount;
+            }
+            emit(formatError(req.id, ErrorCode::SimFailed, e.what()));
+        }
+        return;
     }
 
     service.submit(std::move(spec),

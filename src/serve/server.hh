@@ -21,6 +21,7 @@
 #include <unordered_set>
 
 #include "serve/protocol.hh"
+#include "serve/sampled.hh"
 #include "serve/service.hh"
 
 namespace rbsim::serve
@@ -39,6 +40,11 @@ class Server
         //! Reject workload requests above this scale factor (the build
         //! cost and dynamic length grow linearly with it).
         unsigned maxScale = 10000;
+        //! Ring size for abort diagnostics: served jobs keep a
+        //! worker-local trace of the last N instructions and ship it in
+        //! the sim-aborted record, matching what a local run prints.
+        //! 0 disables the ring (and restores the zero-alloc worker path).
+        unsigned traceLast = 64;
     };
 
     /** `sink` receives one response line per job (no newline). It is
@@ -66,6 +72,9 @@ class Server
     void finishJob(const std::string &id, const std::string &key,
                    const std::vector<std::string> &stat_select,
                    const JobOutcome &outcome);
+    void finishSampled(const std::string &id, const std::string &key,
+                       const std::vector<std::string> &stat_select,
+                       const SampledOutcome &outcome);
 
     Options opts;
     SimService service;

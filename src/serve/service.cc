@@ -5,6 +5,7 @@
 
 #include "common/alloccount.hh"
 #include "serve/protocol.hh"
+#include "trace/tracer.hh"
 
 namespace rbsim::serve
 {
@@ -19,12 +20,13 @@ SimService::SimService(const Options &opts)
 std::string
 SimService::cacheKeyFor(const JobSpec &spec)
 {
-    char suffix[80];
-    std::snprintf(suffix, sizeof(suffix), "|%016" PRIx64 "|%" PRIu64 "|%c",
-                  spec.prog.hash(),
-                  static_cast<std::uint64_t>(spec.opts.maxCycles),
-                  spec.opts.cosim ? '1' : '0');
-    return configKey(spec.cfg) + "|" + spec.prog.name + suffix;
+    char hash[24];
+    std::snprintf(hash, sizeof(hash), "|%016" PRIx64 "|",
+                  spec.prog.hash());
+    // SimOptions canonicalizes its own result-affecting fields; the key
+    // tracks the struct so a new option can never alias stale results.
+    return configKey(spec.cfg) + "|" + spec.prog.name + hash +
+           spec.opts.resultKey();
 }
 
 SimService::WarmSim &
@@ -102,6 +104,18 @@ SimService::submit(JobSpec spec, std::function<void(JobOutcome)> done)
                   done = std::move(done)](unsigned worker) mutable {
         WarmSim &ws = warmFor(worker, spec.cfg, config_key);
         JobOutcome out;
+        // Abort-diagnostic ring (constructed before the measured window
+        // so traced jobs don't perturb the allocation count; inert and
+        // never attached when traceLast == 0, keeping the zero-alloc
+        // hot path).
+        trace::Tracer::Options ring_opts;
+        ring_opts.ringCap = spec.traceLast;
+        ring_opts.codeBase = spec.prog.codeBase;
+        ring_opts.decodeDepth = spec.cfg.fetchDecodeDepth;
+        ring_opts.renameDepth = spec.cfg.renameDepth;
+        trace::Tracer ring(ring_opts);
+        if (spec.traceLast && !spec.opts.tracer)
+            spec.opts.tracer = &ring;
         // The measured window covers exactly the reset + run; the
         // result copy and cache insert below are host bookkeeping
         // outside the zero-alloc invariant.
@@ -118,8 +132,24 @@ SimService::submit(JobSpec spec, std::function<void(JobOutcome)> done)
         jobsExecuted.fetch_add(1, std::memory_order_relaxed);
         if (out.ok) {
             out.result = ws.scratch;
-            if (!spec.bypassCache)
+            // Same triage a local run performs in bench/rbsim-run: a
+            // run that stopped without HALT or an instruction budget is
+            // an abort, classified by the watchdog counter, with the
+            // last-N pipeline ring as the post-mortem.
+            out.aborted = !out.result.halted && !out.result.instLimited;
+            if (out.aborted) {
+                out.deadlockAborts =
+                    out.result.counter("core.deadlockAborts");
+                out.abortKind = out.deadlockAborts ? "watchdog-deadlock"
+                                                   : "cycle-budget";
+                if (spec.traceLast)
+                    out.traceDump = ring.renderRing();
+            } else if (!spec.bypassCache) {
+                // Aborted outcomes are deliberately not cached: their
+                // value is the diagnostics, and a later retry with a
+                // bigger budget must actually run.
                 cacheInsert(cache_key, out.result);
+            }
         }
         done(std::move(out));
     });

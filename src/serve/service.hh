@@ -44,6 +44,11 @@ struct JobSpec
     //! traced/profiled cells, which must actually execute to produce
     //! their side artifacts.
     bool bypassCache = false;
+    //! Keep a worker-local ring of the last N instructions and ship it
+    //! in JobOutcome::traceDump when the run aborts, so a served job's
+    //! abort carries the same diagnostics a local run prints. 0 keeps
+    //! the worker's zero-alloc hot path (no tracer attached).
+    unsigned traceLast = 0;
 };
 
 /** What a job produced. */
@@ -52,6 +57,15 @@ struct JobOutcome
     bool ok = false;
     std::string error; //!< exception text when !ok (cosim mismatch, ...)
     bool cacheHit = false;
+    //! The run executed but stopped without HALT or an instruction
+    //! budget: watchdog deadlock or cycle-budget exhaustion. `result`
+    //! still holds the stats up to the stop.
+    bool aborted = false;
+    std::string abortKind; //!< "watchdog-deadlock" | "cycle-budget"
+    std::uint64_t deadlockAborts = 0; //!< core.deadlockAborts at stop
+    //! O3PipeView dump of the last JobSpec::traceLast instructions
+    //! (aborted runs with traceLast > 0 only).
+    std::string traceDump;
     SimResult result;
     //! Heap allocations on the worker thread inside the runInto() window
     //! (meaningful only when allocsCounted).
@@ -77,7 +91,9 @@ class SimService
     /**
      * The result-cache identity of a job: configKey (every MachineConfig
      * field, scheduler knobs included) + program name + Program::hash()
-     * + the SimOptions that change results (maxCycles, cosim).
+     * + SimOptions::resultKey(), which canonicalizes EVERY
+     * result-affecting option field (tests/test_serve.cc guards that
+     * new SimOptions fields revisit resultKey).
      */
     static std::string cacheKeyFor(const JobSpec &spec);
 

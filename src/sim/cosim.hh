@@ -15,6 +15,7 @@
 #include "common/stats.hh"
 #include "core/rob.hh"
 #include "func/interp.hh"
+#include "sim/checkpoint.hh"
 
 namespace rbsim
 {
@@ -65,6 +66,28 @@ class CosimChecker
      * Throws CosimMismatch on any divergence.
      */
     void onRetire(const RobEntry &e);
+
+    /**
+     * Move the reference to a checkpoint's architectural state (call
+     * right after reset() with the checkpointed program): registers,
+     * memory pages, and PC. The timing core resumes from the same
+     * checkpoint, so lockstep continues from the resume point.
+     */
+    void
+    restoreArch(const ArchCheckpoint &ck)
+    {
+        interp.mem().restorePages(ck.pages);
+        for (unsigned r = 0; r < numArchRegs; ++r)
+            interp.setReg(r, ck.regs[r]);
+        interp.setPc(ck.pc);
+    }
+
+    /** The reference interpreter (checkpoint capture reads the exact
+     * retired architectural state from here). */
+    const Interp &ref() const { return interp; }
+
+    /** Zero the `checked` tally (measurement windows). */
+    void clearStats() { count = 0; }
 
     /** Instructions verified. */
     std::uint64_t checked() const { return count; }

@@ -1,0 +1,112 @@
+#include "sim/fastfwd.hh"
+
+#include <stdexcept>
+
+#include "isa/opclass.hh"
+
+namespace rbsim
+{
+
+FastForward::FastForward(const MachineConfig &config, const Program &prog)
+    : cfg(config), program(&prog), interp(prog), warmMem(cfg)
+{
+}
+
+void
+FastForward::reset(const Program &prog)
+{
+    program = &prog;
+    interp.reset(prog);
+    warmMem.reset();
+    predictor.reset();
+    btb.reset();
+    ras.reset();
+    lastLine = ~Addr{0};
+    insts = 0;
+}
+
+std::uint64_t
+FastForward::run(std::uint64_t max_insts)
+{
+    std::uint64_t done = 0;
+    while (done < max_insts && !interp.halted()) {
+        const StepRecord rec = interp.step();
+
+        // Instruction side: the fetch engine touches the IL1 only when
+        // the fetch line changes, so mirror its lastLine discipline.
+        const Addr line = program->byteAddrOf(rec.pcIndex) &
+                          ~Addr{cfg.il1.lineBytes - 1};
+        if (line != lastLine) {
+            warmMem.warmInstTouch(line);
+            lastLine = line;
+        }
+
+        if (rec.readMem)
+            warmMem.warmLoadTouch(rec.memAddr);
+        else if (rec.wroteMem)
+            warmMem.warmStoreTouch(rec.memAddr);
+
+        const Inst &inst = rec.inst;
+        if (isCondBranch(inst.op)) {
+            predictor.touch(rec.pcIndex, rec.taken);
+        } else if (inst.op == Opcode::BSR) {
+            if (inst.ra != zeroReg)
+                ras.push(program->byteAddrOf(rec.pcIndex + 1));
+        } else if (inst.op == Opcode::JMP) {
+            if (inst.ra == zeroReg) {
+                ras.pop(); // return idiom
+            } else {
+                // Indirect call: fetch pushes the return address, and
+                // retirement trains the BTB at the architectural target.
+                ras.push(program->byteAddrOf(rec.pcIndex + 1));
+                btb.update(rec.pcIndex, rec.nextPc);
+            }
+        }
+
+        ++done;
+        ++insts;
+    }
+    return done;
+}
+
+void
+FastForward::capture(ArchCheckpoint &out) const
+{
+    if (interp.halted())
+        throw std::logic_error("cannot checkpoint a halted program");
+    out = ArchCheckpoint{};
+    out.progHash = program->hash();
+    out.pc = interp.pc();
+    out.instsExecuted = insts;
+    for (unsigned r = 0; r < numArchRegs; ++r)
+        out.regs[r] = interp.reg(r);
+    out.pages = interp.mem().snapshotPages();
+    out.bpred = predictor.saveState();
+    out.btb = btb.entries();
+    ras.save(out.ras);
+    out.il1 = warmMem.il1().saveTags();
+    out.dl1 = warmMem.dl1().saveTags();
+    out.l2 = warmMem.l2().saveTags();
+}
+
+void
+FastForward::restore(const ArchCheckpoint &ck)
+{
+    if (ck.progHash != program->hash())
+        throw std::runtime_error(
+            "checkpoint/program mismatch in FastForward::restore");
+    interp.mem().restorePages(ck.pages);
+    for (unsigned r = 0; r < numArchRegs; ++r)
+        interp.setReg(r, ck.regs[r]);
+    interp.setPc(ck.pc);
+    predictor.restoreState(ck.bpred);
+    btb.restoreEntries(ck.btb);
+    ras.restore(ck.ras);
+    warmMem.il1().restoreTags(ck.il1);
+    warmMem.dl1().restoreTags(ck.dl1);
+    warmMem.l2().restoreTags(ck.l2);
+    lastLine = ~Addr{0};
+    insts = ck.instsExecuted;
+}
+
+} // namespace rbsim

@@ -1,0 +1,143 @@
+#include "sim/sampling.hh"
+
+#include <chrono>
+#include <cmath>
+
+#include "sim/fastfwd.hh"
+
+namespace rbsim
+{
+
+std::vector<std::shared_ptr<const ArchCheckpoint>>
+collectCheckpoints(const MachineConfig &cfg, const Program &prog,
+                   const SamplingOptions &opts, std::uint64_t *ff_insts,
+                   bool *completed)
+{
+    std::vector<std::shared_ptr<const ArchCheckpoint>> points;
+    FastForward ff(cfg, prog);
+    ff.run(opts.skipInsts);
+    while (!ff.halted() &&
+           (opts.maxWindows == 0 || points.size() < opts.maxWindows)) {
+        auto ck = std::make_shared<ArchCheckpoint>();
+        ff.capture(*ck);
+        points.push_back(std::move(ck));
+        ff.run(opts.periodInsts);
+    }
+    // Run out the stream so ffInsts reports the true program length
+    // when no window cap stopped us early.
+    if (opts.maxWindows == 0) {
+        while (!ff.halted())
+            ff.run(1u << 20);
+    }
+    if (ff_insts)
+        *ff_insts = ff.instsExecuted();
+    if (completed)
+        *completed = ff.halted();
+    return points;
+}
+
+double
+ci95HalfWidth(const std::vector<double> &xs)
+{
+    const std::size_t n = xs.size();
+    if (n < 2)
+        return 0.0;
+    const double mean = arithmeticMean(xs);
+    double ss = 0.0;
+    for (double x : xs)
+        ss += (x - mean) * (x - mean);
+    const double sd = std::sqrt(ss / static_cast<double>(n - 1));
+
+    // Two-sided Student t quantiles at 97.5%, df = n - 1 (df > 30 is
+    // within half a percent of the normal 1.96).
+    static const double t975[] = {
+        0,     12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365,
+        2.306, 2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131,
+        2.120, 2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069,
+        2.064, 2.060,  2.056, 2.052, 2.048, 2.045, 2.042};
+    const std::size_t df = n - 1;
+    const double t = df < sizeof(t975) / sizeof(t975[0]) ? t975[df] : 1.96;
+    return t * sd / std::sqrt(static_cast<double>(n));
+}
+
+void
+accumulateWindowStats(StatSnapshot &into, const StatSnapshot &win)
+{
+    for (const auto &kv : win.counters)
+        into.counters[kv.first] += kv.second;
+    for (const auto &kv : win.vectors) {
+        auto &dst = into.vectors[kv.first];
+        if (dst.size() < kv.second.size())
+            dst.resize(kv.second.size(), 0);
+        for (std::size_t i = 0; i < kv.second.size(); ++i)
+            dst[i] += kv.second[i];
+    }
+    // Carry the formula keys so the merged snapshot has the same schema;
+    // values are recomputed from the summed counters in finalize.
+    for (const auto &kv : win.formulas)
+        into.formulas.emplace(kv.first, 0.0);
+}
+
+void
+finalizeMergedStats(StatSnapshot &merged)
+{
+    auto ratio = [&merged](const char *num, const char *den, double dflt) {
+        const std::uint64_t d = merged.counter(den);
+        return d ? static_cast<double>(merged.counter(num)) /
+                       static_cast<double>(d)
+                 : dflt;
+    };
+    auto set = [&merged](const std::string &name, double v) {
+        auto it = merged.formulas.find(name);
+        if (it != merged.formulas.end())
+            it->second = v;
+    };
+    set("core.ipc", ratio("core.retired", "core.cycles", 0.0));
+    set("core.branchAccuracy",
+        merged.counter("core.condBranches")
+            ? 1.0 - ratio("core.condMispredicts", "core.condBranches", 0.0)
+            : 1.0);
+    set("core.issueWaitMean",
+        ratio("core.issueWaitSum", "core.retired", 0.0));
+    for (const char *c : {"il1", "dl1", "l2"}) {
+        set(std::string(c) + ".missRate",
+            ratio((std::string(c) + ".misses").c_str(),
+                  (std::string(c) + ".accesses").c_str(), 0.0));
+    }
+}
+
+SampledResult
+simulateSampled(const MachineConfig &cfg, const Program &prog,
+                const SamplingOptions &opts)
+{
+    SampledResult res;
+    res.machine = cfg.label;
+    res.workload = prog.name;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto points =
+        collectCheckpoints(cfg, prog, opts, &res.ffInsts, &res.completed);
+
+    Simulator sim(cfg);
+    SimResult window;
+    SimOptions wopts;
+    wopts.maxCycles = opts.maxCyclesPerWindow;
+    wopts.cosim = opts.cosim;
+    wopts.warmupInsts = opts.warmupInsts;
+    wopts.maxInsts = opts.measureInsts;
+    for (const auto &ck : points) {
+        wopts.startFrom = ck;
+        sim.runInto(prog, wopts, window);
+        res.windowIpc.push_back(window.ipc());
+        accumulateWindowStats(res.merged, window.stats);
+        ++res.windows;
+    }
+    finalizeMergedStats(res.merged);
+    res.ipcMean = arithmeticMean(res.windowIpc);
+    res.ipcCi95 = ci95HalfWidth(res.windowIpc);
+    const auto t1 = std::chrono::steady_clock::now();
+    res.hostSeconds = std::chrono::duration<double>(t1 - t0).count();
+    return res;
+}
+
+} // namespace rbsim

@@ -1,11 +1,27 @@
 #include "sim/simulator.hh"
 
 #include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <stdexcept>
 
 #include "common/alloccount.hh"
 
 namespace rbsim
 {
+
+std::string
+SimOptions::resultKey() const
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "mc=%" PRIu64 ";co=%d;mi=%" PRIu64 ";wu=%" PRIu64
+                  ";ck=%016" PRIx64,
+                  static_cast<std::uint64_t>(maxCycles), cosim ? 1 : 0,
+                  maxInsts, warmupInsts,
+                  startFrom ? startFrom->fingerprint() : 0);
+    return std::string(buf);
+}
 
 Simulator::Simulator(const MachineConfig &cfg_)
     : cfg(cfg_), core(cfg, prog), checker(prog)
@@ -44,16 +60,45 @@ Simulator::runInto(const Program &program, const SimOptions &opts,
     core.reset(prog);
     checker.reset(prog);
     cosimOn = opts.cosim;
+    instBase = 0;
+
+    if (opts.startFrom) {
+        const ArchCheckpoint &ck = *opts.startFrom;
+        if (ck.progHash != prog.hash())
+            throw std::invalid_argument(
+                "checkpoint/program mismatch in Simulator::runInto");
+        core.restoreArchState(ck);
+        checker.restoreArch(ck);
+        instBase = ck.instsExecuted;
+    }
 
     out.machine = cfg.label;
     out.workload = prog.name;
     out.halted = false;
+    out.instLimited = false;
     core.attachTracer(opts.tracer);
     core.attachProfiler(opts.profiler);
     const std::uint64_t allocs0 = alloccount::threadCount();
     const auto t0 = std::chrono::steady_clock::now();
     try {
-        out.halted = core.run(opts.maxCycles);
+        if (opts.warmupInsts) {
+            // Detailed-warmup leg: run, then zero the stats in place so
+            // the measured window's counters (cycles included — and with
+            // them core.ipc) cover only post-warmup work. Model state
+            // stays warm. A program that halts or aborts during warmup
+            // skips the measured leg; the caller sees it via
+            // halted/instLimited.
+            out.halted = core.run(opts.maxCycles, opts.warmupInsts);
+            if (!out.halted && !core.deadlocked() &&
+                core.instLimitHit()) {
+                core.clearStats();
+                checker.clearStats();
+                out.halted = core.run(opts.maxCycles, opts.maxInsts);
+            }
+        } else {
+            out.halted = core.run(opts.maxCycles, opts.maxInsts);
+        }
+        out.instLimited = core.instLimitHit();
     } catch (...) {
         // Cosim mismatch mid-retire: capture the pipeline tail before
         // the exception reaches the caller, and detach the borrowed
@@ -67,7 +112,9 @@ Simulator::runInto(const Program &program, const SimOptions &opts,
         throw;
     }
     if (opts.tracer) {
-        core.traceInFlight(out.halted ? "post-halt" : "run-aborted");
+        core.traceInFlight(out.halted       ? "post-halt"
+                           : out.instLimited ? "inst-budget"
+                                             : "run-aborted");
         opts.tracer->finish();
     }
     const auto t1 = std::chrono::steady_clock::now();
@@ -81,6 +128,35 @@ Simulator::runInto(const Program &program, const SimOptions &opts,
     core.attachProfiler(nullptr);
     reg.snapshotInto(out.stats);
     ++runs;
+}
+
+void
+Simulator::checkpoint(ArchCheckpoint &out) const
+{
+    if (!cosimOn)
+        throw std::logic_error(
+            "checkpoint capture needs the cosim reference (SimOptions::"
+            "cosim) for exact retired architectural state");
+    const Interp &ref = checker.ref();
+    if (ref.halted())
+        throw std::logic_error("cannot checkpoint a halted program");
+
+    out = ArchCheckpoint{};
+    out.progHash = prog.hash();
+    out.pc = ref.pc();
+    out.instsExecuted = instBase + ref.instsExecuted();
+    for (unsigned r = 0; r < numArchRegs; ++r)
+        out.regs[r] = ref.reg(r);
+    out.pages = ref.mem().snapshotPages();
+
+    const FetchEngine &fe = core.fetchEngine();
+    out.bpred = fe.predictor.saveState();
+    out.btb = fe.btb.entries();
+    fe.ras.save(out.ras);
+    const MemHierarchy &mh = core.memoryHierarchy();
+    out.il1 = mh.il1().saveTags();
+    out.dl1 = mh.dl1().saveTags();
+    out.l2 = mh.l2().saveTags();
 }
 
 SimResult

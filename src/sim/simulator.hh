@@ -8,10 +8,12 @@
 #ifndef RBSIM_SIM_SIMULATOR_HH
 #define RBSIM_SIM_SIMULATOR_HH
 
+#include <memory>
 #include <string>
 
 #include "common/stats.hh"
 #include "core/core.hh"
+#include "sim/checkpoint.hh"
 #include "sim/cosim.hh"
 
 namespace rbsim
@@ -29,6 +31,9 @@ struct SimResult
     std::string machine;
     std::string workload;
     bool halted = false;
+    //! The run stopped on SimOptions::maxInsts rather than HALT or an
+    //! abort (sampled measurement windows).
+    bool instLimited = false;
     double hostSeconds = 0.0; //!< wall-clock spent inside core.run()
     StatSnapshot stats;
 
@@ -69,7 +74,16 @@ struct SimResult
     }
 };
 
-/** Options for a run. */
+/**
+ * Options for a run.
+ *
+ * Every field that can change a run's RESULT must be folded into
+ * resultKey() — the serve layer derives its result-cache identity from
+ * it, and tests/test_serve.cc carries a sizeof() guard that fails when
+ * a field is added here without revisiting resultKey(). `tracer` and
+ * `profiler` are pure observers (they never alter stats) and are
+ * deliberately excluded.
+ */
 struct SimOptions
 {
     Cycle maxCycles = 100'000'000;
@@ -83,6 +97,23 @@ struct SimOptions
     //! call). simulate() attaches it to the core and fills its
     //! allocation counters when the counting allocator is linked in.
     HostProfiler *profiler = nullptr;
+    //! Retired-instruction budget (0 = run to HALT). With warmupInsts,
+    //! this is the MEASURED window length after the warmup leg.
+    std::uint64_t maxInsts = 0;
+    //! Detailed-warmup leg: run this many instructions, then zero every
+    //! statistic (state stays warm) before the measured window. Each leg
+    //! gets its own maxCycles budget.
+    std::uint64_t warmupInsts = 0;
+    //! Resume from this checkpoint instead of the program entry
+    //! (shared so one checkpoint fans out to many jobs without copies).
+    std::shared_ptr<const ArchCheckpoint> startFrom;
+
+    /**
+     * Canonical encoding of every result-affecting field (the serve
+     * result-cache key component; checkpoints contribute their content
+     * fingerprint).
+     */
+    std::string resultKey() const;
 };
 
 /**
@@ -127,6 +158,17 @@ class Simulator
     void runInto(const Program &prog, const SimOptions &opts,
                  SimResult &out);
 
+    /**
+     * Capture the point the last run() stopped at as a resumable
+     * checkpoint: exact retired architectural state from the cosim
+     * reference (in-flight ROB/LSQ work is simply not architectural, so
+     * a mid-pipeline stop — wrapped ROB, occupied LSQ — needs no
+     * draining) plus the core's warm predictor/BTB/RAS/cache-tag state.
+     * Requires the last run to have used cosim and stopped short of
+     * HALT; throws std::logic_error otherwise.
+     */
+    void checkpoint(ArchCheckpoint &out) const;
+
   private:
     // Owned by value at stable addresses: the core/checker hold
     // pointers into `prog`, and the registry holds pointers into the
@@ -138,6 +180,10 @@ class Simulator
     CosimChecker checker;
     StatRegistry reg;
     bool cosimOn = true;
+    //! Dynamic-stream position of the last run's entry point (nonzero
+    //! when it resumed from a checkpoint); checkpoint() adds it to the
+    //! reference's step count so positions stay absolute across chains.
+    std::uint64_t instBase = 0;
     std::uint64_t runs = 0;
 };
 

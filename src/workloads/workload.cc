@@ -1,8 +1,9 @@
 #include "workloads/workload.hh"
 
-#include <deque>
+#include <list>
 #include <mutex>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "workloads/gen/opstream.hh"
 
@@ -68,6 +69,36 @@ suiteWorkloads(const std::string &suite)
     return out;
 }
 
+namespace
+{
+
+// Generator-preset intern table: a bounded LRU. Previously this was an
+// unbounded deque scanned linearly under the mutex — a server fed a
+// stream of distinct preset names ("zipf-0.612", "zipf-0.613", ...)
+// grew it forever and every miss paid an O(n) scan while holding the
+// global lock. List nodes keep entries address-stable until eviction;
+// the index makes hits O(1).
+constexpr std::size_t internCap = 256;
+std::mutex internMu;
+std::list<WorkloadInfo> internLru;          //!< most recent first
+std::unordered_map<std::string, std::list<WorkloadInfo>::iterator>
+    internIndex;
+
+} // namespace
+
+std::size_t
+internedWorkloadCount()
+{
+    std::lock_guard<std::mutex> lock(internMu);
+    return internLru.size();
+}
+
+std::size_t
+internedWorkloadCap()
+{
+    return internCap;
+}
+
 const WorkloadInfo &
 findWorkload(const std::string &name)
 {
@@ -77,20 +108,24 @@ findWorkload(const std::string &name)
     }
     // Generator presets ("ycsb-a", "zipf-0.75", "chase-l2", ...) resolve
     // like registered workloads, so the serve protocol and every bench
-    // CLI reach them by name. Resolved entries are interned for
-    // reference stability (a deque never moves its elements).
+    // CLI reach them by name.
     try {
-        const gen::GenConfig cfg = gen::genPreset(name);
-        static std::mutex mu;
-        static std::deque<WorkloadInfo> interned;
-        std::lock_guard<std::mutex> lock(mu);
-        for (const WorkloadInfo &w : interned) {
-            if (w.name == name)
-                return w;
+        std::lock_guard<std::mutex> lock(internMu);
+        auto it = internIndex.find(name);
+        if (it != internIndex.end()) {
+            internLru.splice(internLru.begin(), internLru, it->second);
+            return internLru.front();
         }
+        const gen::GenConfig cfg = gen::genPreset(name);
         WorkloadInfo info = gen::genWorkloadInfo(cfg);
         info.name = name; // keep the queried spelling addressable
-        return interned.emplace_back(std::move(info));
+        internLru.push_front(std::move(info));
+        internIndex[name] = internLru.begin();
+        while (internLru.size() > internCap) {
+            internIndex.erase(internLru.back().name);
+            internLru.pop_back();
+        }
+        return internLru.front();
     } catch (const std::invalid_argument &) {
         throw std::out_of_range("unknown workload: " + name);
     }

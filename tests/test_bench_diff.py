@@ -158,6 +158,66 @@ class BenchDiffTest(unittest.TestCase):
         self.assertIn("no common cells carry sim_khz", r.stderr)
         self.assertNotIn("Traceback", r.stderr)
 
+    def ci_dump(self, cells):
+        """cells: (machine, workload, ipc, ci95-or-None)."""
+        doc = dump([(m, w, ipc) for m, w, ipc, _ in cells])
+        for jc, (_, _, _, ci) in zip(doc["cells"], cells):
+            if ci is not None:
+                jc["ci95"] = ci
+        return doc
+
+    def test_ci_cells_pass_within_combined_interval(self):
+        """A drop inside the combined CI half-widths is statistical
+        noise, not a regression — even far past --threshold."""
+        old = self.ci_dump([("RB-full", "compress", 1.50, 0.10)])
+        new = self.ci_dump([("RB-full", "compress", 1.35, 0.08)])
+        r = self.run_diff(old, new, "--threshold", "1")
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("CI-gated", r.stdout)
+
+    def test_ci_cells_fail_beyond_combined_interval(self):
+        old = self.ci_dump([("RB-full", "compress", 1.50, 0.02)])
+        new = self.ci_dump([("RB-full", "compress", 1.35, 0.03)])
+        r = self.run_diff(old, new)
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("beyond combined CI", r.stdout)
+
+    def test_ci_on_one_side_gates_on_that_ci(self):
+        """Sampled-vs-full comparison: the full dump has no ci95, so the
+        sampled run's own CI is the whole allowance — the acceptance
+        check of docs/PERFORMANCE.md."""
+        full = self.ci_dump([("RB-full", "compress", 1.50, None)])
+        sampled = self.ci_dump([("RB-full", "compress", 1.45, 0.06)])
+        r = self.run_diff(full, sampled)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        sampled_far = self.ci_dump([("RB-full", "compress", 1.40, 0.06)])
+        r = self.run_diff(full, sampled_far)
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+
+    def test_ci_improvement_never_fails(self):
+        old = self.ci_dump([("RB-full", "compress", 1.30, 0.01)])
+        new = self.ci_dump([("RB-full", "compress", 1.60, 0.01)])
+        r = self.run_diff(old, new)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+    def test_ci_and_exact_cells_mix(self):
+        """Exact cells keep the hmean threshold gate while CI cells are
+        gated per cell; an exact regression still fails the run."""
+        old = self.ci_dump([("Baseline", "espresso", 1.50, None),
+                            ("Baseline", "compress", 1.40, 0.10)])
+        new = self.ci_dump([("Baseline", "espresso", 1.20, None),
+                            ("Baseline", "compress", 1.35, 0.10)])
+        r = self.run_diff(old, new)
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("REGRESSION", r.stdout)
+
+    def test_zero_ipc_in_ci_cell_still_exit_2(self):
+        old = self.ci_dump([("Baseline", "compress", 1.40, 0.10)])
+        new = self.ci_dump([("Baseline", "compress", 0.0, 0.0)])
+        r = self.run_diff(old, new)
+        self.assertEqual(r.returncode, 2, r.stdout + r.stderr)
+        self.assertNotIn("Traceback", r.stderr)
+
     def test_ipc_regression_wins_over_speed_gate_pass(self):
         old = dump([("Baseline", "espresso", 1.5)], sim_khz=100.0)
         new = dump([("Baseline", "espresso", 1.0)], sim_khz=100.0)

@@ -1,0 +1,361 @@
+/**
+ * @file
+ * Architectural checkpoints (src/sim/checkpoint.hh) and the functional
+ * fast-forward engine that captures them (src/sim/fastfwd.hh):
+ *  - MemImage copy-on-write page sharing: snapshots stay intact under
+ *    writes and resets on either side, and restores re-share;
+ *  - serialize()/deserialize() round-trips bit-exactly and fingerprint()
+ *    identifies content;
+ *  - a checkpoint captured mid-program resumes on a fresh core and runs
+ *    to completion under cosim lockstep — bit-exactness against the
+ *    reference model on every retired instruction — across the Figure 12
+ *    machine grid with both the wakeup and the polled scheduler;
+ *  - Simulator::checkpoint() captures a detailed run stopped mid-flight
+ *    (occupied ROB/LSQ, possibly wrapped) and the chain keeps absolute
+ *    dynamic-stream positions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "func/interp.hh"
+#include "sim/checkpoint.hh"
+#include "sim/fastfwd.hh"
+#include "sim/sampling.hh"
+#include "sim/simulator.hh"
+#include "workloads/workload.hh"
+
+namespace rbsim
+{
+namespace
+{
+
+Program
+testProgram(const char *workload = "compress")
+{
+    WorkloadParams wp;
+    return findWorkload(workload).build(wp);
+}
+
+/** The Figure 12 machines (4-wide) with the scheduler knob applied. */
+std::vector<MachineConfig>
+fig12Grid(bool polled)
+{
+    std::vector<MachineConfig> grid;
+    for (MachineKind kind :
+         {MachineKind::Baseline, MachineKind::RbLimited,
+          MachineKind::RbFull, MachineKind::Ideal}) {
+        MachineConfig cfg = MachineConfig::make(kind, 4);
+        cfg.polledScheduler = polled;
+        grid.push_back(cfg);
+    }
+    return grid;
+}
+
+// --------------------------------------------------- CoW page sharing
+
+TEST(MemImageCow, SnapshotSurvivesWritesOnEitherSide)
+{
+    MemImage img;
+    img.write64(0x1000, 0x1111);
+    img.write64(0x2000, 0x2222);
+
+    const MemImage::PageMap snap = img.snapshotPages();
+
+    // A write to the live image must not leak into the snapshot...
+    img.write64(0x1000, 0xdead);
+    EXPECT_EQ(img.read64(0x1000), 0xdeadu);
+
+    MemImage restored;
+    restored.restorePages(snap);
+    EXPECT_EQ(restored.read64(0x1000), 0x1111u);
+    EXPECT_EQ(restored.read64(0x2000), 0x2222u);
+
+    // ...and a write after a restore must not corrupt the snapshot for
+    // the NEXT restore (checkpoints are reused across windows).
+    restored.write64(0x2000, 0xbeef);
+    MemImage again;
+    again.restorePages(snap);
+    EXPECT_EQ(again.read64(0x2000), 0x2222u);
+}
+
+TEST(MemImageCow, ResetInPlaceKeepsLiveSnapshotsIntact)
+{
+    MemImage img;
+    img.write64(0x3000, 77);
+    const MemImage::PageMap snap = img.snapshotPages();
+
+    img.reset(); // must replace, not zero through, the shared page
+    EXPECT_EQ(img.read64(0x3000), 0u);
+
+    MemImage restored;
+    restored.restorePages(snap);
+    EXPECT_EQ(restored.read64(0x3000), 77u);
+}
+
+// ----------------------------------------------- serialized round-trip
+
+ArchCheckpoint
+captureAt(const MachineConfig &cfg, const Program &prog,
+          std::uint64_t insts)
+{
+    FastForward ff(cfg, prog);
+    ff.run(insts);
+    ArchCheckpoint ck;
+    ff.capture(ck);
+    return ck;
+}
+
+TEST(CheckpointSerialize, RoundTripIsBitExact)
+{
+    const Program prog = testProgram();
+    const MachineConfig cfg = MachineConfig::make(MachineKind::RbFull, 4);
+    const ArchCheckpoint ck = captureAt(cfg, prog, 5000);
+
+    const std::string bytes = ck.serialize();
+    const ArchCheckpoint back = ArchCheckpoint::deserialize(bytes);
+
+    EXPECT_EQ(back.serialize(), bytes);
+    EXPECT_EQ(back.fingerprint(), ck.fingerprint());
+    EXPECT_EQ(back.progHash, prog.hash());
+    EXPECT_EQ(back.pc, ck.pc);
+    EXPECT_EQ(back.instsExecuted, 5000u);
+    EXPECT_EQ(back.regs, ck.regs);
+    ASSERT_EQ(back.pages.size(), ck.pages.size());
+    for (const auto &[page, data] : ck.pages) {
+        const auto it = back.pages.find(page);
+        ASSERT_NE(it, back.pages.end());
+        EXPECT_EQ(*it->second, *data);
+    }
+}
+
+TEST(CheckpointSerialize, FingerprintIdentifiesContent)
+{
+    const Program prog = testProgram();
+    const MachineConfig cfg = MachineConfig::make(MachineKind::RbFull, 4);
+    const ArchCheckpoint a = captureAt(cfg, prog, 5000);
+    const ArchCheckpoint b = captureAt(cfg, prog, 5000);
+    const ArchCheckpoint c = captureAt(cfg, prog, 6000);
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+    EXPECT_NE(a.fingerprint(), c.fingerprint());
+}
+
+TEST(CheckpointSerialize, MalformedImagesThrow)
+{
+    const Program prog = testProgram();
+    const MachineConfig cfg = MachineConfig::make(MachineKind::RbFull, 4);
+    const std::string bytes = captureAt(cfg, prog, 1000).serialize();
+
+    EXPECT_THROW(ArchCheckpoint::deserialize(""), std::runtime_error);
+    EXPECT_THROW(
+        ArchCheckpoint::deserialize(bytes.substr(0, bytes.size() / 2)),
+        std::runtime_error);
+    std::string badMagic = bytes;
+    badMagic[0] ^= 0xff;
+    EXPECT_THROW(ArchCheckpoint::deserialize(badMagic),
+                 std::runtime_error);
+    EXPECT_THROW(ArchCheckpoint::deserialize(bytes + "x"),
+                 std::runtime_error);
+}
+
+// ----------------------------------------- fast-forward engine basics
+
+TEST(FastForwardEngine, TracksTheReferenceInterpreter)
+{
+    const Program prog = testProgram();
+    const MachineConfig cfg = MachineConfig::make(MachineKind::RbFull, 4);
+
+    FastForward ff(cfg, prog);
+    Interp plain(prog);
+    ff.run(3000);
+    plain.run(3000);
+
+    EXPECT_EQ(ff.instsExecuted(), 3000u);
+    EXPECT_EQ(ff.ref().pc(), plain.pc());
+    for (unsigned r = 0; r < numArchRegs; ++r)
+        EXPECT_EQ(ff.ref().reg(r), plain.reg(r)) << "r" << r;
+}
+
+TEST(FastForwardEngine, RestoreRewindsToTheCapturedPoint)
+{
+    const Program prog = testProgram();
+    const MachineConfig cfg = MachineConfig::make(MachineKind::RbFull, 4);
+
+    FastForward ff(cfg, prog);
+    ff.run(2000);
+    ArchCheckpoint ck;
+    ff.capture(ck);
+
+    ff.run(4000); // move past the capture point
+    ff.restore(ck);
+    EXPECT_EQ(ff.instsExecuted(), 2000u);
+    EXPECT_EQ(ff.ref().pc(), ck.pc);
+
+    // Replaying from the restore reaches the same state as a straight
+    // run to the same position.
+    ff.run(1000);
+    Interp plain(prog);
+    plain.run(3000);
+    EXPECT_EQ(ff.ref().pc(), plain.pc());
+    for (unsigned r = 0; r < numArchRegs; ++r)
+        EXPECT_EQ(ff.ref().reg(r), plain.reg(r)) << "r" << r;
+}
+
+TEST(FastForwardEngine, CaptureAfterHaltThrows)
+{
+    const Program prog = testProgram();
+    const MachineConfig cfg = MachineConfig::make(MachineKind::RbFull, 4);
+    FastForward ff(cfg, prog);
+    while (!ff.halted())
+        ff.run(1u << 20);
+    ArchCheckpoint ck;
+    EXPECT_THROW(ff.capture(ck), std::logic_error);
+}
+
+// ------------------------------------- resume under lockstep cosim
+
+/**
+ * The acceptance check: a checkpoint captured mid-program must resume
+ * on a fresh core and run to HALT with co-simulation verifying every
+ * retired register write, memory write, and control transfer against
+ * the reference model — on every Figure 12 machine, both schedulers.
+ */
+void
+expectResumeLockstep(bool polled)
+{
+    const Program prog = testProgram();
+    for (const MachineConfig &cfg : fig12Grid(polled)) {
+        auto ck = std::make_shared<ArchCheckpoint>(
+            captureAt(cfg, prog, 4000));
+        SimOptions opts;
+        opts.startFrom = ck;
+        opts.cosim = true;
+        const SimResult res = simulate(cfg, prog, opts); // throws on
+                                                         // divergence
+        EXPECT_TRUE(res.halted)
+            << cfg.label << (polled ? " (polled)" : " (wakeup)");
+        EXPECT_GT(res.counter("cosim.checked"), 0u) << cfg.label;
+    }
+}
+
+TEST(CheckpointResume, Fig12GridWakeupLockstep)
+{
+    expectResumeLockstep(false);
+}
+
+TEST(CheckpointResume, Fig12GridPolledLockstep)
+{
+    expectResumeLockstep(true);
+}
+
+TEST(CheckpointResume, WrongProgramAndHaltedCheckpointsAreRejected)
+{
+    const Program prog = testProgram();
+    const MachineConfig cfg = MachineConfig::make(MachineKind::RbFull, 4);
+    auto ck =
+        std::make_shared<ArchCheckpoint>(captureAt(cfg, prog, 1000));
+
+    const Program other = testProgram("go");
+    SimOptions opts;
+    opts.startFrom = ck;
+    EXPECT_THROW(simulate(cfg, other, opts), std::invalid_argument);
+
+    auto halted = std::make_shared<ArchCheckpoint>(*ck);
+    halted->pc = prog.code.size(); // the run-off-the-end halt state
+    opts.startFrom = halted;
+    EXPECT_THROW(simulate(cfg, prog, opts), std::logic_error);
+}
+
+// ------------------------------- mid-flight detailed-run checkpoints
+
+TEST(CheckpointResume, MidFlightDetailedCaptureResumesExactly)
+{
+    // Stop a detailed run on an instruction budget: the ROB and LSQ are
+    // occupied (and with a budget past robEntries, the ROB has wrapped),
+    // yet the retired architectural state the cosim reference holds is a
+    // complete checkpoint — in-flight work is simply not architectural.
+    const Program prog = testProgram();
+    MachineConfig cfg = MachineConfig::make(MachineKind::RbFull, 4);
+    ASSERT_GT(6000u, cfg.robEntries);
+
+    Simulator sim(cfg);
+    SimOptions opts;
+    opts.maxInsts = 6000;
+    const SimResult stopped = sim.run(prog, opts);
+    ASSERT_FALSE(stopped.halted);
+    ASSERT_TRUE(stopped.instLimited);
+
+    ArchCheckpoint ck;
+    sim.checkpoint(ck);
+    EXPECT_EQ(ck.instsExecuted, 6000u);
+
+    // The capture equals the functional model's view of the same point.
+    const ArchCheckpoint ffView = captureAt(cfg, prog, 6000);
+    EXPECT_EQ(ck.pc, ffView.pc);
+    EXPECT_EQ(ck.regs, ffView.regs);
+
+    // And it resumes to completion under lockstep verification.
+    SimOptions resume;
+    resume.startFrom = std::make_shared<ArchCheckpoint>(ck);
+    const SimResult done = simulate(cfg, prog, resume);
+    EXPECT_TRUE(done.halted);
+}
+
+TEST(CheckpointResume, ChainedCheckpointsKeepAbsolutePositions)
+{
+    const Program prog = testProgram();
+    const MachineConfig cfg = MachineConfig::make(MachineKind::RbFull, 4);
+
+    Simulator sim(cfg);
+    SimOptions opts;
+    opts.maxInsts = 2000;
+    ASSERT_FALSE(sim.run(prog, opts).halted);
+    ArchCheckpoint first;
+    sim.checkpoint(first);
+    EXPECT_EQ(first.instsExecuted, 2000u);
+
+    // Resume from the first and stop again: the second checkpoint's
+    // stream position must be absolute, not window-relative.
+    SimOptions opts2;
+    opts2.startFrom = std::make_shared<ArchCheckpoint>(first);
+    opts2.maxInsts = 1500;
+    ASSERT_FALSE(sim.run(prog, opts2).halted);
+    ArchCheckpoint second;
+    sim.checkpoint(second);
+    EXPECT_EQ(second.instsExecuted, 3500u);
+
+    // The architectural half must match a straight-line capture at the
+    // same absolute position. (The warm half legitimately differs: the
+    // detailed core trains predictors and caches through speculation,
+    // the functional fast-forward in program order.)
+    const ArchCheckpoint ref = captureAt(cfg, prog, 3500);
+    EXPECT_EQ(second.pc, ref.pc);
+    EXPECT_EQ(second.regs, ref.regs);
+    ASSERT_EQ(second.pages.size(), ref.pages.size());
+    for (const auto &[page, data] : ref.pages) {
+        const auto it = second.pages.find(page);
+        ASSERT_NE(it, second.pages.end());
+        EXPECT_EQ(*it->second, *data);
+    }
+}
+
+TEST(CheckpointResume, CheckpointRequiresCosimAndAMidFlightStop)
+{
+    const Program prog = testProgram();
+    const MachineConfig cfg = MachineConfig::make(MachineKind::RbFull, 4);
+    Simulator sim(cfg);
+    ArchCheckpoint ck;
+
+    SimOptions noCosim;
+    noCosim.cosim = false;
+    noCosim.maxInsts = 1000;
+    sim.run(prog, noCosim);
+    EXPECT_THROW(sim.checkpoint(ck), std::logic_error);
+
+    ASSERT_TRUE(sim.run(prog).halted);
+    EXPECT_THROW(sim.checkpoint(ck), std::logic_error);
+}
+
+} // namespace
+} // namespace rbsim

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * SMARTS-style sampling (src/sim/sampling.hh, src/serve/sampled.hh):
+ *  - checkpoint collection lands on the systematic sampling grid and
+ *    reports the true functional stream length;
+ *  - the 95% CI math matches hand-computed Student t values;
+ *  - merged window stats are sums with formulas recomputed as ratios of
+ *    sums;
+ *  - THE ACCEPTANCE CHECK: a sampled run and a full-detail run of the
+ *    same workload agree on IPC within the sampled run's reported 95%
+ *    CI, across the Figure 12 machine grid;
+ *  - a campaign sharded across the SimService worker pool merges to
+ *    exactly the in-process simulateSampled() numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "func/interp.hh"
+#include "serve/sampled.hh"
+#include "serve/service.hh"
+#include "sim/sampling.hh"
+#include "sim/simulator.hh"
+#include "workloads/workload.hh"
+
+namespace rbsim
+{
+namespace
+{
+
+Program
+testProgram(const char *workload = "compress")
+{
+    WorkloadParams wp;
+    return findWorkload(workload).build(wp);
+}
+
+/** Dynamic (architectural) instruction count of a program. */
+std::uint64_t
+dynLength(const Program &prog)
+{
+    Interp interp(prog);
+    while (!interp.halted())
+        interp.run(1u << 20);
+    return interp.instsExecuted();
+}
+
+/** A regimen scaled to the program: ~`windows` windows, half of each
+ * period measured after a quarter-period detailed warmup. */
+SamplingOptions
+regimenFor(std::uint64_t len, std::uint64_t windows)
+{
+    SamplingOptions opts;
+    opts.periodInsts = std::max<std::uint64_t>(len / windows, 64);
+    opts.warmupInsts = opts.periodInsts / 4;
+    opts.measureInsts = opts.periodInsts / 2;
+    return opts;
+}
+
+// ------------------------------------------------ checkpoint schedule
+
+TEST(CheckpointCollection, LandsOnTheSamplingGrid)
+{
+    const Program prog = testProgram();
+    const std::uint64_t len = dynLength(prog);
+    const MachineConfig cfg = MachineConfig::make(MachineKind::RbFull, 4);
+
+    SamplingOptions opts;
+    opts.skipInsts = 500;
+    opts.periodInsts = 3000;
+    std::uint64_t ffInsts = 0;
+    bool completed = false;
+    const auto points =
+        collectCheckpoints(cfg, prog, opts, &ffInsts, &completed);
+
+    ASSERT_FALSE(points.empty());
+    EXPECT_EQ(points.size(), (len - opts.skipInsts + opts.periodInsts - 1) /
+                                 opts.periodInsts);
+    for (std::size_t k = 0; k < points.size(); ++k)
+        EXPECT_EQ(points[k]->instsExecuted,
+                  opts.skipInsts + k * opts.periodInsts);
+    EXPECT_EQ(ffInsts, len) << "must report the true stream length";
+    EXPECT_TRUE(completed);
+}
+
+TEST(CheckpointCollection, WindowCapStopsEarly)
+{
+    const Program prog = testProgram();
+    const MachineConfig cfg = MachineConfig::make(MachineKind::RbFull, 4);
+    SamplingOptions opts;
+    opts.periodInsts = 1000;
+    opts.maxWindows = 3;
+    const auto points = collectCheckpoints(cfg, prog, opts);
+    EXPECT_EQ(points.size(), 3u);
+}
+
+// ------------------------------------------------------------ CI math
+
+TEST(Ci95, MatchesStudentT)
+{
+    EXPECT_EQ(ci95HalfWidth({}), 0.0);
+    EXPECT_EQ(ci95HalfWidth({1.0}), 0.0);
+
+    // n = 3: mean 2, sample sd 1, t(0.975, df=2) = 4.303.
+    const double ci3 = ci95HalfWidth({1.0, 2.0, 3.0});
+    EXPECT_NEAR(ci3, 4.303 / std::sqrt(3.0), 1e-9);
+
+    // Zero variance collapses the interval.
+    EXPECT_EQ(ci95HalfWidth({2.5, 2.5, 2.5, 2.5}), 0.0);
+
+    // Large n approaches the normal quantile.
+    std::vector<double> xs;
+    for (int i = 0; i < 100; ++i)
+        xs.push_back(i % 2 ? 1.0 : -1.0);
+    const double sd = std::sqrt(100.0 / 99.0);
+    EXPECT_NEAR(ci95HalfWidth(xs), 1.96 * sd / 10.0, 1e-9);
+}
+
+// -------------------------------------------------------- merged stats
+
+TEST(MergedStats, SumsCountersAndRecomputesRatios)
+{
+    StatSnapshot a, b, merged;
+    a.counters["core.retired"] = 100;
+    a.counters["core.cycles"] = 50;
+    a.formulas["core.ipc"] = 2.0;
+    a.vectors["core.retireHist"] = {1, 2};
+    b.counters["core.retired"] = 100;
+    b.counters["core.cycles"] = 150;
+    b.formulas["core.ipc"] = 100.0 / 150.0;
+    b.vectors["core.retireHist"] = {4, 5, 6};
+
+    accumulateWindowStats(merged, a);
+    accumulateWindowStats(merged, b);
+    finalizeMergedStats(merged);
+
+    EXPECT_EQ(merged.counter("core.retired"), 200u);
+    EXPECT_EQ(merged.counter("core.cycles"), 200u);
+    // Ratio of sums (1.0), NOT the mean of the per-window ratios (1.33).
+    EXPECT_DOUBLE_EQ(merged.value("core.ipc"), 1.0);
+    const std::vector<std::uint64_t> want = {5, 7, 6};
+    EXPECT_EQ(merged.vec("core.retireHist"), want);
+}
+
+// ----------------------------------------------- the acceptance check
+
+/**
+ * ISSUE acceptance criterion: a full-detail run and a sampled run of
+ * the same workload agree on IPC within the sampled run's reported 95%
+ * confidence interval, on the Figure 12 machine grid.
+ */
+TEST(SampledVsFull, AgreeWithinCi95OnTheFig12Grid)
+{
+    const Program prog = testProgram();
+    const std::uint64_t len = dynLength(prog);
+    const SamplingOptions opts = regimenFor(len, 10);
+
+    for (MachineKind kind :
+         {MachineKind::Baseline, MachineKind::RbLimited,
+          MachineKind::RbFull, MachineKind::Ideal}) {
+        const MachineConfig cfg = MachineConfig::make(kind, 4);
+        const SimResult full = simulate(cfg, prog);
+        ASSERT_TRUE(full.halted);
+
+        const SampledResult sampled = simulateSampled(cfg, prog, opts);
+        ASSERT_GE(sampled.windows, 2u) << cfg.label;
+        EXPECT_TRUE(sampled.completed);
+        EXPECT_EQ(sampled.ffInsts, len);
+
+        EXPECT_LE(std::abs(full.ipc() - sampled.ipcMean),
+                  sampled.ipcCi95)
+            << cfg.label << ": full " << full.ipc() << " vs sampled "
+            << sampled.ipcMean << " +/- " << sampled.ipcCi95;
+    }
+}
+
+TEST(SampledVsFull, MeasuredWindowsHaveTheRequestedLength)
+{
+    const Program prog = testProgram();
+    const std::uint64_t len = dynLength(prog);
+    const SamplingOptions opts = regimenFor(len, 8);
+    const MachineConfig cfg = MachineConfig::make(MachineKind::RbFull, 4);
+
+    const SampledResult res = simulateSampled(cfg, prog, opts);
+    ASSERT_GE(res.windows, 2u);
+    // Every window but possibly the last measures exactly measureInsts
+    // retired instructions (the budget stops retirement at the boundary;
+    // the tail window may reach HALT first).
+    const std::uint64_t retired = res.merged.counter("core.retired");
+    EXPECT_GE(retired, (res.windows - 1) * opts.measureInsts);
+    EXPECT_LE(retired, res.windows * opts.measureInsts);
+    // The merged IPC formula is the ratio of the summed counters.
+    EXPECT_DOUBLE_EQ(res.merged.value("core.ipc"),
+                     static_cast<double>(retired) /
+                         static_cast<double>(
+                             res.merged.counter("core.cycles")));
+}
+
+// ------------------------------------------------- sharded campaigns
+
+TEST(ShardedSampling, MergesToExactlyTheInProcessNumbers)
+{
+    const Program prog = testProgram();
+    const std::uint64_t len = dynLength(prog);
+    const SamplingOptions opts = regimenFor(len, 6);
+    const MachineConfig cfg = MachineConfig::make(MachineKind::RbFull, 4);
+
+    const SampledResult inproc = simulateSampled(cfg, prog, opts);
+
+    serve::SimService service(
+        serve::SimService::Options{/*workers=*/4, /*cacheCapacity=*/64});
+    const serve::SampledOutcome sharded =
+        serve::runSampled(service, cfg, prog, opts);
+
+    ASSERT_TRUE(sharded.ok) << sharded.error;
+    EXPECT_EQ(sharded.result.windows, inproc.windows);
+    EXPECT_EQ(sharded.result.ffInsts, inproc.ffInsts);
+    EXPECT_EQ(sharded.result.completed, inproc.completed);
+    // Stream-order merge: bit-equal window IPCs, merged stats, mean, CI
+    // regardless of which worker finished which window first.
+    EXPECT_EQ(sharded.result.windowIpc, inproc.windowIpc);
+    EXPECT_EQ(sharded.result.merged, inproc.merged);
+    EXPECT_EQ(sharded.result.ipcMean, inproc.ipcMean);
+    EXPECT_EQ(sharded.result.ipcCi95, inproc.ipcCi95);
+
+    // Windows are cacheable (keyed by checkpoint fingerprint): a repeat
+    // campaign executes nothing new.
+    const std::uint64_t executed = service.counters().jobsExecuted;
+    const serve::SampledOutcome again =
+        serve::runSampled(service, cfg, prog, opts);
+    ASSERT_TRUE(again.ok) << again.error;
+    EXPECT_EQ(again.result.ipcMean, sharded.result.ipcMean);
+    EXPECT_EQ(service.counters().jobsExecuted, executed);
+}
+
+} // namespace
+} // namespace rbsim

@@ -217,6 +217,64 @@ TEST(SimService, ServingWindowIsAllocationFree)
     alloccount::enable(false);
 }
 
+// ------------------------------------------------ result-cache identity
+
+TEST(SimOptionsKey, GuardAgainstUnkeyedFields)
+{
+    // If this fires you added a field to SimOptions: fold it into
+    // resultKey() (or document why it cannot affect results, like
+    // tracer/profiler) and update the expected size. The serve result
+    // cache serves stale results for any field this guard misses.
+    struct Expected
+    {
+        Cycle maxCycles;
+        bool cosim;
+        trace::Tracer *tracer;
+        HostProfiler *profiler;
+        std::uint64_t maxInsts;
+        std::uint64_t warmupInsts;
+        std::shared_ptr<const ArchCheckpoint> startFrom;
+    };
+    static_assert(sizeof(SimOptions) == sizeof(Expected),
+                  "new SimOptions field: revisit resultKey()");
+    SUCCEED();
+}
+
+TEST(SimOptionsKey, EveryResultAffectingFieldChangesTheKey)
+{
+    const SimOptions base;
+    auto key = [](auto mutate) {
+        SimOptions o;
+        mutate(o);
+        return o.resultKey();
+    };
+    const std::string baseKey = base.resultKey();
+    EXPECT_NE(key([](SimOptions &o) { o.maxCycles = 7; }), baseKey);
+    EXPECT_NE(key([](SimOptions &o) { o.cosim = false; }), baseKey);
+    EXPECT_NE(key([](SimOptions &o) { o.maxInsts = 1000; }), baseKey);
+    EXPECT_NE(key([](SimOptions &o) { o.warmupInsts = 100; }), baseKey);
+    EXPECT_NE(key([](SimOptions &o) {
+                  o.startFrom = std::make_shared<ArchCheckpoint>();
+              }),
+              baseKey);
+    // Observers do NOT change the key (they never alter stats).
+    EXPECT_EQ(key([](SimOptions &o) {
+                  o.tracer = reinterpret_cast<trace::Tracer *>(0x1);
+              }),
+              baseKey);
+
+    // Distinct checkpoints key distinctly; equal-content ones share.
+    ArchCheckpoint a, b;
+    a.pc = 10;
+    b.pc = 20;
+    SimOptions oa, ob, oa2;
+    oa.startFrom = std::make_shared<ArchCheckpoint>(a);
+    ob.startFrom = std::make_shared<ArchCheckpoint>(b);
+    oa2.startFrom = std::make_shared<ArchCheckpoint>(a);
+    EXPECT_NE(oa.resultKey(), ob.resultKey());
+    EXPECT_EQ(oa.resultKey(), oa2.resultKey());
+}
+
 // ----------------------------------------------------- protocol basics
 
 TEST(ServeProtocol, ConfigJsonRoundTrips)
@@ -411,6 +469,111 @@ TEST(ServeServer, DuplicateIdAndDuplicateInFlight)
     ASSERT_EQ(retry.size(), 1u);
     EXPECT_TRUE(retry[0].find("ok")->asBool());
     EXPECT_TRUE(retry[0].find("cache_hit")->asBool());
+}
+
+// ------------------------------------------- aborts through the server
+
+TEST(ServeServer, WatchdogAbortCarriesLocalRunDiagnostics)
+{
+    TestServer ts;
+    // A watchdog window far below the fetch-to-first-retire latency
+    // aborts every run as a (simulated) retirement deadlock.
+    const auto resp = ts.roundTrip(
+        R"({"id":"w1","workload":"compress",)"
+        R"("config":{"kind":"base","deadlock_cycles":3}})");
+    ASSERT_EQ(resp.size(), 1u);
+    const Json &r = resp[0];
+    EXPECT_FALSE(r.find("ok")->asBool());
+    ASSERT_NE(r.find("code"), nullptr);
+    EXPECT_EQ(r.find("code")->asString(), "sim-aborted");
+    ASSERT_NE(r.find("abort_kind"), nullptr);
+    EXPECT_EQ(r.find("abort_kind")->asString(), "watchdog-deadlock");
+    ASSERT_NE(r.find("deadlock_aborts"), nullptr);
+    EXPECT_GE(r.find("deadlock_aborts")->asU64(), 1u);
+    // The watchdog fires inside the cold-start icache miss here, before
+    // a single instruction enters the pipeline — the trace ring is
+    // genuinely empty, and an empty ring is omitted, exactly as a local
+    // run dumps nothing. (The cycle-budget test below pins the
+    // non-empty-ring side.)
+    EXPECT_EQ(r.find("trace"), nullptr);
+    EXPECT_EQ(ts.server.jobsFailed(), 1u);
+
+    // Aborted results are not cached: a rerun with a sane watchdog (a
+    // distinct config, so a distinct key) succeeds.
+    const auto okResp = ts.roundTrip(
+        R"({"id":"w2","workload":"compress","machine":"base"})");
+    ASSERT_EQ(okResp.size(), 1u);
+    EXPECT_TRUE(okResp[0].find("ok")->asBool());
+}
+
+TEST(ServeServer, CycleBudgetAbortIsClassifiedDistinctly)
+{
+    TestServer ts;
+    // 2000 cycles: far past warm-up, nowhere near completion — the
+    // budget cuts the run mid-flight with a full pipeline, so the
+    // last-N ring dump must ride along in the error record.
+    const auto resp = ts.roundTrip(
+        R"({"id":"c1","workload":"compress","machine":"base",)"
+        R"("max_cycles":2000})");
+    ASSERT_EQ(resp.size(), 1u);
+    const Json &r = resp[0];
+    EXPECT_FALSE(r.find("ok")->asBool());
+    EXPECT_EQ(r.find("code")->asString(), "sim-aborted");
+    EXPECT_EQ(r.find("abort_kind")->asString(), "cycle-budget");
+    EXPECT_EQ(r.find("deadlock_aborts")->asU64(), 0u);
+    ASSERT_NE(r.find("trace"), nullptr);
+    EXPECT_NE(r.find("trace")->asString().find("O3PipeView:fetch:"),
+              std::string::npos);
+}
+
+TEST(ServeServer, InstructionBudgetStopIsASuccess)
+{
+    TestServer ts;
+    const auto resp = ts.roundTrip(
+        R"({"id":"b1","workload":"compress","machine":"base",)"
+        R"("max_insts":500})");
+    ASSERT_EQ(resp.size(), 1u);
+    const Json &r = resp[0];
+    EXPECT_TRUE(r.find("ok")->asBool());
+    EXPECT_FALSE(r.find("halted")->asBool());
+    ASSERT_NE(r.find("inst_limited"), nullptr);
+    EXPECT_TRUE(r.find("inst_limited")->asBool());
+    EXPECT_GT(r.find("ipc")->asDouble(), 0.0);
+}
+
+// --------------------------------------------- sampled-request path
+
+TEST(ServeServer, SampledRequestShipsMeanIpcWithCi)
+{
+    TestServer ts;
+    const auto resp = ts.roundTrip(
+        R"({"id":"s1","workload":"compress","machine":"rbfull",)"
+        R"("sample":{"period_insts":4000,"warmup_insts":1000,)"
+        R"("measure_insts":2000}})");
+    ASSERT_EQ(resp.size(), 1u);
+    const Json &r = resp[0];
+    ASSERT_TRUE(r.find("ok")->asBool())
+        << (r.find("error") ? r.find("error")->asString() : "");
+    EXPECT_TRUE(r.find("sampled")->asBool());
+    EXPECT_GE(r.find("windows")->asU64(), 2u);
+    EXPECT_GT(r.find("ipc")->asDouble(), 0.0);
+    ASSERT_NE(r.find("ipc_ci95"), nullptr);
+    EXPECT_GE(r.find("ipc_ci95")->asDouble(), 0.0);
+    EXPECT_TRUE(r.find("completed")->asBool());
+    EXPECT_GT(r.find("ff_insts")->asU64(), 0u);
+    ASSERT_NE(r.find("stats"), nullptr);
+
+    // max_insts and sample are mutually exclusive.
+    expectError(ts.roundTrip(
+                    R"({"id":"s2","workload":"compress","machine":"base",)"
+                    R"("max_insts":100,"sample":{"period_insts":1000,)"
+                    R"("measure_insts":100}})"),
+                "bad-request");
+    // A zero-length regimen is rejected before any work happens.
+    expectError(ts.roundTrip(
+                    R"({"id":"s3","workload":"compress","machine":"base",)"
+                    R"("sample":{"period_insts":0,"measure_insts":100}})"),
+                "bad-request");
 }
 
 } // namespace

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
 #include <map>
 #include <set>
 #include <vector>
@@ -327,6 +328,32 @@ TEST(GenDeterminism, RegistryLookupResolvesPresetsByName)
     EXPECT_EQ(info.build(wp).hash(),
               buildGenProgram(genPreset("ycsb-a"), wp).hash());
     EXPECT_THROW(findWorkload("nonesuch"), std::out_of_range);
+}
+
+TEST(GenDeterminism, PresetInternTableIsABoundedLru)
+{
+    // Regression: the intern table used to be an unbounded deque with an
+    // O(n) scan under the global mutex — a server fed a stream of
+    // distinct parametric presets grew it forever. Now it is a bounded
+    // LRU: feed it well past capacity and the bound must hold.
+    const std::size_t cap = internedWorkloadCap();
+    ASSERT_GT(cap, 0u);
+    char name[32];
+    for (std::size_t i = 0; i < cap + 64; ++i) {
+        std::snprintf(name, sizeof(name), "branch-0.%04zu", 1000 + i);
+        const WorkloadInfo &info = findWorkload(name);
+        EXPECT_EQ(info.name, name);
+        EXPECT_LE(internedWorkloadCount(), cap);
+    }
+    EXPECT_EQ(internedWorkloadCount(), cap);
+
+    // Repeat lookups are hits: they must not grow the table, and they
+    // keep handing back the same (address-stable) entry.
+    const std::size_t resident = internedWorkloadCount();
+    const WorkloadInfo &hot = findWorkload("branch-0.1500");
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(&findWorkload("branch-0.1500"), &hot);
+    EXPECT_EQ(internedWorkloadCount(), resident);
 }
 
 // ------------------------------------------------- timing-core checks
