@@ -6,14 +6,85 @@
 namespace rbsim
 {
 
-Interp::Interp(const Program &prog)
-    : program(&prog), pcIndex(prog.entry)
+namespace
 {
+
+/**
+ * Event sink that reconstructs the co-simulation StepRecord from the
+ * predecoded loop's hooks — bit-identical to what stepReference()
+ * materializes (tests/test_predecode.cc proves it over the corpus).
+ * Writes to the scratch slot are architectural writes to r31, which the
+ * reference never records.
+ */
+struct RecordSink
+{
+    StepRecord &rec;
+    std::uint16_t scratch;
+
+    void preStep(std::uint64_t) {}
+
+    void
+    regWrite(std::uint16_t slot, Word v)
+    {
+        if (slot == scratch)
+            return;
+        rec.wroteReg = true;
+        rec.archReg = slot;
+        rec.regValue = v;
+    }
+
+    void
+    load(Addr ea, Word)
+    {
+        rec.readMem = true;
+        rec.memAddr = ea;
+    }
+
+    void
+    store(Addr ea, Word v)
+    {
+        rec.wroteMem = true;
+        rec.memAddr = ea;
+        rec.memValue = v;
+    }
+
+    void condBranch(std::uint64_t, bool t) { rec.taken = t; }
+    void br() { rec.taken = true; }
+    void bsr(Addr) { rec.taken = true; }
+    void jmpRet() { rec.taken = true; }
+    void jmpCall(std::uint64_t, std::uint64_t, Addr) { rec.taken = true; }
+    void halt() { rec.halted = true; }
+};
+
+} // namespace
+
+Interp::Interp(const Program &prog)
+{
+    bindProgram(prog);
     memory.loadProgram(prog);
+    pcIndex = prog.entry;
 }
 
 StepRecord
 Interp::step()
+{
+    assert(!isHalted);
+    assert(pcIndex < program->code.size() && "PC ran off the code image");
+
+    StepRecord rec;
+    rec.pcIndex = pcIndex;
+    rec.inst = program->code[pcIndex];
+    RecordSink sink{rec, dec->scratch};
+    runSink(1, sink);
+    // Every handler leaves the post-step pc exactly where the reference
+    // puts rec.nextPc (HALT leaves it on itself; a taken branch leaves
+    // the raw, possibly off-image target).
+    rec.nextPc = pcIndex;
+    return rec;
+}
+
+StepRecord
+Interp::stepReference()
 {
     assert(!isHalted);
     assert(pcIndex < program->code.size() && "PC ran off the code image");
@@ -35,7 +106,7 @@ Interp::step()
     auto writeReg = [&](unsigned r, Word v) {
         if (r == zeroReg)
             return;
-        regs[r] = v;
+        xregs[r] = v;
         rec.wroteReg = true;
         rec.archReg = r;
         rec.regValue = v;
@@ -63,10 +134,12 @@ Interp::step()
     } else if (isControl(inst.op)) {
         rec.taken = ev.taken;
         if (inst.op == Opcode::JMP) {
+            // The return-address write lands before target validation —
+            // same defined state as the predecoded handlers.
             writeReg(inst.ra, ev.value);
             const Word target = ops.b;
-            assert(program->isCodeAddr(target) &&
-                   "JMP to a non-code address");
+            if (!program->isCodeAddr(target))
+                throwBadJmp(*dec, pcIndex, target);
             rec.nextPc = program->indexOf(target);
         } else if (inst.op == Opcode::BR || inst.op == Opcode::BSR) {
             writeReg(inst.ra, ev.value);
@@ -89,17 +162,6 @@ Interp::step()
     if (!isHalted && pcIndex >= program->code.size())
         isHalted = true;
     return rec;
-}
-
-std::uint64_t
-Interp::run(std::uint64_t max_steps)
-{
-    std::uint64_t n = 0;
-    while (!isHalted && n < max_steps) {
-        step();
-        ++n;
-    }
-    return n;
 }
 
 } // namespace rbsim

@@ -7,14 +7,28 @@
  * cross-checks every register write, memory write, and control transfer
  * (co-simulation), which is what validates the redundant binary datapath
  * end to end.
+ *
+ * Two implementations live behind one architectural contract:
+ *
+ *  - `step()` / `run*()` execute the program's predecoded form
+ *    (func/predecode.hh) with threaded dispatch and the direct-page
+ *    memory fast path — the production paths;
+ *  - `stepReference()` is the original decode-every-step implementation,
+ *    kept verbatim as the oracle. tests/test_predecode.cc locksteps the
+ *    two over the whole fuzz corpus and every workload-generator preset
+ *    and requires bit-equal StepRecords under both dispatch strategies.
+ *
+ * A JMP to an address outside the code image raises InterpError
+ * (func/predecode.hh) from every path, in every build type.
  */
 
 #ifndef RBSIM_FUNC_INTERP_HH
 #define RBSIM_FUNC_INTERP_HH
 
-#include <array>
+#include <vector>
 
 #include "func/mem_image.hh"
+#include "func/predecode.hh"
 #include "isa/eval.hh"
 #include "isa/program.hh"
 
@@ -36,6 +50,10 @@ struct StepRecord
     bool taken = false;         //!< control transfer taken
     std::uint64_t nextPc = 0;   //!< next instruction index
     bool halted = false;        //!< this step executed HALT
+
+    //! Field-wise equality (the predecode parity tests compare records
+    //! from the two implementations bit-for-bit).
+    bool operator==(const StepRecord &other) const = default;
 };
 
 /** The interpreter. */
@@ -48,16 +66,16 @@ class Interp
     /**
      * Back to construction state, rebound to `prog` (which must outlive
      * the interpreter). Memory is zeroed in place (resident pages kept)
-     * and the program image reloaded, so repeated same-footprint runs
-     * allocate nothing.
+     * and the program image reloaded; the predecoded form comes from the
+     * process-wide cache — so repeated same-footprint runs allocate
+     * nothing.
      */
     void
     reset(const Program &prog)
     {
-        program = &prog;
+        bindProgram(prog);
         memory.reset();
         memory.loadProgram(prog);
-        regs.fill(0);
         pcIndex = prog.entry;
         steps = 0;
         isHalted = false;
@@ -66,18 +84,76 @@ class Interp
     /** True once HALT has executed or the PC ran off the code. */
     bool halted() const { return isHalted; }
 
-    /** Execute one instruction. @pre !halted() */
+    /**
+     * Execute one instruction via the predecoded program, materializing
+     * the full co-simulation record. Bit-identical to stepReference().
+     * @pre !halted()
+     */
     StepRecord step();
 
-    /** Run until halted or `max_steps` instructions; returns steps run. */
-    std::uint64_t run(std::uint64_t max_steps);
+    /**
+     * The original interpreter step — re-decodes through evalOp every
+     * time. Kept as the oracle the predecoded paths are differentially
+     * tested against. @pre !halted()
+     */
+    StepRecord stepReference();
+
+    /** Run until halted or `max_steps` instructions; returns steps run.
+     * Record-free (alias of runFast). */
+    std::uint64_t run(std::uint64_t max_steps) { return runFast(max_steps); }
+
+    /**
+     * Record-free execution of up to `max_steps` instructions: the
+     * threaded-dispatch loop touching only registers, memory, and the
+     * pc — the `sim/fastfwd` engine and anything else that does not
+     * need StepRecords should use this. Returns instructions executed.
+     */
+    std::uint64_t
+    runFast(std::uint64_t max_steps)
+    {
+        NullExecSink sink;
+        return runSink(max_steps, sink);
+    }
+
+    /**
+     * Like runFast but reporting execution events (memory touches,
+     * branch outcomes, calls/returns) to `sink` — see NullExecSink for
+     * the hook set. FastForward's warming sink plugs in here.
+     */
+    template <class Sink>
+    std::uint64_t
+    runSink(std::uint64_t max_steps, Sink &sink)
+    {
+        ExecCtx cx;
+        cx.regs = xregs.data();
+        cx.mem = &memory;
+        cx.dp = dec.get();
+        cx.pc = pcIndex;
+        cx.halted = isHalted;
+        std::uint64_t done = 0;
+        try {
+            done = execDecoded(cx, max_steps, sink);
+        } catch (...) {
+            // InterpError from a bad JMP: the handler synced pc/steps
+            // before throwing, so the interpreter stays inspectable
+            // (pc on the faulting instruction, its step uncounted).
+            pcIndex = cx.pc;
+            steps += cx.steps;
+            isHalted = cx.halted;
+            throw;
+        }
+        pcIndex = cx.pc;
+        steps += cx.steps;
+        isHalted = cx.halted;
+        return done;
+    }
 
     /** Architectural register value. */
     Word
     reg(unsigned r) const
     {
         assert(r < numArchRegs);
-        return r == zeroReg ? 0 : regs[r];
+        return r == zeroReg ? 0 : xregs[r];
     }
 
     /** Set an architectural register (test setup). */
@@ -86,7 +162,7 @@ class Interp
     {
         assert(r < numArchRegs);
         if (r != zeroReg)
-            regs[r] = v;
+            xregs[r] = v;
     }
 
     /** Current PC (instruction index). */
@@ -108,11 +184,31 @@ class Interp
     /** Instructions executed so far. */
     std::uint64_t instsExecuted() const { return steps; }
 
+    /** The predecoded form this interpreter executes (tests/bench). */
+    const DecodedProgram &decoded() const { return *dec; }
+
   private:
+    /** Rebind program + predecoded form and lay out the register file
+     * (arch regs zeroed, literal pool filled, scratch slot). */
+    void
+    bindProgram(const Program &prog)
+    {
+        program = &prog;
+        dec = decodeProgram(prog);
+        xregs.resize(dec->slotCount());
+        std::fill(xregs.begin(), xregs.begin() + numArchRegs, 0);
+        for (std::size_t i = 0; i < dec->pool.size(); ++i)
+            xregs[numArchRegs + i] = dec->pool[i];
+        xregs[dec->scratch] = 0;
+    }
+
     //! Pointer, not reference: reset(prog) rebinds it. Never null.
     const Program *program;
+    std::shared_ptr<const DecodedProgram> dec;
     MemImage memory;
-    std::array<Word, numArchRegs> regs{};
+    //! Register-file slots: arch regs + literal pool + scratch (see
+    //! func/predecode.hh for the layout contract).
+    std::vector<Word> xregs;
     std::uint64_t pcIndex = 0;
     std::uint64_t steps = 0;
     bool isHalted = false;

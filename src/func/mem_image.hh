@@ -11,6 +11,21 @@
  * write to a page shared with a live snapshot clones it. Images with no
  * outstanding snapshots behave exactly as before, including the
  * zero-allocation reset-in-place serving path.
+ *
+ * A small direct-mapped translation cache (the "xlat" array) sits in
+ * front of the page map so the interpreter's hot loads/stores are one
+ * compare plus a raw-pointer deref instead of an unordered_map lookup
+ * and a shared_ptr chase. Each entry caches the page's *data pointer*
+ * directly, plus a `writable` bit recording that the page was
+ * exclusively owned when the entry was filled — so a store hit touches
+ * neither the map nor the control block. Correctness rests on
+ * invalidating the cache at every operation that can replace a page's
+ * storage or raise its use_count behind the cache's back: reset()
+ * (shared pages are replaced in place), restorePages, snapshotPages
+ * (sharing stales `writable`), and copy/move construction/assignment
+ * (both sides). A same-image CoW clone refreshes its own entry in
+ * lookupWrite, and a *peer* image cloning its copy never moves this
+ * image's page, so cached read pointers stay valid across peer writes.
  */
 
 #ifndef RBSIM_FUNC_MEM_IMAGE_HH
@@ -38,19 +53,79 @@ class MemImage
     //! shared_ptrs aliasing the image's pages (copy-on-write).
     using PageMap = std::unordered_map<Addr, std::shared_ptr<Page>>;
 
+    MemImage() = default;
+    //! The xlat cache points into the source's map nodes; a copy gets
+    //! its own nodes, so it must start cold. The pages themselves are
+    //! shared CoW-style, exactly like a snapshot — which also stales
+    //! the source's cached exclusivity, so its cache drops too.
+    MemImage(const MemImage &o) : pages(o.pages) { o.invalidateXlat(); }
+    MemImage(MemImage &&o) noexcept : pages(std::move(o.pages))
+    {
+        o.invalidateXlat(); // its cache points at nodes we now own
+    }
+    MemImage &
+    operator=(const MemImage &o)
+    {
+        pages = o.pages;
+        invalidateXlat();
+        o.invalidateXlat(); // now shares its pages with us
+        return *this;
+    }
+    MemImage &
+    operator=(MemImage &&o) noexcept
+    {
+        pages = std::move(o.pages);
+        invalidateXlat();
+        o.invalidateXlat();
+        return *this;
+    }
+
     /** Read one byte. */
     std::uint8_t
     read8(Addr addr) const
     {
-        const Page *page = findPage(addr);
-        return page ? (*page)[offsetOf(addr)] : 0;
+        const std::uint8_t *page = lookupRead(pageOf(addr));
+        return page ? page[offsetOf(addr)] : 0;
     }
 
     /** Write one byte. */
     void
     write8(Addr addr, std::uint8_t value)
     {
-        touchPage(addr)[offsetOf(addr)] = value;
+        lookupWrite(pageOf(addr))[offsetOf(addr)] = value;
+    }
+
+    /**
+     * Read a naturally-aligned little-endian value, size fixed at
+     * compile time — the interpreter's load fast path (the byte loop
+     * folds into a single host load).
+     */
+    template <unsigned N>
+    std::uint64_t
+    loadAligned(Addr addr) const
+    {
+        static_assert(N == 1 || N == 2 || N == 4 || N == 8);
+        assert((addr & (N - 1)) == 0 && "unaligned access");
+        const std::uint8_t *page = lookupRead(pageOf(addr));
+        if (!page)
+            return 0;
+        const std::uint8_t *b = page + offsetOf(addr);
+        std::uint64_t value = 0;
+        for (unsigned i = 0; i < N; ++i)
+            value |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+        return value;
+    }
+
+    /** Compile-time-sized aligned store (the store fast path). */
+    template <unsigned N>
+    void
+    storeAligned(Addr addr, std::uint64_t value)
+    {
+        static_assert(N == 1 || N == 2 || N == 4 || N == 8);
+        assert((addr & (N - 1)) == 0 && "unaligned access");
+        std::uint8_t *b = lookupWrite(pageOf(addr)) + offsetOf(addr);
+        for (unsigned i = 0; i < N; ++i)
+            b[i] = static_cast<std::uint8_t>(value >> (8 * i));
     }
 
     /** Read a naturally-aligned little-endian value of `size` bytes. */
@@ -60,19 +135,19 @@ class MemImage
     void write(Addr addr, std::uint64_t value, unsigned size);
 
     /** 64-bit convenience accessors (addresses are aligned down). */
-    Word read64(Addr addr) const { return read(addr & ~Addr{7}, 8); }
-    void write64(Addr addr, Word v) { write(addr & ~Addr{7}, v, 8); }
+    Word read64(Addr addr) const { return loadAligned<8>(addr & ~Addr{7}); }
+    void write64(Addr addr, Word v) { storeAligned<8>(addr & ~Addr{7}, v); }
 
     /** 32-bit convenience accessors. */
     std::uint32_t
     read32(Addr addr) const
     {
-        return static_cast<std::uint32_t>(read(addr & ~Addr{3}, 4));
+        return static_cast<std::uint32_t>(loadAligned<4>(addr & ~Addr{3}));
     }
     void
     write32(Addr addr, std::uint32_t v)
     {
-        write(addr & ~Addr{3}, v, 4);
+        storeAligned<4>(addr & ~Addr{3}, v);
     }
 
     /** Load a program's data segments. */
@@ -97,22 +172,36 @@ class MemImage
             else
                 page->fill(0);
         }
+        // Replaced pages got fresh storage; cached data pointers to
+        // them would be stale.
+        invalidateXlat();
     }
 
     /**
      * Share every resident page with the caller (a checkpoint). O(pages)
      * in map size, O(0) in bytes: later writes on either side clone the
-     * affected page first (see touchPage).
+     * affected page first (see lookupWrite). Sharing stales the cached
+     * exclusivity bits, so the xlat cache is dropped.
      */
-    PageMap snapshotPages() const { return pages; }
+    PageMap
+    snapshotPages() const
+    {
+        invalidateXlat();
+        return pages;
+    }
 
     /**
      * Replace the whole image with a snapshot's pages, re-sharing them
      * (the inverse of snapshotPages). The first write per page after a
      * restore clones it, leaving the checkpoint intact for the next
-     * restore.
+     * restore. Destroys the old map nodes, so the xlat cache drops cold.
      */
-    void restorePages(const PageMap &snapshot) { pages = snapshot; }
+    void
+    restorePages(const PageMap &snapshot)
+    {
+        pages = snapshot;
+        invalidateXlat();
+    }
 
     /** Number of resident pages (for tests). */
     std::size_t residentPages() const { return pages.size(); }
@@ -125,25 +214,74 @@ class MemImage
         return static_cast<std::size_t>(addr & (pageSize - 1));
     }
 
-    const Page *
-    findPage(Addr addr) const
+    //! One xlat entry: page number -> the page's raw data pointer.
+    //! Absent pages are never cached (a later first-touch insert must
+    //! be observed), so a hit always has live storage behind it.
+    //! `writable` caches `use_count() == 1` at fill time so the store
+    //! fast path skips both the map and the atomic probe; every
+    //! operation that can raise a page's use_count or replace its
+    //! storage without going through lookupWrite (snapshotPages,
+    //! reset, restorePages, copy/move construction/assignment)
+    //! invalidates the cache, so a stale `true` cannot survive into a
+    //! write that must clone. A stale `false` only costs the slow path.
+    struct XlatEntry
     {
-        const auto it = pages.find(pageOf(addr));
-        return it == pages.end() ? nullptr : it->second.get();
+        Addr pageNo = ~Addr{0};
+        std::uint8_t *data = nullptr;
+        bool writable = false;
+    };
+    static constexpr std::size_t xlatSlots = 32; // power of two
+
+    void
+    invalidateXlat() const
+    {
+        for (XlatEntry &e : xlat)
+            e = XlatEntry{};
     }
 
-    Page &
-    touchPage(Addr addr)
+    /** Page data for reading (nullptr when untouched). The cache is
+     * warmed on miss; `mutable` because warming is logically const. A
+     * MemImage is single-owner state (one interpreter / one core), so
+     * the mutation is not a concurrency hazard. */
+    const std::uint8_t *
+    lookupRead(Addr page_no) const
     {
-        auto &slot = pages[pageOf(addr)];
+        XlatEntry &e = xlat[page_no & (xlatSlots - 1)];
+        if (e.pageNo == page_no)
+            return e.data;
+        const auto it = pages.find(page_no);
+        if (it == pages.end())
+            return nullptr;
+        e.pageNo = page_no;
+        e.data = it->second->data();
+        e.writable = it->second.use_count() == 1;
+        return e.data;
+    }
+
+    /** Page data for writing: allocate on first touch, clone when
+     * shared with a snapshot (CoW). Cache hits are served only for
+     * pages known to be exclusively owned (see XlatEntry::writable),
+     * so the clone check can never be skipped. */
+    std::uint8_t *
+    lookupWrite(Addr page_no)
+    {
+        XlatEntry &e = xlat[page_no & (xlatSlots - 1)];
+        if (e.pageNo == page_no && e.writable)
+            return e.data;
+        auto &slot = pages[page_no];
         if (!slot)
             slot = std::make_shared<Page>();
         else if (slot.use_count() > 1)
             slot = std::make_shared<Page>(*slot); // break CoW sharing
-        return *slot;
+        e.pageNo = page_no;
+        e.data = slot->data();
+        e.writable = true; // just allocated, cloned, or probed == 1
+        return e.data;
     }
 
     PageMap pages;
+    //! Direct-mapped page-translation cache; see the file comment.
+    mutable std::array<XlatEntry, xlatSlots> xlat{};
 };
 
 } // namespace rbsim

@@ -113,6 +113,10 @@ formatRepro(const ReproFile &repro)
         os << metaPrefix << "note: " << flatten(repro.note) << "\n";
     if (!repro.genJson.empty())
         os << metaPrefix << "gen: " << flatten(repro.genJson) << "\n";
+    if (repro.maxInsts)
+        os << metaPrefix << "max-insts: " << repro.maxInsts << "\n";
+    if (repro.resumeSkip)
+        os << metaPrefix << "resume-skip: " << repro.resumeSkip << "\n";
     for (const MachineConfig &cfg : repro.configs)
         os << metaPrefix << "config: " << configToJson(cfg) << "\n";
     if (!repro.asmText.empty()) {
@@ -160,6 +164,10 @@ parseRepro(const std::string &text)
             // parse, not the eventual re-generation.
             genOptionsFromJson(Json::parse(val));
             out.genJson = val;
+        } else if (key == "max-insts") {
+            out.maxInsts = std::stoull(val, nullptr, 0);
+        } else if (key == "resume-skip") {
+            out.resumeSkip = std::stoull(val, nullptr, 0);
         } else if (key == "config") {
             out.configs.push_back(configFromJson(val));
         } else {
@@ -231,7 +239,9 @@ replayRepro(const ReproFile &repro, Plant plant, const TraceSpec &spec)
                     "oracles: " + names};
     }
     const auto oracles = makeOracles({repro.oracle}, plant, spec);
-    const Oracle &oracle = *oracles.front();
+    Oracle &oracle = *oracles.front();
+    if (repro.maxInsts || repro.resumeSkip)
+        oracle.setRunLimits(repro.maxInsts, repro.resumeSkip);
     if (repro.programLevel()) {
         if (!oracle.programLevel()) {
             return {true, repro.oracle +

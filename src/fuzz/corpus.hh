@@ -40,6 +40,14 @@ struct ReproFile
     std::string genJson;
     std::vector<MachineConfig> configs; //!< program-level machines
     std::string asmText;            //!< program assembly ("" = value-level)
+    /** Replay window (Oracle::setRunLimits): detailed-simulate at most
+     * this many retired instructions (0 = to HALT). Recorded so shrunk
+     * repros of deep failures stay replayable without resimulating the
+     * whole prefix. */
+    std::uint64_t maxInsts = 0;
+    /** Replay window: functionally fast-forward this many instructions
+     * (checkpoint capture + resume) before the detailed window. */
+    std::uint64_t resumeSkip = 0;
 
     bool programLevel() const { return !asmText.empty(); }
 };

@@ -42,6 +42,10 @@ FuzzSummary
 runFuzz(const FuzzOptions &opts)
 {
     const auto oracles = makeOracles(opts.oracles, opts.plant);
+    if (opts.maxInsts || opts.resumeSkip) {
+        for (const auto &oracle : oracles)
+            oracle->setRunLimits(opts.maxInsts, opts.resumeSkip);
+    }
 
     std::uint64_t iterations = opts.iterations;
     if (opts.seconds <= 0.0 && iterations == 0)
@@ -137,6 +141,11 @@ runFuzz(const FuzzOptions &opts)
         // case round-trips through the file.
         if (!(opts.gen == GenOptions()))
             out.repro.genJson = genOptionsToJson(opts.gen).dump();
+        // Window limits are part of the failure's identity: the case
+        // (and its shrink) was evaluated under them, so the repro must
+        // replay under them too.
+        out.repro.maxInsts = opts.maxInsts;
+        out.repro.resumeSkip = opts.resumeSkip;
 
         if (f.programLevel) {
             ProgRecipe minimal = f.recipe;

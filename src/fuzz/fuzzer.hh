@@ -43,6 +43,13 @@ struct FuzzOptions
     //! Ring-buffer size for the pipeline trace written next to every
     //! program-level repro ("<repro>.trace"); 0 disables.
     std::size_t traceLast = 64;
+    //! Windowed replay (Oracle::setRunLimits): cap the detailed cosim
+    //! window per case at this many retired instructions (0 = to HALT)
+    //! and record the window in minted repros.
+    std::uint64_t maxInsts = 0;
+    //! Windowed replay: fast-forward this many instructions via
+    //! checkpoint capture + resume before the detailed window.
+    std::uint64_t resumeSkip = 0;
 };
 
 /** Per-oracle case/failure accounting. */

@@ -51,6 +51,14 @@ usage(std::ostream &os)
           "  --max-failures <n> repros kept per oracle (default 3)\n"
           "  --plant <name>     inject a known bug (sched-bypass-widen, "
           "cosim-opcode-pair)\n"
+          "  --max-insts <n>    cosim: cap the detailed window per case "
+          "at n retired\n"
+          "                     instructions (recorded in minted "
+          "repros)\n"
+          "  --resume-skip <n>  cosim: fast-forward n instructions "
+          "(checkpoint\n"
+          "                     capture + resume) before the detailed "
+          "window\n"
           "  --no-shrink        skip delta-debugging of failures\n"
           "  --json             print a JSON summary instead of text\n"
           "  --replay <file>    replay repro files instead of fuzzing "
@@ -153,6 +161,10 @@ main(int argc, char **argv)
                     static_cast<unsigned>(std::stoul(value()));
             } else if (arg == "--plant") {
                 opts.plant = parsePlant(value());
+            } else if (arg == "--max-insts") {
+                opts.maxInsts = std::stoull(value());
+            } else if (arg == "--resume-skip") {
+                opts.resumeSkip = std::stoull(value());
             } else if (arg == "--no-shrink") {
                 opts.shrink = false;
             } else if (arg == "--json") {

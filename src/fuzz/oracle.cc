@@ -12,6 +12,7 @@
 #include "rb/digit_slice.hh"
 #include "rb/rbalu.hh"
 #include "sim/cosim.hh"
+#include "sim/fastfwd.hh"
 #include "sim/simulator.hh"
 #include "trace/tracer.hh"
 
@@ -170,6 +171,8 @@ class CosimOracle : public Oracle
     runProgram(const Program &prog,
                const std::vector<MachineConfig> &configs) const override
     {
+        if (maxInsts || resumeSkip)
+            return runWindowed(prog, configs);
         std::vector<Word> golden;
         for (const MachineConfig &cfg : configs) {
             OooCore core(cfg, prog);
@@ -218,6 +221,57 @@ class CosimOracle : public Oracle
                                     hex(golden[i]) + tr.noteFailure()};
                     }
                 }
+            }
+        }
+        return {};
+    }
+
+  private:
+    /**
+     * The --max-insts / --resume-skip replay mode: per machine,
+     * fast-forward `resumeSkip` instructions functionally (checkpoint
+     * capture + resume, the sampling engine's own discipline), then run
+     * the detailed pipeline under full lockstep co-simulation for at
+     * most `maxInsts` retired instructions. The cross-machine sandbox
+     * compare of the full-run mode is skipped: an instruction budget
+     * can cut different machines mid-cycle at slightly different points
+     * past the budget (retire width differs), so their final images are
+     * not comparable — the per-instruction cosim check is the oracle
+     * here. Pipeline tracing is likewise a full-run-only feature.
+     */
+    OracleResult
+    runWindowed(const Program &prog,
+                const std::vector<MachineConfig> &configs) const
+    {
+        for (const MachineConfig &cfg : configs) {
+            SimOptions opts;
+            opts.maxCycles = fuzzMaxCycles;
+            opts.cosim = true;
+            opts.maxInsts = maxInsts;
+            if (resumeSkip) {
+                FastForward ff(cfg, prog);
+                try {
+                    ff.run(resumeSkip);
+                } catch (const InterpError &e) {
+                    return {true, cfg.label +
+                                ": fast-forward fault: " + e.what()};
+                }
+                if (ff.halted())
+                    continue; // window lies past the program's end
+                auto ck = std::make_shared<ArchCheckpoint>();
+                ff.capture(*ck);
+                opts.startFrom = std::move(ck);
+            }
+            try {
+                const SimResult r = simulate(cfg, prog, opts);
+                if (!r.halted && !r.instLimited) {
+                    return {true, cfg.label +
+                                ": no clean halt in replay window "
+                                "(cycle budget exhausted or watchdog "
+                                "abort)"};
+                }
+            } catch (const CosimMismatch &e) {
+                return {true, cfg.label + ": " + e.what()};
             }
         }
         return {};

@@ -118,9 +118,29 @@ class Oracle
     /** Arm pipeline tracing for subsequent runProgram calls. */
     void setTrace(const TraceSpec &spec) { traceSpec = spec; }
 
+    /**
+     * Bound every later runProgram call to a window of the dynamic
+     * instruction stream: functionally fast-forward `resume_skip`
+     * retired instructions (checkpoint capture + resume, exactly the
+     * sampling engine's discipline), then simulate at most `max_insts`
+     * (0 = to HALT). Makes shrunk repros of deep failures replayable in
+     * seconds instead of resimulating the full prefix. Oracles without
+     * a windowed mode ignore the limits. A program that halts inside
+     * the skip passes vacuously — the shrinker evaluates candidates
+     * under the same limits, so the window pins the same failure.
+     */
+    void
+    setRunLimits(std::uint64_t max_insts, std::uint64_t resume_skip)
+    {
+        maxInsts = max_insts;
+        resumeSkip = resume_skip;
+    }
+
   protected:
     Plant plant;
     TraceSpec traceSpec;
+    std::uint64_t maxInsts = 0;   //!< measured-window budget (0 = off)
+    std::uint64_t resumeSkip = 0; //!< fast-forward skip (0 = off)
 };
 
 /** Canonical oracle names, in default fuzzing order. */

@@ -1,6 +1,5 @@
 #include "isa/program.hh"
 
-#include <map>
 
 namespace rbsim
 {
@@ -48,6 +47,19 @@ mixByte(std::uint64_t &h, std::uint8_t b)
     h *= fnvPrime;
 }
 
+/** One effective data byte as a full-width token (splitmix64 finalizer)
+ * so the image digest can combine tokens with plain XOR. Two distinct
+ * (addr, byte) pairs never alias pre-finalizer: the multiplier is a
+ * large odd constant, so equal tokens force equal addresses. */
+std::uint64_t
+mixPair(Addr addr, std::uint8_t byte)
+{
+    std::uint64_t z = addr * 0x9e3779b97f4a7c15ull + byte + 1;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
 } // namespace
 
 std::uint64_t
@@ -73,21 +85,35 @@ Program::hash() const
     // builder call vs per-line `.quad` directives) and any zero
     // padding must not affect program identity. Segments apply in
     // order, so a later zero byte erases an earlier nonzero one.
-    std::map<Addr, std::uint8_t> image;
-    for (const DataSegment &seg : data) {
+    //
+    // The image is never materialized — hash() runs inside the serve
+    // warm window (Interp::reset keys the predecode cache with it), so
+    // it must not allocate. Instead each surviving (addr, byte) pair —
+    // nonzero, and not overwritten by a later segment — folds into an
+    // order-insensitive XOR digest, which makes the visit order (segment
+    // order here, address order before) irrelevant by construction.
+    std::uint64_t img = 0;
+    std::uint64_t effective = 0;
+    for (std::size_t s = 0; s < data.size(); ++s) {
+        const DataSegment &seg = data[s];
         for (std::size_t i = 0; i < seg.bytes.size(); ++i) {
+            if (seg.bytes[i] == 0)
+                continue;
             const Addr a = seg.base + i;
-            if (seg.bytes[i] != 0)
-                image[a] = seg.bytes[i];
-            else
-                image.erase(a);
+            bool overwritten = false;
+            for (std::size_t t = s + 1; t < data.size() && !overwritten;
+                 ++t) {
+                overwritten = a >= data[t].base &&
+                              a - data[t].base < data[t].bytes.size();
+            }
+            if (overwritten)
+                continue;
+            img ^= mixPair(a, seg.bytes[i]);
+            ++effective;
         }
     }
-    mix(h, image.size());
-    for (const auto &[addr, byte] : image) {
-        mix(h, addr);
-        mixByte(h, byte);
-    }
+    mix(h, effective);
+    mix(h, img);
     return h;
 }
 

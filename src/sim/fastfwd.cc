@@ -7,6 +7,71 @@
 namespace rbsim
 {
 
+namespace
+{
+
+/**
+ * Execution-event sink plugged into the predecoded interpreter loop
+ * (Interp::runSink): warms exactly the state the old StepRecord-driven
+ * loop did, in the same order per instruction — IL1 line on line change,
+ * then the data-side touch, then predictor/RAS/BTB — so checkpoints and
+ * every gated sampling baseline stay bit-identical, minus the StepRecord
+ * materialization cost.
+ */
+struct WarmSink
+{
+    MemHierarchy &mem;
+    HybridPredictor &predictor;
+    Btb &btb;
+    Ras &ras;
+    Addr &lastLine;
+    Addr codeBase;
+    Addr lineMask;
+
+    void
+    preStep(std::uint64_t pc)
+    {
+        // The fetch engine touches the IL1 only when the fetch line
+        // changes (FetchEngine's lastLine discipline).
+        const Addr line = (codeBase + Addr{4} * pc) & lineMask;
+        if (line != lastLine) {
+            mem.warmInstTouch(line);
+            lastLine = line;
+        }
+    }
+
+    void regWrite(std::uint16_t, Word) {}
+    void load(Addr ea, Word) { mem.warmLoadTouch(ea); }
+    void store(Addr ea, Word) { mem.warmStoreTouch(ea); }
+
+    void
+    condBranch(std::uint64_t pc, bool taken)
+    {
+        predictor.touch(pc, taken);
+    }
+
+    void br() {}
+
+    //! Only linking BSRs decode to the Bsr handler (an unlinked BSR is
+    //! a plain Br), so every bsr() event pushes the RAS.
+    void bsr(Addr ret) { ras.push(ret); }
+
+    void jmpRet() { ras.pop(); } // return idiom (JMP with ra == r31)
+
+    void
+    jmpCall(std::uint64_t pc, std::uint64_t target_index, Addr ret)
+    {
+        // Indirect call: fetch pushes the return address, and
+        // retirement trains the BTB at the architectural target.
+        ras.push(ret);
+        btb.update(pc, target_index);
+    }
+
+    void halt() {}
+};
+
+} // namespace
+
 FastForward::FastForward(const MachineConfig &config, const Program &prog)
     : cfg(config), program(&prog), interp(prog), warmMem(cfg)
 {
@@ -28,44 +93,12 @@ FastForward::reset(const Program &prog)
 std::uint64_t
 FastForward::run(std::uint64_t max_insts)
 {
-    std::uint64_t done = 0;
-    while (done < max_insts && !interp.halted()) {
-        const StepRecord rec = interp.step();
-
-        // Instruction side: the fetch engine touches the IL1 only when
-        // the fetch line changes, so mirror its lastLine discipline.
-        const Addr line = program->byteAddrOf(rec.pcIndex) &
-                          ~Addr{cfg.il1.lineBytes - 1};
-        if (line != lastLine) {
-            warmMem.warmInstTouch(line);
-            lastLine = line;
-        }
-
-        if (rec.readMem)
-            warmMem.warmLoadTouch(rec.memAddr);
-        else if (rec.wroteMem)
-            warmMem.warmStoreTouch(rec.memAddr);
-
-        const Inst &inst = rec.inst;
-        if (isCondBranch(inst.op)) {
-            predictor.touch(rec.pcIndex, rec.taken);
-        } else if (inst.op == Opcode::BSR) {
-            if (inst.ra != zeroReg)
-                ras.push(program->byteAddrOf(rec.pcIndex + 1));
-        } else if (inst.op == Opcode::JMP) {
-            if (inst.ra == zeroReg) {
-                ras.pop(); // return idiom
-            } else {
-                // Indirect call: fetch pushes the return address, and
-                // retirement trains the BTB at the architectural target.
-                ras.push(program->byteAddrOf(rec.pcIndex + 1));
-                btb.update(rec.pcIndex, rec.nextPc);
-            }
-        }
-
-        ++done;
-        ++insts;
-    }
+    WarmSink sink{warmMem,           predictor,
+                  btb,               ras,
+                  lastLine,          program->codeBase,
+                  ~Addr{cfg.il1.lineBytes - 1}};
+    const std::uint64_t done = interp.runSink(max_insts, sink);
+    insts += done;
     return done;
 }
 

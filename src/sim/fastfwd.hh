@@ -1,8 +1,10 @@
 /**
  * @file
- * Functional fast-forward: drive the reference interpreter at tens of
- * MIPS while warming the same cache tag arrays and branch-predictor
- * state a detailed run would touch, so an ArchCheckpoint captured here
+ * Functional fast-forward: drive the predecoded threaded-dispatch
+ * interpreter loop (func/predecode.hh) through a warming event sink at
+ * tens of MIPS while warming the same cache tag arrays and
+ * branch-predictor state a detailed run would touch, so an
+ * ArchCheckpoint captured here
  * drops a detailed window into representative microarchitectural
  * context (the SMARTS functional-warming discipline).
  *

@@ -454,6 +454,49 @@ TEST(FuzzCorpus, GenLineRoundTripsThePresetThroughReproFiles)
         std::invalid_argument);
 }
 
+TEST(FuzzCorpus, WindowLimitsRoundTripAndReplayWindowed)
+{
+    // Checkpoint-restartable replay: a deep failure's repro records a
+    // window (fast-forward skip + detailed instruction budget) so
+    // replaying it does not resimulate the whole prefix. The window is
+    // part of the failure's identity and must round-trip through the
+    // file.
+    ReproFile repro;
+    repro.oracle = "cosim";
+    repro.seed = 5;
+    repro.configs = {MachineConfig::make(MachineKind::Baseline, 4),
+                     MachineConfig::make(MachineKind::RbFull, 8)};
+    repro.asmText = R"(
+            ldiq r1, 5000
+            ldiq r2, 0
+        loop:
+            addq r2, r1, r2
+            subq r1, #1, r1
+            bne r1, loop
+            halt
+    )";
+    repro.maxInsts = 1000;
+    repro.resumeSkip = 2000;
+
+    const std::string text = formatRepro(repro);
+    EXPECT_NE(text.find("; rbsim-repro-max-insts: 1000"),
+              std::string::npos);
+    EXPECT_NE(text.find("; rbsim-repro-resume-skip: 2000"),
+              std::string::npos);
+    const ReproFile back = parseRepro(text);
+    EXPECT_EQ(back.maxInsts, 1000u);
+    EXPECT_EQ(back.resumeSkip, 2000u);
+    const OracleResult r = replayRepro(back);
+    EXPECT_FALSE(r.failed) << r.detail;
+
+    // A window lying entirely past the program's end is a vacuous
+    // pass: the shrinker evaluates candidates under the same limits,
+    // so a repro can never move its failure out of its own window.
+    ReproFile deep = back;
+    deep.resumeSkip = 10'000'000;
+    EXPECT_FALSE(replayRepro(deep).failed);
+}
+
 // ---------------------------------------------------------------- driver
 
 TEST(FuzzDriver, DeterministicAcrossJobCounts)

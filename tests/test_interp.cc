@@ -196,6 +196,67 @@ TEST(Interp, RunOffCodeEndHalts)
     EXPECT_EQ(in.instsExecuted(), 2u);
 }
 
+TEST(Interp, JmpToNonCodeAddressThrowsStructuredError)
+{
+    // A JMP whose register target lies outside the code image is a
+    // program bug, not a model bug: it must raise a catchable
+    // InterpError in every build type (it was a Release no-op assert
+    // once), from the predecoded paths and the reference alike.
+    const Program p = assemble(R"(
+            ldiq r4, 0xdead0000
+            jmp r26, r4
+            halt
+    )");
+
+    for (int path = 0; path < 3; ++path) {
+        Interp in(p);
+        try {
+            switch (path) {
+              case 0:
+                in.step();
+                in.step();
+                break;
+              case 1:
+                in.stepReference();
+                in.stepReference();
+                break;
+              default:
+                in.runFast(100);
+                break;
+            }
+            FAIL() << "bad JMP did not throw (path " << path << ")";
+        } catch (const InterpError &e) {
+            EXPECT_EQ(e.pcIndex, 1u) << path;
+            EXPECT_EQ(e.target, 0xdead0000u) << path;
+            EXPECT_NE(std::string(e.what()).find("non-code"),
+                      std::string::npos)
+                << path;
+        }
+        // Defined post-throw state on every path: the return-address
+        // write landed, the PC still points at the faulting JMP, and
+        // its step is uncounted.
+        EXPECT_EQ(in.reg(26), p.byteAddrOf(2)) << path;
+        EXPECT_EQ(in.pc(), 1u) << path;
+        EXPECT_EQ(in.instsExecuted(), 1u) << path;
+        EXPECT_FALSE(in.halted()) << path;
+    }
+}
+
+TEST(Interp, JmpToMisalignedCodeAddressThrows)
+{
+    // In-range but not 4-byte aligned is just as dead.
+    CodeBuilder cb("misaligned-jmp");
+    cb.ldiq(R(4), 0); // patched below
+    cb.jmp(R(31), R(4));
+    cb.halt();
+    Program p = cb.finish();
+    p.code[0].imm64 = static_cast<std::int64_t>(p.byteAddrOf(2) + 2);
+
+    Interp in(p);
+    EXPECT_THROW(in.runFast(10), InterpError);
+    EXPECT_EQ(in.pc(), 1u);
+}
+
 TEST(Interp, StepRecordsStores)
 {
     const Program p = assemble(R"(
